@@ -1,0 +1,61 @@
+"""Extension: the three instrumented workloads' scaling side by side.
+
+The paper's evaluation scales WGS only; its Fig. 12 instrumentation dump
+shows WES and GenePanel runs too.  This bench extends Fig. 10's sweep to
+all three workloads — the interesting shape is that smaller captured
+fractions stop scaling earlier (fixed costs and the BQSR broadcast weigh
+more as data shrinks).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.cluster.costmodel import DEFAULT_COST_MODEL
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.topology import ClusterSpec
+from repro.cluster.workloads import WORKLOAD_PRESETS, workload_stages
+
+CORES = (128, 256, 512, 1024, 2048)
+
+
+def test_ext_workload_scaling(benchmark):
+    def sweep():
+        out = {}
+        for workload in WORKLOAD_PRESETS:
+            for cores in CORES:
+                sim = ClusterSimulator(ClusterSpec.with_cores(cores))
+                result = sim.run_job(workload_stages(workload, DEFAULT_COST_MODEL))
+                out[(workload, cores)] = result.makespan / 60
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for cores in CORES:
+        rows.append(
+            [cores]
+            + [f"{results[(w, cores)]:.1f}" for w in WORKLOAD_PRESETS]
+        )
+    print_table(
+        "Extension — workload scaling (minutes)",
+        ["cores", *WORKLOAD_PRESETS],
+        rows,
+    )
+
+    speedups = {
+        w: results[(w, 128)] / results[(w, 2048)] for w in WORKLOAD_PRESETS
+    }
+    print(f"\nspeedup 128 -> 2048 cores: " + ", ".join(f"{w} {s:.1f}x" for w, s in speedups.items()))
+
+    # Total time ordering holds at every scale.
+    for cores in CORES:
+        assert (
+            results[("WGS", cores)]
+            > results[("WES", cores)]
+            > results[("GenePanel", cores)]
+        )
+    # Smaller workloads saturate earlier: WGS keeps the best speedup.
+    assert speedups["WGS"] > speedups["WES"] > speedups["GenePanel"]
+    # GenePanel is minutes-scale even at modest core counts (clinical
+    # turnaround, the use case panels exist for).
+    assert results[("GenePanel", 256)] < 10

@@ -1,0 +1,76 @@
+"""Figure 10: GPF vs Churchill — execution time and speedup, 128-2048 cores.
+
+Paper's series (minutes)::
+
+    cores      128   256   512   1024   2048
+    GPF        174    96    57    37     24     (speedup 1..7.25)
+    Churchill  320   210   150   128     —      (flat beyond 1024)
+
+Reproduced on the cluster simulator with calibrated task graphs at the
+paper's dataset size (146.9 Gbases).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.cluster.costmodel import DEFAULT_COST_MODEL
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.topology import ClusterSpec
+from repro.cluster.workloads import churchill_stages, gpf_wgs_stages
+
+PAPER_GPF = {128: 174, 256: 96, 512: 57, 1024: 37, 2048: 24}
+PAPER_CHURCHILL = {128: 320, 256: 210, 512: 150, 1024: 128}
+CORES = (128, 256, 512, 1024, 2048)
+
+
+def test_fig10_scalability(benchmark):
+    model = DEFAULT_COST_MODEL
+    reads = model.reads_for_gigabases(146.9)
+
+    def sweep():
+        out = {}
+        for cores in CORES:
+            sim = ClusterSimulator(ClusterSpec.with_cores(cores))
+            gpf = sim.run_job(gpf_wgs_stages(reads, model))
+            churchill = sim.run_job(churchill_stages(reads, model))
+            out[cores] = {
+                "gpf_min": gpf.makespan / 60,
+                "churchill_min": churchill.makespan / 60,
+                "gpf_eff": gpf.parallel_efficiency(cores),
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    base = results[128]["gpf_min"]
+    rows = []
+    for cores in CORES:
+        r = results[cores]
+        rows.append(
+            [
+                cores,
+                f"{r['gpf_min']:.0f}",
+                PAPER_GPF[cores],
+                f"{base / r['gpf_min']:.2f}x",
+                f"{r['churchill_min']:.0f}",
+                PAPER_CHURCHILL.get(cores, "-"),
+                f"{100 * r['gpf_eff']:.0f}%",
+            ]
+        )
+    print_table(
+        "Fig. 10 — execution time & scalability (minutes)",
+        ["cores", "GPF", "GPF paper", "GPF speedup", "Churchill", "Churchill paper", "GPF eff."],
+        rows,
+    )
+
+    # Shape checks against the paper.
+    speedup = results[128]["gpf_min"] / results[2048]["gpf_min"]
+    assert 6.0 <= speedup <= 10.0  # paper: 7.25x over 16x cores
+    assert 18 <= results[2048]["gpf_min"] <= 35  # paper: 24 min
+    for cores in CORES:
+        assert results[cores]["gpf_min"] < results[cores]["churchill_min"]
+    # Every simulated GPF point within 25% of the paper's value.
+    for cores in CORES:
+        assert abs(results[cores]["gpf_min"] - PAPER_GPF[cores]) / PAPER_GPF[cores] < 0.25
+    # Churchill saturates: 1024 -> 2048 gains <10%.
+    assert results[2048]["churchill_min"] > 0.9 * results[1024]["churchill_min"]

@@ -1,0 +1,142 @@
+"""Figure 11: per-stage comparison with ADAM, GATK4, and Persona.
+
+Paper's headline ratios at matched core counts:
+
+- (a) MarkDuplicate: GPF 7.3x faster than ADAM, 6.3x than GATK4, ~10x
+  than Persona;
+- (b) BQSR: 6.4x vs ADAM, 8.4x vs GATK4;
+- (c) INDEL realignment: 7.6x vs ADAM;
+- (d) aligner throughput (Gbases/s): GPF-BWA above Persona-BWA, and
+  Persona's *real* throughput ~20x lower once AGD conversion counts.
+
+(a)-(c) replay calibrated task graphs on the simulator over 128-1024
+cores; (d) combines the simulator's alignment throughput with Persona's
+published conversion bandwidths (360 MB/s in, 82 MB/s out).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.cluster.costmodel import DEFAULT_COST_MODEL
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.topology import ClusterSpec
+from repro.cluster.workloads import baseline_tool_stages
+
+CORES = (128, 256, 512, 1024)
+PAPER_RATIOS = {
+    ("adam", "markdup"): 7.3,
+    ("adam", "bqsr"): 6.4,
+    ("adam", "realign"): 7.6,
+    ("gatk4", "markdup"): 6.3,
+    ("gatk4", "bqsr"): 8.4,
+}
+
+
+def run_tool(system: str, tool: str, cores: int, reads: int) -> float:
+    sim = ClusterSimulator(ClusterSpec.with_cores(cores))
+    return sim.run_job(
+        baseline_tool_stages(system, tool, reads, DEFAULT_COST_MODEL)
+    ).makespan
+
+
+def test_fig11_cleaner_stage_comparison(benchmark):
+    reads = DEFAULT_COST_MODEL.reads_for_gigabases(146.9)
+
+    def sweep():
+        out = {}
+        for tool in ("markdup", "bqsr", "realign"):
+            for system in ("gpf", "adam", "gatk4"):
+                if system == "gatk4" and tool == "realign":
+                    continue  # the paper has no GATK4 realignment series
+                for cores in CORES:
+                    out[(system, tool, cores)] = run_tool(system, tool, cores, reads)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for tool in ("markdup", "bqsr", "realign"):
+        rows = []
+        for cores in CORES:
+            gpf_t = results[("gpf", tool, cores)]
+            row = [cores, f"{gpf_t:.0f}s"]
+            for system in ("adam", "gatk4"):
+                key = (system, tool, cores)
+                if key in results:
+                    row += [f"{results[key]:.0f}s", f"{results[key] / gpf_t:.1f}x"]
+                else:
+                    row += ["-", "-"]
+            rows.append(row)
+        print_table(
+            f"Fig. 11 — {tool} strong scaling (seconds)",
+            ["cores", "GPF", "ADAM", "ADAM/GPF", "GATK4", "GATK4/GPF"],
+            rows,
+        )
+
+    # Ratio checks at 512 cores vs the paper's reported speedups (±50%).
+    for (system, tool), paper_ratio in PAPER_RATIOS.items():
+        measured = results[(system, tool, 512)] / results[("gpf", tool, 512)]
+        assert 0.5 * paper_ratio <= measured <= 1.6 * paper_ratio, (
+            system,
+            tool,
+            measured,
+        )
+    # Both baselines must lose at every core count.
+    for key, value in results.items():
+        system, tool, cores = key
+        if system != "gpf":
+            assert value > results[("gpf", tool, cores)]
+
+
+def test_fig11d_aligner_throughput(benchmark):
+    model = DEFAULT_COST_MODEL
+    # Half of a paired-end whole genome, as in the paper's Fig. 11(d).
+    gigabases = 146.9 / 2
+    reads = model.reads_for_gigabases(gigabases)
+
+    def sweep():
+        out = {}
+        for cores in (128, 256, 512):
+            gpf_t = run_tool("gpf", "align", cores, reads)
+            persona_stages = baseline_tool_stages("persona", "align", reads, model)
+            sim = ClusterSimulator(ClusterSpec.with_cores(cores))
+            persona = sim.run_job(persona_stages)
+            spans = {n: e - s for n, s, e in persona.stage_spans}
+            convert_t = sum(v for k, v in spans.items() if "convert" in k)
+            align_t = sum(v for k, v in spans.items() if "convert" not in k)
+            out[cores] = {
+                "gpf": gigabases / gpf_t,
+                "persona_raw": gigabases / align_t,
+                "persona_real": gigabases / (align_t + convert_t),
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            cores,
+            f"{r['gpf']:.3f}",
+            f"{r['persona_raw']:.3f}",
+            f"{r['persona_real']:.3f}",
+            f"{r['gpf'] / r['persona_real']:.0f}x",
+        ]
+        for cores, r in results.items()
+    ]
+    print_table(
+        "Fig. 11(d) — aligner throughput (Gbases aligned / second)",
+        ["cores", "GPF BWA", "Persona raw", "Persona + conversion", "GPF advantage"],
+        rows,
+    )
+
+    for r in results.values():
+        # Raw SNAP-based Persona is faster than BWA per base...
+        assert r["persona_raw"] > r["gpf"]
+        # ...but conversion reverses the comparison at every scale.
+        assert r["gpf"] > r["persona_real"]
+    # The gap widens with cores because the serial conversion never
+    # scales: at 512 cores GPF's advantage is decisive (paper: ~20x).
+    assert results[512]["gpf"] > 5 * results[512]["persona_real"]
+    # Persona's real throughput is conversion-bound, hence nearly flat.
+    assert results[512]["persona_real"] < 1.2 * results[128]["persona_real"]
+    # GPF throughput scales with cores.
+    assert results[512]["gpf"] > 2.5 * results[128]["gpf"]

@@ -1,0 +1,64 @@
+"""Figure 5: quality-score vs adjacent-delta distributions.
+
+The paper plots, for SRR622461 and SRR504516, (a) the raw quality
+histogram (spread out) and (b) the adjacent-difference histogram
+(concentrated near zero, mostly within [0, 10]) — the observation behind
+delta + Huffman coding.  Regenerated from the two simulated profiles.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.compression.stats import concentration, delta_histogram, quality_histogram
+from repro.sim.qualities import ILLUMINA_HISEQ, ILLUMINA_OLD
+
+
+def test_fig5_quality_distribution(benchmark):
+    def compute():
+        out = {}
+        for profile in (ILLUMINA_HISEQ, ILLUMINA_OLD):
+            quals = profile.sample_many(400, 100, seed=42)
+            out[profile.name] = {
+                "raw": quality_histogram(quals),
+                "delta": delta_histogram(quals),
+            }
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for name, hists in results.items():
+        raw_conc = concentration(hists["raw"], radius=5)
+        delta_conc = concentration(hists["delta"], radius=5)
+        small_deltas = sum(
+            p for v, p in hists["delta"].items() if -10 <= v <= 10
+        )
+        peak_delta = max(hists["delta"], key=lambda k: hists["delta"][k])
+        rows.append(
+            [
+                name,
+                f"{raw_conc:.0f}%",
+                f"{delta_conc:.0f}%",
+                f"{small_deltas:.0f}%",
+                peak_delta,
+            ]
+        )
+    print_table(
+        "Fig. 5 — raw vs delta quality distributions",
+        [
+            "sample profile",
+            "raw mass within ±5 of mode",
+            "delta mass within ±5 of mode",
+            "deltas in [-10,10]",
+            "delta mode",
+        ],
+        rows,
+    )
+    for name, hists in results.items():
+        # (b): deltas concentrate far more than raw scores (per profile).
+        assert concentration(hists["delta"], 5) > concentration(hists["raw"], 5)
+        # "the vast majority of adjacent differences are ranged 0-10".
+        small = sum(p for v, p in hists["delta"].items() if -10 <= v <= 10)
+        assert small > 85.0
+        # The mode sits at zero.
+        assert max(hists["delta"], key=lambda k: hists["delta"][k]) == 0

@@ -1,0 +1,92 @@
+"""Microbenchmarks of the pipeline's hot kernels.
+
+Not a paper table — these are the pytest-benchmark timings a performance
+engineer would track: pair-HMM (the caller's dominant kernel per
+Fig. 13), banded Smith-Waterman, FM-index backward search, the 2-bit
+packer, and the Huffman quality codec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.fmindex import FMIndex
+from repro.align.smith_waterman import smith_waterman
+from repro.caller.pairhmm import PairHMM
+from repro.compression.huffman import HuffmanCodec
+from repro.compression.records import FastqCodec
+from repro.compression.twobit import pack_bases, unpack_bases
+from repro.formats.fastq import FastqRecord
+from repro.sim import generate_reference
+from repro.sim.qualities import ILLUMINA_HISEQ
+
+
+@pytest.fixture(scope="module")
+def kernel_ref():
+    return generate_reference([30_000], seed=77)
+
+
+def test_kernel_fmindex_build(benchmark, kernel_ref):
+    benchmark(lambda: FMIndex(kernel_ref))
+
+
+def test_kernel_backward_search(benchmark, kernel_ref):
+    index = FMIndex(kernel_ref)
+    patterns = [
+        kernel_ref.contigs[0].fetch(i * 113, i * 113 + 25) for i in range(50)
+    ]
+    benchmark(lambda: [index.backward_search(p) for p in patterns])
+
+
+def test_kernel_smith_waterman(benchmark, kernel_ref):
+    query = kernel_ref.contigs[0].fetch(1_000, 1_100)
+    window = kernel_ref.contigs[0].fetch(960, 1_160)
+    benchmark(lambda: smith_waterman(query, window, band=40))
+
+
+def test_kernel_pairhmm(benchmark, kernel_ref):
+    hmm = PairHMM()
+    hap = kernel_ref.contigs[0].fetch(2_000, 2_200)
+    read = kernel_ref.contigs[0].fetch(2_040, 2_140)
+    quals = [35] * len(read)
+    benchmark(lambda: hmm.log_likelihood(read, quals, hap))
+
+
+def test_kernel_twobit_pack(benchmark):
+    rng = np.random.default_rng(0)
+    seq = "".join(rng.choice(list("ACGT"), size=10_000))
+    benchmark(lambda: unpack_bases(pack_bases(seq), len(seq)))
+
+
+def test_kernel_huffman_roundtrip(benchmark):
+    rng = np.random.default_rng(1)
+    quals = [ILLUMINA_HISEQ.sample(100, rng) for _ in range(50)]
+    from repro.compression.delta import delta_encode
+
+    freqs: dict[int, int] = {}
+    deltas = [delta_encode(q) for q in quals]
+    for arr in deltas:
+        values, counts = np.unique(arr, return_counts=True)
+        for v, c in zip(values.tolist(), counts.tolist()):
+            freqs[int(v)] = freqs.get(int(v), 0) + int(c)
+    codec = HuffmanCodec.from_frequencies(freqs)
+
+    def roundtrip():
+        for arr in deltas:
+            codec.decode(codec.encode(arr))
+
+    benchmark(roundtrip)
+
+
+def test_kernel_fastq_codec(benchmark):
+    rng = np.random.default_rng(2)
+    reads = [
+        FastqRecord(
+            f"r{i}",
+            "".join(rng.choice(list("ACGT"), size=100)),
+            ILLUMINA_HISEQ.sample(100, rng),
+        )
+        for i in range(200)
+    ]
+    benchmark(lambda: FastqCodec.decode(FastqCodec.encode(reads)))

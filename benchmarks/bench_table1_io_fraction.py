@@ -1,0 +1,78 @@
+"""Table 1: I/O share of the conventional pipeline, 1 -> 30 samples.
+
+Paper's rows::
+
+    1 sample   96 cores  Lustre   I/O 29%   CPU 71%
+    1 sample   96 cores  NFS      I/O 25%   CPU 75%
+    30 samples 480 cores Lustre   I/O 60%   CPU 40%
+    30 samples 480 cores NFS      I/O 74%   CPU 26%
+
+Reproduced by replaying the disk-based multi-sample pipeline (every tool
+reads/writes whole files on the shared filesystem) on the cluster
+simulator with Lustre- and NFS-class filesystem models.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.cluster.costmodel import DEFAULT_COST_MODEL
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.topology import LUSTRE, NFS, ClusterSpec
+from repro.cluster.workloads import disk_pipeline_stages
+
+PAPER = {
+    (1, "lustre"): 29,
+    (1, "nfs"): 25,
+    (30, "lustre"): 60,
+    (30, "nfs"): 74,
+}
+
+
+def io_percent(num_samples: int, filesystem) -> float:
+    model = DEFAULT_COST_MODEL
+    reads_per_sample = model.reads_for_gigabases(3.3)  # ~100 Gb over 30
+    # The paper's rows: 1 sample on 96 cores, 30 samples on 480 (16 each).
+    cores_per_sample = 96 if num_samples == 1 else 16
+    spec = ClusterSpec.with_cores(
+        cores_per_sample * num_samples, filesystem=filesystem
+    )
+    result = ClusterSimulator(spec).run_job(
+        disk_pipeline_stages(
+            num_samples, reads_per_sample, model, cores_per_sample=cores_per_sample
+        )
+    )
+    return 100.0 * result.wall_io_fraction()
+
+
+def test_table1_io_fraction(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            (n, fs.name): io_percent(n, fs)
+            for n in (1, 30)
+            for fs in (LUSTRE, NFS)
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for (n, fs), measured in sorted(results.items()):
+        rows.append(
+            [
+                f"{n} sample(s)",
+                fs,
+                f"{measured:.0f}%",
+                f"{100 - measured:.0f}%",
+                f"{PAPER[(n, fs)]}%",
+            ]
+        )
+    print_table(
+        "Table 1 — I/O share of the disk pipeline",
+        ["samples", "filesystem", "I/O% (measured)", "CPU% (measured)", "I/O% (paper)"],
+        rows,
+    )
+    # Shape assertions: I/O share grows with sample count; NFS is worse
+    # than Lustre at scale; the 30-sample runs are I/O-dominated.
+    assert results[(30, "lustre")] > results[(1, "lustre")]
+    assert results[(30, "nfs")] > results[(1, "nfs")]
+    assert results[(30, "nfs")] > results[(30, "lustre")]
+    assert results[(30, "nfs")] > 50

@@ -1,0 +1,109 @@
+"""Table 5: platform comparison — cores and parallel efficiency.
+
+Paper's rows::
+
+    GPF           full pipeline, in-memory   2048 cores   >50%
+    Churchill     full pipeline              768 cores    28%
+    HugeSeq       full pipeline              48 cores     ~50%
+    GATK-Queue    full pipeline              48 cores     ~50%
+    ADAM          Cleaner, in-memory         1024 cores   14.8%
+    GATK4         Cleaner+Caller, in-memory  1024 cores   41.6%
+    Persona       Aligner+Cleaner            512 cores    51.1%
+
+Reproduced by simulating each system's workload at its paper core count
+and reporting parallel efficiency relative to the system's own 48-core
+run (speedup achieved / cores ratio), which is how multi-node pipeline
+papers report it.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.cluster.costmodel import DEFAULT_COST_MODEL
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.topology import ClusterSpec
+from repro.cluster.workloads import (
+    baseline_tool_stages,
+    churchill_stages,
+    gpf_wgs_stages,
+)
+
+MODEL = DEFAULT_COST_MODEL
+BASE_CORES = 48
+
+
+def _stages(system: str, reads: int):
+    if system == "gpf":
+        return gpf_wgs_stages(reads, MODEL)
+    if system == "churchill":
+        return churchill_stages(reads, MODEL)
+    if system == "adam":
+        return (
+            baseline_tool_stages("adam", "markdup", reads, MODEL)
+            + baseline_tool_stages("adam", "realign", reads, MODEL)
+            + baseline_tool_stages("adam", "bqsr", reads, MODEL)
+        )
+    if system == "gatk4":
+        return (
+            baseline_tool_stages("gatk4", "markdup", reads, MODEL)
+            + baseline_tool_stages("gatk4", "bqsr", reads, MODEL)
+        )
+    if system == "persona":
+        # Persona's published efficiency number covers its parallel
+        # aligner/cleaner dataflow; the serial AGD conversion is excluded
+        # here (it is Fig. 11(d)'s subject instead).
+        return [
+            s
+            for s in baseline_tool_stages("persona", "align", reads, MODEL)
+            if "convert" not in s.name
+        ]
+    raise ValueError(system)
+
+
+def relative_efficiency(system: str, cores: int, reads: int) -> float:
+    def makespan(c: int) -> float:
+        sim = ClusterSimulator(ClusterSpec.with_cores(c))
+        return sim.run_job(_stages(system, reads)).makespan
+
+    speedup = makespan(BASE_CORES) / makespan(cores)
+    return speedup / (cores / BASE_CORES)
+
+
+PAPER = [
+    ("gpf", "full, in-memory", 2048, ">50%"),
+    ("churchill", "full", 768, "28%"),
+    ("adam", "Cleaner, in-memory", 1024, "14.8%"),
+    ("gatk4", "Cleaner+Caller, in-memory", 1024, "41.6%"),
+    ("persona", "Aligner+Cleaner", 512, "51.1%"),
+]
+
+
+def test_table5_platform_comparison(benchmark):
+    reads = MODEL.reads_for_gigabases(146.9)
+
+    def sweep():
+        return {
+            system: relative_efficiency(system, cores, reads)
+            for system, _, cores, _ in PAPER
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [system, scope, cores, f"{100 * results[system]:.0f}%", paper]
+        for system, scope, cores, paper in PAPER
+    ]
+    print_table(
+        "Table 5 — platform comparison (parallel efficiency at paper cores)",
+        ["system", "scope", "cores", "efficiency (measured)", "efficiency (paper)"],
+        rows,
+    )
+
+    # The ordering the paper reports: GPF keeps the highest efficiency at
+    # the largest scale; ADAM is the worst of the in-memory systems;
+    # Churchill sits in between.
+    assert results["gpf"] > results["churchill"]
+    assert results["gpf"] > results["adam"]
+    assert results["gatk4"] > results["adam"]
+    assert results["gpf"] > 0.40  # paper: >50% at 2048 cores
+    assert results["adam"] < 0.45  # paper: 14.8% at 1024 cores

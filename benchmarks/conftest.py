@@ -1,0 +1,77 @@
+"""Shared fixtures and reporting helpers for the paper-reproduction benches.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+Real-measurement benches run this repository's actual implementations on
+synthetic data; paper-scale benches replay calibrated task graphs on the
+cluster simulator.  Each bench prints the rows/series the paper reports,
+side by side with the paper's numbers where those are stated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    ReadSimConfig,
+    ReadSimulator,
+    generate_known_sites,
+    generate_reference,
+    plant_variants,
+)
+from repro.sim.reads import Hotspot
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Fixed-width table printer for bench reports."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def bench_reference():
+    return generate_reference([15_000, 8_000], seed=103)
+
+
+@pytest.fixture(scope="session")
+def bench_truth(bench_reference):
+    return plant_variants(
+        bench_reference, snp_rate=0.002, indel_rate=0.0003, seed=104
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_known_sites(bench_truth, bench_reference):
+    return generate_known_sites(bench_truth, bench_reference, seed=105)
+
+
+@pytest.fixture(scope="session")
+def bench_read_pairs(bench_truth):
+    config = ReadSimConfig(
+        coverage=6.0,
+        seed=106,
+        duplicate_fraction=0.06,
+        hotspots=[Hotspot("chr1", 4_000, 4_800, multiplier=8.0)],
+    )
+    return ReadSimulator(bench_truth.donor, config).simulate()
+
+
+@pytest.fixture(scope="session")
+def bench_aligned(bench_reference, bench_read_pairs):
+    from repro.align.pairing import PairedEndAligner
+    from repro.cleaner.sort import coordinate_sort
+    from repro.formats.sam import SamHeader
+
+    aligner = PairedEndAligner(bench_reference)
+    records = []
+    for pair in bench_read_pairs[:250]:
+        r1, r2 = aligner.align_pair(pair)
+        records.extend((r1, r2))
+    header = SamHeader.unsorted(bench_reference.contig_lengths())
+    return coordinate_sort(records, header)

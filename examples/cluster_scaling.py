@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Reproduce the paper's cluster-scaling story (Fig. 10 + Table 5).
+
+Replays the calibrated GPF and baseline task graphs on the discrete-event
+cluster simulator across 128-2048 cores and prints the paper-versus-
+measured comparison.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster.costmodel import DEFAULT_COST_MODEL
+from repro.cluster.simulator import ClusterSimulator
+from repro.cluster.topology import ClusterSpec
+from repro.cluster.workloads import churchill_stages, gpf_wgs_stages
+
+PAPER_GPF = {128: 174, 256: 96, 512: 57, 1024: 37, 2048: 24}
+PAPER_CHURCHILL = {128: 320, 256: 210, 512: 150, 1024: 128}
+
+
+def main() -> None:
+    model = DEFAULT_COST_MODEL
+    reads = model.reads_for_gigabases(146.9)  # the Platinum Genome's size
+    print(f"dataset: 146.9 Gbases = {reads / 1e9:.2f}B reads of {model.read_length} bp")
+    print(f"{'cores':>6} | {'GPF (min)':>9} {'paper':>6} | {'Churchill':>9} {'paper':>6} | {'speedup':>7} {'eff':>5}")
+    print("-" * 66)
+    base = None
+    for cores in (128, 256, 512, 1024, 2048):
+        sim = ClusterSimulator(ClusterSpec.with_cores(cores))
+        gpf = sim.run_job(gpf_wgs_stages(reads, model))
+        churchill = sim.run_job(churchill_stages(reads, model))
+        gpf_min = gpf.makespan / 60
+        base = base or gpf_min
+        print(
+            f"{cores:>6} | {gpf_min:>9.0f} {PAPER_GPF[cores]:>6} | "
+            f"{churchill.makespan / 60:>9.0f} {str(PAPER_CHURCHILL.get(cores, '-')):>6} | "
+            f"{base / gpf_min:>6.2f}x {100 * gpf.parallel_efficiency(cores):>4.0f}%"
+        )
+    print(
+        "\nGPF scales to 2048 cores (paper: 24 min, 7.25x); Churchill "
+        "saturates at its fixed region count (paper: flat beyond 1024)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""GPF: a high-performance genomic analysis framework with in-memory computing.
+
+A full Python reproduction of Li, Tan, Wang & Sun, PPoPP 2018
+(DOI 10.1145/3178487.3178511).  Subpackages:
+
+- :mod:`repro.core`        -- the GPF programming model (Process/Resource,
+  Pipeline DAG scheduler, redundancy elimination, dynamic PartitionInfo).
+- :mod:`repro.engine`      -- the in-memory dataflow engine (Spark substitute):
+  lazy RDDs, shuffle-to-disk, pluggable serializers, task metrics.
+- :mod:`repro.compression` -- GPF's genomic codec (2-bit bases, delta+Huffman
+  qualities).
+- :mod:`repro.formats`     -- FASTQ / SAM / FASTA / VCF.
+- :mod:`repro.align`       -- BWA-MEM-style FM-index aligner + SNAP baseline.
+- :mod:`repro.cleaner`     -- sort, MarkDuplicates, indel realignment, BQSR.
+- :mod:`repro.caller`      -- HaplotypeCaller (assembly + pair-HMM).
+- :mod:`repro.sim`         -- synthetic genomes, variants, reads.
+- :mod:`repro.cluster`     -- discrete-event cluster simulator for the paper's
+  scaling experiments.
+- :mod:`repro.baselines`   -- Churchill / ADAM / GATK4 / Persona comparators.
+
+Quickstart::
+
+    from repro.engine import GPFContext, EngineConfig
+    from repro.sim import generate_reference, plant_variants, ReadSimulator
+    from repro.wgs import build_wgs_pipeline
+
+    ctx = GPFContext(EngineConfig(serializer="gpf"))
+    reference = generate_reference([50_000])
+    truth = plant_variants(reference)
+    pairs = ReadSimulator(truth.donor).simulate()
+    handles = build_wgs_pipeline(ctx, reference, ctx.parallelize(pairs),
+                                 known_sites=[])
+    handles.pipeline.run()
+    variants = handles.vcf.rdd.collect()
+"""
+
+__version__ = "1.0.0"
+
+from repro.engine import GPFContext, EngineConfig
+from repro.wgs import build_wgs_pipeline, WgsPipelineHandles
+
+__all__ = [
+    "GPFContext",
+    "EngineConfig",
+    "build_wgs_pipeline",
+    "WgsPipelineHandles",
+    "__version__",
+]

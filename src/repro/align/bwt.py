@@ -1,0 +1,40 @@
+"""Burrows-Wheeler transform from a suffix array."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.suffix_array import build_suffix_array
+
+
+def bwt_from_suffix_array(text: bytes, suffix_array: np.ndarray) -> np.ndarray:
+    """BWT[i] = text[SA[i] - 1]  (the character preceding each suffix)."""
+    data = np.frombuffer(text, dtype=np.uint8)
+    prev = np.asarray(suffix_array, dtype=np.int64) - 1
+    return data[prev]  # index -1 wraps to the sentinel, as required
+
+
+def bwt(text: bytes) -> np.ndarray:
+    """Convenience: BWT of a sentinel-terminated text."""
+    return bwt_from_suffix_array(text, build_suffix_array(text))
+
+
+def inverse_bwt(transformed: np.ndarray) -> bytes:
+    """Invert the BWT via LF-mapping (used in tests to validate the index)."""
+    transformed = np.asarray(transformed, dtype=np.uint8)
+    n = len(transformed)
+    if n == 0:
+        return b""
+    # order maps F-rank -> BWT row; LF is its inverse permutation.
+    order = np.argsort(transformed, kind="stable")
+    lf = np.empty(n, dtype=np.int64)
+    lf[order] = np.arange(n)
+    out = bytearray(n)
+    out[n - 1] = 0  # the sentinel ends the text
+    # Row 0 of the sorted rotation matrix starts with the sentinel, so its
+    # BWT character is the text's last real symbol; walk LF backwards.
+    row = 0
+    for i in range(n - 2, -1, -1):
+        out[i] = transformed[row]
+        row = lf[row]
+    return bytes(out)

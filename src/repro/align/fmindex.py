@@ -1,0 +1,201 @@
+"""FM-index: BWT + sampled occurrence table + sampled suffix array.
+
+Supports the two primitives seed-and-extend alignment needs:
+
+- :meth:`FMIndex.backward_search` — the (lo, hi) suffix-array interval of
+  every exact occurrence of a pattern, in O(|pattern|) rank queries.
+- :meth:`FMIndex.locate` — text positions for an interval, via the sampled
+  suffix array and LF-walking.
+
+The index is built over the concatenation of all reference contigs (plus
+the reverse complements, as BWA does, so reverse-strand seeds are found by
+the same forward search) with a 0 sentinel at the end.  ``occ`` is sampled
+every ``occ_sample`` rows; a rank query scans at most ``occ_sample`` BWT
+entries with vectorized comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.bwt import bwt_from_suffix_array
+from repro.align.suffix_array import build_suffix_array
+from repro.formats.fasta import Reference
+
+#: DNA complement for reverse-complement handling.
+_COMPLEMENT = bytes.maketrans(b"ACGTN", b"TGCAN")
+
+
+def reverse_complement(seq: str) -> str:
+    return seq.encode("ascii").translate(_COMPLEMENT)[::-1].decode("ascii")
+
+
+@dataclass(frozen=True, slots=True)
+class ContigSpan:
+    """Half-open span of one contig (strand-specific) in the index text."""
+
+    name: str
+    start: int
+    end: int
+    is_reverse: bool
+
+
+class FMIndex:
+    """FM-index over a multi-contig reference, both strands."""
+
+    #: Alphabet of the index text; sentinel first so it sorts lowest.
+    ALPHABET = b"\x00ACGNT"
+
+    def __init__(
+        self,
+        reference: Reference,
+        occ_sample: int = 32,
+        sa_sample: int = 8,
+    ):
+        self.reference = reference
+        self._occ_sample = occ_sample
+        self._sa_sample = sa_sample
+
+        parts: list[bytes] = []
+        spans: list[ContigSpan] = []
+        offset = 0
+        for contig in reference.contigs:
+            for is_reverse in (False, True):
+                seq = contig.sequence
+                if is_reverse:
+                    seq = seq.translate(_COMPLEMENT)[::-1]
+                spans.append(
+                    ContigSpan(contig.name, offset, offset + len(seq), is_reverse)
+                )
+                parts.append(seq)
+                offset += len(seq)
+        text = b"".join(parts) + b"\x00"
+        self._spans = spans
+        self._text_len = len(text)
+        self._span_starts = np.asarray([s.start for s in spans], dtype=np.int64)
+
+        sa = build_suffix_array(text)
+        self._bwt = bwt_from_suffix_array(text, sa)
+        # Sampled suffix array: keep SA[i] where i % sa_sample == 0.
+        self._sa_samples = sa[::sa_sample].copy()
+
+        # Character codes 0..5 over the fixed alphabet.
+        code_of = np.full(256, -1, dtype=np.int8)
+        for code, byte in enumerate(self.ALPHABET):
+            code_of[byte] = code
+        self._code_of = code_of
+        bwt_codes = code_of[self._bwt]
+        if bwt_codes.min() < 0:
+            raise ValueError("reference contains bytes outside the ACGTN alphabet")
+        self._bwt_codes = bwt_codes.astype(np.uint8)
+
+        # C array: for each code, number of text chars strictly smaller.
+        counts = np.bincount(self._bwt_codes, minlength=len(self.ALPHABET))
+        self._C = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
+
+        # Sampled occ: occ[k, c] = occurrences of code c in bwt[:k*occ_sample].
+        num_checkpoints = (len(self._bwt_codes) // occ_sample) + 1
+        occ = np.zeros((num_checkpoints, len(self.ALPHABET)), dtype=np.int64)
+        onehot = np.zeros((len(self._bwt_codes), len(self.ALPHABET)), dtype=np.int64)
+        onehot[np.arange(len(self._bwt_codes)), self._bwt_codes] = 1
+        cumulative = np.cumsum(onehot, axis=0)
+        for k in range(1, num_checkpoints):
+            occ[k] = cumulative[k * occ_sample - 1]
+        self._occ = occ
+
+    # -- rank/search --------------------------------------------------------
+    def _rank(self, code: int, row: int) -> int:
+        """Occurrences of character ``code`` in bwt[:row]."""
+        checkpoint = row // self._occ_sample
+        base = self._occ[checkpoint, code]
+        start = checkpoint * self._occ_sample
+        if row > start:
+            base += int(np.count_nonzero(self._bwt_codes[start:row] == code))
+        return int(base)
+
+    def backward_search(self, pattern: str) -> tuple[int, int]:
+        """(lo, hi) interval of rows whose suffixes start with ``pattern``.
+
+        Empty interval (lo >= hi) means no exact occurrence.  ``N`` in the
+        pattern never matches (as in BWA's exact-seed phase).
+        """
+        lo, hi = 0, self._text_len
+        for char in reversed(pattern):
+            code = self._code_of[ord(char)]
+            if code < 0 or char == "N":
+                return (0, 0)
+            lo = int(self._C[code]) + self._rank(int(code), lo)
+            hi = int(self._C[code]) + self._rank(int(code), hi)
+            if lo >= hi:
+                return (0, 0)
+        return lo, hi
+
+    def count(self, pattern: str) -> int:
+        lo, hi = self.backward_search(pattern)
+        return hi - lo
+
+    def extend_left(self, char: str, lo: int, hi: int) -> tuple[int, int]:
+        """One backward-search step; the primitive SMEM extraction uses."""
+        code = self._code_of[ord(char)]
+        if code < 0 or char == "N":
+            return (0, 0)
+        new_lo = int(self._C[code]) + self._rank(int(code), lo)
+        new_hi = int(self._C[code]) + self._rank(int(code), hi)
+        return (new_lo, new_hi) if new_lo < new_hi else (0, 0)
+
+    # -- locate ------------------------------------------------------------
+    def _suffix_position(self, row: int) -> int:
+        """Text position of the suffix at BWT row ``row`` (LF-walk)."""
+        steps = 0
+        while row % self._sa_sample != 0:
+            code = int(self._bwt_codes[row])
+            row = int(self._C[code]) + self._rank(code, row)
+            steps += 1
+        return int(self._sa_samples[row // self._sa_sample]) + steps
+
+    def locate(self, lo: int, hi: int, limit: int = 64) -> list[tuple[str, int, bool]]:
+        """Map interval rows to ``(contig, position, is_reverse)`` hits.
+
+        ``position`` is the 0-based offset on the *forward* strand where
+        the pattern occurrence begins for forward hits; for reverse-strand
+        hits it is the offset within the reversed sequence (callers convert
+        via :meth:`to_forward_position`).  At most ``limit`` hits are
+        returned (repetitive seeds are truncated, as in BWA).
+        """
+        hits: list[tuple[str, int, bool]] = []
+        for row in range(lo, min(hi, lo + limit)):
+            pos = self._suffix_position(row)
+            if pos >= self._text_len - 1:  # the sentinel row
+                continue
+            span = self._span_for(pos)
+            hits.append((span.name, pos - span.start, span.is_reverse))
+        return hits
+
+    def _span_for(self, pos: int) -> ContigSpan:
+        idx = int(np.searchsorted(self._span_starts, pos, side="right")) - 1
+        span = self._spans[idx]
+        if not (span.start <= pos < span.end):
+            raise IndexError(f"position {pos} outside any contig span")
+        return span
+
+    def to_forward_position(
+        self, contig: str, offset: int, match_len: int, is_reverse: bool
+    ) -> int:
+        """Convert a reverse-strand index offset to a forward-strand start."""
+        if not is_reverse:
+            return offset
+        contig_len = len(self.reference[contig])
+        return contig_len - offset - match_len
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def text_length(self) -> int:
+        return self._text_len
+
+    def memory_bytes(self) -> int:
+        """Approximate index footprint (bwt + occ + sa samples)."""
+        return (
+            self._bwt_codes.nbytes + self._occ.nbytes + self._sa_samples.nbytes
+        )

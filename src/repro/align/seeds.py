@@ -1,0 +1,123 @@
+"""Super-maximal exact match (SMEM) seed extraction.
+
+BWA-MEM seeds alignments with SMEMs: exact read/reference matches that
+cannot be extended in either direction and are not contained in a longer
+match covering the same read position.  This implementation finds, for a
+set of anchor positions in the read, the longest exact match *ending*
+there via repeated backward-search extension, then filters out contained
+matches — a faithful (if simplified) SMEM definition that preserves the
+property the pipeline needs: every alignable read yields at least one
+long, low-repetition seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.fmindex import FMIndex
+
+
+@dataclass(frozen=True, slots=True)
+class Seed:
+    """An exact match between read[query_start:query_end] and the index."""
+
+    query_start: int
+    query_end: int  # exclusive
+    contig: str
+    ref_start: int  # forward-strand position of the match start
+    is_reverse: bool
+
+    @property
+    def length(self) -> int:
+        return self.query_end - self.query_start
+
+    def diagonal(self) -> int:
+        return self.ref_start - self.query_start
+
+
+def find_seeds(
+    index: FMIndex,
+    read: str,
+    min_seed_length: int = 19,
+    max_hits_per_seed: int = 16,
+    anchor_stride: int = 8,
+) -> list[Seed]:
+    """Extract seeds for one read.
+
+    For anchors spaced ``anchor_stride`` apart (always including the read
+    end), extend leftwards from the anchor as far as the index allows,
+    keep matches of at least ``min_seed_length``, drop matches contained
+    in an already-kept one, and locate up to ``max_hits_per_seed``
+    occurrences of each.
+    """
+    n = len(read)
+    if n < min_seed_length:
+        return []
+    anchors = list(range(n, min_seed_length - 1, -anchor_stride))
+    if anchors and anchors[-1] != min_seed_length:
+        anchors.append(min_seed_length)
+
+    kept_intervals: list[tuple[int, int]] = []
+    seeds: list[Seed] = []
+    for end in anchors:
+        lo, hi = 0, index.text_length
+        start = end
+        # Extend left while the interval stays non-empty.
+        while start > 0:
+            new_lo, new_hi = index.extend_left(read[start - 1], lo, hi)
+            if new_lo >= new_hi:
+                break
+            lo, hi = new_lo, new_hi
+            start -= 1
+        length = end - start
+        if length < min_seed_length:
+            continue
+        if any(ks <= start and end <= ke for ks, ke in kept_intervals):
+            continue  # contained in an existing SMEM
+        kept_intervals.append((start, end))
+        for contig, offset, is_reverse in index.locate(lo, hi, limit=max_hits_per_seed):
+            ref_start = index.to_forward_position(contig, offset, length, is_reverse)
+            # For reverse hits the query interval refers to the reverse-
+            # complemented read; callers align the RC read, so store as-is.
+            seeds.append(
+                Seed(
+                    query_start=start,
+                    query_end=end,
+                    contig=contig,
+                    ref_start=ref_start,
+                    is_reverse=is_reverse,
+                )
+            )
+    return seeds
+
+
+def chain_seeds(seeds: list[Seed], max_diagonal_diff: int = 16) -> list[list[Seed]]:
+    """Group co-linear seeds into chains.
+
+    Seeds on the same contig/strand whose diagonals differ by at most
+    ``max_diagonal_diff`` (allowing small indels) and whose query intervals
+    are ordered join one chain; each chain is one candidate alignment.
+    """
+    by_group: dict[tuple[str, bool], list[Seed]] = {}
+    for seed in seeds:
+        by_group.setdefault((seed.contig, seed.is_reverse), []).append(seed)
+
+    chains: list[list[Seed]] = []
+    for group in by_group.values():
+        group.sort(key=lambda s: (s.diagonal(), s.query_start))
+        current: list[Seed] = []
+        for seed in group:
+            if (
+                current
+                and abs(seed.diagonal() - current[-1].diagonal()) <= max_diagonal_diff
+            ):
+                current.append(seed)
+            else:
+                if current:
+                    chains.append(current)
+                current = [seed]
+        if current:
+            chains.append(current)
+    # Strongest chains first: total seeded query coverage.
+    chains.sort(key=lambda c: -sum(s.length for s in c))
+    return chains

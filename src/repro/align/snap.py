@@ -1,0 +1,125 @@
+"""SNAP-style hash-seed aligner (the Persona baseline's aligner).
+
+SNAP (Zaharia et al. 2011) trades index size for speed: a hash table of
+every fixed-length k-mer of the reference maps to its positions; reads are
+aligned by looking up a few k-mers and verifying candidate diagonals with
+a cheap edit-distance check.  Persona integrated SNAP as its single-end
+cluster aligner, which is what the paper's Fig. 11(d) compares BWA
+against; this implementation reproduces that trade-off (faster per read,
+single-end, less sensitive to indels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.bwamem import unmapped_record
+from repro.align.fmindex import reverse_complement
+from repro.formats import flags as F
+from repro.formats.cigar import Cigar, CigarOp
+from repro.formats.fasta import Reference
+from repro.formats.fastq import FastqRecord
+from repro.formats.sam import UNMAPPED_POS, SamRecord
+
+
+@dataclass(frozen=True)
+class SnapConfig:
+    seed_length: int = 20
+    #: Number of k-mer probes per read.
+    probes: int = 4
+    #: Maximum mismatches tolerated by the verifier.
+    max_mismatches: int = 8
+    #: Hash entries with more hits than this are skipped as repetitive.
+    max_hits: int = 32
+
+
+class SnapAligner:
+    """Hash-based single-end aligner."""
+
+    def __init__(self, reference: Reference, config: SnapConfig | None = None):
+        self.reference = reference
+        self.config = config or SnapConfig()
+        self._table: dict[str, list[tuple[int, int]]] = {}
+        self._contig_names = [c.name for c in reference.contigs]
+        k = self.config.seed_length
+        for contig_index, contig in enumerate(reference.contigs):
+            seq = contig.sequence.decode("ascii")
+            for pos in range(0, len(seq) - k + 1):
+                kmer = seq[pos : pos + k]
+                if "N" in kmer:
+                    continue
+                bucket = self._table.setdefault(kmer, [])
+                if len(bucket) <= self.config.max_hits:
+                    bucket.append((contig_index, pos))
+
+    def align_read(self, record: FastqRecord) -> SamRecord:
+        """Best hash-seeded single-end alignment (unmapped over the cap)."""
+        best: tuple[int, int, int, bool] | None = None  # (mism, contig, pos, rev)
+        second_mism: int | None = None
+        for is_reverse in (False, True):
+            seq = (
+                reverse_complement(record.sequence) if is_reverse else record.sequence
+            )
+            for contig_index, pos, mism in self._candidates(seq):
+                entry = (mism, contig_index, pos, is_reverse)
+                if best is None or mism < best[0]:
+                    second_mism = best[0] if best else None
+                    best = entry
+                elif (
+                    second_mism is None or mism < second_mism
+                ) and (contig_index, pos, is_reverse) != best[1:]:
+                    second_mism = mism
+        if best is None or best[0] > self.config.max_mismatches:
+            return unmapped_record(record)
+        mism, contig_index, pos, is_reverse = best
+        gap = (second_mism - mism) if second_mism is not None else 10
+        mapq = int(max(0, min(60, 10 * gap + (10 - mism))))
+        seq = reverse_complement(record.sequence) if is_reverse else record.sequence
+        qual = record.quality[::-1] if is_reverse else record.quality
+        return SamRecord(
+            qname=record.name,
+            flag=F.REVERSE if is_reverse else 0,
+            rname=self._contig_names[contig_index],
+            pos=pos,
+            mapq=mapq,
+            cigar=Cigar((CigarOp(len(seq), "M"),)),
+            rnext="*",
+            pnext=UNMAPPED_POS,
+            tlen=0,
+            seq=seq,
+            qual=qual,
+            tags={"NM": mism},
+        )
+
+    # -- internals ------------------------------------------------------------
+    def _candidates(self, seq: str) -> list[tuple[int, int, int]]:
+        """(contig, read_start_pos, mismatches) for verified diagonals."""
+        cfg = self.config
+        k = cfg.seed_length
+        n = len(seq)
+        if n < k:
+            return []
+        probe_starts = np.linspace(0, n - k, num=min(cfg.probes, n - k + 1), dtype=int)
+        seen: set[tuple[int, int]] = set()
+        out: list[tuple[int, int, int]] = []
+        arr = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+        for start in probe_starts:
+            kmer = seq[start : start + k]
+            for contig_index, kmer_pos in self._table.get(kmer, []):
+                read_start = kmer_pos - int(start)
+                key = (contig_index, read_start)
+                if key in seen or read_start < 0:
+                    continue
+                seen.add(key)
+                contig = self.reference.contigs[contig_index]
+                if read_start + n > len(contig):
+                    continue
+                window = np.frombuffer(
+                    contig.sequence[read_start : read_start + n], dtype=np.uint8
+                )
+                mism = int(np.count_nonzero(window != arr))
+                if mism <= cfg.max_mismatches:
+                    out.append((contig_index, read_start, mism))
+        return out

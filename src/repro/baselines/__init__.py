@@ -1,0 +1,30 @@
+"""Baseline systems the paper compares against (§5.2, Table 5).
+
+Each baseline exists in two forms:
+
+1. a **runnable reference implementation** at laptop scale, reusing this
+   repository's substrate algorithms but executed the way the baseline
+   system executes them (per-tool disk spills for GATK, format conversion
+   for Persona, static chromosome partitioning for Churchill) — used by
+   correctness tests and the real-measurement benches; and
+2. **simulation factors** (:class:`repro.cluster.costmodel.BaselineFactors`)
+   feeding the cluster simulator for the paper-scale figures.
+"""
+
+from repro.baselines.diskpipeline import DiskPipeline, run_disk_pipeline
+from repro.baselines.churchill import ChurchillPipeline, static_region_split
+from repro.baselines.adam import AdamLikePipeline
+from repro.baselines.gatk import GatkLikePipeline
+from repro.baselines.persona import PersonaLikePipeline, AGD_IMPORT_BANDWIDTH, AGD_EXPORT_BANDWIDTH
+
+__all__ = [
+    "DiskPipeline",
+    "run_disk_pipeline",
+    "ChurchillPipeline",
+    "static_region_split",
+    "AdamLikePipeline",
+    "GatkLikePipeline",
+    "PersonaLikePipeline",
+    "AGD_IMPORT_BANDWIDTH",
+    "AGD_EXPORT_BANDWIDTH",
+]

@@ -1,0 +1,116 @@
+"""Churchill-style pipeline: static chromosomal-region parallelization.
+
+Churchill (Kelly et al., Genome Biology 2015) divides the genome into
+fixed-boundary subregions *before the analysis starts* and runs the whole
+pipeline per region.  The consequences the paper leans on (§5.2.1):
+
+- the region count caps the usable parallelism, and
+- coverage hot-spots make region work heavily skewed, so the slowest
+  region bounds the wall time regardless of core count.
+
+``static_region_split`` produces the fixed regions;
+``ChurchillPipeline`` runs the real substrate algorithms per region and
+reports per-region work so the load-imbalance ablation can measure the
+skew directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caller.haplotype_caller import CallerConfig, HaplotypeCaller
+from repro.cleaner.bqsr import apply_recalibration, build_recalibration_table
+from repro.cleaner.duplicates import mark_duplicates
+from repro.cleaner.sort import coordinate_sort, records_overlapping
+from repro.formats.fasta import Reference
+from repro.formats.sam import SamHeader, SamRecord
+from repro.formats.vcf import VcfRecord
+
+
+@dataclass(frozen=True, slots=True)
+class StaticRegion:
+    contig: str
+    start: int
+    end: int
+
+
+def static_region_split(
+    reference: Reference, num_regions: int
+) -> list[StaticRegion]:
+    """Equal-length genome division with fixed boundaries.
+
+    Regions are allocated to contigs proportionally to length, each contig
+    cut into equal pieces — Churchill's "chromosomal subregion decided at
+    the beginning of the analysis".
+    """
+    if num_regions <= 0:
+        raise ValueError("need at least one region")
+    total = reference.total_length()
+    regions: list[StaticRegion] = []
+    for contig in reference.contigs:
+        share = max(1, round(num_regions * len(contig) / total))
+        step = -(-len(contig) // share)
+        for start in range(0, len(contig), step):
+            regions.append(
+                StaticRegion(contig.name, start, min(len(contig), start + step))
+            )
+    return regions
+
+
+@dataclass
+class RegionWork:
+    region: StaticRegion
+    num_reads: int
+    calls: list[VcfRecord] = field(default_factory=list)
+
+
+class ChurchillPipeline:
+    """Run the pipeline per static region over pre-aligned records."""
+
+    def __init__(
+        self,
+        reference: Reference,
+        known_sites: list[VcfRecord],
+        num_regions: int = 16,
+        caller_config: CallerConfig | None = None,
+    ):
+        self.reference = reference
+        self.known_sites = known_sites
+        self.regions = static_region_split(reference, num_regions)
+        self.caller_config = caller_config
+
+    def run(self, aligned: list[SamRecord]) -> tuple[list[VcfRecord], list[RegionWork]]:
+        """(all variant calls, per-region work records)."""
+        header = SamHeader.unsorted(self.reference.contig_lengths())
+        aligned = coordinate_sort(aligned, header)
+        work: list[RegionWork] = []
+        calls: list[VcfRecord] = []
+        for region in self.regions:
+            members = records_overlapping(
+                aligned, region.contig, region.start, region.end
+            )
+            unit = RegionWork(region, num_reads=len(members))
+            if members:
+                mark_duplicates(members)
+                table = build_recalibration_table(
+                    members, self.reference, self.known_sites
+                )
+                apply_recalibration(members, table)
+                caller = HaplotypeCaller(self.reference, self.caller_config)
+                region_calls = [
+                    c
+                    for c in caller.call(members)
+                    if region.start <= c.pos < region.end and c.contig == region.contig
+                ]
+                unit.calls = region_calls
+                calls.extend(region_calls)
+            work.append(unit)
+        return calls, work
+
+    @staticmethod
+    def load_imbalance(work: list[RegionWork]) -> float:
+        """max/mean region size — the straggler factor of a static split."""
+        sizes = [w.num_reads for w in work if w.num_reads > 0]
+        if not sizes:
+            return 1.0
+        return max(sizes) / (sum(sizes) / len(sizes))

@@ -1,0 +1,151 @@
+"""The conventional disk-based pipeline (the paper's Table 1 motivation).
+
+Every tool reads its whole input file and writes its whole output file:
+FASTQ -> SAM -> sorted SAM -> deduped SAM -> recalibrated SAM -> VCF.
+``DiskPipeline`` actually does this through the text formats (for
+integration tests and real I/O measurement); the Table 1 experiment at
+paper scale goes through ``repro.cluster.workloads.disk_pipeline_stages``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.align.pairing import PairedEndAligner
+from repro.caller.haplotype_caller import CallerConfig, HaplotypeCaller
+from repro.cleaner.bqsr import apply_recalibration, build_recalibration_table
+from repro.cleaner.duplicates import mark_duplicates
+from repro.cleaner.sort import coordinate_sort
+from repro.formats.fasta import Reference
+from repro.formats.fastq import pair_reads, read_fastq
+from repro.formats.sam import SamHeader, read_sam, write_sam
+from repro.formats.vcf import VcfHeader, VcfRecord, sort_records, write_vcf
+
+
+@dataclass
+class StageTiming:
+    name: str
+    cpu_seconds: float
+    io_seconds: float
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+@dataclass
+class DiskPipelineResult:
+    vcf_path: str
+    timings: list[StageTiming] = field(default_factory=list)
+
+    @property
+    def io_fraction(self) -> float:
+        total = sum(t.cpu_seconds + t.io_seconds for t in self.timings)
+        if total == 0:
+            return 0.0
+        return sum(t.io_seconds for t in self.timings) / total
+
+
+class DiskPipeline:
+    """A per-sample pipeline with real file hand-offs between tools."""
+
+    def __init__(
+        self,
+        reference: Reference,
+        known_sites: list[VcfRecord],
+        workdir: str,
+        caller_config: CallerConfig | None = None,
+    ):
+        self.reference = reference
+        self.known_sites = known_sites
+        self.workdir = workdir
+        self.caller_config = caller_config
+        os.makedirs(workdir, exist_ok=True)
+
+    def run(self, fastq1: str, fastq2: str, sample: str = "sample") -> DiskPipelineResult:
+        """Run all five tools with real file hand-offs; returns timings."""
+        result = DiskPipelineResult(vcf_path=os.path.join(self.workdir, f"{sample}.vcf"))
+        header = SamHeader.unsorted(self.reference.contig_lengths())
+
+        # Stage 1: align (read FASTQ, write raw SAM).
+        t_io = time.perf_counter()
+        pairs = list(pair_reads(read_fastq(fastq1), read_fastq(fastq2)))
+        io1 = time.perf_counter() - t_io
+        t_cpu = time.perf_counter()
+        aligner = PairedEndAligner(self.reference)
+        sams = []
+        for pair in pairs:
+            r1, r2 = aligner.align_pair(pair)
+            sams.extend((r1, r2))
+        cpu1 = time.perf_counter() - t_cpu
+        raw_sam = os.path.join(self.workdir, f"{sample}.raw.sam")
+        io1 += self._timed_write(header, sams, raw_sam)
+        result.timings.append(StageTiming("align", cpu1, io1, bytes_written=os.path.getsize(raw_sam)))
+
+        # Stage 2: sort (read SAM, write sorted SAM).
+        header2, sams, io_r = self._timed_read(raw_sam)
+        t_cpu = time.perf_counter()
+        sams = coordinate_sort(sams, header2)
+        cpu2 = time.perf_counter() - t_cpu
+        sorted_sam = os.path.join(self.workdir, f"{sample}.sorted.sam")
+        io_w = self._timed_write(header2.sorted_by_coordinate(), sams, sorted_sam)
+        result.timings.append(StageTiming("sort", cpu2, io_r + io_w))
+
+        # Stage 3: mark duplicates.
+        header3, sams, io_r = self._timed_read(sorted_sam)
+        t_cpu = time.perf_counter()
+        mark_duplicates(sams)
+        cpu3 = time.perf_counter() - t_cpu
+        dedup_sam = os.path.join(self.workdir, f"{sample}.dedup.sam")
+        io_w = self._timed_write(header3, sams, dedup_sam)
+        result.timings.append(StageTiming("markdup", cpu3, io_r + io_w))
+
+        # Stage 4: BQSR (two passes over the file).
+        header4, sams, io_r = self._timed_read(dedup_sam)
+        t_cpu = time.perf_counter()
+        table = build_recalibration_table(sams, self.reference, self.known_sites)
+        apply_recalibration(sams, table)
+        cpu4 = time.perf_counter() - t_cpu
+        recal_sam = os.path.join(self.workdir, f"{sample}.recal.sam")
+        io_w = self._timed_write(header4, sams, recal_sam)
+        result.timings.append(StageTiming("bqsr", cpu4, io_r + io_w))
+
+        # Stage 5: call variants.
+        header5, sams, io_r = self._timed_read(recal_sam)
+        t_cpu = time.perf_counter()
+        caller = HaplotypeCaller(self.reference, self.caller_config)
+        calls = caller.call(sams)
+        cpu5 = time.perf_counter() - t_cpu
+        t_io = time.perf_counter()
+        vcf_header = VcfHeader(tuple(self.reference.contig_lengths()), sample=sample)
+        write_vcf(
+            vcf_header,
+            sort_records(calls, self.reference.contig_names),
+            result.vcf_path,
+        )
+        io_w = time.perf_counter() - t_io
+        result.timings.append(StageTiming("caller", cpu5, io_r + io_w))
+        return result
+
+    # -- helpers ------------------------------------------------------------
+    @staticmethod
+    def _timed_write(header: SamHeader, records, path: str) -> float:
+        t0 = time.perf_counter()
+        write_sam(header, records, path)
+        return time.perf_counter() - t0
+
+    @staticmethod
+    def _timed_read(path: str) -> tuple[SamHeader, list, float]:
+        t0 = time.perf_counter()
+        header, records = read_sam(path)
+        return header, records, time.perf_counter() - t0
+
+
+def run_disk_pipeline(
+    reference: Reference,
+    known_sites: list[VcfRecord],
+    fastq1: str,
+    fastq2: str,
+    workdir: str,
+) -> DiskPipelineResult:
+    return DiskPipeline(reference, known_sites, workdir).run(fastq1, fastq2)

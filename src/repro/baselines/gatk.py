@@ -1,0 +1,108 @@
+"""GATK4-beta-style execution: per-tool Spark jobs with disk spill between
+tools.
+
+GATK4's Spark tools each run as an independent job: read the BAM from
+storage, re-sort, process, write the BAM back.  The runnable reference
+does exactly that through the SAM text format, so every tool boundary
+pays a full serialize/parse round trip — the cost GPF's resident RDDs
+avoid.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.cleaner.bqsr import apply_recalibration, build_recalibration_table
+from repro.cleaner.duplicates import mark_duplicates
+from repro.cleaner.realign import find_realignment_intervals, realign_reads
+from repro.cleaner.sort import coordinate_sort
+from repro.formats.fasta import Reference
+from repro.formats.sam import SamHeader, SamRecord, read_sam, write_sam
+from repro.formats.vcf import VcfRecord
+
+
+@dataclass
+class ToolRun:
+    name: str
+    input_path: str
+    output_path: str
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+@dataclass
+class GatkLikePipeline:
+    """Cleaner tools as separate spill-to-disk jobs."""
+
+    reference: Reference
+    known_sites: list[VcfRecord]
+    workdir: str
+    runs: list[ToolRun] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        os.makedirs(self.workdir, exist_ok=True)
+
+    def _spill_path(self, tool: str) -> str:
+        return os.path.join(self.workdir, f"{tool}.sam")
+
+    def _run_tool(self, name: str, input_path: str, algorithm) -> str:
+        header, records = read_sam(input_path)
+        # Every GATK4 Spark tool re-sorts its input.
+        records = coordinate_sort(records, header)
+        records = algorithm(header, records)
+        output_path = self._spill_path(name)
+        write_sam(header, records, output_path)
+        self.runs.append(
+            ToolRun(
+                name,
+                input_path,
+                output_path,
+                bytes_read=os.path.getsize(input_path),
+                bytes_written=os.path.getsize(output_path),
+            )
+        )
+        return output_path
+
+    # -- tools -------------------------------------------------------------
+    def write_input(self, records: list[SamRecord]) -> str:
+        """Spill the aligned input to the first SAM file."""
+        header = SamHeader.unsorted(self.reference.contig_lengths())
+        path = self._spill_path("input")
+        write_sam(header, records, path)
+        return path
+
+    def mark_duplicates(self, input_path: str) -> str:
+        def run(header: SamHeader, records: list[SamRecord]) -> list[SamRecord]:
+            marked, _ = mark_duplicates(records)
+            return marked
+
+        return self._run_tool("markdup", input_path, run)
+
+    def indel_realignment(self, input_path: str) -> str:
+        """Realignment as its own read-sort-process-write job."""
+        reference = self.reference
+
+        def run(header: SamHeader, records: list[SamRecord]) -> list[SamRecord]:
+            intervals = find_realignment_intervals(records)
+            if intervals:
+                realign_reads(records, reference, intervals)
+            return records
+
+        return self._run_tool("realign", input_path, run)
+
+    def bqsr(self, input_path: str) -> str:
+        """BQSR as its own read-sort-process-write job."""
+        reference = self.reference
+        known = self.known_sites
+
+        def run(header: SamHeader, records: list[SamRecord]) -> list[SamRecord]:
+            table = build_recalibration_table(records, reference, known)
+            apply_recalibration(records, table)
+            return records
+
+        return self._run_tool("bqsr", input_path, run)
+
+    # -- accounting -----------------------------------------------------------
+    def total_spill_bytes(self) -> int:
+        return sum(r.bytes_read + r.bytes_written for r in self.runs)

@@ -1,0 +1,131 @@
+"""Persona-style execution: dataflow with AGD format conversion.
+
+Persona (Byma et al., ATC'17) stores genomes in its AGD chunked format
+and embeds tools in a TensorFlow dataflow graph.  The paper's comparison
+(§5.2.3) hinges on two facts reproduced here:
+
+- Persona's aligner is SNAP — fast, hash-based, *single-end* — while GPF
+  runs paired-end BWA (better biology, more work per read);
+- AGD conversion is mandatory and slow: FASTQ imports at 360 MB/s and
+  BAM exports at 82 MB/s, which for a platinum-genome-sized input costs
+  ~200x the alignment time itself.
+
+The runnable reference models AGD chunks as length-framed record groups,
+actually converts through them, and aligns with
+:class:`repro.align.snap.SnapAligner`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+
+from repro.align.snap import SnapAligner, SnapConfig
+from repro.formats.fasta import Reference
+from repro.formats.fastq import FastqRecord
+from repro.formats.sam import SamRecord
+
+#: Measured AGD conversion rates from the Persona paper (bytes/second).
+AGD_IMPORT_BANDWIDTH = 360e6
+AGD_EXPORT_BANDWIDTH = 82e6
+
+#: Records per AGD chunk (Persona uses chunked columnar groups).
+AGD_CHUNK_RECORDS = 1000
+
+
+@dataclass
+class AgdChunk:
+    """One AGD chunk: columnar bases/quals/names for a record group."""
+
+    names: list[str]
+    bases: list[str]
+    quals: list[str]
+
+    def serialized(self) -> bytes:
+        return pickle.dumps((self.names, self.bases, self.quals), protocol=4)
+
+
+@dataclass
+class ConversionStats:
+    input_bytes: int = 0
+    output_bytes: int = 0
+    import_seconds: float = 0.0
+    export_seconds: float = 0.0
+    #: Modelled wall time at Persona's measured conversion bandwidths.
+    modelled_import_seconds: float = 0.0
+    modelled_export_seconds: float = 0.0
+
+
+@dataclass
+class PersonaLikePipeline:
+    """AGD import -> SNAP single-end alignment -> AGD export."""
+
+    reference: Reference
+    snap_config: SnapConfig | None = None
+    stats: ConversionStats = field(default_factory=ConversionStats)
+
+    def __post_init__(self) -> None:
+        self._aligner = SnapAligner(self.reference, self.snap_config)
+
+    # -- conversion --------------------------------------------------------
+    def import_to_agd(self, reads: list[FastqRecord]) -> list[AgdChunk]:
+        """Convert FASTQ records into AGD chunks; accounts conversion cost."""
+        t0 = time.perf_counter()
+        chunks = []
+        for i in range(0, len(reads), AGD_CHUNK_RECORDS):
+            group = reads[i : i + AGD_CHUNK_RECORDS]
+            chunks.append(
+                AgdChunk(
+                    names=[r.name for r in group],
+                    bases=[r.sequence for r in group],
+                    quals=[r.quality for r in group],
+                )
+            )
+        self.stats.import_seconds += time.perf_counter() - t0
+        input_bytes = sum(
+            len(r.name) + len(r.sequence) + len(r.quality) + 6 for r in reads
+        )
+        self.stats.input_bytes += input_bytes
+        self.stats.modelled_import_seconds += input_bytes / AGD_IMPORT_BANDWIDTH
+        return chunks
+
+    def export_from_agd(self, records: list[SamRecord]) -> bytes:
+        """Serialize alignments out of the dataflow; accounts export cost."""
+        t0 = time.perf_counter()
+        blob = b"\n".join(r.to_line().encode("ascii") for r in records)
+        self.stats.export_seconds += time.perf_counter() - t0
+        self.stats.output_bytes += len(blob)
+        self.stats.modelled_export_seconds += len(blob) / AGD_EXPORT_BANDWIDTH
+        return blob
+
+    # -- alignment -----------------------------------------------------------
+    def align_chunks(self, chunks: list[AgdChunk]) -> list[SamRecord]:
+        """SNAP-align every record of every chunk (single-end)."""
+        out: list[SamRecord] = []
+        for chunk in chunks:
+            for name, bases, quals in zip(chunk.names, chunk.bases, chunk.quals):
+                out.append(
+                    self._aligner.align_read(FastqRecord(name, bases, quals))
+                )
+        return out
+
+    def run(self, reads: list[FastqRecord]) -> list[SamRecord]:
+        """Full Persona path: import, align single-end, export."""
+        chunks = self.import_to_agd(reads)
+        records = self.align_chunks(chunks)
+        self.export_from_agd(records)
+        return records
+
+    # -- throughput accounting (Fig. 11d) -------------------------------------
+    def effective_throughput(
+        self, bases_aligned: int, align_seconds: float
+    ) -> tuple[float, float]:
+        """(raw, with-conversion) gigabases/second for the modelled rates."""
+        raw = bases_aligned / 1e9 / align_seconds if align_seconds else 0.0
+        total = (
+            align_seconds
+            + self.stats.modelled_import_seconds
+            + self.stats.modelled_export_seconds
+        )
+        return raw, (bases_aligned / 1e9 / total if total else 0.0)

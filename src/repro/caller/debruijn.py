@@ -1,0 +1,132 @@
+"""Local de Bruijn assembly of candidate haplotypes.
+
+For one active region: build a k-mer graph from the reference window plus
+all spanning read sequences (k-mers below a support threshold are pruned
+as sequencing errors), then enumerate paths from the reference window's
+first k-mer to its last.  Each path is a candidate haplotype.  Following
+GATK, the reference path is always included, cycles abort assembly for
+that k and retry with a larger k, and the path count is capped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.sam import SamRecord
+
+
+@dataclass(frozen=True, slots=True)
+class Haplotype:
+    sequence: str
+    is_reference: bool = False
+    kmer_support: float = 0.0
+
+
+class DeBruijnAssembler:
+    def __init__(
+        self,
+        kmer_sizes: tuple[int, ...] = (15, 25, 35),
+        min_kmer_support: int = 2,
+        max_haplotypes: int = 16,
+        max_paths_explored: int = 512,
+    ):
+        self.kmer_sizes = kmer_sizes
+        self.min_kmer_support = min_kmer_support
+        self.max_haplotypes = max_haplotypes
+        self.max_paths_explored = max_paths_explored
+
+    def assemble(
+        self, ref_window: str, reads: list[SamRecord]
+    ) -> list[Haplotype]:
+        """Candidate haplotypes for the window (reference always first)."""
+        for k in self.kmer_sizes:
+            haplotypes = self._assemble_k(ref_window, reads, k)
+            if haplotypes is not None:
+                return haplotypes
+        # All k produced cycles: fall back to the reference haplotype only.
+        return [Haplotype(ref_window, is_reference=True)]
+
+    # -- internals ------------------------------------------------------------
+    def _assemble_k(
+        self, ref_window: str, reads: list[SamRecord], k: int
+    ) -> list[Haplotype] | None:
+        if len(ref_window) <= k:
+            return [Haplotype(ref_window, is_reference=True)]
+
+        # k-mer multiplicity from reads; reference k-mers get a free pass.
+        support: dict[str, int] = {}
+        for rec in reads:
+            seq = rec.seq
+            for i in range(len(seq) - k + 1):
+                kmer = seq[i : i + k]
+                if "N" not in kmer:
+                    support[kmer] = support.get(kmer, 0) + 1
+        ref_kmers = set()
+        for i in range(len(ref_window) - k + 1):
+            kmer = ref_window[i : i + k]
+            ref_kmers.add(kmer)
+            support[kmer] = support.get(kmer, 0) + self.min_kmer_support
+
+        # Graph: (k-1)-mer nodes, k-mer edges above the support threshold.
+        edges: dict[str, list[tuple[str, str, int]]] = {}
+        for kmer, count in support.items():
+            if count < self.min_kmer_support:
+                continue
+            src, dst = kmer[:-1], kmer[1:]
+            edges.setdefault(src, []).append((dst, kmer, count))
+
+        source = ref_window[: k - 1]
+        sink = ref_window[len(ref_window) - (k - 1) :]
+
+        # DFS path enumeration with a visited-on-path set for cycle
+        # detection; a cycle means this k is too small.
+        haplotypes: list[Haplotype] = []
+        explored = 0
+
+        def dfs(node: str, path: list[str], on_path: set[str], support_acc: int) -> bool:
+            """Returns False if a cycle was found (abort this k)."""
+            nonlocal explored
+            explored += 1
+            if explored > self.max_paths_explored:
+                return True  # give up quietly; keep what we found
+            if node == sink and len(path) >= 1:
+                seq = path[0] + "".join(p[-1] for p in path[1:])
+                hap_seq = seq
+                haplotypes.append(
+                    Haplotype(
+                        hap_seq,
+                        is_reference=(hap_seq == ref_window),
+                        kmer_support=support_acc / max(1, len(path)),
+                    )
+                )
+                return True
+            if len(haplotypes) >= self.max_haplotypes:
+                return True
+            for dst, kmer, count in edges.get(node, ()):
+                if dst in on_path:
+                    if dst == sink:
+                        continue
+                    return False  # cycle
+                on_path.add(dst)
+                path.append(dst)
+                ok = dfs(dst, path, on_path, support_acc + count)
+                path.pop()
+                on_path.discard(dst)
+                if not ok:
+                    return False
+            return True
+
+        if not dfs(source, [source], {source}, 0):
+            return None
+
+        # Guarantee the reference haplotype is present and first.
+        ref_present = any(h.is_reference for h in haplotypes)
+        result = []
+        if not ref_present:
+            result.append(Haplotype(ref_window, is_reference=True))
+        else:
+            result.extend(h for h in haplotypes if h.is_reference)
+        others = [h for h in haplotypes if not h.is_reference]
+        others.sort(key=lambda h: -h.kmer_support)
+        result.extend(others[: self.max_haplotypes - 1])
+        return result

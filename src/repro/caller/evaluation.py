@@ -1,0 +1,145 @@
+"""Variant-call evaluation against a truth set (an rtg-vcfeval-lite).
+
+Scores a call set against truth with the conventions small-variant
+benchmarking uses:
+
+- exact allele matching for SNVs;
+- *position-tolerant* matching for indels (alignment ambiguity in repeat
+  context shifts equivalent indels by a few bases — see
+  ``haplotype_variants``'s repeat-split behaviour), requiring the same
+  net length change within a window;
+- per-type (SNV / insertion / deletion) precision, recall, F1;
+- genotype concordance over the true positives.
+
+GVCF ``<NON_REF>`` blocks and non-PASS records are excluded from the call
+set by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.formats.vcf import VcfRecord
+
+
+@dataclass
+class TypeScore:
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    genotype_matches: int = 0
+
+    @property
+    def precision(self) -> float:
+        return self.tp / (self.tp + self.fp) if self.tp + self.fp else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.tp / (self.tp + self.fn) if self.tp + self.fn else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    @property
+    def genotype_concordance(self) -> float:
+        return self.genotype_matches / self.tp if self.tp else 0.0
+
+
+@dataclass
+class EvaluationReport:
+    overall: TypeScore = field(default_factory=TypeScore)
+    snv: TypeScore = field(default_factory=TypeScore)
+    insertion: TypeScore = field(default_factory=TypeScore)
+    deletion: TypeScore = field(default_factory=TypeScore)
+    #: (call, matched truth) pairs for debugging.
+    matches: list[tuple[VcfRecord, VcfRecord]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """Fixed-width text table of all four score rows."""
+        lines = [
+            f"{'type':<10} {'TP':>5} {'FP':>5} {'FN':>5} "
+            f"{'precision':>9} {'recall':>7} {'F1':>6} {'GT-conc':>8}"
+        ]
+        for name in ("overall", "snv", "insertion", "deletion"):
+            score: TypeScore = getattr(self, name)
+            lines.append(
+                f"{name:<10} {score.tp:>5} {score.fp:>5} {score.fn:>5} "
+                f"{score.precision:>9.3f} {score.recall:>7.3f} "
+                f"{score.f1:>6.3f} {score.genotype_concordance:>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _variant_type(rec: VcfRecord) -> str:
+    if rec.is_snv:
+        return "snv"
+    return "insertion" if rec.is_insertion else "deletion"
+
+
+def _net_length(rec: VcfRecord) -> int:
+    return len(rec.alt) - len(rec.ref)
+
+
+def _indel_equivalent(a: VcfRecord, b: VcfRecord, window: int) -> bool:
+    """Same contig, same net length change, positions within ``window``."""
+    return (
+        a.contig == b.contig
+        and abs(a.pos - b.pos) <= window
+        and _net_length(a) == _net_length(b)
+    )
+
+
+def evaluate_calls(
+    calls: list[VcfRecord],
+    truth: list[VcfRecord],
+    indel_window: int = 10,
+    pass_only: bool = True,
+) -> EvaluationReport:
+    """Score ``calls`` against ``truth``."""
+    report = EvaluationReport()
+    usable = [
+        c
+        for c in calls
+        if c.alt != "<NON_REF>"
+        and (not pass_only or c.filter_ in ("PASS", "."))
+    ]
+
+    truth_snv_keys = {t.key(): t for t in truth if t.is_snv}
+    truth_indels = [t for t in truth if t.is_indel]
+    matched_truth: set[int] = set()
+
+    for call in usable:
+        kind = _variant_type(call)
+        match: VcfRecord | None = None
+        if call.is_snv:
+            match = truth_snv_keys.get(call.key())
+            if match is not None and id(match) in matched_truth:
+                match = None
+        else:
+            for candidate in truth_indels:
+                if id(candidate) in matched_truth:
+                    continue
+                if _indel_equivalent(call, candidate, indel_window):
+                    match = candidate
+                    break
+        bucket: TypeScore = getattr(report, kind)
+        if match is not None:
+            matched_truth.add(id(match))
+            bucket.tp += 1
+            report.overall.tp += 1
+            report.matches.append((call, match))
+            if call.genotype == match.genotype:
+                bucket.genotype_matches += 1
+                report.overall.genotype_matches += 1
+        else:
+            bucket.fp += 1
+            report.overall.fp += 1
+
+    for t in truth:
+        if id(t) not in matched_truth:
+            bucket = getattr(report, _variant_type(t))
+            bucket.fn += 1
+            report.overall.fn += 1
+    return report

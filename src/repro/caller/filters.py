@@ -1,0 +1,97 @@
+"""Hard variant filtering (GATK VariantFiltration-style).
+
+Raw HaplotypeCaller output contains artifacts — low-quality calls,
+shallow-depth calls, calls adjacent to homopolymer runs.  Standard
+pipelines apply *hard filters*: per-record predicates that set FILTER to
+a named reason instead of PASS.  Filtered records stay in the VCF (so
+downstream tools can reconsider), but default consumers drop them.
+
+The filter set mirrors the common GATK germline recommendations adapted
+to this caller's annotations:
+
+- ``LowQual``: QUAL below a threshold,
+- ``LowDepth``: supporting depth below a minimum,
+- ``QualByDepth``: QUAL/DP below a threshold (high QUAL from sheer depth),
+- ``HomopolymerRegion``: indels inside long single-base runs (polymerase
+  slippage artifacts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.formats.fasta import Reference
+from repro.formats.vcf import VcfRecord
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    min_qual: float = 30.0
+    min_depth: int = 4
+    min_qual_by_depth: float = 2.0
+    #: Indels inside homopolymer runs of at least this length are flagged.
+    homopolymer_length: int = 6
+    #: Window around the variant scanned for the homopolymer run.
+    homopolymer_window: int = 10
+
+
+def homopolymer_run_length(reference: Reference, contig: str, pos: int, window: int) -> int:
+    """Longest single-base run overlapping ``pos`` within ±window."""
+    seq = reference.fetch(contig, max(0, pos - window), pos + window + 1)
+    if not seq:
+        return 0
+    best = 1
+    run = 1
+    for a, b in zip(seq, seq[1:]):
+        if a == b and a != "N":
+            run += 1
+            best = max(best, run)
+        else:
+            run = 1
+    return best
+
+
+def apply_hard_filters(
+    records: list[VcfRecord],
+    reference: Reference,
+    config: FilterConfig | None = None,
+) -> list[VcfRecord]:
+    """Return records with FILTER set to PASS or the failed filter names.
+
+    GVCF ``<NON_REF>`` block records pass through untouched.
+    """
+    config = config or FilterConfig()
+    out: list[VcfRecord] = []
+    for rec in records:
+        if rec.alt == "<NON_REF>":
+            out.append(rec)
+            continue
+        reasons: list[str] = []
+        if rec.qual < config.min_qual:
+            reasons.append("LowQual")
+        if rec.depth < config.min_depth:
+            reasons.append("LowDepth")
+        if rec.depth > 0 and rec.qual / rec.depth < config.min_qual_by_depth:
+            reasons.append("QualByDepth")
+        if rec.is_indel:
+            run = homopolymer_run_length(
+                reference, rec.contig, rec.pos, config.homopolymer_window
+            )
+            if run >= config.homopolymer_length:
+                reasons.append("HomopolymerRegion")
+        out.append(replace(rec, filter_=";".join(reasons) if reasons else "PASS"))
+    return out
+
+
+def passing(records: list[VcfRecord]) -> list[VcfRecord]:
+    """Records whose FILTER is PASS (or '.', treated as unfiltered)."""
+    return [r for r in records if r.filter_ in ("PASS", ".")]
+
+
+def filter_summary(records: list[VcfRecord]) -> dict[str, int]:
+    """Count of records per filter reason (PASS included)."""
+    counts: dict[str, int] = {}
+    for rec in records:
+        for reason in (rec.filter_ or ".").split(";"):
+            counts[reason] = counts.get(reason, 0) + 1
+    return counts

@@ -1,0 +1,132 @@
+"""GVCF combination and joint genotyping (GenotypeGVCFs-lite).
+
+The paper's ``HaplotypeCallerProcess(..., useGVCF)`` emits per-sample
+GVCFs — variant records plus ``<NON_REF>`` reference blocks recording
+which spans were confidently observed as reference.  Combining N GVCFs
+into a cohort VCF:
+
+- a site variant in *any* sample becomes a cohort site;
+- samples without a variant record there contribute ``0/0`` if one of
+  their reference blocks covers the position, or ``./.`` (no call) if
+  nothing covers it;
+- the cohort record keeps the max QUAL and the summed depth of the
+  per-sample evidence.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.formats.vcf import VcfRecord
+
+
+@dataclass
+class SampleGvcf:
+    """One sample's GVCF split into variants and reference blocks."""
+
+    name: str
+    variants: list[VcfRecord] = field(default_factory=list)
+    #: contig -> sorted [(start, end)] confident-reference spans.
+    blocks: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+
+    @classmethod
+    def from_records(cls, name: str, records: list[VcfRecord]) -> "SampleGvcf":
+        """Split a GVCF record stream into variants and reference blocks."""
+        sample = cls(name=name)
+        for rec in records:
+            if rec.alt == "<NON_REF>":
+                end = int(rec.info.get("END", rec.pos + 1))
+                sample.blocks.setdefault(rec.contig, []).append((rec.pos, end))
+            else:
+                sample.variants.append(rec)
+        for spans in sample.blocks.values():
+            spans.sort()
+        return sample
+
+    def covered_as_reference(self, contig: str, pos: int) -> bool:
+        """True when a confident-reference block covers the position."""
+        spans = self.blocks.get(contig)
+        if not spans:
+            return False
+        i = bisect_right(spans, (pos, float("inf"))) - 1
+        return i >= 0 and spans[i][0] <= pos < spans[i][1]
+
+
+@dataclass(frozen=True)
+class CohortSite:
+    record: VcfRecord
+    #: sample name -> genotype ("0/1", "0/0", "./.", ...).
+    genotypes: dict[str, str]
+
+    @property
+    def called_samples(self) -> int:
+        return sum(1 for g in self.genotypes.values() if g not in ("./.",))
+
+    @property
+    def carrier_samples(self) -> int:
+        return sum(1 for g in self.genotypes.values() if "1" in g)
+
+
+def combine_gvcfs(samples: list[SampleGvcf], indel_window: int = 0) -> list[CohortSite]:
+    """Joint-genotype N per-sample GVCFs into cohort sites.
+
+    ``indel_window`` > 0 additionally merges equivalent shifted indels
+    across samples (same contig, same net length, within the window).
+    """
+    if not samples:
+        return []
+    # Group variant records by site key across samples.
+    by_key: dict[tuple, dict[str, VcfRecord]] = {}
+    order: list[tuple] = []
+    for sample in samples:
+        for rec in sample.variants:
+            key = _site_key(rec, by_key, indel_window)
+            if key not in by_key:
+                by_key[key] = {}
+                order.append(key)
+            by_key[key][sample.name] = rec
+
+    sites: list[CohortSite] = []
+    for key in sorted(order, key=lambda k: (k[0], k[1])):
+        carriers = by_key[key]
+        exemplar = max(carriers.values(), key=lambda r: r.qual)
+        genotypes: dict[str, str] = {}
+        depth = 0
+        for sample in samples:
+            rec = carriers.get(sample.name)
+            if rec is not None:
+                genotypes[sample.name] = rec.genotype
+                depth += rec.depth
+            elif sample.covered_as_reference(exemplar.contig, exemplar.pos):
+                genotypes[sample.name] = "0/0"
+            else:
+                genotypes[sample.name] = "./."
+        cohort_record = VcfRecord(
+            contig=exemplar.contig,
+            pos=exemplar.pos,
+            ref=exemplar.ref,
+            alt=exemplar.alt,
+            qual=exemplar.qual,
+            genotype=exemplar.genotype,
+            depth=depth,
+            info={"AN": 2 * len(samples), "NS": len(samples)},
+        )
+        sites.append(CohortSite(record=cohort_record, genotypes=genotypes))
+    return sites
+
+
+def _site_key(
+    rec: VcfRecord, existing: dict[tuple, dict], indel_window: int
+) -> tuple:
+    key = (rec.contig, rec.pos, rec.ref, rec.alt)
+    if indel_window <= 0 or rec.is_snv:
+        return key
+    net = len(rec.alt) - len(rec.ref)
+    for other in existing:
+        if other[0] != rec.contig or abs(other[1] - rec.pos) > indel_window:
+            continue
+        other_net = len(other[3]) - len(other[2])
+        if other_net == net and (len(other[2]) > 1 or len(other[3]) > 1):
+            return other
+    return key

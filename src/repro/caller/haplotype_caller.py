@@ -1,0 +1,153 @@
+"""HaplotypeCaller driver: active regions -> assembly -> pair-HMM -> VCF.
+
+This is the per-partition callable that GPF's ``HaplotypeCallerProcess``
+maps over coordinate-partitioned SAM records.  GVCF mode additionally
+emits homozygous-reference block records between variant sites, as the
+paper's ``useGVCF`` flag does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caller.active_region import ActiveRegion, find_active_regions
+from repro.cleaner.index import SamIndex
+from repro.caller.debruijn import DeBruijnAssembler
+from repro.caller.genotyper import Genotyper, genotype_to_vcf
+from repro.caller.pairhmm import PairHMM
+from repro.formats.fasta import Reference
+from repro.formats.sam import SamRecord
+from repro.formats.vcf import VcfRecord
+
+
+@dataclass
+class CallerConfig:
+    activity_threshold: float = 30.0
+    region_padding: int = 25
+    max_region_span: int = 300
+    min_call_qual: float = 20.0
+    max_reads_per_region: int = 200
+    gvcf: bool = False
+    assembler: DeBruijnAssembler = field(default_factory=DeBruijnAssembler)
+
+
+class HaplotypeCaller:
+    def __init__(self, reference: Reference, config: CallerConfig | None = None):
+        self.reference = reference
+        self.config = config or CallerConfig()
+        self.pairhmm = PairHMM()
+        self.genotyper = Genotyper(min_qual=self.config.min_call_qual)
+
+    # -- public -------------------------------------------------------------
+    def call(self, records: list[SamRecord]) -> list[VcfRecord]:
+        """Variant records for one batch of (roughly sorted) SAM records."""
+        cfg = self.config
+        regions = find_active_regions(
+            records,
+            self.reference,
+            activity_threshold=cfg.activity_threshold,
+            padding=cfg.region_padding,
+            max_region_span=cfg.max_region_span,
+        )
+        # One binned index instead of a linear scan per region.
+        index = SamIndex.build(records)
+        out: list[VcfRecord] = []
+        for region in regions:
+            out.extend(self.call_region(region, records, index=index))
+        out.sort(key=lambda r: (r.contig, r.pos))
+        if cfg.gvcf:
+            out = self._add_reference_blocks(out, records)
+        return out
+
+    def call_region(
+        self,
+        region: ActiveRegion,
+        records: list[SamRecord],
+        index: SamIndex | None = None,
+    ) -> list[VcfRecord]:
+        """Assemble + genotype one active region; index speeds read lookup."""
+        cfg = self.config
+        if index is not None:
+            candidates = [
+                r
+                for r in index.query(region.contig, region.start, region.end)
+                if not r.is_duplicate
+            ]
+        else:
+            candidates = region.overlapping_reads(records)
+        reads = candidates[: cfg.max_reads_per_region]
+        if not reads:
+            return []
+        ref_window = self.reference.fetch(region.contig, region.start, region.end)
+        haplotypes = cfg.assembler.assemble(ref_window, reads)
+        if len(haplotypes) < 2:
+            return []
+        read_data = [(r.seq, r.phred_scores) for r in reads]
+        likelihoods = self.pairhmm.likelihood_matrix(
+            read_data, [h.sequence for h in haplotypes]
+        )
+        call = self.genotyper.call(likelihoods, haplotypes)
+        return genotype_to_vcf(
+            call,
+            haplotypes,
+            ref_window,
+            region.contig,
+            region.start,
+            min_qual=cfg.min_call_qual,
+        )
+
+    # -- GVCF --------------------------------------------------------------
+    def _add_reference_blocks(
+        self, variants: list[VcfRecord], records: list[SamRecord]
+    ) -> list[VcfRecord]:
+        """Insert <NON_REF> block records over covered non-variant spans."""
+        covered: dict[str, list[tuple[int, int]]] = {}
+        for rec in records:
+            if rec.is_unmapped or rec.is_duplicate:
+                continue
+            covered.setdefault(rec.rname, []).append((rec.pos, rec.end))
+        out = list(variants)
+        variant_positions = {(v.contig, v.pos) for v in variants}
+        for contig_name, spans in covered.items():
+            spans.sort()
+            merged: list[list[int]] = []
+            for start, end in spans:
+                if merged and start <= merged[-1][1]:
+                    merged[-1][1] = max(merged[-1][1], end)
+                else:
+                    merged.append([start, end])
+            contig = self.reference[contig_name]
+            for start, end in merged:
+                block_start = start
+                for pos in sorted(
+                    p for (c, p) in variant_positions if c == contig_name
+                ):
+                    if block_start <= pos < end:
+                        if pos > block_start:
+                            out.append(
+                                self._block_record(
+                                    contig_name, contig, block_start, pos
+                                )
+                            )
+                        block_start = pos + 1
+                if block_start < end:
+                    out.append(
+                        self._block_record(contig_name, contig, block_start, end)
+                    )
+        out.sort(key=lambda r: (r.contig, r.pos))
+        return out
+
+    @staticmethod
+    def _block_record(contig_name: str, contig, start: int, end: int) -> VcfRecord:
+        ref_base = chr(contig.sequence[start]) if start < len(contig) else "N"
+        if ref_base == "N":
+            ref_base = "A"  # placeholder anchor; block records carry END info
+        return VcfRecord(
+            contig=contig_name,
+            pos=start,
+            ref=ref_base,
+            alt="<NON_REF>",
+            qual=0.0,
+            genotype="0/0",
+            info={"END": end},
+        )

@@ -1,0 +1,133 @@
+"""Pair-HMM read-likelihood computation.
+
+P(read | haplotype): the probability that the haplotype, observed through
+a sequencer with the read's per-base quality profile, would produce this
+read.  Three-state HMM (Match / Insert / Delete) with quality-derived
+emission probabilities, computed in log space row by row with NumPy — the
+whole inner recursion is vectorized over haplotype columns except the
+inherently serial within-row dependency, which the row-shift formulation
+removes (M and I depend only on the previous row; D's same-row dependency
+is restored with a short prefix-scan approximation iterated to a fixed
+point).
+
+This is the WGS pipeline's dominant compute kernel (paper Fig. 13: the
+Caller phase is CPU-bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+LOG_ZERO = -1e30
+
+
+def _log(x: np.ndarray | float) -> np.ndarray | float:
+    return np.log(np.maximum(x, 1e-300))
+
+
+class PairHMM:
+    """Log-space forward algorithm over (read x haplotype)."""
+
+    def __init__(
+        self,
+        gap_open_phred: float = 45.0,
+        gap_extend_phred: float = 10.0,
+    ):
+        self.gap_open = 10.0 ** (-gap_open_phred / 10.0)
+        self.gap_extend = 10.0 ** (-gap_extend_phred / 10.0)
+
+    def log_likelihood(
+        self, read: str, quals: list[int] | np.ndarray, haplotype: str
+    ) -> float:
+        """log P(read | haplotype) via the forward algorithm."""
+        m, n = len(read), len(haplotype)
+        if m == 0 or n == 0:
+            return LOG_ZERO
+
+        read_arr = np.frombuffer(read.encode("ascii"), dtype=np.uint8)
+        hap_arr = np.frombuffer(haplotype.encode("ascii"), dtype=np.uint8)
+        q = np.asarray(quals, dtype=np.float64)
+        base_error = 10.0 ** (-q / 10.0)
+
+        log_go = float(_log(self.gap_open))
+        log_ge = float(_log(self.gap_extend))
+        log_no_gap = float(_log(1.0 - 2.0 * self.gap_open))
+        log_gap_to_match = float(_log(1.0 - self.gap_extend))
+
+        # Emission matrices per row are computed on the fly.
+        # prev/cur rows for M, I, D.
+        neg = np.full(n + 1, LOG_ZERO)
+        m_prev = neg.copy()
+        i_prev = neg.copy()
+        d_prev = neg.copy()
+        # Initialization: the alignment may start anywhere on the haplotype
+        # (free left flank): D row 0 = uniform over start positions.
+        d_prev[:] = float(-np.log(n))
+        d_prev[0] = LOG_ZERO
+
+        match_mask_cache = hap_arr
+        for i in range(1, m + 1):
+            base = read_arr[i - 1]
+            err = base_error[i - 1]
+            match_p = np.where(
+                (match_mask_cache == base)
+                & (base != ord("N"))
+                & (match_mask_cache != ord("N")),
+                1.0 - err,
+                err / 3.0,
+            )
+            log_emit = np.log(match_p)  # length n, for haplotype cols 1..n
+
+            m_cur = neg.copy()
+            i_cur = neg.copy()
+            d_cur = neg.copy()
+
+            # Match: from (i-1, j-1) in M, I or D.
+            stay = np.logaddexp(
+                m_prev[:-1] + log_no_gap,
+                np.logaddexp(i_prev[:-1], d_prev[:-1]) + log_gap_to_match,
+            )
+            m_cur[1:] = log_emit + stay
+
+            # Insert (read base consumed, haplotype stays): from (i-1, j).
+            i_cur[1:] = np.logaddexp(
+                m_prev[1:] + log_go, i_prev[1:] + log_ge
+            )
+            i_cur[0] = np.logaddexp(m_prev[0] + log_go, i_prev[0] + log_ge)
+
+            # Delete (haplotype base consumed): same-row dependency —
+            # a sequential scan over columns, run on Python floats.
+            mc = m_cur.tolist()
+            dc = d_cur.tolist()
+            prev_d = LOG_ZERO
+            for j in range(1, n + 1):
+                from_m = mc[j - 1] + log_go
+                from_d = prev_d + log_ge
+                val = from_m if from_m > from_d else from_d
+                # logaddexp on scalars
+                lo, hi = (from_m, from_d) if from_m < from_d else (from_d, from_m)
+                if hi - lo > 50 or lo <= LOG_ZERO / 2:
+                    dc[j] = hi
+                else:
+                    dc[j] = hi + np.log1p(np.exp(lo - hi))
+                prev_d = dc[j]
+                _ = val
+            d_cur = np.asarray(dc)
+
+            m_prev, i_prev, d_prev = m_cur, i_cur, d_cur
+
+        # Free right flank: sum over all end columns of M and I.
+        final = np.logaddexp(m_prev[1:], i_prev[1:])
+        return float(np.logaddexp.reduce(final))
+
+    def likelihood_matrix(
+        self,
+        reads: list[tuple[str, list[int]]],
+        haplotypes: list[str],
+    ) -> np.ndarray:
+        """(num_reads x num_haplotypes) log-likelihood matrix."""
+        out = np.empty((len(reads), len(haplotypes)), dtype=np.float64)
+        for i, (seq, quals) in enumerate(reads):
+            for j, hap in enumerate(haplotypes):
+                out[i, j] = self.log_likelihood(seq, quals, hap)
+        return out

@@ -1,0 +1,45 @@
+"""The Cleaner stage: sort, duplicate marking, indel realignment, BQSR.
+
+Re-implementations of the Picard/Samtools/GATK tools the paper's Cleaner
+stage wraps (§2.1):
+
+- ``sort``       — coordinate sort and a contig/position interval index.
+- ``duplicates`` — Picard-style MarkDuplicates: fragments sharing an
+  unclipped 5' position + orientation (for pairs: both ends) are
+  duplicates; the copy with the highest summed base quality survives.
+- ``realign``    — GATK-style local indel realignment: find intervals
+  around indels/mismatch clusters, build alternate consensuses, shift
+  reads whose score improves.
+- ``bqsr``       — base quality score recalibration: count empirical
+  mismatch rates per (reported quality, machine cycle, dinucleotide
+  context) covariate outside known variant sites, then remap qualities.
+"""
+
+from repro.cleaner.sort import coordinate_sort, is_coordinate_sorted
+from repro.cleaner.index import SamIndex, CoordinateIndex
+from repro.cleaner.duplicates import mark_duplicates, DuplicateStats
+from repro.cleaner.realign import (
+    find_realignment_intervals,
+    realign_reads,
+    RealignmentInterval,
+)
+from repro.cleaner.bqsr import (
+    RecalibrationTable,
+    build_recalibration_table,
+    apply_recalibration,
+)
+
+__all__ = [
+    "coordinate_sort",
+    "is_coordinate_sorted",
+    "SamIndex",
+    "CoordinateIndex",
+    "mark_duplicates",
+    "DuplicateStats",
+    "find_realignment_intervals",
+    "realign_reads",
+    "RealignmentInterval",
+    "RecalibrationTable",
+    "build_recalibration_table",
+    "apply_recalibration",
+]

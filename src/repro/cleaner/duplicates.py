@@ -1,0 +1,126 @@
+"""MarkDuplicates: Picard's algorithm.
+
+Reads (or read pairs) produced from the same original DNA fragment share
+an unclipped 5' alignment position and orientation; the paper describes
+this as marking "reads with identical position and orientation" (§2.1).
+Following Picard:
+
+- **paired** records group by the tuple of both mates' (contig, unclipped
+  5' position, strand), so the whole pair is marked together;
+- **unpaired** records group by their own (contig, unclipped 5', strand);
+- within each group the member with the highest
+  :meth:`SamRecord.sum_of_base_qualities` survives; every other member
+  gets the 0x400 duplicate flag.
+
+Secondary/supplementary/unmapped records are never considered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.formats.sam import SamRecord
+
+
+@dataclass
+class DuplicateStats:
+    examined: int = 0
+    duplicates_marked: int = 0
+    groups: int = 0
+
+    @property
+    def duplicate_fraction(self) -> float:
+        return self.duplicates_marked / self.examined if self.examined else 0.0
+
+
+def _five_prime_key(rec: SamRecord) -> tuple[str, int, bool]:
+    """(contig, unclipped 5' position, is_reverse) for one record.
+
+    The 5' end of a reverse-strand read is its *rightmost* aligned base,
+    extended past clips; for a forward read it is the leftmost.
+    """
+    if rec.is_reverse:
+        return (rec.rname, rec.unclipped_end(), True)
+    return (rec.rname, rec.unclipped_start(), False)
+
+
+def mark_duplicates(
+    records: Iterable[SamRecord],
+) -> tuple[list[SamRecord], DuplicateStats]:
+    """Mark duplicate records in place; returns (records, stats).
+
+    The input records are mutated (duplicate flag set/cleared) and
+    returned in their original order.
+    """
+    records = list(records)
+    stats = DuplicateStats()
+
+    eligible: list[SamRecord] = []
+    for rec in records:
+        rec.set_duplicate(False)
+        if rec.is_unmapped or rec.is_secondary or rec.is_supplementary:
+            continue
+        eligible.append(rec)
+        stats.examined += 1
+
+    # Pair up mates by qname; a paired record without its mate present is
+    # treated as a fragment (Picard's behaviour for orphans).
+    by_name: dict[str, list[SamRecord]] = {}
+    for rec in eligible:
+        by_name.setdefault(_pair_name(rec.qname), []).append(rec)
+
+    pair_groups: dict[tuple, list[list[SamRecord]]] = {}
+    frag_groups: dict[tuple, list[SamRecord]] = {}
+    for name, members in by_name.items():
+        if len(members) == 2 and members[0].is_paired and members[1].is_paired:
+            keys = sorted([_five_prime_key(members[0]), _five_prime_key(members[1])])
+            pair_groups.setdefault(tuple(keys), []).append(members)
+        else:
+            for rec in members:
+                frag_groups.setdefault(_five_prime_key(rec), []).append(rec)
+
+    for group in pair_groups.values():
+        stats.groups += 1
+        if len(group) < 2:
+            continue
+        # Tie-break on name so survivor choice is deterministic no matter
+        # how the group was assembled (local list vs shuffled partitions).
+        survivor = max(
+            group,
+            key=lambda pair: (
+                sum(r.sum_of_base_qualities() for r in pair),
+                pair[0].qname,
+            ),
+        )
+        for pair in group:
+            if pair is not survivor:
+                for rec in pair:
+                    rec.set_duplicate(True)
+                    stats.duplicates_marked += 1
+
+    for group_records in frag_groups.values():
+        stats.groups += 1
+        if len(group_records) < 2:
+            continue
+        survivor = max(
+            group_records,
+            key=lambda r: (r.sum_of_base_qualities(), r.qname),
+        )
+        for rec in group_records:
+            if rec is not survivor:
+                rec.set_duplicate(True)
+                stats.duplicates_marked += 1
+
+    return records, stats
+
+
+def remove_duplicates(records: Sequence[SamRecord]) -> list[SamRecord]:
+    """Filter out records carrying the duplicate flag."""
+    return [rec for rec in records if not rec.is_duplicate]
+
+
+def _pair_name(qname: str) -> str:
+    if qname.endswith("/1") or qname.endswith("/2"):
+        return qname[:-2]
+    return qname

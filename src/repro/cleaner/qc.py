@@ -1,0 +1,165 @@
+"""Alignment QC metrics: flagstat, depth, and insert-size statistics.
+
+The samtools/Picard companions every real pipeline runs between stages:
+
+- :func:`flagstat` — the ``samtools flagstat`` counters (total, mapped,
+  paired, proper pairs, duplicates, ...),
+- :func:`depth_profile` — per-position coverage over an interval
+  (``samtools depth``),
+- :func:`insert_size_metrics` — fragment-length distribution from proper
+  pairs (``Picard CollectInsertSizeMetrics``), which is also how the
+  aligner's insert-size window would be re-estimated in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.sam import SamRecord
+
+
+@dataclass
+class FlagStat:
+    total: int = 0
+    mapped: int = 0
+    paired: int = 0
+    proper_pairs: int = 0
+    duplicates: int = 0
+    secondary: int = 0
+    supplementary: int = 0
+    reverse: int = 0
+
+    @property
+    def mapped_fraction(self) -> float:
+        return self.mapped / self.total if self.total else 0.0
+
+    @property
+    def duplicate_fraction(self) -> float:
+        return self.duplicates / self.total if self.total else 0.0
+
+    def merge(self, other: "FlagStat") -> "FlagStat":
+        """Combine partial counts (the per-partition reduce)."""
+        for name in (
+            "total",
+            "mapped",
+            "paired",
+            "proper_pairs",
+            "duplicates",
+            "secondary",
+            "supplementary",
+            "reverse",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def report(self) -> str:
+        lines = [
+            f"{self.total} in total",
+            f"{self.secondary} secondary",
+            f"{self.supplementary} supplementary",
+            f"{self.duplicates} duplicates",
+            f"{self.mapped} mapped ({100 * self.mapped_fraction:.2f}%)",
+            f"{self.paired} paired in sequencing",
+            f"{self.proper_pairs} properly paired",
+        ]
+        return "\n".join(lines)
+
+
+def flagstat(records: list[SamRecord]) -> FlagStat:
+    """samtools-flagstat counters over one record batch."""
+    stats = FlagStat()
+    for rec in records:
+        stats.total += 1
+        if not rec.is_unmapped:
+            stats.mapped += 1
+        if rec.is_paired:
+            stats.paired += 1
+        if rec.flag & 0x2:
+            stats.proper_pairs += 1
+        if rec.is_duplicate:
+            stats.duplicates += 1
+        if rec.is_secondary:
+            stats.secondary += 1
+        if rec.is_supplementary:
+            stats.supplementary += 1
+        if rec.is_reverse:
+            stats.reverse += 1
+    return stats
+
+
+def depth_profile(
+    records: list[SamRecord],
+    contig: str,
+    start: int,
+    end: int,
+    include_duplicates: bool = False,
+) -> np.ndarray:
+    """Per-position read depth over [start, end) on ``contig``."""
+    if end <= start:
+        return np.zeros(0, dtype=np.int64)
+    depth = np.zeros(end - start, dtype=np.int64)
+    for rec in records:
+        if rec.is_unmapped or rec.rname != contig:
+            continue
+        if rec.is_duplicate and not include_duplicates:
+            continue
+        lo = max(rec.pos, start)
+        hi = min(rec.end, end)
+        if hi > lo:
+            depth[lo - start : hi - start] += 1
+    return depth
+
+
+@dataclass
+class InsertSizeMetrics:
+    count: int = 0
+    mean: float = 0.0
+    median: float = 0.0
+    std: float = 0.0
+    min: int = 0
+    max: int = 0
+    histogram: dict[int, int] = field(default_factory=dict)
+
+
+def insert_size_metrics(
+    records: list[SamRecord], bin_width: int = 25
+) -> InsertSizeMetrics:
+    """Fragment-length statistics from proper pairs (positive TLEN only,
+    so each fragment counts once)."""
+    inserts = [
+        rec.tlen
+        for rec in records
+        if rec.flag & 0x2 and rec.tlen > 0 and not rec.is_duplicate
+    ]
+    if not inserts:
+        return InsertSizeMetrics()
+    arr = np.asarray(inserts, dtype=np.int64)
+    hist: dict[int, int] = {}
+    for value in arr.tolist():
+        bucket = (value // bin_width) * bin_width
+        hist[bucket] = hist.get(bucket, 0) + 1
+    return InsertSizeMetrics(
+        count=len(arr),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        std=float(arr.std()),
+        min=int(arr.min()),
+        max=int(arr.max()),
+        histogram=dict(sorted(hist.items())),
+    )
+
+
+def coverage_summary(
+    records: list[SamRecord], contig: str, length: int
+) -> dict[str, float]:
+    """Mean/median depth and breadth (fraction covered) over one contig."""
+    depth = depth_profile(records, contig, 0, length)
+    if depth.size == 0:
+        return {"mean_depth": 0.0, "median_depth": 0.0, "breadth": 0.0}
+    return {
+        "mean_depth": float(depth.mean()),
+        "median_depth": float(np.median(depth)),
+        "breadth": float(np.count_nonzero(depth) / depth.size),
+    }

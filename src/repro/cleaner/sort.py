@@ -1,0 +1,32 @@
+"""Coordinate sorting and interval slicing of SAM records."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.formats.sam import SamHeader, SamRecord, coordinate_key
+
+
+def coordinate_sort(
+    records: Iterable[SamRecord], header: SamHeader
+) -> list[SamRecord]:
+    """Sort by (contig order, position); unmapped records go last."""
+    return sorted(records, key=coordinate_key(header))
+
+
+def is_coordinate_sorted(records: Sequence[SamRecord], header: SamHeader) -> bool:
+    key = coordinate_key(header)
+    return all(key(records[i]) <= key(records[i + 1]) for i in range(len(records) - 1))
+
+
+def records_overlapping(
+    records: Iterable[SamRecord], contig: str, start: int, end: int
+) -> list[SamRecord]:
+    """Mapped records overlapping [start, end) on ``contig``."""
+    out = []
+    for rec in records:
+        if rec.is_unmapped or rec.rname != contig:
+            continue
+        if rec.pos < end and rec.end > start:
+            out.append(rec)
+    return out

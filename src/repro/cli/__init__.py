@@ -1,0 +1,15 @@
+"""Command-line interface: ``python -m repro.cli <command>`` (or ``gpf``).
+
+Commands:
+
+- ``simulate`` — write a synthetic reference, paired FASTQ sample,
+  known-sites VCF and truth VCF to a directory.
+- ``run``      — run the GPF WGS pipeline over FASTA/FASTQ/VCF files and
+  write the result VCF (the paper's Fig. 3 program as a tool).
+- ``evaluate`` — score a called VCF against a truth VCF.
+- ``scaling``  — print the Fig. 10 cluster-scaling table.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,7 @@
+"""Enable ``python -m repro.cli``."""
+
+import sys
+
+from repro.cli.main import main
+
+sys.exit(main())

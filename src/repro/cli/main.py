@@ -1,0 +1,223 @@
+"""argparse front end for the GPF reproduction."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The gpf argument parser with all four subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="gpf",
+        description=(
+            "GPF: high-performance genomic analysis framework with "
+            "in-memory computing (PPoPP'18 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic sample")
+    sim.add_argument("output_dir")
+    sim.add_argument("--genome-size", type=int, default=30_000)
+    sim.add_argument("--contigs", type=int, default=1)
+    sim.add_argument("--coverage", type=float, default=8.0)
+    sim.add_argument("--snp-rate", type=float, default=0.002)
+    sim.add_argument("--indel-rate", type=float, default=0.0003)
+    sim.add_argument("--duplicate-fraction", type=float, default=0.05)
+    sim.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="run the WGS pipeline over files")
+    run.add_argument("--reference", required=True, help="FASTA path")
+    run.add_argument("--fastq1", required=True)
+    run.add_argument("--fastq2", required=True)
+    run.add_argument("--known-sites", help="dbSNP-like VCF path")
+    run.add_argument("--output", required=True, help="output VCF path")
+    run.add_argument(
+        "--serializer", choices=("gpf", "compact", "pickle"), default="gpf"
+    )
+    run.add_argument("--partition-length", type=int, default=5_000)
+    run.add_argument("--partitions", type=int, default=4)
+    run.add_argument("--gvcf", action="store_true")
+    run.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="disable redundancy elimination (Fig. 7)",
+    )
+    run.add_argument(
+        "--threads", type=int, default=0, help="worker threads (0 = serial)"
+    )
+
+    ev = sub.add_parser("evaluate", help="score a VCF against a truth VCF")
+    ev.add_argument("--calls", required=True)
+    ev.add_argument("--truth", required=True)
+
+    sc = sub.add_parser("scaling", help="print the Fig. 10 scaling table")
+    sc.add_argument("--gigabases", type=float, default=146.9)
+    sc.add_argument(
+        "--cores", type=int, nargs="+", default=[128, 256, 512, 1024, 2048]
+    )
+
+    return parser
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """simulate: write reference/FASTQ/known/truth files."""
+    from repro.formats.fasta import write_fasta
+    from repro.formats.fastq import write_fastq
+    from repro.formats.vcf import VcfHeader, sort_records, write_vcf
+    from repro.sim import (
+        ReadSimConfig,
+        ReadSimulator,
+        generate_known_sites,
+        generate_reference,
+        plant_variants,
+    )
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    per_contig = args.genome_size // max(1, args.contigs)
+    reference = generate_reference(
+        [per_contig] * args.contigs, seed=args.seed
+    )
+    truth = plant_variants(
+        reference,
+        snp_rate=args.snp_rate,
+        indel_rate=args.indel_rate,
+        seed=args.seed + 1,
+    )
+    known = generate_known_sites(truth, reference, seed=args.seed + 2)
+    pairs = ReadSimulator(
+        truth.donor,
+        ReadSimConfig(
+            coverage=args.coverage,
+            duplicate_fraction=args.duplicate_fraction,
+            seed=args.seed + 3,
+        ),
+    ).simulate()
+
+    paths = {
+        "reference": os.path.join(args.output_dir, "reference.fa"),
+        "fastq1": os.path.join(args.output_dir, "sample_1.fastq"),
+        "fastq2": os.path.join(args.output_dir, "sample_2.fastq"),
+        "known": os.path.join(args.output_dir, "known_sites.vcf"),
+        "truth": os.path.join(args.output_dir, "truth.vcf"),
+    }
+    write_fasta(reference, paths["reference"])
+    write_fastq([p.read1 for p in pairs], paths["fastq1"])
+    write_fastq([p.read2 for p in pairs], paths["fastq2"])
+    header = VcfHeader(tuple(reference.contig_lengths()))
+    write_vcf(header, sort_records(known, reference.contig_names), paths["known"])
+    write_vcf(
+        header, sort_records(truth.records, reference.contig_names), paths["truth"]
+    )
+    print(f"wrote {len(pairs)} read pairs, {len(truth.records)} truth variants:")
+    for name, path in paths.items():
+        print(f"  {name:<10} {path}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """run: execute the WGS pipeline over files, write the VCF."""
+    from repro.engine import EngineConfig, GPFContext
+    from repro.engine.files import load_fastq_pair_lazy
+    from repro.formats.fasta import read_fasta
+    from repro.formats.vcf import read_vcf, sort_records, write_vcf
+    from repro.wgs import build_wgs_pipeline
+
+    reference = read_fasta(args.reference)
+    known = []
+    if args.known_sites:
+        _, known = read_vcf(args.known_sites)
+
+    config = EngineConfig(
+        default_parallelism=args.partitions,
+        serializer=args.serializer,
+        executor_backend="threads" if args.threads > 0 else "serial",
+        num_workers=max(1, args.threads),
+    )
+    start = time.perf_counter()
+    with GPFContext(config) as ctx:
+        rdd = load_fastq_pair_lazy(ctx, args.fastq1, args.fastq2, args.partitions)
+        handles = build_wgs_pipeline(
+            ctx,
+            reference,
+            rdd,
+            known,
+            partition_length=args.partition_length,
+            use_gvcf=args.gvcf,
+        )
+        handles.pipeline.run(optimize=not args.no_optimize)
+        calls = handles.vcf.rdd.collect()
+        write_vcf(
+            handles.vcf.header,
+            sort_records(calls, reference.contig_names),
+            args.output,
+        )
+        job = ctx.metrics.job()
+        elapsed = time.perf_counter() - start
+        print(f"wrote {len(calls)} records to {args.output}")
+        print(
+            f"  elapsed {elapsed:.1f}s | stages {job.stage_count} | "
+            f"shuffle {job.shuffle_bytes / 1e3:.1f} KB | "
+            f"executed: {', '.join(p.name for p in handles.pipeline.executed)}"
+        )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """evaluate: score calls against truth and print the report."""
+    from repro.caller.evaluation import evaluate_calls
+    from repro.formats.vcf import read_vcf
+
+    _, calls = read_vcf(args.calls)
+    _, truth = read_vcf(args.truth)
+    report = evaluate_calls(calls, truth, pass_only=False)
+    overall = report.overall
+    print(f"TP {overall.tp}  FP {overall.fp}  FN {overall.fn}")
+    print(
+        f"precision {overall.precision:.3f}  recall {overall.recall:.3f}  "
+        f"F1 {overall.f1:.3f}"
+    )
+    print()
+    print(report.summary())
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    """scaling: print the simulated Fig. 10 table."""
+    from repro.cluster.costmodel import DEFAULT_COST_MODEL
+    from repro.cluster.simulator import ClusterSimulator
+    from repro.cluster.topology import ClusterSpec
+    from repro.cluster.workloads import churchill_stages, gpf_wgs_stages
+
+    model = DEFAULT_COST_MODEL
+    reads = model.reads_for_gigabases(args.gigabases)
+    print(f"{'cores':>6}  {'GPF (min)':>10}  {'Churchill (min)':>15}  {'efficiency':>10}")
+    for cores in args.cores:
+        sim = ClusterSimulator(ClusterSpec.with_cores(cores))
+        gpf = sim.run_job(gpf_wgs_stages(reads, model))
+        churchill = sim.run_job(churchill_stages(reads, model))
+        print(
+            f"{cores:>6}  {gpf.makespan / 60:>10.1f}  "
+            f"{churchill.makespan / 60:>15.1f}  "
+            f"{100 * gpf.parallel_efficiency(cores):>9.0f}%"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "run": cmd_run,
+        "evaluate": cmd_evaluate,
+        "scaling": cmd_scaling,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Discrete-event cluster simulation for the paper's scaling experiments.
+
+The paper's evaluation ran on 240 nodes / 2048 cores with InfiniBand and
+per-node SATA disks.  This package replays the pipeline's task graphs on
+a modelled cluster:
+
+- ``topology``  — node/cluster/filesystem specs (cores, disk bandwidth,
+  network fabric, Lustre/NFS-style shared filesystems).
+- ``simulator`` — an event-driven list scheduler: tasks declare CPU
+  seconds plus disk/network/shared-fs byte volumes; resource time is
+  computed under per-node and cluster-wide contention; the event log
+  yields completion times and utilization timelines (Fig. 13).
+- ``costmodel`` — per-record costs *calibrated by running the real
+  implementations* in this repository on synthetic data, so the simulated
+  ratios inherit measured constants rather than guesses.
+- ``workloads`` — task-graph builders for GPF and each baseline system.
+- ``blocked_time`` — Ousterhout-style blocked-time analysis (Fig. 12).
+"""
+
+from repro.cluster.topology import NodeSpec, ClusterSpec, SharedFilesystem, LUSTRE, NFS
+from repro.cluster.simulator import Task, Stage, ClusterSimulator, SimulationResult
+from repro.cluster.costmodel import CostModel, calibrate
+from repro.cluster.blocked_time import blocked_time_analysis, BlockedTimeReport
+
+__all__ = [
+    "NodeSpec",
+    "ClusterSpec",
+    "SharedFilesystem",
+    "LUSTRE",
+    "NFS",
+    "Task",
+    "Stage",
+    "ClusterSimulator",
+    "SimulationResult",
+    "CostModel",
+    "calibrate",
+    "blocked_time_analysis",
+    "BlockedTimeReport",
+]

@@ -1,0 +1,253 @@
+"""Cost calibration: measured per-record constants feeding the simulator.
+
+Two layers:
+
+1. **Measured relative costs** — :func:`calibrate` times the *real*
+   implementations in this repository (aligner, duplicate marking,
+   realignment, BQSR, pair-HMM, codecs) on a small synthetic workload and
+   returns their per-read costs and byte sizes.  These set the *ratios*
+   between pipeline stages and between serializers, which is what the
+   shapes of Figs. 10-13 and Tables 3-4 depend on.
+
+2. **Native scaling** — the paper's tools are C/Java; our Python is
+   ~50-200x slower per record.  ``native_scale`` linearly rescales the
+   measured CPU costs so a simulated 2048-core run of the paper's
+   146.9-Gbase dataset lands in the paper's absolute minutes.  The scale
+   factor is a single global constant (calibrated against the paper's
+   GPF-at-128-cores point), so it cannot manufacture relative effects.
+
+Baseline systems additionally carry *decomposed overhead factors*
+(format-conversion CPU, uncompressed shuffle bytes, JVM/GC inflation,
+static-partition skew).  Where a factor is fitted to the paper's measured
+ratio rather than derived from mechanism, the field's docstring says so.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class BaselineFactors:
+    """Per-baseline mechanism multipliers relative to GPF."""
+
+    #: CPU multiplier from object/JVM overhead and columnar re-packing.
+    #: Fitted so ADAM/GATK4 stage ratios match the paper's Fig. 11.
+    cpu_factor: float = 1.0
+    #: Extra per-read conversion CPU seconds (e.g. Persona's AGD import).
+    conversion_seconds_per_byte: float = 0.0
+    #: Shuffle-byte multiplier (1/compression ratio when uncompressed).
+    shuffle_bytes_factor: float = 1.0
+    #: Task-size lognormal sigma (static partitioning skew).
+    task_skew: float = 0.1
+    #: Whether stage hand-offs spill full intermediates to the shared FS.
+    disk_handoffs: bool = False
+    #: Conversion runs as a fixed-bandwidth serial pipeline (Persona's AGD
+    #: import/export) rather than as distributed per-task CPU work.
+    serial_conversion: bool = False
+    #: Hard cap on exploitable parallelism (e.g. Churchill's fixed regions).
+    max_parallel_tasks: int | None = None
+    #: Serial driver seconds added per stage.
+    serial_seconds_per_stage: float = 0.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-read costs (seconds, on the modelled native cores) and sizes."""
+
+    read_length: int = 100
+
+    # CPU seconds per read for each pipeline stage, after native scaling.
+    align_seconds: float = 4.0e-4
+    markdup_seconds: float = 2.0e-5
+    realign_seconds: float = 3.0e-5
+    bqsr_count_seconds: float = 4.0e-5
+    bqsr_apply_seconds: float = 3.0e-5
+    caller_seconds: float = 4.0e-4
+    load_seconds: float = 5.0e-6  # parse+compress per read
+
+    # Byte sizes per read (pair of mates counts as two reads).
+    fastq_bytes: float = 250.0
+    sam_bytes: float = 350.0
+
+    # Serializer compression ratios (serialized bytes / raw record bytes),
+    # measured by repro.compression on simulated quality profiles.
+    gpf_compression: float = 0.58
+    compact_compression: float = 0.80
+    pickle_expansion: float = 1.45
+
+    # Serial steps.
+    bqsr_broadcast_bytes: float = 3.0e9  # the "multiple-gigabyte mask table"
+    broadcast_bandwidth: float = 2.0e8  # driver-side serialization bound
+
+    # Baseline mechanism factors (see BaselineFactors docstrings).
+    churchill: BaselineFactors = field(
+        default_factory=lambda: BaselineFactors(
+            cpu_factor=1.15,
+            task_skew=0.35,
+            disk_handoffs=True,
+            max_parallel_tasks=768,
+            serial_seconds_per_stage=120.0,
+        )
+    )
+    adam: BaselineFactors = field(
+        default_factory=lambda: BaselineFactors(
+            # Fitted: the paper measures ADAM 6.4-7.6x slower per stage;
+            # decomposed into object-model CPU (x4.5), columnar conversion
+            # (per byte), and uncompressed shuffles (x1.7 bytes).
+            cpu_factor=4.5,
+            conversion_seconds_per_byte=6.0e-9,
+            shuffle_bytes_factor=1.7,
+            task_skew=0.45,
+            serial_seconds_per_stage=700.0,
+        )
+    )
+    gatk4: BaselineFactors = field(
+        default_factory=lambda: BaselineFactors(
+            # Fitted: GATK4 beta 6.3x (MD) / 8.4x (BQSR) slower; spills
+            # between tools and re-sorts per tool.
+            cpu_factor=4.0,
+            conversion_seconds_per_byte=4.0e-9,
+            shuffle_bytes_factor=1.9,
+            task_skew=0.5,
+            disk_handoffs=True,
+        )
+    )
+    persona: BaselineFactors = field(
+        default_factory=lambda: BaselineFactors(
+            # Persona's aligner (SNAP) is ~20x faster per read than BWA
+            # (223M reads in 16.7s on 768 cores, Persona §6), but the AGD
+            # conversion runs at a fixed 360 MB/s in / 82 MB/s out (paper
+            # §5.2.3) — modelled as a serial fixed-bandwidth stage.
+            cpu_factor=0.05,
+            conversion_seconds_per_byte=1.0 / 360e6 + 1.0 / 82e6,
+            task_skew=0.25,
+            serial_conversion=True,
+            # TF graph setup + chunk scheduling per run; fitted so the
+            # align-only parallel efficiency lands near Persona's own
+            # 51.1% at 512 cores (Table 5).
+            serial_seconds_per_stage=60.0,
+        )
+    )
+
+    # -- derived -----------------------------------------------------------
+    def reads_for_gigabases(self, gigabases: float) -> int:
+        return int(gigabases * 1e9 / self.read_length)
+
+    def with_native_scale(self, scale: float) -> "CostModel":
+        """Scale all CPU costs by ``scale`` (Python -> native)."""
+        return replace(
+            self,
+            align_seconds=self.align_seconds * scale,
+            markdup_seconds=self.markdup_seconds * scale,
+            realign_seconds=self.realign_seconds * scale,
+            bqsr_count_seconds=self.bqsr_count_seconds * scale,
+            bqsr_apply_seconds=self.bqsr_apply_seconds * scale,
+            caller_seconds=self.caller_seconds * scale,
+            load_seconds=self.load_seconds * scale,
+        )
+
+
+#: The default model: stage ratios from a calibration run of this
+#: repository's implementations (see tests/cluster/test_costmodel.py),
+#: absolute scale anchored to the paper's GPF-at-128-cores measurement.
+DEFAULT_COST_MODEL = CostModel()
+
+
+def calibrate(
+    num_pairs: int = 60,
+    genome_size: int = 20_000,
+    seed: int = 11,
+    native_scale: float | None = None,
+) -> CostModel:
+    """Measure real per-read costs of this repository's implementations.
+
+    Runs each pipeline stage on a small simulated dataset, times it, and
+    returns a :class:`CostModel` with measured stage ratios.  If
+    ``native_scale`` is None, the total per-read budget is normalized to
+    the paper's implied per-read cost (GPF: 146.9 Gbases in 174 min on
+    128 cores => ~0.9 core-ms/read end to end).
+    """
+    from repro.align.pairing import PairedEndAligner
+    from repro.cleaner.bqsr import apply_recalibration, build_recalibration_table
+    from repro.cleaner.duplicates import mark_duplicates
+    from repro.cleaner.realign import find_realignment_intervals, realign_reads
+    from repro.caller.haplotype_caller import HaplotypeCaller
+    from repro.compression.records import FastqCodec, SamCodec
+    from repro.formats.sam import SamHeader, coordinate_key
+    from repro.sim import (
+        ReadSimConfig,
+        ReadSimulator,
+        generate_known_sites,
+        generate_reference,
+        plant_variants,
+    )
+
+    reference = generate_reference([genome_size], seed=seed)
+    truth = plant_variants(reference, snp_rate=0.002, indel_rate=0.0002, seed=seed + 1)
+    known = generate_known_sites(truth, reference, seed=seed + 2)
+    pairs = ReadSimulator(
+        truth.donor, ReadSimConfig(coverage=4.0, seed=seed + 3)
+    ).simulate()[:num_pairs]
+    reads = [r for pair in pairs for r in pair]
+
+    aligner = PairedEndAligner(reference)
+    t0 = time.perf_counter()
+    sams = []
+    for pair in pairs:
+        r1, r2 = aligner.align_pair(pair)
+        sams.extend((r1, r2))
+    align_s = (time.perf_counter() - t0) / len(reads)
+
+    t0 = time.perf_counter()
+    fq_blob = FastqCodec.encode([p.read1 for p in pairs])
+    load_s = (time.perf_counter() - t0) / len(pairs)
+    fastq_raw = sum(len(r.name) + len(r.sequence) + len(r.quality) + 6 for r in reads)
+    gpf_ratio = (2 * len(fq_blob)) / fastq_raw
+
+    header = SamHeader.unsorted(reference.contig_lengths())
+    sams.sort(key=coordinate_key(header))
+    t0 = time.perf_counter()
+    mark_duplicates(sams)
+    markdup_s = (time.perf_counter() - t0) / len(reads)
+
+    t0 = time.perf_counter()
+    intervals = find_realignment_intervals(sams)
+    realign_reads(sams, reference, intervals)
+    realign_s = (time.perf_counter() - t0) / len(reads)
+
+    t0 = time.perf_counter()
+    table = build_recalibration_table(sams, reference, known)
+    bqsr_count_s = (time.perf_counter() - t0) / len(reads)
+    t0 = time.perf_counter()
+    apply_recalibration(sams, table)
+    bqsr_apply_s = (time.perf_counter() - t0) / len(reads)
+
+    caller = HaplotypeCaller(reference)
+    t0 = time.perf_counter()
+    caller.call(sams)
+    caller_s = (time.perf_counter() - t0) / len(reads)
+
+    sam_raw = sum(len(r.to_line()) + 1 for r in sams)
+    sam_blob = SamCodec.encode(sams)
+
+    measured_total = (
+        align_s + markdup_s + realign_s + bqsr_count_s + bqsr_apply_s + caller_s
+    )
+    if native_scale is None:
+        paper_per_read = 128 * 174 * 60 / (146.9e9 / 100)  # core-s per read
+        native_scale = paper_per_read / measured_total
+
+    return CostModel(
+        align_seconds=align_s * native_scale,
+        markdup_seconds=markdup_s * native_scale,
+        realign_seconds=realign_s * native_scale,
+        bqsr_count_seconds=bqsr_count_s * native_scale,
+        bqsr_apply_seconds=bqsr_apply_s * native_scale,
+        caller_seconds=caller_s * native_scale,
+        load_seconds=load_s * native_scale,
+        fastq_bytes=fastq_raw / len(reads),
+        sam_bytes=sam_raw / len(sams),
+        gpf_compression=min(0.9, gpf_ratio if gpf_ratio > 0 else 0.58),
+    )

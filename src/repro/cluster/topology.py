@@ -1,0 +1,67 @@
+"""Cluster hardware models.
+
+Defaults mirror the paper's testbed (§5.1): 240 nodes, two 12-core Xeon
+E5-2692v2 chips (the paper uses up to 10 cores per node due to memory
+limits), 64 GB DRAM, one 7200 RPM SATA disk (~150 MB/s sequential), FDR
+InfiniBand (~6.8 GB/s line rate, modelled conservatively at 5 GB/s per
+node with a shared fabric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    cores: int = 10
+    disk_bandwidth: float = 150e6  # bytes/s sequential
+    disk_iops: float = 120.0
+    memory: float = 64e9
+    core_speed: float = 1.0  # relative CPU speed multiplier
+
+
+@dataclass(frozen=True)
+class SharedFilesystem:
+    """A cluster filesystem (Lustre / NFS) with aggregate + per-client caps."""
+
+    name: str
+    aggregate_bandwidth: float
+    per_client_bandwidth: float
+
+
+#: A mid-size Lustre installation: good aggregate bandwidth across OSTs but
+#: real per-client overhead (calibrated against the paper's Table 1 rows).
+LUSTRE = SharedFilesystem("lustre", aggregate_bandwidth=2.5e9, per_client_bandwidth=350e6)
+
+#: A single NFS server: decent single-stream speed (client caching), low
+#: aggregate ceiling shared by every client.
+NFS = SharedFilesystem("nfs", aggregate_bandwidth=0.9e9, per_client_bandwidth=500e6)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    num_nodes: int = 240
+    node: NodeSpec = field(default_factory=NodeSpec)
+    #: Per-node NIC bandwidth (bytes/s).
+    network_bandwidth: float = 5e9
+    #: Fabric bisection bandwidth shared by all nodes (bytes/s).
+    bisection_bandwidth: float = 300e9
+    filesystem: SharedFilesystem = field(default_factory=lambda: LUSTRE)
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores
+
+    @classmethod
+    def with_cores(
+        cls, total_cores: int, cores_per_node: int = 8, **kwargs
+    ) -> "ClusterSpec":
+        """Spec with the given core count (the paper scales 128..2048)."""
+        if total_cores % cores_per_node:
+            raise ValueError(
+                f"total_cores={total_cores} not divisible by "
+                f"cores_per_node={cores_per_node}"
+            )
+        node = kwargs.pop("node", NodeSpec(cores=cores_per_node))
+        return cls(num_nodes=total_cores // cores_per_node, node=node, **kwargs)

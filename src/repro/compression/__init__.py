@@ -1,0 +1,54 @@
+"""GPF genomic data compression (paper §4.2).
+
+FASTQ/SAM records spend 80-90% of their bytes on the ``Sequence`` and
+``Quality`` fields, so GPF compresses exactly those two fields while leaving
+the record structure intact:
+
+- **Sequence**: 2-bit packing of A/C/G/T.  Non-ACGT characters (``N`` etc.)
+  use the Deorowicz trick — the base is rewritten to ``A`` and the matching
+  quality score is set to 0, which is outside the legal Phred range of real
+  reads, so decompression can restore the ``N`` (``repro.compression.twobit``).
+- **Quality**: the adjacent-difference (delta) sequence is far more
+  concentrated than the raw scores (paper Fig. 5), so qualities are
+  delta-transformed and Huffman-coded with an explicit EOF symbol
+  (``repro.compression.delta`` + ``repro.compression.huffman``).
+
+``repro.compression.records`` combines both into whole-record codecs used
+by the engine's ``gpf`` serializer.
+"""
+
+from repro.compression.twobit import (
+    compress_sequence,
+    decompress_sequence,
+    pack_bases,
+    unpack_bases,
+)
+from repro.compression.delta import delta_encode, delta_decode
+from repro.compression.huffman import HuffmanCodec, EOF_SYMBOL
+from repro.compression.records import (
+    FastqCodec,
+    SamCodec,
+    compressed_size,
+)
+from repro.compression.stats import (
+    quality_histogram,
+    delta_histogram,
+    field_fraction,
+)
+
+__all__ = [
+    "compress_sequence",
+    "decompress_sequence",
+    "pack_bases",
+    "unpack_bases",
+    "delta_encode",
+    "delta_decode",
+    "HuffmanCodec",
+    "EOF_SYMBOL",
+    "FastqCodec",
+    "SamCodec",
+    "compressed_size",
+    "quality_histogram",
+    "delta_histogram",
+    "field_fraction",
+]

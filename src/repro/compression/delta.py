@@ -1,0 +1,35 @@
+"""Delta transform of quality strings.
+
+Paper Fig. 5: adjacent quality-score differences concentrate near zero far
+more than the raw scores do, so the quality field is converted to the
+sequence ``[q0, q1-q0, q2-q1, ...]`` with values in [-127, 127] before
+entropy coding.  The first element is the absolute first score (the paper's
+example ``CCCB(SOH)FFFF -> 67 0 0 -1 -65 -69 0 0 0`` encodes the first raw
+ASCII value 67 followed by differences).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def delta_encode(quality: str) -> np.ndarray:
+    """Quality string -> int16 array [first_ascii, diffs...]."""
+    if not quality:
+        return np.empty(0, dtype=np.int16)
+    raw = np.frombuffer(quality.encode("ascii"), dtype=np.uint8).astype(np.int16)
+    out = np.empty_like(raw)
+    out[0] = raw[0]
+    np.subtract(raw[1:], raw[:-1], out=out[1:])
+    return out
+
+
+def delta_decode(deltas: np.ndarray) -> str:
+    """Inverse of :func:`delta_encode`."""
+    deltas = np.asarray(deltas, dtype=np.int16)
+    if deltas.size == 0:
+        return ""
+    raw = np.cumsum(deltas, dtype=np.int64)
+    if raw.min() < 0 or raw.max() > 255:
+        raise ValueError("delta stream decodes outside byte range")
+    return raw.astype(np.uint8).tobytes().decode("ascii")

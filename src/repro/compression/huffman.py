@@ -1,0 +1,179 @@
+"""Canonical Huffman coding with an explicit EOF symbol (paper Fig. 6).
+
+The quality-delta alphabet is small (deltas in [-127, 127] plus EOF), so a
+codec is built once per RDD partition from the observed symbol frequencies
+and shipped with the compressed block.  Encoding/decoding are implemented
+over NumPy bit arrays; the decoder walks a flattened tree stored as two
+child arrays, which keeps the hot loop allocation-free.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+#: Symbol appended to every encoded stream so the decoder knows where the
+#: payload ends inside the zero-padded final byte.
+EOF_SYMBOL = 0x10000
+
+#: Internal decode-tree marker for "this node is not a leaf".  Must lie
+#: outside every legal symbol value (deltas are in [-255, 255], EOF is
+#: 0x10000), so a large negative sentinel is safe.
+_NO_SYMBOL = -(2**31)
+
+
+@dataclass(frozen=True)
+class _Node:
+    weight: int
+    order: int  # tie-breaker for deterministic trees
+    symbol: int | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    def __lt__(self, other: "_Node") -> bool:
+        return (self.weight, self.order) < (other.weight, other.order)
+
+
+class HuffmanCodec:
+    """A prefix code over an integer alphabet, built from frequencies."""
+
+    def __init__(self, code_lengths: Mapping[int, int]):
+        if EOF_SYMBOL not in code_lengths:
+            raise ValueError("codec must include the EOF symbol")
+        self._lengths = dict(code_lengths)
+        self._codes = _canonical_codes(self._lengths)
+        self._build_decode_tree()
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_frequencies(cls, freqs: Mapping[int, int]) -> "HuffmanCodec":
+        """Build a codec from symbol counts; EOF is added automatically."""
+        counts = {int(s): int(c) for s, c in freqs.items() if c > 0}
+        counts[EOF_SYMBOL] = counts.get(EOF_SYMBOL, 0) + 1
+        if len(counts) == 1:
+            # Degenerate alphabet: give EOF a 1-bit code by adding a dummy.
+            counts[0] = counts.get(0, 0) + 1
+        heap = [
+            _Node(weight, order, symbol=symbol)
+            for order, (symbol, weight) in enumerate(sorted(counts.items()))
+        ]
+        heapq.heapify(heap)
+        order = len(heap)
+        while len(heap) > 1:
+            a = heapq.heappop(heap)
+            b = heapq.heappop(heap)
+            heapq.heappush(heap, _Node(a.weight + b.weight, order, left=a, right=b))
+            order += 1
+        lengths: dict[int, int] = {}
+        _walk_lengths(heap[0], 0, lengths)
+        return cls(lengths)
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[int]) -> "HuffmanCodec":
+        """Build a codec from a raw symbol stream (counts computed here)."""
+        freqs: dict[int, int] = {}
+        for s in samples:
+            freqs[int(s)] = freqs.get(int(s), 0) + 1
+        return cls.from_frequencies(freqs)
+
+    # -- serialization of the codec itself -------------------------------
+    def code_lengths(self) -> dict[int, int]:
+        """The (symbol -> code length) table; enough to rebuild the codec."""
+        return dict(self._lengths)
+
+    # -- encode/decode ----------------------------------------------------
+    def encode(self, symbols: np.ndarray | list[int]) -> bytes:
+        """Encode symbols followed by EOF; zero-padded to a whole byte."""
+        stream = list(np.asarray(symbols, dtype=np.int64).tolist()) + [EOF_SYMBOL]
+        bits: list[np.ndarray] = []
+        codes = self._codes
+        try:
+            for sym in stream:
+                bits.append(codes[sym])
+        except KeyError as exc:
+            raise ValueError(f"symbol {exc.args[0]} not in codec alphabet") from None
+        flat = np.concatenate(bits) if bits else np.empty(0, dtype=np.uint8)
+        return np.packbits(flat).tobytes()
+
+    def decode(self, blob: bytes) -> np.ndarray:
+        """Decode until EOF; returns the symbol array (without EOF)."""
+        bits = np.unpackbits(np.frombuffer(blob, dtype=np.uint8))
+        out: list[int] = []
+        node = 0
+        left, right, symbols = self._left, self._right, self._symbols
+        for bit in bits:
+            node = right[node] if bit else left[node]
+            if node < 0:
+                raise ValueError("invalid bit stream: walked past a leaf")
+            sym = symbols[node]
+            if sym != _NO_SYMBOL:
+                if sym == EOF_SYMBOL:
+                    return np.asarray(out, dtype=np.int64)
+                out.append(sym)
+                node = 0
+        raise ValueError("bit stream ended before EOF symbol")
+
+    def mean_bits_per_symbol(self, freqs: Mapping[int, int]) -> float:
+        """Expected code length under the given symbol frequencies."""
+        total = sum(freqs.values())
+        if total == 0:
+            return 0.0
+        return (
+            sum(self._lengths[s] * c for s, c in freqs.items() if s in self._lengths)
+            / total
+        )
+
+    # -- internals --------------------------------------------------------
+    def _build_decode_tree(self) -> None:
+        """Flatten the canonical tree into arrays for the decode loop."""
+        size = 1
+        left = [-1]
+        right = [-1]
+        symbols = [_NO_SYMBOL]
+        for symbol, code in self._codes.items():
+            node = 0
+            for bit in code:
+                children = right if bit else left
+                if children[node] == -1:
+                    left.append(-1)
+                    right.append(-1)
+                    symbols.append(_NO_SYMBOL)
+                    children[node] = size
+                    size += 1
+                node = children[node]
+            symbols[node] = symbol
+        self._left = np.asarray(left, dtype=np.int64)
+        self._right = np.asarray(right, dtype=np.int64)
+        self._symbols = np.asarray(symbols, dtype=np.int64)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HuffmanCodec) and self._lengths == other._lengths
+
+
+def _walk_lengths(node: _Node, depth: int, out: dict[int, int]) -> None:
+    if node.symbol is not None:
+        out[node.symbol] = max(depth, 1)
+        return
+    assert node.left is not None and node.right is not None
+    _walk_lengths(node.left, depth + 1, out)
+    _walk_lengths(node.right, depth + 1, out)
+
+
+def _canonical_codes(lengths: Mapping[int, int]) -> dict[int, np.ndarray]:
+    """Assign canonical codes: sort by (length, symbol), count upwards."""
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: dict[int, np.ndarray] = {}
+    code = 0
+    prev_len = 0
+    for symbol, length in ordered:
+        code <<= length - prev_len
+        bits = np.array(
+            [(code >> (length - 1 - i)) & 1 for i in range(length)], dtype=np.uint8
+        )
+        codes[symbol] = bits
+        code += 1
+        prev_len = length
+    return codes

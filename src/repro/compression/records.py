@@ -1,0 +1,239 @@
+"""Whole-record codecs for FASTQ and SAM record batches.
+
+GPF stores each RDD partition as one large byte array (paper §4.2).  A
+batch codec therefore takes a *list* of records and produces a single
+``bytes`` blob:
+
+- the Sequence field is 2-bit packed (``twobit``),
+- the Quality field is delta-transformed and Huffman-coded with one codec
+  built per batch (``delta`` + ``huffman``),
+- all remaining fields keep their original structure and are framed
+  verbatim — the paper is explicit that SAM's other fields are *not*
+  compressed, which is why SAM batches compress less than FASTQ batches
+  (Table 3).
+
+Binary layout of a batch::
+
+    [u32 record_count]
+    [u32 table_len][huffman code-length table as 'sym:len,...' ascii]
+    per record:
+      [u16 name_len][name][u32 seq_blob_len][seq blob]
+      [u32 qual_blob_len][qual bits][u32 extra_len][extra ascii fields]
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.compression.delta import delta_decode, delta_encode
+from repro.compression.huffman import HuffmanCodec
+from repro.compression.twobit import compress_sequence, decompress_sequence
+from repro.formats.cigar import Cigar
+from repro.formats.fastq import FastqRecord
+from repro.formats.sam import SamRecord, format_tag, parse_tag
+
+
+def _serialize_table(lengths: dict[int, int]) -> bytes:
+    return ",".join(f"{s}:{l}" for s, l in sorted(lengths.items())).encode("ascii")
+
+
+def _deserialize_table(blob: bytes) -> dict[int, int]:
+    table: dict[int, int] = {}
+    for token in blob.decode("ascii").split(","):
+        sym, length = token.split(":")
+        table[int(sym)] = int(length)
+    return table
+
+
+class _BatchWriter:
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u16(self, value: int) -> None:
+        self._parts.append(struct.pack("<H", value))
+
+    def u32(self, value: int) -> None:
+        self._parts.append(struct.pack("<I", value))
+
+    def blob(self, data: bytes, width: str = "u32") -> None:
+        if width == "u16":
+            self.u16(len(data))
+        else:
+            self.u32(len(data))
+        self._parts.append(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _BatchReader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._off = 0
+
+    def u16(self) -> int:
+        (value,) = struct.unpack_from("<H", self._data, self._off)
+        self._off += 2
+        return value
+
+    def u32(self) -> int:
+        (value,) = struct.unpack_from("<I", self._data, self._off)
+        self._off += 4
+        return value
+
+    def blob(self, width: str = "u32") -> bytes:
+        n = self.u16() if width == "u16" else self.u32()
+        out = self._data[self._off : self._off + n]
+        self._off += n
+        return out
+
+    def eof(self) -> bool:
+        return self._off >= len(self._data)
+
+
+def _encode_qualities(masked_quals: list[str]) -> tuple[HuffmanCodec, list[bytes]]:
+    """Build one Huffman codec over a batch's quality deltas, encode each."""
+    deltas = [delta_encode(q) for q in masked_quals]
+    freqs: dict[int, int] = {}
+    for arr in deltas:
+        symbols, counts = np.unique(arr, return_counts=True)
+        for s, c in zip(symbols.tolist(), counts.tolist()):
+            freqs[s] = freqs.get(s, 0) + c
+    codec = HuffmanCodec.from_frequencies(freqs)
+    return codec, [codec.encode(arr) for arr in deltas]
+
+
+class FastqCodec:
+    """Batch codec for FASTQ records."""
+
+    @staticmethod
+    def encode(records: Sequence[FastqRecord]) -> bytes:
+        """Serialize a record batch to one byte blob (see module layout)."""
+        writer = _BatchWriter()
+        writer.u32(len(records))
+        seq_blobs: list[bytes] = []
+        masked_quals: list[str] = []
+        for rec in records:
+            blob, masked = compress_sequence(rec.sequence, rec.quality)
+            seq_blobs.append(blob)
+            masked_quals.append(masked)
+        codec, qual_blobs = _encode_qualities(masked_quals)
+        writer.blob(_serialize_table(codec.code_lengths()))
+        for rec, seq_blob, qual_blob in zip(records, seq_blobs, qual_blobs):
+            writer.blob(rec.name.encode("ascii"), width="u16")
+            writer.blob(seq_blob)
+            writer.blob(qual_blob)
+        return writer.getvalue()
+
+    @staticmethod
+    def decode(blob: bytes) -> list[FastqRecord]:
+        """Inverse of :meth:`encode`."""
+        reader = _BatchReader(blob)
+        count = reader.u32()
+        codec = HuffmanCodec(_deserialize_table(reader.blob()))
+        records: list[FastqRecord] = []
+        for _ in range(count):
+            name = reader.blob(width="u16").decode("ascii")
+            seq_blob = reader.blob()
+            masked_qual = delta_decode(codec.decode(reader.blob()))
+            seq = decompress_sequence(seq_blob, masked_qual)
+            # Restore the original quality: the Phred-0 markers were only
+            # meaningful for masked bases; real FASTQ keeps them (score 0
+            # positions correspond to N bases whose original quality the
+            # sequencer reported as low anyway -- the Deorowicz transform
+            # is lossy exactly there, replacing the N's quality with 0).
+            records.append(FastqRecord(name=name, sequence=seq, quality=masked_qual))
+        return records
+
+
+def _sam_extra_fields(rec: SamRecord) -> bytes:
+    """All SAM fields except name/seq/qual, framed as a tab-joined line."""
+    fields = [
+        str(rec.flag),
+        rec.rname,
+        str(rec.pos),
+        str(rec.mapq),
+        str(rec.cigar),
+        rec.rnext,
+        str(rec.pnext),
+        str(rec.tlen),
+    ]
+    fields += [format_tag(k, v) for k, v in sorted(rec.tags.items())]
+    return "\t".join(fields).encode("ascii")
+
+
+def _sam_from_extra(name: str, seq: str, qual: str, extra: bytes) -> SamRecord:
+    parts = extra.decode("ascii").split("\t")
+    tags: dict[str, object] = {}
+    for raw in parts[8:]:
+        key, value = parse_tag(raw)
+        tags[key] = value
+    return SamRecord(
+        qname=name,
+        flag=int(parts[0]),
+        rname=parts[1],
+        pos=int(parts[2]),
+        mapq=int(parts[3]),
+        cigar=Cigar.parse(parts[4]),
+        rnext=parts[5],
+        pnext=int(parts[6]),
+        tlen=int(parts[7]),
+        seq=seq,
+        qual=qual,
+        tags=tags,
+    )
+
+
+class SamCodec:
+    """Batch codec for SAM records: seq/qual compressed, other fields framed."""
+
+    @staticmethod
+    def encode(records: Sequence[SamRecord]) -> bytes:
+        """Serialize a record batch to one byte blob (see module layout)."""
+        writer = _BatchWriter()
+        writer.u32(len(records))
+        seq_blobs: list[bytes] = []
+        masked_quals: list[str] = []
+        for rec in records:
+            if rec.seq:
+                blob, masked = compress_sequence(rec.seq, rec.qual)
+            else:
+                blob, masked = b"", ""
+            seq_blobs.append(blob)
+            masked_quals.append(masked)
+        codec, qual_blobs = _encode_qualities(masked_quals)
+        writer.blob(_serialize_table(codec.code_lengths()))
+        for rec, seq_blob, qual_blob in zip(records, seq_blobs, qual_blobs):
+            writer.blob(rec.qname.encode("ascii"), width="u16")
+            writer.blob(seq_blob)
+            writer.blob(qual_blob)
+            writer.blob(_sam_extra_fields(rec))
+        return writer.getvalue()
+
+    @staticmethod
+    def decode(blob: bytes) -> list[SamRecord]:
+        """Inverse of :meth:`encode`."""
+        reader = _BatchReader(blob)
+        count = reader.u32()
+        codec = HuffmanCodec(_deserialize_table(reader.blob()))
+        records: list[SamRecord] = []
+        for _ in range(count):
+            name = reader.blob(width="u16").decode("ascii")
+            seq_blob = reader.blob()
+            masked_qual = delta_decode(codec.decode(reader.blob()))
+            extra = reader.blob()
+            seq = decompress_sequence(seq_blob, masked_qual) if seq_blob else ""
+            records.append(_sam_from_extra(name, seq, masked_qual, extra))
+        return records
+
+
+def compressed_size(records: Sequence[FastqRecord] | Sequence[SamRecord]) -> int:
+    """Size in bytes of the GPF-compressed batch."""
+    if not records:
+        return 0
+    if isinstance(records[0], FastqRecord):
+        return len(FastqCodec.encode(records))  # type: ignore[arg-type]
+    return len(SamCodec.encode(records))  # type: ignore[arg-type]

@@ -1,0 +1,158 @@
+"""Reference-based SAM sequence compression (a CRAM-style extension).
+
+The paper's conclusion notes that "serialization and compression formats
+will inevitably evolve"; the natural next step after 2-bit packing is to
+drop aligned sequences entirely and store only their *differences* from
+the reference — what CRAM does.  For each mapped record the codec stores:
+
+- the alignment anchor (pos + CIGAR, already in the record's framing),
+- mismatching bases as ``(query_offset, base)`` pairs,
+- inserted and soft-clipped bases verbatim (they have no reference),
+
+and reconstructs the full sequence at decode time by walking the CIGAR
+over the reference.  Unmapped records fall back to 2-bit packing.
+
+On real data most aligned reads have 0-3 mismatches, so sequence storage
+drops from len/4 bytes (2-bit) to a handful of bytes per read.  The codec
+needs the reference at *both* ends, which GPF satisfies by broadcast —
+the same reference every Process already holds.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+from repro.compression.records import (
+    _BatchReader,
+    _BatchWriter,
+    _deserialize_table,
+    _encode_qualities,
+    _sam_extra_fields,
+    _sam_from_extra,
+    _serialize_table,
+)
+from repro.compression.twobit import compress_sequence, decompress_sequence
+from repro.compression.delta import delta_decode
+from repro.compression.huffman import HuffmanCodec
+from repro.formats.fasta import Reference
+from repro.formats.sam import SamRecord
+
+
+def encode_against_reference(rec: SamRecord, reference: Reference) -> bytes | None:
+    """Difference encoding of one mapped record's sequence.
+
+    Returns None when the record cannot be reference-encoded (unmapped,
+    empty sequence, contig missing) — callers fall back to 2-bit packing.
+
+    Layout: ``[u16 n_diff][(u16 offset, u8 base) * n_diff]`` where diffs
+    cover mismatches AND all query bases without a reference counterpart
+    (insertions, soft clips), identified by their query offset.
+    """
+    if rec.is_unmapped or not rec.seq or rec.rname not in reference:
+        return None
+    contig = reference[rec.rname]
+    seq = rec.seq
+    diffs: list[tuple[int, str]] = []
+    for ref_pos, query_idx, op in rec.cigar.walk(rec.pos):
+        if query_idx is None:
+            continue  # deletion: no query base
+        base = seq[query_idx]
+        if ref_pos is None or ref_pos >= len(contig):
+            diffs.append((query_idx, base))  # insertion / clip / overhang
+        elif chr(contig.sequence[ref_pos]) != base:
+            diffs.append((query_idx, base))
+    if rec.cigar.query_length() != len(seq):
+        return None  # malformed CIGAR; cannot reconstruct
+    out = struct.pack("<HH", len(seq), len(diffs))
+    for offset, base in diffs:
+        out += struct.pack("<HB", offset, ord(base))
+    return out
+
+
+def decode_against_reference(
+    blob: bytes, rec_pos: int, rname: str, cigar, reference: Reference
+) -> str:
+    """Inverse of :func:`encode_against_reference`."""
+    seq_len, n_diff = struct.unpack_from("<HH", blob, 0)
+    contig = reference[rname]
+    out = bytearray(b"?" * seq_len)
+    for ref_pos, query_idx, op in cigar.walk(rec_pos):
+        if query_idx is None:
+            continue
+        if ref_pos is not None and ref_pos < len(contig):
+            out[query_idx] = contig.sequence[ref_pos]
+    offset = 4
+    for _ in range(n_diff):
+        query_idx, base = struct.unpack_from("<HB", blob, offset)
+        offset += 3
+        out[query_idx] = base
+    return out.decode("ascii")
+
+
+#: Per-record frame tags inside a reference-based batch.
+_REF_ENCODED = 0
+_TWOBIT_FALLBACK = 1
+
+
+class RefBasedSamCodec:
+    """Batch codec: reference-diff sequences + delta/Huffman qualities.
+
+    Drop-in alternative to :class:`repro.compression.records.SamCodec`
+    for contexts that hold the reference (all of GPF's Processes do).
+    """
+
+    def __init__(self, reference: Reference):
+        self.reference = reference
+
+    def encode(self, records: Sequence[SamRecord]) -> bytes:
+        """Serialize a batch with reference-diff sequences where possible."""
+        writer = _BatchWriter()
+        writer.u32(len(records))
+        masked_quals: list[str] = []
+        seq_blobs: list[tuple[int, bytes]] = []
+        for rec in records:
+            ref_blob = encode_against_reference(rec, self.reference)
+            if ref_blob is not None:
+                seq_blobs.append((_REF_ENCODED, ref_blob))
+                masked_quals.append(rec.qual)
+            elif rec.seq:
+                blob, masked = compress_sequence(rec.seq, rec.qual)
+                seq_blobs.append((_TWOBIT_FALLBACK, blob))
+                masked_quals.append(masked)
+            else:
+                seq_blobs.append((_TWOBIT_FALLBACK, b""))
+                masked_quals.append("")
+        codec, qual_blobs = _encode_qualities(masked_quals)
+        writer.blob(_serialize_table(codec.code_lengths()))
+        for rec, (tag, seq_blob), qual_blob in zip(records, seq_blobs, qual_blobs):
+            writer.u16(tag)
+            writer.blob(rec.qname.encode("ascii"), width="u16")
+            writer.blob(seq_blob)
+            writer.blob(qual_blob)
+            writer.blob(_sam_extra_fields(rec))
+        return writer.getvalue()
+
+    def decode(self, blob: bytes) -> list[SamRecord]:
+        """Inverse of :meth:`encode`; reconstructs sequences from the reference."""
+        reader = _BatchReader(blob)
+        count = reader.u32()
+        codec = HuffmanCodec(_deserialize_table(reader.blob()))
+        records: list[SamRecord] = []
+        for _ in range(count):
+            tag = reader.u16()
+            name = reader.blob(width="u16").decode("ascii")
+            seq_blob = reader.blob()
+            qual = delta_decode(codec.decode(reader.blob()))
+            extra = reader.blob()
+            if tag == _REF_ENCODED:
+                # Build the record shell first (pos/cigar live in extra).
+                shell = _sam_from_extra(name, "", qual, extra)
+                shell.seq = decode_against_reference(
+                    seq_blob, shell.pos, shell.rname, shell.cigar, self.reference
+                )
+                records.append(shell)
+            else:
+                seq = decompress_sequence(seq_blob, qual) if seq_blob else ""
+                records.append(_sam_from_extra(name, seq, qual, extra))
+        return records

@@ -1,0 +1,127 @@
+"""2-bit base-sequence packing with the special-character-to-quality trick.
+
+Paper Fig. 4: the encoding is ``A:00 G:01 C:10 T:11``.  A non-ACGT base
+(``N`` and IUPAC ambiguity codes) is rewritten to ``A`` and its quality
+score is set to 0 — legal Phred scores of real reads are >= 1 in this
+scheme (the paper notes the range 33..126 for the raw ASCII, i.e. score
+0 is never produced by a sequencer) — so the decoder can recognize
+"A with quality 0" as a masked special character.
+
+The packed layout per sequence is::
+
+    [length: u32 little-endian][packed 2-bit bases, 4 per byte, zero padded]
+
+All packing/unpacking is vectorized with NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Paper's code assignment (Fig. 4).
+BASE_TO_CODE = {"A": 0, "G": 1, "C": 2, "T": 3}
+CODE_TO_BASE = np.frombuffer(b"AGCT", dtype=np.uint8)
+
+#: ASCII lookup: base byte -> 2-bit code, 255 for non-ACGT.
+_ENCODE_LUT = np.full(256, 255, dtype=np.uint8)
+for _base, _code in BASE_TO_CODE.items():
+    _ENCODE_LUT[ord(_base)] = _code
+
+#: Quality character used to mark a masked special base (Phred 0 => '!'-1
+#: is out of range, so we use chr(33+0)... but the paper sets the *score*
+#: to 0, meaning ASCII 33 ('!') never appears for real bases).  We encode
+#: the mask as Phred score 0 == ASCII '!' and require real reads to have
+#: Phred >= 1, which repro.sim guarantees and real Illumina data satisfies
+#: (minimum reported quality is 2).
+MASK_QUAL_CHAR = "!"
+
+
+def pack_bases(sequence: str) -> np.ndarray:
+    """Pack an ACGT-only sequence into a uint8 array, 4 bases per byte.
+
+    Raises ``ValueError`` on non-ACGT characters — callers must mask
+    specials first (see :func:`compress_sequence`).
+    """
+    raw = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+    codes = _ENCODE_LUT[raw]
+    if codes.max(initial=0) == 255:
+        bad = sorted({chr(b) for b in raw[codes == 255]})
+        raise ValueError(f"cannot 2-bit pack non-ACGT characters: {bad}")
+    pad = (-len(codes)) % 4
+    if pad:
+        codes = np.concatenate([codes, np.zeros(pad, dtype=np.uint8)])
+    quads = codes.reshape(-1, 4)
+    packed = (
+        (quads[:, 0] << 6) | (quads[:, 1] << 4) | (quads[:, 2] << 2) | quads[:, 3]
+    ).astype(np.uint8)
+    return packed
+
+
+def unpack_bases(packed: np.ndarray, length: int) -> str:
+    """Inverse of :func:`pack_bases`."""
+    if length == 0:
+        return ""
+    packed = np.asarray(packed, dtype=np.uint8)
+    codes = np.empty((len(packed), 4), dtype=np.uint8)
+    codes[:, 0] = (packed >> 6) & 3
+    codes[:, 1] = (packed >> 4) & 3
+    codes[:, 2] = (packed >> 2) & 3
+    codes[:, 3] = packed & 3
+    flat = codes.reshape(-1)[:length]
+    return CODE_TO_BASE[flat].tobytes().decode("ascii")
+
+
+def mask_special_bases(sequence: str, quality: str) -> tuple[str, str]:
+    """Rewrite non-ACGT bases to ``A`` and their qualities to Phred 0.
+
+    Returns the masked (sequence, quality) pair.  Raises if the input
+    quality already uses Phred 0 at a real (ACGT) base, which would make
+    decompression ambiguous.
+    """
+    if len(sequence) != len(quality):
+        raise ValueError("sequence/quality length mismatch")
+    seq = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+    qual = np.frombuffer(quality.encode("ascii"), dtype=np.uint8).copy()
+    special = _ENCODE_LUT[seq] == 255
+    collision = (~special) & (qual == ord(MASK_QUAL_CHAR))
+    if collision.any():
+        raise ValueError(
+            "quality uses the reserved Phred-0 score at a regular base; "
+            "cannot mask special characters unambiguously"
+        )
+    if special.any():
+        seq = seq.copy()
+        seq[special] = ord("A")
+        qual[special] = ord(MASK_QUAL_CHAR)
+    return seq.tobytes().decode("ascii"), qual.tobytes().decode("ascii")
+
+
+def unmask_special_bases(sequence: str, quality: str) -> str:
+    """Restore ``N`` at every position where quality is the Phred-0 marker."""
+    seq = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8).copy()
+    qual = np.frombuffer(quality.encode("ascii"), dtype=np.uint8)
+    masked = qual == ord(MASK_QUAL_CHAR)
+    seq[masked] = ord("N")
+    return seq.tobytes().decode("ascii")
+
+
+def compress_sequence(sequence: str, quality: str) -> tuple[bytes, str]:
+    """Compress the sequence field of one record.
+
+    Returns ``(packed_bytes, masked_quality)``.  ``packed_bytes`` is the
+    length-prefixed 2-bit packing; ``masked_quality`` carries the Phred-0
+    markers for special bases and must be stored alongside (it is what the
+    quality codec then compresses).
+    """
+    masked_seq, masked_qual = mask_special_bases(sequence, quality)
+    packed = pack_bases(masked_seq)
+    header = len(sequence).to_bytes(4, "little")
+    return header + packed.tobytes(), masked_qual
+
+
+def decompress_sequence(blob: bytes, masked_quality: str) -> str:
+    """Inverse of :func:`compress_sequence`; restores special characters."""
+    length = int.from_bytes(blob[:4], "little")
+    packed = np.frombuffer(blob[4:], dtype=np.uint8)
+    seq = unpack_bases(packed, length)
+    return unmask_special_bases(seq, masked_quality)

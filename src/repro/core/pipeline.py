@@ -1,0 +1,108 @@
+"""Pipeline: GPF's runtime driver (paper §3.2, §4.3, Algorithm 1).
+
+``Pipeline.run()`` performs a unified analysis of every added Process
+*before any committed operation*:
+
+1. **Redundancy elimination** (optional, on by default): the Fig. 7
+   rewrite fuses chains of partition Processes so FASTA/VCF partitioning
+   and bundle joins happen once per chain (``repro.core.optimizer``).
+2. **Algorithm 1**: iterate — collect every Process whose input Resources
+   are all in the resource pool, execute them, add their outputs to the
+   pool — until no Process remains; an iteration that makes no progress
+   means a circular dependency.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import eliminate_redundancy
+from repro.core.process import Process
+from repro.engine.context import GPFContext
+
+
+class CircularDependencyError(RuntimeError):
+    pass
+
+
+class Pipeline:
+    def __init__(self, name: str, ctx: GPFContext):
+        self.name = name
+        self.ctx = ctx
+        self.processes: list[Process] = []
+        #: Processes actually executed on the last run (post-optimization).
+        self.executed: list[Process] = []
+
+    def add_process(self, process: Process) -> "Pipeline":
+        """Append a Process to the plan (each instance at most once)."""
+        if process in self.processes:
+            raise ValueError(f"process {process.name!r} already added")
+        self.processes.append(process)
+        return self
+
+    # -- Algorithm 1 ---------------------------------------------------------
+    def run(self, optimize: bool = True) -> None:
+        """Analyze, optimize, and execute every Process."""
+        plan = list(self.processes)
+        if optimize:
+            plan = eliminate_redundancy(plan)
+        self.executed = []
+
+        unfinished: list[Process] = list(plan)
+        resource_pool: set[int] = set()
+        # Seed the pool with Resources that are already defined
+        # (Algorithm 1 lines 4-11).
+        for process in unfinished:
+            for resource in process.inputs:
+                if resource.is_defined:
+                    resource_pool.add(id(resource))
+
+        while unfinished:
+            ready = [
+                p
+                for p in unfinished
+                if all(id(r) in resource_pool or r.is_defined for r in p.inputs)
+            ]
+            if not ready:
+                blocked = {p.name: [r.name for r in p.inputs if not r.is_defined] for p in unfinished}
+                raise CircularDependencyError(
+                    f"no executable process; circular dependency among {blocked}"
+                )
+            for process in ready:
+                process.run(self.ctx)
+                self.executed.append(process)
+                unfinished.remove(process)
+                for resource in process.outputs:
+                    resource_pool.add(id(resource))
+
+    def reset(self) -> None:
+        """Undefine every Process-produced Resource so the pipeline can be
+        re-run (user-defined inputs stay defined)."""
+        for process in self.processes:
+            for resource in process.outputs:
+                resource.undefine()
+            process._state = type(process._state).BLOCKED
+        self.executed = []
+
+    def describe(self) -> str:
+        """Human-readable plan summary (structure + execution levels)."""
+        from repro.core.dag import analyze, execution_levels
+
+        report = analyze(self.processes)
+        lines = [
+            f"Pipeline {self.name!r}: {report.num_processes} processes, "
+            f"{report.num_edges} edges, depth {report.depth}, width {report.width}",
+        ]
+        if not report.is_dag:
+            lines.append("  WARNING: the plan contains a cycle")
+            return "\n".join(lines)
+        for level, names in enumerate(execution_levels(self.processes)):
+            lines.append(f"  level {level}: {', '.join(names)}")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """GraphViz DOT text of the Process DAG."""
+        from repro.core.dag import to_dot
+
+        return to_dot(self.processes)
+
+    def __repr__(self) -> str:
+        return f"<Pipeline {self.name!r} processes={len(self.processes)}>"

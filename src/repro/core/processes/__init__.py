@@ -1,0 +1,34 @@
+"""Algorithm-specific Processes (paper Table 2)."""
+
+from repro.core.processes.aligner import BwaMemProcess
+from repro.core.processes.cleaner import (
+    BaseRecalibrationProcess,
+    IndelRealignProcess,
+    MarkDuplicateProcess,
+    SortProcess,
+)
+from repro.core.processes.caller import HaplotypeCallerProcess, VariantFiltrationProcess
+from repro.core.processes.repartition import ReadRepartitioner
+from repro.core.processes.io import FileLoader, LoadFastqPairProcess, WriteVcfProcess
+from repro.core.processes.regions import (
+    PartitionProcessBase,
+    RegionBundle,
+    region_span,
+)
+
+__all__ = [
+    "BwaMemProcess",
+    "SortProcess",
+    "MarkDuplicateProcess",
+    "IndelRealignProcess",
+    "BaseRecalibrationProcess",
+    "HaplotypeCallerProcess",
+    "VariantFiltrationProcess",
+    "ReadRepartitioner",
+    "FileLoader",
+    "LoadFastqPairProcess",
+    "WriteVcfProcess",
+    "PartitionProcessBase",
+    "RegionBundle",
+    "region_span",
+]

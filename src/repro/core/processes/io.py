@@ -1,0 +1,82 @@
+"""File loading Processes and helpers (the paper's ``FileLoader``)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.bundles import FASTQPairBundle, SAMBundle, VCFBundle
+from repro.core.process import Process
+from repro.formats.fastq import pair_reads, read_fastq
+from repro.formats.sam import read_sam
+from repro.formats.vcf import read_vcf
+
+if TYPE_CHECKING:
+    from repro.engine.context import GPFContext
+    from repro.engine.rdd import RDD
+
+
+class FileLoader:
+    """Static loaders mirroring ``FileLoader.loadFastqPairToRdd`` etc."""
+
+    @staticmethod
+    def load_fastq_pair_to_rdd(
+        ctx: "GPFContext", path1: str, path2: str, num_partitions: int | None = None
+    ) -> "RDD":
+        pairs = list(pair_reads(read_fastq(path1), read_fastq(path2)))
+        return ctx.parallelize(pairs, num_partitions)
+
+    @staticmethod
+    def load_sam_to_rdd(
+        ctx: "GPFContext", path: str, num_partitions: int | None = None
+    ):
+        header, records = read_sam(path)
+        return header, ctx.parallelize(records, num_partitions)
+
+    @staticmethod
+    def load_vcf_to_rdd(
+        ctx: "GPFContext", path: str, num_partitions: int | None = None
+    ):
+        header, records = read_vcf(path)
+        return header, ctx.parallelize(records, num_partitions)
+
+
+class LoadFastqPairProcess(Process):
+    """A Process wrapper for FASTQ loading, for fully declarative pipelines."""
+
+    def __init__(
+        self,
+        name: str,
+        path1: str,
+        path2: str,
+        output: FASTQPairBundle,
+        num_partitions: int | None = None,
+    ):
+        super().__init__(name, inputs=[], outputs=[output])
+        self.path1 = path1
+        self.path2 = path2
+        self.num_partitions = num_partitions
+
+    def execute(self, ctx: "GPFContext") -> None:
+        """Collect the VCF bundle and write a sorted VCF file."""
+        rdd = FileLoader.load_fastq_pair_to_rdd(
+            ctx, self.path1, self.path2, self.num_partitions
+        )
+        self.outputs[0].define(rdd)
+
+
+class WriteVcfProcess(Process):
+    """Collects a VCFBundle and writes a sorted VCF file."""
+
+    def __init__(self, name: str, vcf_bundle: VCFBundle, path: str):
+        super().__init__(name, inputs=[vcf_bundle], outputs=[])
+        self.vcf_bundle = vcf_bundle
+        self.path = path
+
+    def execute(self, ctx: "GPFContext") -> None:
+        """Collect the VCF bundle and write a sorted VCF file."""
+        from repro.formats.vcf import sort_records, write_vcf
+
+        records = self.vcf_bundle.rdd.collect()
+        header = self.vcf_bundle.header
+        contigs = [name for name, _ in header.contigs]
+        write_vcf(header, sort_records(records, contigs), self.path)

@@ -1,0 +1,68 @@
+"""Resource: the data half of GPF's programming model (paper §3.1).
+
+A Resource abstracts "number, string, RDD and other specified objects"
+and moves between two states:
+
+- **UNDEFINED** — declared but not yet filled; a Process that needs it
+  stays Blocked.
+- **DEFINED** — content present; dependent Processes may become Ready.
+
+A Resource is defined either by the user (pipeline inputs) or by the
+Process that lists it as an output.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class ResourceState(enum.Enum):
+    UNDEFINED = "undefined"
+    DEFINED = "defined"
+
+
+class Resource(Generic[T]):
+    """A named, stateful handle to pipeline data."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._state = ResourceState.UNDEFINED
+        self._value: T | None = None
+
+    # -- state machine ----------------------------------------------------
+    @property
+    def state(self) -> ResourceState:
+        return self._state
+
+    @property
+    def is_defined(self) -> bool:
+        return self._state is ResourceState.DEFINED
+
+    def define(self, value: T) -> "Resource[T]":
+        """Fill the Resource; UNDEFINED -> DEFINED."""
+        if self._state is ResourceState.DEFINED:
+            raise RuntimeError(f"resource {self.name!r} is already defined")
+        self._value = value
+        self._state = ResourceState.DEFINED
+        return self
+
+    def undefine(self) -> None:
+        """Reset to UNDEFINED (used when re-running a pipeline)."""
+        self._state = ResourceState.UNDEFINED
+        self._value = None
+
+    @property
+    def value(self) -> T:
+        if self._state is not ResourceState.DEFINED:
+            raise RuntimeError(
+                f"resource {self.name!r} read while undefined; a Process "
+                "consumed it before its producer ran"
+            )
+        assert self._value is not None or self._state is ResourceState.DEFINED
+        return self._value  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} {self._state.value}>"

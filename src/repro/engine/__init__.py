@@ -1,0 +1,71 @@
+"""An in-memory dataflow engine: the reproduction's Spark substitute.
+
+GPF's contributions live *above* the RDD API — its compression plugs in as
+a serializer, its DAG optimizer rewrites Process graphs before any RDD
+operation is submitted, and its dynamic partitioner is an ordinary
+``partition_by``.  This package supplies that API surface with the same
+cost structure as Spark:
+
+- **Lazy RDDs** with narrow/wide dependencies; the scheduler cuts stages at
+  shuffle boundaries exactly as Spark's DAGScheduler does.
+- **Real shuffles**: map tasks hash-partition their output and *write it to
+  spill files on disk*; reduce tasks read the files back.  Shuffled bytes,
+  disk-blocked time, and (modelled) network-blocked time are recorded per
+  task — the instrumentation behind the paper's blocked-time analysis
+  (Fig. 12) and shuffle accounting (Table 4).
+- **Pluggable serializers** (``pickle`` for Java-serialization,
+  ``compact`` for Kryo, ``gpf`` for the paper's genomic codec) used for
+  both caching (MEMORY_SER) and shuffle blocks.
+- **Executor backends**: ``serial`` (deterministic, for tests) and
+  ``threads`` (NumPy kernels release the GIL, so threads give genuine
+  overlap on the vectorized stages).
+- **Broadcast variables** for the reference genome and PartitionInfo.
+"""
+
+from repro.engine.context import GPFContext, EngineConfig
+from repro.engine.rdd import RDD
+from repro.engine.broadcast import Broadcast
+from repro.engine.metrics import TaskMetrics, StageMetrics, JobMetrics, MetricsRegistry
+from repro.engine.files import (
+    TextFileRDD,
+    FastqFileRDD,
+    FastqPairFileRDD,
+    load_fastq_pair_lazy,
+)
+from repro.engine.accumulators import Accumulator, counter
+from repro.engine.faults import FaultPlan, RandomFaults, InjectedFault, TaskFailedError
+from repro.engine.blockmanager import BlockManager
+from repro.engine.serializers import (
+    Serializer,
+    PickleSerializer,
+    CompactSerializer,
+    GpfSerializer,
+    get_serializer,
+)
+
+__all__ = [
+    "GPFContext",
+    "EngineConfig",
+    "RDD",
+    "Broadcast",
+    "TaskMetrics",
+    "StageMetrics",
+    "JobMetrics",
+    "MetricsRegistry",
+    "Serializer",
+    "PickleSerializer",
+    "CompactSerializer",
+    "GpfSerializer",
+    "get_serializer",
+    "TextFileRDD",
+    "FastqFileRDD",
+    "FastqPairFileRDD",
+    "load_fastq_pair_lazy",
+    "Accumulator",
+    "counter",
+    "FaultPlan",
+    "RandomFaults",
+    "InjectedFault",
+    "TaskFailedError",
+    "BlockManager",
+]

@@ -1,0 +1,48 @@
+"""Accumulators: write-only shared counters (Spark's Accumulator).
+
+Tasks add; only the driver reads.  Thread-safe, so the 'threads' executor
+backend can update them concurrently.  Used by Processes for pipeline
+statistics (reads aligned, duplicates marked, variants emitted) without
+an extra collect round trip.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Accumulator(Generic[T]):
+    """A commutative, associative accumulator."""
+
+    def __init__(self, zero: T, op: Callable[[T, T], T], name: str = ""):
+        self._value = zero
+        self._op = op
+        self._lock = threading.Lock()
+        self.name = name
+
+    def add(self, amount: T) -> None:
+        with self._lock:
+            self._value = self._op(self._value, amount)
+
+    def __iadd__(self, amount: T) -> "Accumulator[T]":
+        self.add(amount)
+        return self
+
+    @property
+    def value(self) -> T:
+        with self._lock:
+            return self._value
+
+    def reset(self, zero: T) -> None:
+        with self._lock:
+            self._value = zero
+
+    def __repr__(self) -> str:
+        return f"<Accumulator {self.name!r} value={self.value!r}>"
+
+
+def counter(name: str = "") -> Accumulator[int]:
+    return Accumulator(0, lambda a, b: a + b, name=name)

@@ -1,0 +1,45 @@
+"""Broadcast variables.
+
+GPF broadcasts the reference genome, known-sites masks, and the
+PartitionInfo split tables to every executor (paper §4.4 step 2:
+``SparkContext.broadcast(x)``).  In this single-process engine a broadcast
+is a read-only handle; the engine still accounts its serialized size once
+per executor in the cluster cost model, which is how the paper's
+"multiple-gigabyte mask table broadcast" serial step after BQSR shows up.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """A read-only value shared with all tasks."""
+
+    _next_id = 0
+
+    def __init__(self, value: T):
+        self._value = value
+        self._destroyed = False
+        self.id = Broadcast._next_id
+        Broadcast._next_id += 1
+        self._size: int | None = None
+
+    @property
+    def value(self) -> T:
+        if self._destroyed:
+            raise RuntimeError(f"broadcast {self.id} was destroyed")
+        return self._value
+
+    def serialized_size(self) -> int:
+        """Bytes this broadcast ships to each executor (computed lazily)."""
+        if self._size is None:
+            self._size = len(pickle.dumps(self._value, protocol=pickle.HIGHEST_PROTOCOL))
+        return self._size
+
+    def destroy(self) -> None:
+        self._destroyed = True
+        self._value = None  # type: ignore[assignment]

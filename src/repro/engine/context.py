@@ -1,0 +1,164 @@
+"""GPFContext — the engine's SparkContext analogue.
+
+Owns the executor, shuffle manager, serializer, block cache and metrics
+registry.  One context per pipeline run; ``EngineConfig`` selects the
+serializer (the paper's compression ablation) and the executor backend.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence, TypeVar
+
+from repro.engine.accumulators import Accumulator, counter
+from repro.engine.blockmanager import BlockManager
+from repro.engine.broadcast import Broadcast
+from repro.engine.executors import make_executor
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.rdd import RDD, ParallelCollectionRDD
+from repro.engine.scheduler import DAGScheduler
+from repro.engine.serializers import get_serializer
+from repro.engine.shuffle import ShuffleManager
+
+T = TypeVar("T")
+
+
+@dataclass
+class EngineConfig:
+    """Tunable knobs of one engine instance."""
+
+    #: Default partition count for ``parallelize`` when not specified.
+    default_parallelism: int = 4
+    #: 'serial' (deterministic) or 'threads'.
+    executor_backend: str = "serial"
+    #: Workers for the 'threads' backend.
+    num_workers: int = 4
+    #: 'pickle' (Java-serialization analogue), 'compact' (Kryo), 'gpf', or
+    #: a constructed Serializer instance (e.g. GpfRefSerializer).
+    serializer: object = "gpf"
+    #: Directory for shuffle spill files; a temp dir when None.
+    spill_dir: str | None = None
+    #: Modelled fabric bandwidth (bytes/s) used to charge network-blocked
+    #: time on shuffle reads; None disables the model.
+    network_bandwidth: float | None = 1.25e9
+    #: Task attempts before a stage fails (Spark's spark.task.maxFailures).
+    max_task_attempts: int = 4
+    #: Memory cap (bytes) for persisted partitions; least-recently-used
+    #: blocks spill to disk beyond it (MEMORY_AND_DISK).  None = unbounded.
+    cache_memory_limit: int | None = None
+    #: zlib over shuffle blocks (Spark's spark.shuffle.compress).
+    shuffle_compression: bool = False
+    #: Extra key-value settings (reserved for experiments).
+    extra: dict = field(default_factory=dict)
+
+
+class GPFContext:
+    """Entry point to the engine."""
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        serializer = self.config.serializer
+        # EngineConfig.serializer accepts a registry name or an already
+        # constructed Serializer instance (e.g. the reference-based codec,
+        # which needs the Reference at construction time).
+        self.serializer = (
+            get_serializer(serializer) if isinstance(serializer, str) else serializer
+        )
+        self.executor = make_executor(
+            self.config.executor_backend, self.config.num_workers
+        )
+        spill = self.config.spill_dir or tempfile.mkdtemp(prefix="gpf_spill_")
+        os.makedirs(spill, exist_ok=True)
+        self._owns_spill = self.config.spill_dir is None
+        self.shuffle_manager = ShuffleManager(
+            spill,
+            network_bandwidth=self.config.network_bandwidth,
+            compress=self.config.shuffle_compression,
+        )
+        self.metrics = MetricsRegistry()
+        self._scheduler = DAGScheduler(self)
+        self._lock = threading.Lock()
+        self._next_rdd_id = 0
+        # Persisted partitions live in the block manager as serialized
+        # bytes (MEMORY_SER with disk spill beyond the configured limit):
+        # GPF persists RDDs in compressed serialized form (paper §4.2).
+        self.block_manager = BlockManager(
+            spill, memory_limit=self.config.cache_memory_limit
+        )
+        self._rdd_partitions: dict[int, int] = {}
+        self._closed = False
+        #: Fault injectors consulted at every task attempt (tests only).
+        self.fault_injectors: list = []
+
+    # -- construction ---------------------------------------------------
+    def parallelize(self, data: Sequence[T], num_partitions: int | None = None) -> RDD:
+        return ParallelCollectionRDD(
+            self, data, num_partitions or self.config.default_parallelism
+        )
+
+    def broadcast(self, value: T) -> Broadcast[T]:
+        return Broadcast(value)
+
+    def add_fault_injector(self, injector) -> None:
+        """Register a callable (stage_kind, partition, attempt) -> None that
+        may raise to kill a task attempt; used by resilience tests."""
+        self.fault_injectors.append(injector)
+
+    def accumulator(self, zero=0, op=None, name: str = "") -> Accumulator:
+        """Create a write-only shared counter (Spark Accumulator)."""
+        if op is None:
+            return counter(name)
+        return Accumulator(zero, op, name=name)
+
+    # -- execution --------------------------------------------------------
+    def run_job(self, rdd: RDD, partitions: Sequence[int] | None = None) -> list[list]:
+        if self._closed:
+            raise RuntimeError("context is closed")
+        return self._scheduler.run_job(rdd, partitions)
+
+    # -- cache ------------------------------------------------------------
+    def _cache_get(self, rdd: RDD, split: int) -> list | None:
+        blob = self.block_manager.get((rdd.id, split))
+        if blob is None:
+            return None
+        return self.serializer.loads(blob)
+
+    def _cache_put(self, rdd: RDD, split: int, data: list) -> None:
+        self.block_manager.put((rdd.id, split), self.serializer.dumps(data))
+
+    def _cache_evict(self, rdd: RDD) -> None:
+        self.block_manager.evict_rdd(rdd.id)
+
+    def _cache_complete(self, rdd: RDD) -> bool:
+        return all(
+            self.block_manager.contains((rdd.id, split))
+            for split in range(rdd.num_partitions)
+        )
+
+    def cached_bytes(self) -> int:
+        """Total size of the serialized block cache (Table 3 measurements)."""
+        return self.block_manager.total_bytes()
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _register_rdd(self, rdd: RDD) -> int:
+        with self._lock:
+            rdd_id = self._next_rdd_id
+            self._next_rdd_id += 1
+            self._rdd_partitions[rdd_id] = rdd.num_partitions
+            return rdd_id
+
+    def stop(self) -> None:
+        if not self._closed:
+            self.executor.shutdown()
+            if self._owns_spill:
+                self.shuffle_manager.cleanup()
+            self._closed = True
+
+    def __enter__(self) -> "GPFContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

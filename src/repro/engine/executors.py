@@ -1,0 +1,54 @@
+"""Executor backends: where task closures actually run.
+
+``serial`` executes tasks in submission order on the calling thread —
+deterministic, ideal for tests.  ``threads`` uses a thread pool; the
+pipeline's hot kernels (pair-HMM, Smith-Waterman, bit packing) are NumPy
+code that releases the GIL, so threads deliver genuine parallel speedup
+for the stages that dominate run time.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Executor:
+    """Runs a batch of task thunks and returns results in order."""
+
+    def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class SerialExecutor(Executor):
+    def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        return [task() for task in tasks]
+
+
+class ThreadExecutor(Executor):
+    def __init__(self, num_workers: int):
+        if num_workers <= 0:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        self._pool = ThreadPoolExecutor(max_workers=num_workers)
+
+    def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        futures = [self._pool.submit(task) for task in tasks]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(backend: str, num_workers: int = 4) -> Executor:
+    """Executor factory: 'serial' or 'threads'."""
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "threads":
+        return ThreadExecutor(num_workers)
+    raise ValueError(f"unknown executor backend {backend!r}; options: serial, threads")

@@ -1,0 +1,81 @@
+"""Fault injection for resilience testing.
+
+RDDs are *Resilient* Distributed Datasets: a lost task recomputes from
+lineage.  The engine's scheduler retries failed tasks; this module
+provides the controlled failure sources the resilience tests inject —
+deterministic (fail attempt k of task p) and probabilistic (fail with
+probability q, seeded).
+
+Injectors are registered on the context and consulted by the scheduler
+at task start; they see ``(stage_kind, partition, attempt)`` and raise
+:class:`InjectedFault` to kill the attempt.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a task by a fault injector."""
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic plan: fail specific (partition, attempt) pairs."""
+
+    #: set of (partition, attempt) attempts to kill; attempts count from 0.
+    failures: set[tuple[int, int]] = field(default_factory=set)
+
+    def __call__(self, stage_kind: str, partition: int, attempt: int) -> None:
+        if (partition, attempt) in self.failures:
+            raise InjectedFault(
+                f"injected failure: {stage_kind} partition {partition} "
+                f"attempt {attempt}"
+            )
+
+
+@dataclass
+class RandomFaults:
+    """Probabilistic injector: each attempt fails with probability ``rate``.
+
+    Deterministic given the seed; thread-safe.
+    """
+
+    rate: float
+    seed: int = 0
+    max_failures: int | None = None
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._lock = threading.Lock()
+        self._injected = 0
+
+    def __call__(self, stage_kind: str, partition: int, attempt: int) -> None:
+        with self._lock:
+            if self.max_failures is not None and self._injected >= self.max_failures:
+                return
+            if self._rng.random() < self.rate:
+                self._injected += 1
+                raise InjectedFault(
+                    f"random failure: {stage_kind} partition {partition} "
+                    f"attempt {attempt}"
+                )
+
+    @property
+    def injected(self) -> int:
+        return self._injected
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its retry budget."""
+
+    def __init__(self, stage_kind: str, partition: int, attempts: int, cause: Exception):
+        super().__init__(
+            f"{stage_kind} task for partition {partition} failed after "
+            f"{attempts} attempts: {cause}"
+        )
+        self.cause = cause

@@ -1,0 +1,194 @@
+"""Per-task, per-stage and per-job metrics.
+
+This is the instrumentation behind three of the paper's results:
+
+- **Table 4** (redundancy elimination): stage counts, shuffle bytes,
+  shuffle time, core-hours, GC time.
+- **Figure 12** (blocked-time analysis, after Ousterhout et al. NSDI'15):
+  per-task time blocked on disk and network, from which
+  ``repro.cluster.blocked_time`` computes the best-case job-completion-time
+  improvement if disk/network were infinitely fast.
+- **Figure 13** (resource utilization): CPU vs I/O fractions per phase.
+
+GC time is *measured*, not estimated: a ``gc.callbacks`` hook times real
+collector pauses attributable to the running task.
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class TaskMetrics:
+    """Wall-clock accounting for one task attempt."""
+
+    stage_id: int = -1
+    partition: int = -1
+    attempt: int = 0  # retry attempt index (0 = first try)
+    run_time: float = 0.0  # total task wall time
+    cpu_time: float = 0.0  # run_time minus blocked time
+    disk_blocked: float = 0.0  # time in shuffle spill read/write
+    network_blocked: float = 0.0  # modelled fabric transfer time
+    gc_time: float = 0.0  # real collector pauses during the task
+    shuffle_bytes_written: int = 0
+    shuffle_bytes_read: int = 0
+    records_read: int = 0
+    records_written: int = 0
+
+    def finalize(self) -> None:
+        self.cpu_time = max(
+            0.0, self.run_time - self.disk_blocked - self.network_blocked
+        )
+
+
+@dataclass
+class StageMetrics:
+    stage_id: int
+    name: str = ""
+    tasks: list[TaskMetrics] = field(default_factory=list)
+
+    @property
+    def run_time(self) -> float:
+        return sum(t.run_time for t in self.tasks)
+
+    @property
+    def shuffle_bytes_written(self) -> int:
+        return sum(t.shuffle_bytes_written for t in self.tasks)
+
+    @property
+    def shuffle_bytes_read(self) -> int:
+        return sum(t.shuffle_bytes_read for t in self.tasks)
+
+    @property
+    def disk_blocked(self) -> float:
+        return sum(t.disk_blocked for t in self.tasks)
+
+    @property
+    def network_blocked(self) -> float:
+        return sum(t.network_blocked for t in self.tasks)
+
+    @property
+    def gc_time(self) -> float:
+        return sum(t.gc_time for t in self.tasks)
+
+
+@dataclass
+class JobMetrics:
+    """Aggregated view of every stage that ran under one context."""
+
+    stages: list[StageMetrics] = field(default_factory=list)
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.stages)
+
+    @property
+    def core_seconds(self) -> float:
+        """Sum of task run times — Spark's "core-hour" in seconds."""
+        return sum(s.run_time for s in self.stages)
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return sum(s.shuffle_bytes_written for s in self.stages)
+
+    @property
+    def shuffle_time(self) -> float:
+        return sum(s.disk_blocked + s.network_blocked for s in self.stages)
+
+    @property
+    def gc_time(self) -> float:
+        return sum(s.gc_time for s in self.stages)
+
+    def blocked_fractions(self) -> tuple[float, float]:
+        """(disk, network) blocked time as fractions of total task time."""
+        total = self.core_seconds
+        if total == 0:
+            return (0.0, 0.0)
+        disk = sum(s.disk_blocked for s in self.stages)
+        net = sum(s.network_blocked for s in self.stages)
+        return (disk / total, net / total)
+
+
+class MetricsRegistry:
+    """Collects stage metrics for one context; thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[int, StageMetrics] = {}
+        self._next_stage_id = 0
+
+    def new_stage(self, name: str = "") -> StageMetrics:
+        with self._lock:
+            stage = StageMetrics(stage_id=self._next_stage_id, name=name)
+            self._stages[stage.stage_id] = stage
+            self._next_stage_id += 1
+            return stage
+
+    def add_task(self, stage: StageMetrics, task: TaskMetrics) -> None:
+        task.stage_id = stage.stage_id
+        with self._lock:
+            stage.tasks.append(task)
+
+    def job(self) -> JobMetrics:
+        with self._lock:
+            return JobMetrics(stages=[self._stages[i] for i in sorted(self._stages)])
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stages.clear()
+            self._next_stage_id = 0
+
+
+class _GcTimer:
+    """Accumulates real garbage-collector pause time per thread."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._installed = False
+        self._lock = threading.Lock()
+
+    def _callback(self, phase: str, info: dict) -> None:
+        now = time.perf_counter()
+        state = getattr(self._local, "state", None)
+        if state is None:
+            return
+        if phase == "start":
+            state["start"] = now
+        elif phase == "stop" and state.get("start") is not None:
+            state["total"] += now - state.pop("start")
+
+    def install(self) -> None:
+        with self._lock:
+            if not self._installed:
+                gc.callbacks.append(self._callback)
+                self._installed = True
+
+    @contextmanager
+    def measure(self) -> Iterator[dict]:
+        """Context manager yielding a dict whose 'total' is GC seconds."""
+        self.install()
+        state = {"total": 0.0, "start": None}
+        self._local.state = state
+        try:
+            yield state
+        finally:
+            self._local.state = None
+
+
+GC_TIMER = _GcTimer()
+
+
+@contextmanager
+def timed(task: TaskMetrics, attribute: str) -> Iterator[None]:
+    """Add the elapsed time of the block to ``task.<attribute>``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        setattr(task, attribute, getattr(task, attribute) + time.perf_counter() - start)

@@ -1,0 +1,151 @@
+"""Stage-cutting DAG scheduler with task retry.
+
+Walks an action RDD's lineage, finds every unsatisfied
+:class:`ShuffleDependency` (the wide edges), topologically orders the map
+stages those imply, runs each map stage's tasks on the executor, then runs
+the result stage.  This mirrors Spark's DAGScheduler: narrow chains fuse
+into one stage; every shuffle adds exactly one extra stage — which is what
+makes the paper's "38 stages vs 22 stages" redundancy-elimination
+comparison (Table 4) measurable here.
+
+Tasks that raise are retried up to ``EngineConfig.max_task_attempts``
+times (Spark's ``spark.task.maxFailures``); a retry recomputes the
+partition from lineage — the RDD resilience property — and registered
+fault injectors (``repro.engine.faults``) can kill attempts to prove it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence, TYPE_CHECKING
+
+from repro.engine.faults import TaskFailedError
+from repro.engine.metrics import GC_TIMER, TaskMetrics
+
+if TYPE_CHECKING:
+    from repro.engine.context import GPFContext
+    from repro.engine.rdd import RDD, ShuffleDependency
+
+
+class DAGScheduler:
+    def __init__(self, ctx: "GPFContext"):
+        self.ctx = ctx
+
+    # -- public ------------------------------------------------------------
+    def run_job(self, rdd: "RDD", partitions: Sequence[int] | None = None) -> list[list]:
+        """Materialize the given partitions of ``rdd`` (all by default)."""
+        for dep in self._pending_shuffles(rdd):
+            self._run_map_stage(dep)
+        return self._run_result_stage(rdd, partitions)
+
+    # -- planning ------------------------------------------------------------
+    def _pending_shuffles(self, rdd: "RDD") -> list["ShuffleDependency"]:
+        """Unwritten shuffle deps reachable from ``rdd``, parents first."""
+        ordered: list[ShuffleDependency] = []
+        seen_rdds: set[int] = set()
+
+        def visit(node: "RDD") -> None:
+            if node.id in seen_rdds:
+                return
+            seen_rdds.add(node.id)
+            # If this node is persisted and fully cached we can stop: its
+            # partitions will come from the cache, not from re-computation.
+            if node._persisted and self.ctx._cache_complete(node):
+                return
+            for dep in node.shuffle_deps:
+                visit(dep.parent)
+                if dep.shuffle_id is None and dep not in ordered:
+                    ordered.append(dep)
+            for parent in node.parents:
+                if parent not in [d.parent for d in node.shuffle_deps]:
+                    visit(parent)
+
+        visit(rdd)
+        return ordered
+
+    # -- task attempt wrapper --------------------------------------------------
+    def _run_with_retries(
+        self,
+        stage_kind: str,
+        split: int,
+        body: Callable[[TaskMetrics], object],
+        record: Callable[[TaskMetrics], None],
+    ) -> object:
+        """Run one task body with fault injection + retry; returns its value."""
+        max_attempts = max(1, self.ctx.config.max_task_attempts)
+        last_error: Exception | None = None
+        for attempt in range(max_attempts):
+            task = TaskMetrics(partition=split, attempt=attempt)
+            start = time.perf_counter()
+            try:
+                with GC_TIMER.measure() as gc_state:
+                    for injector in self.ctx.fault_injectors:
+                        injector(stage_kind, split, attempt)
+                    value = body(task)
+                task.gc_time = gc_state["total"]
+                task.run_time = time.perf_counter() - start
+                task.finalize()
+                record(task)
+                return value
+            except Exception as exc:  # noqa: BLE001 - retry semantics
+                last_error = exc
+        assert last_error is not None
+        raise TaskFailedError(stage_kind, split, max_attempts, last_error)
+
+    # -- execution ----------------------------------------------------------
+    def _run_map_stage(self, dep: "ShuffleDependency") -> None:
+        parent = dep.parent
+        stage = self.ctx.metrics.new_stage(name=f"shuffle-map:{parent.name}")
+        shuffle_id = self.ctx.shuffle_manager.register(
+            parent.num_partitions, dep.partitioner.num_partitions
+        )
+
+        def make_task(split: int):
+            def body(task: TaskMetrics) -> None:
+                elements = parent.iterator(split, task)
+                if dep.map_side_combine is not None:
+                    elements = dep.map_side_combine(elements)
+                self.ctx.shuffle_manager.write(
+                    shuffle_id,
+                    split,
+                    elements,
+                    dep.partitioner,
+                    parent.serializer,
+                    task,
+                )
+
+            def run() -> None:
+                self._run_with_retries(
+                    "shuffle-map",
+                    split,
+                    body,
+                    lambda task: self.ctx.metrics.add_task(stage, task),
+                )
+
+            return run
+
+        self.ctx.executor.run_all(
+            [make_task(split) for split in range(parent.num_partitions)]
+        )
+        dep.shuffle_id = shuffle_id
+
+    def _run_result_stage(
+        self, rdd: "RDD", partitions: Sequence[int] | None
+    ) -> list[list]:
+        splits = list(partitions) if partitions is not None else list(
+            range(rdd.num_partitions)
+        )
+        stage = self.ctx.metrics.new_stage(name=f"result:{rdd.name}")
+
+        def make_task(split: int):
+            def run() -> list:
+                return self._run_with_retries(
+                    "result",
+                    split,
+                    lambda task: rdd.iterator(split, task),
+                    lambda task: self.ctx.metrics.add_task(stage, task),
+                )
+
+            return run
+
+        return self.ctx.executor.run_all([make_task(split) for split in splits])

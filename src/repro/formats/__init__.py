@@ -1,0 +1,37 @@
+"""Genomic data formats: FASTQ, SAM, FASTA, VCF.
+
+GPF keeps the *original* record structure of the standard genomic formats
+(rather than converting to a columnar layout the way ADAM does) and maps
+each file into an RDD of typed records.  This package provides those record
+types plus parsers/writers that are byte-compatible with the standard text
+formats.
+"""
+
+from repro.formats.fastq import FastqRecord, FastqPair, read_fastq, write_fastq
+from repro.formats.sam import SamRecord, SamHeader, read_sam, write_sam
+from repro.formats.fasta import Reference, Contig, read_fasta, write_fasta
+from repro.formats.vcf import VcfRecord, VcfHeader, read_vcf, write_vcf
+from repro.formats.cigar import Cigar, CigarOp
+from repro.formats import flags
+
+__all__ = [
+    "FastqRecord",
+    "FastqPair",
+    "read_fastq",
+    "write_fastq",
+    "SamRecord",
+    "SamHeader",
+    "read_sam",
+    "write_sam",
+    "Reference",
+    "Contig",
+    "read_fasta",
+    "write_fasta",
+    "VcfRecord",
+    "VcfHeader",
+    "read_vcf",
+    "write_vcf",
+    "Cigar",
+    "CigarOp",
+    "flags",
+]

@@ -1,0 +1,103 @@
+"""BED interval files: the interchange format for capture targets.
+
+Three-column (contig, start, end) plus optional name; 0-based half-open —
+BED's native convention, which matches this repository's internal
+coordinates.  Capture panels (``repro.sim.targets``) import/export
+through here, and the CLI accepts ``--intervals panel.bed``.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable
+
+from repro.sim.targets import TargetInterval, TargetPanel
+
+
+def parse_bed(lines: Iterable[str]) -> list[TargetInterval]:
+    """Parse BED lines into intervals (headers/comments skipped)."""
+    out: list[TargetInterval] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line or line.startswith(("#", "track", "browser")):
+            continue
+        parts = line.split("\t")
+        if len(parts) < 3:
+            raise ValueError(f"BED line {lineno} has fewer than 3 columns: {line!r}")
+        try:
+            start, end = int(parts[1]), int(parts[2])
+        except ValueError:
+            raise ValueError(f"BED line {lineno} has non-integer coordinates") from None
+        if end < start:
+            raise ValueError(f"BED line {lineno} has end < start")
+        out.append(TargetInterval(parts[0], start, end))
+    return out
+
+
+def read_bed(path: str, name: str | None = None) -> TargetPanel:
+    """Load a BED file as a sorted TargetPanel."""
+    with open(path, "r", encoding="ascii") as fh:
+        targets = parse_bed(fh)
+    targets.sort(key=lambda t: (t.contig, t.start))
+    return TargetPanel(name=name or path, targets=targets)
+
+
+def write_bed(
+    panel: TargetPanel, fh_or_path: IO[str] | str, names: bool = True
+) -> None:
+    """Write the panel as 3- or 4-column BED."""
+    if isinstance(fh_or_path, str):
+        with open(fh_or_path, "w", encoding="ascii") as fh:
+            write_bed(panel, fh, names)
+        return
+    fh = fh_or_path
+    for i, target in enumerate(panel.targets):
+        fields = [target.contig, str(target.start), str(target.end)]
+        if names:
+            fields.append(f"{panel.name}_{i}")
+        fh.write("\t".join(fields))
+        fh.write("\n")
+
+
+def merge_overlapping(targets: list[TargetInterval]) -> list[TargetInterval]:
+    """Merge overlapping/adjacent intervals per contig (``bedtools merge``)."""
+    by_contig: dict[str, list[TargetInterval]] = {}
+    for t in targets:
+        by_contig.setdefault(t.contig, []).append(t)
+    merged: list[TargetInterval] = []
+    for contig in sorted(by_contig):
+        intervals = sorted(by_contig[contig], key=lambda t: t.start)
+        current = intervals[0]
+        for t in intervals[1:]:
+            if t.start <= current.end:
+                current = TargetInterval(contig, current.start, max(current.end, t.end))
+            else:
+                merged.append(current)
+                current = t
+        merged.append(current)
+    return merged
+
+
+def subtract_records(
+    records: list, panel: TargetPanel, padding: int = 0
+) -> tuple[list, list]:
+    """(on_target, off_target) split of mapped SAM records."""
+    on, off = [], []
+    merged = merge_overlapping(
+        [
+            TargetInterval(t.contig, max(0, t.start - padding), t.end + padding)
+            for t in panel.targets
+        ]
+    )
+    by_contig: dict[str, list[TargetInterval]] = {}
+    for t in merged:
+        by_contig.setdefault(t.contig, []).append(t)
+    for rec in records:
+        if rec.is_unmapped:
+            off.append(rec)
+            continue
+        hits = any(
+            rec.pos < t.end and rec.end > t.start
+            for t in by_contig.get(rec.rname, ())
+        )
+        (on if hits else off).append(rec)
+    return on, off

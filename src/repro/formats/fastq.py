@@ -1,0 +1,140 @@
+"""FASTQ records and (paired-end) parsing.
+
+A FASTQ record is four text lines::
+
+    @name [description]
+    SEQUENCE
+    +
+    QUALITY
+
+Quality characters are Phred+33: ``chr(q + 33)`` for quality ``q`` in
+``[0, 93]``.  GPF's compression engine (``repro.compression``) relies on the
+record keeping its raw ``sequence`` / ``quality`` strings, which together
+account for 80-90% of the record's bytes (paper §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator
+
+PHRED_OFFSET = 33
+#: Highest Phred score representable in Phred+33 ASCII ('~' == 126).
+MAX_PHRED = 93
+
+
+@dataclass(frozen=True, slots=True)
+class FastqRecord:
+    """One sequencing read as it came off the machine."""
+
+    name: str
+    sequence: str
+    quality: str
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) != len(self.quality):
+            raise ValueError(
+                f"sequence/quality length mismatch for read {self.name!r}: "
+                f"{len(self.sequence)} vs {len(self.quality)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    @property
+    def phred_scores(self) -> list[int]:
+        """Quality as integer Phred scores."""
+        return [ord(c) - PHRED_OFFSET for c in self.quality]
+
+    def to_lines(self) -> list[str]:
+        return [f"@{self.name}", self.sequence, "+", self.quality]
+
+
+@dataclass(frozen=True, slots=True)
+class FastqPair:
+    """A paired-end read: two mates of the same DNA fragment."""
+
+    read1: FastqRecord
+    read2: FastqRecord
+
+    @property
+    def name(self) -> str:
+        return self.read1.name
+
+    def __iter__(self) -> Iterator[FastqRecord]:
+        yield self.read1
+        yield self.read2
+
+
+def parse_fastq(lines: Iterable[str]) -> Iterator[FastqRecord]:
+    """Parse an iterable of text lines into :class:`FastqRecord` objects."""
+    it = iter(lines)
+    for header in it:
+        header = header.rstrip("\n")
+        if not header:
+            continue
+        if not header.startswith("@"):
+            raise ValueError(f"malformed FASTQ header line: {header!r}")
+        try:
+            seq = next(it).rstrip("\n")
+            plus = next(it).rstrip("\n")
+            qual = next(it).rstrip("\n")
+        except StopIteration:
+            raise ValueError(f"truncated FASTQ record at {header!r}") from None
+        if not plus.startswith("+"):
+            raise ValueError(f"malformed FASTQ separator line: {plus!r}")
+        # Header may carry a description after whitespace; the name is the
+        # first token, matching how aligners treat read names.
+        name = header[1:].split()[0] if header[1:] else ""
+        yield FastqRecord(name=name, sequence=seq, quality=qual)
+
+
+def read_fastq(path: str) -> list[FastqRecord]:
+    """Read a whole FASTQ file into memory."""
+    with open(path, "r", encoding="ascii") as fh:
+        return list(parse_fastq(fh))
+
+
+def write_fastq(records: Iterable[FastqRecord], fh_or_path: IO[str] | str) -> None:
+    """Write records in standard four-line FASTQ format."""
+    if isinstance(fh_or_path, str):
+        with open(fh_or_path, "w", encoding="ascii") as fh:
+            write_fastq(records, fh)
+        return
+    fh = fh_or_path
+    for rec in records:
+        for line in rec.to_lines():
+            fh.write(line)
+            fh.write("\n")
+
+
+def pair_reads(
+    reads1: Iterable[FastqRecord], reads2: Iterable[FastqRecord]
+) -> Iterator[FastqPair]:
+    """Zip the two mate files of a paired-end sample.
+
+    Mates are matched positionally, as in real pair-end FASTQ files; a
+    mismatch in stripped names (ignoring a trailing ``/1`` / ``/2``) or in
+    file lengths is an error.
+    """
+    it1, it2 = iter(reads1), iter(reads2)
+    sentinel = object()
+    while True:
+        r1 = next(it1, sentinel)
+        r2 = next(it2, sentinel)
+        if r1 is sentinel and r2 is sentinel:
+            return
+        if r1 is sentinel or r2 is sentinel:
+            raise ValueError("paired FASTQ files have different read counts")
+        assert isinstance(r1, FastqRecord) and isinstance(r2, FastqRecord)
+        if _strip_mate_suffix(r1.name) != _strip_mate_suffix(r2.name):
+            raise ValueError(
+                f"paired reads out of sync: {r1.name!r} vs {r2.name!r}"
+            )
+        yield FastqPair(r1, r2)
+
+
+def _strip_mate_suffix(name: str) -> str:
+    if name.endswith("/1") or name.endswith("/2"):
+        return name[:-2]
+    return name

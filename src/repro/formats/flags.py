@@ -1,0 +1,55 @@
+"""SAM bitwise FLAG field constants and helpers (SAM spec §1.4.2)."""
+
+from __future__ import annotations
+
+PAIRED = 0x1
+PROPER_PAIR = 0x2
+UNMAPPED = 0x4
+MATE_UNMAPPED = 0x8
+REVERSE = 0x10
+MATE_REVERSE = 0x20
+FIRST_IN_PAIR = 0x40
+SECOND_IN_PAIR = 0x80
+SECONDARY = 0x100
+QC_FAIL = 0x200
+DUPLICATE = 0x400
+SUPPLEMENTARY = 0x800
+
+_ALL = (
+    PAIRED
+    | PROPER_PAIR
+    | UNMAPPED
+    | MATE_UNMAPPED
+    | REVERSE
+    | MATE_REVERSE
+    | FIRST_IN_PAIR
+    | SECOND_IN_PAIR
+    | SECONDARY
+    | QC_FAIL
+    | DUPLICATE
+    | SUPPLEMENTARY
+)
+
+
+def is_valid(flag: int) -> bool:
+    """True if *flag* only uses bits defined by the SAM specification."""
+    return 0 <= flag <= _ALL and (flag & ~_ALL) == 0
+
+
+def describe(flag: int) -> list[str]:
+    """Human-readable list of the flag bits that are set."""
+    names = {
+        PAIRED: "paired",
+        PROPER_PAIR: "proper_pair",
+        UNMAPPED: "unmapped",
+        MATE_UNMAPPED: "mate_unmapped",
+        REVERSE: "reverse",
+        MATE_REVERSE: "mate_reverse",
+        FIRST_IN_PAIR: "first_in_pair",
+        SECOND_IN_PAIR: "second_in_pair",
+        SECONDARY: "secondary",
+        QC_FAIL: "qc_fail",
+        DUPLICATE: "duplicate",
+        SUPPLEMENTARY: "supplementary",
+    }
+    return [name for bit, name in names.items() if flag & bit]

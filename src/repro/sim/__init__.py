@@ -1,0 +1,49 @@
+"""Synthetic genomic data: the reproduction's dataset substitute.
+
+The paper evaluates on NA12878 Platinum Genomes (146.9 Gbases) against
+hg19 with dbSNP known sites.  None of that fits this environment, so this
+package generates statistically matched stand-ins at configurable scale:
+
+- ``reference``  — multi-contig random genomes with controllable GC content
+  and N-runs.
+- ``variants``   — truth SNP/indel sets planted in a donor genome, plus
+  dbSNP-like known-sites catalogs that overlap the truth set partially.
+- ``qualities``  — Illumina-like quality-string profiles whose adjacent-
+  delta concentration matches the paper's Fig. 5 observation.
+- ``reads``      — wgsim-style paired-end read simulation with sequencing
+  errors, optical/PCR duplicates, and coverage hot-spots (the >10,000x
+  pile-ups that motivate GPF's dynamic repartitioning, §4.4).
+
+Everything is deterministic given a seed.
+"""
+
+from repro.sim.reference import generate_reference
+from repro.sim.variants import plant_variants, generate_known_sites, VariantTruth
+from repro.sim.qualities import QualityProfile, ILLUMINA_HISEQ, ILLUMINA_OLD
+from repro.sim.reads import ReadSimulator, ReadSimConfig
+from repro.sim.targets import (
+    TargetPanel,
+    TargetInterval,
+    TargetedReadSimulator,
+    generate_targets,
+    exome_panel,
+    gene_panel,
+)
+
+__all__ = [
+    "generate_reference",
+    "plant_variants",
+    "generate_known_sites",
+    "VariantTruth",
+    "QualityProfile",
+    "ILLUMINA_HISEQ",
+    "ILLUMINA_OLD",
+    "ReadSimulator",
+    "ReadSimConfig",
+    "TargetPanel",
+    "TargetInterval",
+    "TargetedReadSimulator",
+    "generate_targets",
+    "exome_panel",
+    "gene_panel",
+]

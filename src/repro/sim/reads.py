@@ -1,0 +1,157 @@
+"""wgsim-style paired-end read simulation.
+
+Fragments are drawn from the *donor* genome (reference + planted
+variants), mates are read off both fragment ends (forward/reverse
+orientation), sequencing errors are injected per-base at the rate implied
+by each base's quality score, and two artifacts the Cleaner stage must
+handle are modelled:
+
+- **duplicates** — a fraction of fragments is emitted more than once
+  (PCR/optical duplicates that MarkDuplicate must find);
+- **coverage hot-spots** — configurable genome intervals receive a
+  multiplied sampling rate, reproducing the >10,000x pile-ups the paper
+  names as the reason static equal-length partitioning load-imbalances
+  (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.align.fmindex import reverse_complement
+from repro.formats.fasta import Reference
+from repro.formats.fastq import FastqPair, FastqRecord
+from repro.sim.qualities import PHRED_OFFSET, ILLUMINA_HISEQ, QualityProfile
+
+_BASES = "ACGT"
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """A genome interval oversampled by ``multiplier``."""
+
+    contig: str
+    start: int
+    end: int
+    multiplier: float
+
+
+@dataclass
+class ReadSimConfig:
+    read_length: int = 100
+    mean_insert: int = 300
+    insert_sigma: int = 30
+    #: Mean coverage depth over the donor genome.
+    coverage: float = 10.0
+    duplicate_fraction: float = 0.05
+    quality_profile: QualityProfile = field(default_factory=lambda: ILLUMINA_HISEQ)
+    hotspots: list[Hotspot] = field(default_factory=list)
+    seed: int = 7
+
+
+class ReadSimulator:
+    """Generates paired-end reads from a donor genome."""
+
+    def __init__(self, donor: Reference, config: ReadSimConfig | None = None):
+        self.donor = donor
+        self.config = config or ReadSimConfig()
+
+    def simulate(self) -> list[FastqPair]:
+        """Draw fragments, emit error-injected mate pairs, shuffle order."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        pairs: list[FastqPair] = []
+        serial = 0
+        for contig in self.donor.contigs:
+            n = len(contig)
+            base_fragments = int(
+                cfg.coverage * n / (2 * cfg.read_length)
+            )  # two mates per fragment
+            fragment_starts = self._sample_starts(contig.name, n, base_fragments, rng)
+            for start in fragment_starts:
+                insert = max(
+                    2 * cfg.read_length,
+                    int(rng.normal(cfg.mean_insert, cfg.insert_sigma)),
+                )
+                end = start + insert
+                if end > n:
+                    continue
+                fragment = contig.fetch(start, end)
+                if "N" in fragment:
+                    continue
+                copies = 1
+                if rng.random() < cfg.duplicate_fraction:
+                    copies = 2 + int(rng.random() < 0.2)  # occasionally triplicate
+                for copy in range(copies):
+                    name = f"sim_{contig.name}_{start}_{serial}"
+                    if copy:
+                        name += f"_dup{copy}"
+                    pairs.append(self._make_pair(name, fragment, rng))
+                serial += 1
+        rng.shuffle(pairs)  # type: ignore[arg-type]
+        return pairs
+
+    # -- internals ------------------------------------------------------------
+    def _sample_starts(
+        self, contig_name: str, n: int, count: int, rng: np.random.Generator
+    ) -> list[int]:
+        """Fragment starts: uniform plus hot-spot oversampling."""
+        starts = rng.integers(0, max(1, n - 1), size=count).tolist()
+        for hotspot in self.config.hotspots:
+            if hotspot.contig != contig_name:
+                continue
+            span = hotspot.end - hotspot.start
+            extra = int(count * (span / n) * (hotspot.multiplier - 1.0))
+            if extra > 0:
+                starts.extend(
+                    rng.integers(hotspot.start, hotspot.end, size=extra).tolist()
+                )
+        return [int(s) for s in starts]
+
+    def _make_pair(
+        self, name: str, fragment: str, rng: np.random.Generator
+    ) -> FastqPair:
+        cfg = self.config
+        read1_seq = fragment[: cfg.read_length]
+        read2_seq = reverse_complement(fragment[-cfg.read_length :])
+        qual1 = cfg.quality_profile.sample(cfg.read_length, rng)
+        qual2 = cfg.quality_profile.sample(cfg.read_length, rng)
+        return FastqPair(
+            FastqRecord(name + "/1", self._sequencing_errors(read1_seq, qual1, rng), qual1),
+            FastqRecord(name + "/2", self._sequencing_errors(read2_seq, qual2, rng), qual2),
+        )
+
+    @staticmethod
+    def _sequencing_errors(
+        seq: str, qual: str, rng: np.random.Generator
+    ) -> str:
+        """Flip bases with probability 10^(-q/10) at each position."""
+        scores = np.frombuffer(qual.encode("ascii"), dtype=np.uint8).astype(
+            np.float64
+        ) - PHRED_OFFSET
+        error_p = 10.0 ** (-scores / 10.0)
+        flips = np.flatnonzero(rng.random(len(seq)) < error_p)
+        if len(flips) == 0:
+            return seq
+        out = list(seq)
+        for idx in flips:
+            base = out[idx]
+            if base not in _BASES:
+                continue
+            out[idx] = _BASES[(rng.integers(1, 4) + _BASES.index(base)) % 4]
+        return "".join(out)
+
+
+def expected_duplicate_rate(config: ReadSimConfig) -> float:
+    """Analytic fraction of read pairs that are duplicates.
+
+    With fraction f of fragments duplicated into 2 copies (plus 20% of
+    those into 3), the duplicate share of emitted pairs is
+    (extra copies) / (total copies).
+    """
+    f = config.duplicate_fraction
+    copies = (1 - f) * 1 + f * (0.8 * 2 + 0.2 * 3)
+    extras = f * (0.8 * 1 + 0.2 * 2)
+    return extras / copies

@@ -1,0 +1,58 @@
+"""Random reference genome generation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.fasta import Contig, Reference
+
+_BASES = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+
+def generate_reference(
+    contig_lengths: list[int] | dict[str, int],
+    gc_content: float = 0.41,
+    n_run_rate: float = 0.0,
+    n_run_length: int = 50,
+    seed: int = 0,
+) -> Reference:
+    """Generate a multi-contig reference.
+
+    ``gc_content`` sets P(G)+P(C) (the human genome is ~41% GC);
+    ``n_run_rate`` plants runs of ``N`` (centromere/telomere gaps) at the
+    given per-base start probability.
+    """
+    if not 0.0 < gc_content < 1.0:
+        raise ValueError("gc_content must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    if isinstance(contig_lengths, dict):
+        named = list(contig_lengths.items())
+    else:
+        named = [(f"chr{i + 1}", length) for i, length in enumerate(contig_lengths)]
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    probs = np.array([at, gc, gc, at])  # matches _BASES order A, C, G, T
+    contigs: list[Contig] = []
+    for name, length in named:
+        if length <= 0:
+            raise ValueError(f"contig {name!r} must have positive length")
+        draws = rng.choice(4, size=length, p=probs)
+        seq = _BASES[draws].copy()
+        if n_run_rate > 0:
+            starts = np.flatnonzero(rng.random(length) < n_run_rate)
+            for start in starts:
+                seq[start : start + n_run_length] = ord("N")
+        contigs.append(Contig(name, seq.tobytes()))
+    return Reference(contigs)
+
+
+def gc_fraction(reference: Reference) -> float:
+    """Observed GC fraction over non-N bases."""
+    gc = 0
+    total = 0
+    for contig in reference.contigs:
+        arr = np.frombuffer(contig.sequence, dtype=np.uint8)
+        non_n = arr != ord("N")
+        gc += int(np.count_nonzero((arr == ord("G")) | (arr == ord("C"))))
+        total += int(np.count_nonzero(non_n))
+    return gc / total if total else 0.0

@@ -1,0 +1,198 @@
+"""Variant planting and known-sites catalogs.
+
+``plant_variants`` turns a reference into a *donor* genome carrying SNPs
+and small indels, and records the truth set.  ``generate_known_sites``
+builds a dbSNP-like catalog that overlaps the truth set partially — BQSR
+uses the catalog as its mismatch mask, and the caller benches score
+against the truth set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.fasta import Contig, Reference
+from repro.formats.vcf import VcfRecord
+
+_BASES = "ACGT"
+
+
+@dataclass
+class VariantTruth:
+    """The planted variants plus the mutated (donor) genome."""
+
+    donor: Reference
+    records: list[VcfRecord] = field(default_factory=list)
+    #: Maps donor coordinates back to reference coordinates per contig:
+    #: list of (donor_pos, ref_pos) anchor points at each indel boundary.
+    coordinate_anchors: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+
+    def truth_keys(self) -> set[tuple[str, int, str, str]]:
+        return {rec.key() for rec in self.records}
+
+    def donor_to_ref(self, contig: str, donor_pos: int) -> int:
+        """Map a donor-coordinate position to the reference coordinate."""
+        anchors = self.coordinate_anchors.get(contig, [(0, 0)])
+        # Find last anchor with donor_pos_anchor <= donor_pos.
+        lo, hi = 0, len(anchors)
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if anchors[mid][0] <= donor_pos:
+                lo = mid
+            else:
+                hi = mid
+        d_anchor, r_anchor = anchors[lo]
+        return r_anchor + (donor_pos - d_anchor)
+
+
+def plant_variants(
+    reference: Reference,
+    snp_rate: float = 0.001,
+    indel_rate: float = 0.0001,
+    max_indel_length: int = 8,
+    seed: int = 1,
+) -> VariantTruth:
+    """Mutate the reference into a donor genome; record truth VCF records.
+
+    Variants are placed homozygously (genotype 1/1) so that every truth
+    variant is observable in *all* reads covering it — the simplest model
+    that still exercises the whole caller path.  Indel starts keep the
+    VCF convention of an anchor base (``REF=AT ALT=A`` deletes one base).
+    """
+    rng = np.random.default_rng(seed)
+    donor_contigs: list[Contig] = []
+    records: list[VcfRecord] = []
+    anchors: dict[str, list[tuple[int, int]]] = {}
+
+    for contig in reference.contigs:
+        seq = contig.sequence.decode("ascii")
+        out: list[str] = []
+        contig_anchors: list[tuple[int, int]] = [(0, 0)]
+        pos = 0
+        donor_pos = 0
+        n = len(seq)
+        while pos < n:
+            base = seq[pos]
+            if base == "N":
+                out.append(base)
+                pos += 1
+                donor_pos += 1
+                continue
+            draw = rng.random()
+            if draw < snp_rate:
+                alt = _BASES[(rng.integers(1, 4) + _BASES.index(base)) % 4]
+                records.append(
+                    VcfRecord(
+                        contig=contig.name,
+                        pos=pos,
+                        ref=base,
+                        alt=alt,
+                        genotype="1/1",
+                        qual=100.0,
+                    )
+                )
+                out.append(alt)
+                pos += 1
+                donor_pos += 1
+            elif draw < snp_rate + indel_rate and pos + max_indel_length + 1 < n:
+                length = int(rng.integers(1, max_indel_length + 1))
+                if rng.random() < 0.5:
+                    # Insertion after the anchor base.
+                    ins = "".join(_BASES[i] for i in rng.integers(0, 4, size=length))
+                    records.append(
+                        VcfRecord(
+                            contig=contig.name,
+                            pos=pos,
+                            ref=base,
+                            alt=base + ins,
+                            genotype="1/1",
+                            qual=100.0,
+                        )
+                    )
+                    out.append(base + ins)
+                    pos += 1
+                    donor_pos += 1 + length
+                    contig_anchors.append((donor_pos, pos))
+                else:
+                    # Deletion of `length` bases after the anchor.
+                    deleted = seq[pos : pos + 1 + length]
+                    if "N" in deleted:
+                        out.append(base)
+                        pos += 1
+                        donor_pos += 1
+                        continue
+                    records.append(
+                        VcfRecord(
+                            contig=contig.name,
+                            pos=pos,
+                            ref=deleted,
+                            alt=base,
+                            genotype="1/1",
+                            qual=100.0,
+                        )
+                    )
+                    out.append(base)
+                    pos += 1 + length
+                    donor_pos += 1
+                    contig_anchors.append((donor_pos, pos))
+            else:
+                out.append(base)
+                pos += 1
+                donor_pos += 1
+        donor_contigs.append(Contig(contig.name, "".join(out).encode("ascii")))
+        anchors[contig.name] = contig_anchors
+
+    return VariantTruth(
+        donor=Reference(donor_contigs),
+        records=records,
+        coordinate_anchors=anchors,
+    )
+
+
+def generate_known_sites(
+    truth: VariantTruth,
+    reference: Reference,
+    overlap_fraction: float = 0.8,
+    extra_sites: int = 100,
+    seed: int = 2,
+) -> list[VcfRecord]:
+    """A dbSNP-like catalog: most truth variants plus unrelated entries.
+
+    ``overlap_fraction`` of the truth set appears in the catalog (dbSNP
+    covers most common variation); ``extra_sites`` random SNV entries that
+    the donor does *not* carry are added (sites polymorphic in the
+    population but reference-allele in this sample).
+    """
+    rng = np.random.default_rng(seed)
+    known: list[VcfRecord] = []
+    for rec in truth.records:
+        if rng.random() < overlap_fraction:
+            known.append(
+                VcfRecord(
+                    contig=rec.contig,
+                    pos=rec.pos,
+                    ref=rec.ref,
+                    alt=rec.alt,
+                    id_=f"rs{rng.integers(1, 10**8)}",
+                )
+            )
+    contigs = reference.contigs
+    for _ in range(extra_sites):
+        contig = contigs[int(rng.integers(0, len(contigs)))]
+        pos = int(rng.integers(0, len(contig)))
+        base = chr(contig.sequence[pos])
+        if base == "N":
+            continue
+        alt = _BASES[(rng.integers(1, 4) + _BASES.index(base)) % 4]
+        known.append(
+            VcfRecord(
+                contig=contig.name,
+                pos=pos,
+                ref=base,
+                alt=alt,
+                id_=f"rs{rng.integers(1, 10**8)}",
+            )
+        )
+    return known

@@ -1,0 +1,228 @@
+"""Convenience builder for the paper's test-case WGS pipeline (Fig. 3).
+
+``build_wgs_pipeline`` wires the full Aligner -> Cleaner -> Caller chain:
+
+    FASTQ pairs -> BwaMem -> MarkDuplicate -> ReadRepartitioner
+                -> IndelRealign -> BaseRecalibration -> HaplotypeCaller -> VCF
+
+and returns the Pipeline plus the terminal VCF bundle.  This is the same
+structure as the user-programming example in the paper's Fig. 3, with the
+three partition Processes sharing one PartitionInfoBundle so the Fig. 7
+optimization applies to the IndelRealign -> BQSR -> HaplotypeCaller chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caller.haplotype_caller import CallerConfig
+from repro.core.bundles import (
+    FASTQPairBundle,
+    PartitionInfoBundle,
+    SAMBundle,
+    VCFBundle,
+)
+from repro.core.pipeline import Pipeline
+from repro.core.processes import (
+    BaseRecalibrationProcess,
+    BwaMemProcess,
+    HaplotypeCallerProcess,
+    IndelRealignProcess,
+    MarkDuplicateProcess,
+    ReadRepartitioner,
+)
+from repro.engine.context import GPFContext
+from repro.formats.fasta import Reference
+from repro.formats.vcf import VcfRecord
+
+
+@dataclass
+class WgsPipelineHandles:
+    """Every bundle of the constructed pipeline, for inspection."""
+
+    pipeline: Pipeline
+    fastq: FASTQPairBundle
+    aligned: SAMBundle
+    deduped: SAMBundle
+    partition_info: PartitionInfoBundle
+    realigned: SAMBundle
+    recalibrated: SAMBundle
+    vcf: VCFBundle
+
+
+def build_wgs_pipeline(
+    ctx: GPFContext,
+    reference: Reference,
+    fastq_pairs_rdd,
+    known_sites: list[VcfRecord],
+    partition_length: int = 5_000,
+    use_gvcf: bool = False,
+    caller_config: CallerConfig | None = None,
+    name: str = "wgs",
+) -> WgsPipelineHandles:
+    """Assemble the standard WGS pipeline over an existing FASTQ-pair RDD."""
+    pipeline = Pipeline(name, ctx)
+
+    fastq = FASTQPairBundle.defined("fastqPair", fastq_pairs_rdd)
+    aligned = SAMBundle.undefined("alignedSam")
+    pipeline.add_process(BwaMemProcess.pair_end("BwaMapping", reference, fastq, aligned))
+
+    deduped = SAMBundle.undefined("dedupedSam")
+    pipeline.add_process(MarkDuplicateProcess("MarkDuplicate", aligned, deduped))
+
+    partition_info = PartitionInfoBundle.undefined("partitionInfo")
+    pipeline.add_process(
+        ReadRepartitioner(
+            "Repartitioner",
+            [deduped],
+            partition_info,
+            reference.contig_lengths(),
+            advised_partition_length=partition_length,
+        )
+    )
+
+    rod_map = {"dbsnp": known_sites}
+    realigned = SAMBundle.undefined("realignedSam")
+    pipeline.add_process(
+        IndelRealignProcess(
+            "IndelRealign", reference, rod_map, partition_info, [deduped], [realigned]
+        )
+    )
+
+    recalibrated = SAMBundle.undefined("recalibratedSam")
+    pipeline.add_process(
+        BaseRecalibrationProcess(
+            "BQSR", reference, rod_map, partition_info, [realigned], [recalibrated]
+        )
+    )
+
+    vcf = VCFBundle.undefined("resultVcf")
+    pipeline.add_process(
+        HaplotypeCallerProcess(
+            "HaplotypeCaller",
+            reference,
+            rod_map,
+            partition_info,
+            [recalibrated],
+            vcf,
+            use_gvcf=use_gvcf,
+            caller_config=caller_config,
+        )
+    )
+
+    return WgsPipelineHandles(
+        pipeline=pipeline,
+        fastq=fastq,
+        aligned=aligned,
+        deduped=deduped,
+        partition_info=partition_info,
+        realigned=realigned,
+        recalibrated=recalibrated,
+        vcf=vcf,
+    )
+
+
+@dataclass
+class CohortPipelineHandles:
+    """Bundles of a multi-sample (cohort) pipeline."""
+
+    pipeline: Pipeline
+    fastqs: list[FASTQPairBundle]
+    aligned: list[SAMBundle]
+    deduped: list[SAMBundle]
+    partition_info: PartitionInfoBundle
+    realigned: list[SAMBundle]
+    recalibrated: list[SAMBundle]
+    vcf: VCFBundle
+
+
+def build_cohort_pipeline(
+    ctx: GPFContext,
+    reference: Reference,
+    sample_rdds: list,
+    known_sites: list[VcfRecord],
+    partition_length: int = 5_000,
+    use_gvcf: bool = False,
+    caller_config: CallerConfig | None = None,
+    name: str = "cohort",
+) -> CohortPipelineHandles:
+    """Multi-sample pipeline: per-sample Aligner + MarkDuplicate, then the
+    partition-Process chain over the whole cohort at once.
+
+    This is what the paper's ``inputSAMList: List(SAMBundle)`` signatures
+    are for (Table 2): one ReadRepartitioner balances partitions over all
+    samples together; IndelRealign and BQSR process each sample inside the
+    shared bundle RDD (BQSR keeps per-sample covariate tables); the caller
+    genotypes the pooled cohort evidence into one VCF.
+    """
+    if not sample_rdds:
+        raise ValueError("cohort needs at least one sample")
+    pipeline = Pipeline(name, ctx)
+
+    fastqs: list[FASTQPairBundle] = []
+    aligned: list[SAMBundle] = []
+    deduped: list[SAMBundle] = []
+    for i, rdd in enumerate(sample_rdds):
+        fastq = FASTQPairBundle.defined(f"fastqPair[{i}]", rdd)
+        fastqs.append(fastq)
+        sam = SAMBundle.undefined(f"alignedSam[{i}]")
+        aligned.append(sam)
+        pipeline.add_process(
+            BwaMemProcess.pair_end(f"BwaMapping[{i}]", reference, fastq, sam)
+        )
+        dedup = SAMBundle.undefined(f"dedupedSam[{i}]")
+        deduped.append(dedup)
+        pipeline.add_process(MarkDuplicateProcess(f"MarkDuplicate[{i}]", sam, dedup))
+
+    partition_info = PartitionInfoBundle.undefined("partitionInfo")
+    pipeline.add_process(
+        ReadRepartitioner(
+            "Repartitioner",
+            deduped,
+            partition_info,
+            reference.contig_lengths(),
+            advised_partition_length=partition_length,
+        )
+    )
+
+    rod_map = {"dbsnp": known_sites}
+    realigned = [SAMBundle.undefined(f"realignedSam[{i}]") for i in range(len(deduped))]
+    pipeline.add_process(
+        IndelRealignProcess(
+            "IndelRealign", reference, rod_map, partition_info, deduped, realigned
+        )
+    )
+
+    recalibrated = [
+        SAMBundle.undefined(f"recalibratedSam[{i}]") for i in range(len(deduped))
+    ]
+    pipeline.add_process(
+        BaseRecalibrationProcess(
+            "BQSR", reference, rod_map, partition_info, realigned, recalibrated
+        )
+    )
+
+    vcf = VCFBundle.undefined("cohortVcf")
+    pipeline.add_process(
+        HaplotypeCallerProcess(
+            "HaplotypeCaller",
+            reference,
+            rod_map,
+            partition_info,
+            recalibrated,
+            vcf,
+            use_gvcf=use_gvcf,
+            caller_config=caller_config,
+        )
+    )
+
+    return CohortPipelineHandles(
+        pipeline=pipeline,
+        fastqs=fastqs,
+        aligned=aligned,
+        deduped=deduped,
+        partition_info=partition_info,
+        realigned=realigned,
+        recalibrated=recalibrated,
+        vcf=vcf,
+    )

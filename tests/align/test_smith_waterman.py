@@ -1,0 +1,142 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.smith_waterman import (
+    AlignmentResult,
+    ScoringScheme,
+    global_alignment_score,
+    smith_waterman,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=60)
+
+
+def cigar_str(result: AlignmentResult) -> str:
+    return "".join(f"{l}{op}" for l, op in result.cigar_pairs)
+
+
+class TestExactMatch:
+    def test_identical_sequences(self):
+        r = smith_waterman("ACGTACGT", "ACGTACGT")
+        assert r.score == 8
+        assert cigar_str(r) == "8M"
+        assert (r.query_start, r.query_end) == (0, 8)
+
+    def test_substring_located(self):
+        r = smith_waterman("CGTA", "AACGTACC")
+        assert r.score == 4
+        assert r.ref_start == 2
+        assert r.ref_end == 6
+
+    def test_empty_inputs(self):
+        assert smith_waterman("", "ACGT").score == 0
+        assert smith_waterman("ACGT", "").score == 0
+
+
+class TestMismatchesAndGaps:
+    def test_single_mismatch_tolerated(self):
+        # 12 matches + 1 mismatch (13M, score 8) beats the best exact
+        # piece (8M, score 8 is a tie -- so use 14 long: 13 match = 9 > 8).
+        query = "ACGTACGTTACGTA"
+        ref = "ACGTACGTAACGTA"  # differs at index 8 (T vs A)
+        r = smith_waterman(query, ref)
+        assert cigar_str(r) == "14M"
+        assert r.score == 13 - 4
+
+    def test_deletion_in_read(self):
+        query = "ACGTACGTACGTACGTACGT"
+        ref = query[:10] + "TTT" + query[10:]
+        r = smith_waterman(query, ref)
+        assert "D" in cigar_str(r)
+        assert r.score == 20 - 6 - 3 * 1  # 20M minus open minus 3 extends
+
+    def test_insertion_in_read(self):
+        ref = "ACGTACGTACGTACGTACGT"
+        query = ref[:10] + "TT" + ref[10:]
+        r = smith_waterman(query, ref)
+        assert "I" in cigar_str(r)
+        assert r.score == 20 - 6 - 2
+
+    def test_local_alignment_clips_noise(self):
+        r = smith_waterman("GGGG" + "ACGTACGTACGT" + "CCCC", "TTTTACGTACGTACGTTTTT")
+        assert r.query_start == 4
+        assert r.query_end == 16
+
+    def test_n_never_matches(self):
+        r = smith_waterman("ACGN", "ACGN")
+        assert r.score == 3  # N-vs-N is a mismatch, clipped from alignment
+
+
+class TestBanding:
+    def test_band_still_finds_near_diagonal(self):
+        query = "ACGTACGTAC"
+        r = smith_waterman(query, query, band=3)
+        assert r.score == 10
+
+    def test_band_excludes_far_off_diagonal(self):
+        # Occurrence starts 10 columns right of the diagonal; band=2 misses it.
+        query = "ACGTACGTGG"
+        ref = "T" * 10 + query
+        wide = smith_waterman(query, ref, band=None)
+        narrow = smith_waterman(query, ref, band=2)
+        assert wide.score == 10
+        assert narrow.score < wide.score
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(dna, dna)
+    def test_cigar_consistent_with_spans(self, query, ref):
+        r = smith_waterman(query, ref)
+        q_span = sum(l for l, op in r.cigar_pairs if op in "MI")
+        r_span = sum(l for l, op in r.cigar_pairs if op in "MD")
+        assert q_span == r.query_end - r.query_start
+        assert r_span == r.ref_end - r.ref_start
+
+    @settings(max_examples=60, deadline=None)
+    @given(dna)
+    def test_self_alignment_is_perfect(self, seq):
+        r = smith_waterman(seq, seq)
+        assert r.score == len(seq)
+        assert cigar_str(r) == f"{len(seq)}M"
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna, dna)
+    def test_score_nonnegative_and_bounded(self, query, ref):
+        r = smith_waterman(query, ref)
+        assert 0 <= r.score <= min(len(query), len(ref))
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna, dna)
+    def test_traceback_score_equals_dp_score(self, query, ref):
+        """Recompute the score from the CIGAR and the aligned ends."""
+        s = ScoringScheme()
+        r = smith_waterman(query, ref)
+        if r.score == 0:
+            return
+        score = 0
+        qi, ri = r.query_start, r.ref_start
+        for length, op in r.cigar_pairs:
+            if op == "M":
+                for k in range(length):
+                    score += s.match if query[qi + k] == ref[ri + k] else s.mismatch
+                qi += length
+                ri += length
+            elif op == "I":
+                score += s.gap_open + s.gap_extend * length
+                qi += length
+            elif op == "D":
+                score += s.gap_open + s.gap_extend * length
+                ri += length
+        assert score == r.score
+
+
+class TestGlobalScore:
+    def test_identical(self):
+        assert global_alignment_score("ACGT", "ACGT") == 4
+
+    def test_prefers_similar(self):
+        near = global_alignment_score("ACGTACGT", "ACGTACGA")
+        far = global_alignment_score("ACGTACGT", "TTTTTTTT")
+        assert near > far

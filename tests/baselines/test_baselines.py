@@ -1,0 +1,172 @@
+"""Runnable baseline reference implementations."""
+
+import os
+
+import pytest
+
+from repro.baselines.adam import AdamLikePipeline, ColumnarBatch
+from repro.baselines.churchill import ChurchillPipeline, static_region_split
+from repro.baselines.diskpipeline import DiskPipeline
+from repro.baselines.gatk import GatkLikePipeline
+from repro.baselines.persona import (
+    AGD_CHUNK_RECORDS,
+    PersonaLikePipeline,
+)
+from repro.formats.fastq import write_fastq
+
+
+class TestStaticRegionSplit:
+    def test_covers_genome_exactly_once(self, reference):
+        regions = static_region_split(reference, 8)
+        for contig in reference.contigs:
+            covered = sorted(
+                (r.start, r.end) for r in regions if r.contig == contig.name
+            )
+            assert covered[0][0] == 0
+            assert covered[-1][1] == len(contig)
+            for (s1, e1), (s2, e2) in zip(covered, covered[1:]):
+                assert e1 == s2  # contiguous, no overlap
+
+    def test_region_count_roughly_requested(self, reference):
+        regions = static_region_split(reference, 10)
+        assert 8 <= len(regions) <= 14
+
+    def test_invalid_count(self, reference):
+        with pytest.raises(ValueError):
+            static_region_split(reference, 0)
+
+
+class TestChurchillPipeline:
+    def test_calls_variants_per_region(self, reference, known_sites, truth, aligned_records):
+        pipeline = ChurchillPipeline(reference, known_sites, num_regions=6)
+        calls, work = pipeline.run([r.copy() for r in aligned_records])
+        truth_keys = truth.truth_keys()
+        assert sum(1 for c in calls if c.key() in truth_keys) >= 1
+        assert sum(w.num_reads for w in work) >= len(
+            [r for r in aligned_records if not r.is_unmapped]
+        )
+
+    def test_hotspot_creates_load_imbalance(self, reference, known_sites, aligned_records):
+        # The simulated hot-spot makes one static region much heavier —
+        # the exact failure mode §4.4's dynamic repartitioning removes.
+        pipeline = ChurchillPipeline(reference, known_sites, num_regions=12)
+        _, work = pipeline.run([r.copy() for r in aligned_records])
+        assert ChurchillPipeline.load_imbalance(work) > 1.5
+
+
+class TestAdamLike:
+    def test_columnar_roundtrip(self, aligned_records):
+        batch = ColumnarBatch.from_records(aligned_records[:20])
+        out = batch.to_records()
+        assert [(r.qname, r.pos, str(r.cigar)) for r in out] == [
+            (r.qname, r.pos, str(r.cigar)) for r in aligned_records[:20]
+        ]
+
+    def test_markdup_agrees_with_reference_algorithm(
+        self, ctx, reference, known_sites, aligned_records
+    ):
+        from repro.cleaner.duplicates import mark_duplicates
+
+        adam = AdamLikePipeline(ctx, reference, known_sites, partition_length=4_000)
+        rdd = ctx.parallelize([r.copy() for r in aligned_records], 3)
+        out = adam.mark_duplicates(rdd).collect()
+        assert len(out) == len([r for r in aligned_records if not r.is_unmapped])
+
+    def test_tool_boundaries_add_stages(self, ctx, reference, known_sites, aligned_records):
+        adam = AdamLikePipeline(ctx, reference, known_sites, partition_length=4_000)
+        rdd = ctx.parallelize([r.copy() for r in aligned_records], 3)
+        adam.mark_duplicates(rdd).collect()
+        one_tool_stages = ctx.metrics.job().stage_count
+        adam.bqsr(adam.mark_duplicates(rdd)).collect()
+        assert ctx.metrics.job().stage_count > one_tool_stages
+
+    def test_bqsr_changes_qualities(self, ctx, reference, known_sites, aligned_records):
+        adam = AdamLikePipeline(ctx, reference, known_sites, partition_length=4_000)
+        rdd = ctx.parallelize([r.copy() for r in aligned_records], 3)
+        out = adam.bqsr(rdd).collect()
+        before = {r.qname: r.qual for r in aligned_records}
+        assert any(before.get(r.qname) != r.qual for r in out)
+
+
+class TestGatkLike:
+    def test_tools_spill_to_disk(self, reference, known_sites, aligned_records, tmp_path):
+        gatk = GatkLikePipeline(reference, known_sites, workdir=str(tmp_path))
+        path = gatk.write_input([r.copy() for r in aligned_records])
+        path = gatk.mark_duplicates(path)
+        path = gatk.bqsr(path)
+        assert os.path.exists(path)
+        assert len(gatk.runs) == 2
+        assert gatk.total_spill_bytes() > 0
+        # Every tool boundary paid a full file read + write.
+        for run in gatk.runs:
+            assert run.bytes_read > 0 and run.bytes_written > 0
+
+    def test_markdup_output_matches_reference(self, reference, known_sites, aligned_records, tmp_path):
+        from repro.cleaner.duplicates import mark_duplicates
+        from repro.cleaner.sort import coordinate_sort
+        from repro.formats.sam import SamHeader, read_sam
+
+        gatk = GatkLikePipeline(reference, known_sites, workdir=str(tmp_path))
+        path = gatk.mark_duplicates(gatk.write_input([r.copy() for r in aligned_records]))
+        _, out = read_sam(path)
+        expected = coordinate_sort(
+            [r.copy() for r in aligned_records],
+            SamHeader.unsorted(reference.contig_lengths()),
+        )
+        mark_duplicates(expected)
+        assert {(r.qname, r.flag) for r in out} == {
+            (r.qname, r.flag) for r in expected
+        }
+
+
+class TestPersonaLike:
+    def test_agd_chunking(self, reference, read_pairs):
+        persona = PersonaLikePipeline(reference)
+        reads = [p.read1 for p in read_pairs[:2_005 // 2]]
+        chunks = persona.import_to_agd(reads)
+        assert sum(len(c.names) for c in chunks) == len(reads)
+        assert all(len(c.names) <= AGD_CHUNK_RECORDS for c in chunks)
+
+    def test_single_end_alignment_via_snap(self, reference, read_pairs):
+        persona = PersonaLikePipeline(reference)
+        reads = [p.read1 for p in read_pairs[:40]]
+        records = persona.run(reads)
+        assert len(records) == 40
+        mapped = [r for r in records if not r.is_unmapped]
+        assert len(mapped) >= 30
+
+    def test_conversion_stats_accumulated(self, reference, read_pairs):
+        persona = PersonaLikePipeline(reference)
+        persona.run([p.read1 for p in read_pairs[:20]])
+        stats = persona.stats
+        assert stats.input_bytes > 0 and stats.output_bytes > 0
+        assert stats.modelled_import_seconds > 0
+        assert stats.modelled_export_seconds > 0
+
+    def test_effective_throughput_penalized_by_conversion(self, reference, read_pairs):
+        persona = PersonaLikePipeline(reference)
+        reads = [p.read1 for p in read_pairs[:30]]
+        persona.run(reads)
+        bases = sum(len(r) for r in reads)
+        raw, effective = persona.effective_throughput(bases, align_seconds=1e-6)
+        assert effective < raw
+
+
+class TestDiskPipeline:
+    def test_end_to_end_with_real_files(
+        self, reference, known_sites, truth, read_pairs, tmp_path
+    ):
+        subset = read_pairs[:80]
+        fq1, fq2 = str(tmp_path / "r1.fastq"), str(tmp_path / "r2.fastq")
+        write_fastq([p.read1 for p in subset], fq1)
+        write_fastq([p.read2 for p in subset], fq2)
+        pipeline = DiskPipeline(reference, known_sites, workdir=str(tmp_path / "wd"))
+        result = pipeline.run(fq1, fq2)
+        assert os.path.exists(result.vcf_path)
+        assert len(result.timings) == 5
+        assert all(t.io_seconds >= 0 for t in result.timings)
+        assert 0.0 < result.io_fraction < 1.0
+        # Intermediate SAM files really exist on disk (the paper's Table 1
+        # bottleneck: every stage boundary is a file).
+        sams = [f for f in os.listdir(tmp_path / "wd") if f.endswith(".sam")]
+        assert len(sams) == 4

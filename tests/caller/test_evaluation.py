@@ -1,0 +1,126 @@
+"""Variant evaluation tests."""
+
+import pytest
+
+from repro.caller.evaluation import evaluate_calls
+from repro.formats.vcf import VcfRecord
+
+
+def snv(pos, alt="G", genotype="1/1", contig="c", qual=50.0, filter_="PASS"):
+    return VcfRecord(contig, pos, "A", alt, qual=qual, genotype=genotype, filter_=filter_)
+
+
+def deletion(pos, length=3, genotype="1/1", contig="c", filter_="PASS"):
+    return VcfRecord(
+        contig, pos, "A" + "T" * length, "A", qual=50.0, genotype=genotype, filter_=filter_
+    )
+
+
+class TestSnvMatching:
+    def test_exact_match_is_tp(self):
+        report = evaluate_calls([snv(10)], [snv(10)])
+        assert report.overall.tp == 1
+        assert report.snv.precision == 1.0 and report.snv.recall == 1.0
+
+    def test_wrong_alt_is_fp_and_fn(self):
+        report = evaluate_calls([snv(10, alt="T")], [snv(10, alt="G")])
+        assert report.overall.fp == 1 and report.overall.fn == 1
+
+    def test_missed_truth_is_fn(self):
+        report = evaluate_calls([], [snv(10)])
+        assert report.snv.fn == 1 and report.snv.recall == 0.0
+
+    def test_extra_call_is_fp(self):
+        report = evaluate_calls([snv(10), snv(20)], [snv(10)])
+        assert report.snv.fp == 1
+
+    def test_duplicate_calls_only_match_once(self):
+        report = evaluate_calls([snv(10), snv(10)], [snv(10)])
+        assert report.snv.tp == 1 and report.snv.fp == 1
+
+
+class TestIndelMatching:
+    def test_exact_indel_match(self):
+        report = evaluate_calls([deletion(10)], [deletion(10)])
+        assert report.deletion.tp == 1
+
+    def test_shifted_indel_within_window_matches(self):
+        # Repeat-context ambiguity: same 3bp deletion reported 4bp away.
+        report = evaluate_calls([deletion(14)], [deletion(10)], indel_window=10)
+        assert report.deletion.tp == 1
+        assert report.overall.fp == 0
+
+    def test_shifted_beyond_window_fails(self):
+        report = evaluate_calls([deletion(30)], [deletion(10)], indel_window=10)
+        assert report.deletion.tp == 0
+        assert report.deletion.fp == 1 and report.deletion.fn == 1
+
+    def test_different_length_never_matches(self):
+        report = evaluate_calls([deletion(10, length=2)], [deletion(10, length=3)])
+        assert report.deletion.tp == 0
+
+    def test_insertion_vs_deletion_not_confused(self):
+        ins = VcfRecord("c", 10, "A", "ATTT", qual=50.0, genotype="1/1")
+        report = evaluate_calls([ins], [deletion(10)])
+        assert report.insertion.fp == 1
+        assert report.deletion.fn == 1
+
+    def test_one_truth_matches_one_call_only(self):
+        report = evaluate_calls([deletion(10), deletion(12)], [deletion(11)])
+        assert report.deletion.tp == 1 and report.deletion.fp == 1
+
+
+class TestGenotypeConcordance:
+    def test_concordant_genotype_counted(self):
+        report = evaluate_calls([snv(10, genotype="0/1")], [snv(10, genotype="0/1")])
+        assert report.overall.genotype_concordance == 1.0
+
+    def test_discordant_genotype_still_tp(self):
+        report = evaluate_calls([snv(10, genotype="0/1")], [snv(10, genotype="1/1")])
+        assert report.overall.tp == 1
+        assert report.overall.genotype_concordance == 0.0
+
+
+class TestFiltering:
+    def test_non_pass_calls_excluded_by_default(self):
+        report = evaluate_calls([snv(10, filter_="LowQual")], [snv(10)])
+        assert report.overall.tp == 0 and report.overall.fn == 1
+
+    def test_pass_only_false_includes_everything(self):
+        report = evaluate_calls(
+            [snv(10, filter_="LowQual")], [snv(10)], pass_only=False
+        )
+        assert report.overall.tp == 1
+
+    def test_gvcf_blocks_ignored(self):
+        block = VcfRecord("c", 5, "A", "<NON_REF>", genotype="0/0")
+        report = evaluate_calls([block, snv(10)], [snv(10)])
+        assert report.overall.tp == 1 and report.overall.fp == 0
+
+
+class TestSummary:
+    def test_summary_renders(self):
+        report = evaluate_calls([snv(10)], [snv(10), deletion(50)])
+        text = report.summary()
+        assert "overall" in text and "deletion" in text
+        assert "1.000" in text
+
+    def test_pipeline_output_scores_well(self, reference, truth, known_sites, read_pairs, tmp_path):
+        from repro.engine.context import EngineConfig, GPFContext
+        from repro.wgs import build_wgs_pipeline
+
+        ctx = GPFContext(
+            EngineConfig(default_parallelism=3, spill_dir=str(tmp_path / "ev"))
+        )
+        handles = build_wgs_pipeline(
+            ctx, reference, ctx.parallelize(read_pairs, 3), known_sites,
+            partition_length=4_000,
+        )
+        handles.pipeline.run()
+        calls = handles.vcf.rdd.collect()
+        ctx.stop()
+        report = evaluate_calls(calls, truth.records, pass_only=False)
+        # Position-tolerant indel matching should beat exact-key scoring.
+        exact_tp = len({c.key() for c in calls} & truth.truth_keys())
+        assert report.overall.tp >= exact_tp
+        assert report.overall.recall > 0.4

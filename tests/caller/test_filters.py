@@ -1,0 +1,132 @@
+"""Hard variant filter tests."""
+
+import numpy as np
+import pytest
+
+from repro.caller.filters import (
+    FilterConfig,
+    apply_hard_filters,
+    filter_summary,
+    homopolymer_run_length,
+    passing,
+)
+from repro.formats.fasta import Contig, Reference
+from repro.formats.vcf import VcfRecord
+
+
+@pytest.fixture(scope="module")
+def plain_ref():
+    rng = np.random.default_rng(71)
+    # Alternate bases to avoid accidental homopolymers, then plant one.
+    seq = "".join("ACGT"[i % 4] for i in range(500))
+    seq = seq[:200] + "A" * 9 + seq[209:]
+    return Reference([Contig("chr1", seq.encode())])
+
+
+def rec(pos=50, qual=60.0, depth=20, ref="A", alt="G"):
+    return VcfRecord("chr1", pos, ref, alt, qual=qual, depth=depth)
+
+
+class TestHomopolymerDetection:
+    def test_run_found(self, plain_ref):
+        assert homopolymer_run_length(plain_ref, "chr1", 204, 10) == 9
+
+    def test_no_run_in_alternating_sequence(self, plain_ref):
+        assert homopolymer_run_length(plain_ref, "chr1", 50, 10) == 1
+
+    def test_window_clipped_at_contig_start(self, plain_ref):
+        assert homopolymer_run_length(plain_ref, "chr1", 1, 10) >= 1
+
+
+class TestHardFilters:
+    def test_good_call_passes(self, plain_ref):
+        (out,) = apply_hard_filters([rec()], plain_ref)
+        assert out.filter_ == "PASS"
+
+    def test_low_qual_flagged(self, plain_ref):
+        (out,) = apply_hard_filters([rec(qual=10.0)], plain_ref)
+        assert "LowQual" in out.filter_
+
+    def test_low_depth_flagged(self, plain_ref):
+        (out,) = apply_hard_filters([rec(depth=2)], plain_ref)
+        assert "LowDepth" in out.filter_
+
+    def test_qual_by_depth_flagged(self, plain_ref):
+        # QUAL 40 over depth 100: each read contributes almost nothing.
+        (out,) = apply_hard_filters([rec(qual=40.0, depth=100)], plain_ref)
+        assert "QualByDepth" in out.filter_
+
+    def test_indel_in_homopolymer_flagged(self, plain_ref):
+        indel = rec(pos=203, ref="AA", alt="A", qual=80.0, depth=30)
+        (out,) = apply_hard_filters([indel], plain_ref)
+        assert "HomopolymerRegion" in out.filter_
+
+    def test_snv_in_homopolymer_not_flagged(self, plain_ref):
+        snv = rec(pos=203, ref="A", alt="G", qual=80.0, depth=30)
+        (out,) = apply_hard_filters([snv], plain_ref)
+        assert "HomopolymerRegion" not in out.filter_
+
+    def test_multiple_reasons_joined(self, plain_ref):
+        (out,) = apply_hard_filters([rec(qual=5.0, depth=1)], plain_ref)
+        assert set(out.filter_.split(";")) >= {"LowQual", "LowDepth"}
+
+    def test_gvcf_blocks_untouched(self, plain_ref):
+        block = VcfRecord("chr1", 10, "A", "<NON_REF>", qual=0.0, genotype="0/0")
+        (out,) = apply_hard_filters([block], plain_ref)
+        assert out is block
+
+    def test_config_thresholds_respected(self, plain_ref):
+        strict = FilterConfig(min_qual=90.0)
+        (out,) = apply_hard_filters([rec(qual=60.0)], plain_ref, strict)
+        assert "LowQual" in out.filter_
+
+
+class TestHelpers:
+    def test_passing_selects_pass_only(self, plain_ref):
+        records = apply_hard_filters([rec(), rec(qual=5.0)], plain_ref)
+        assert len(passing(records)) == 1
+
+    def test_summary_counts(self, plain_ref):
+        records = apply_hard_filters(
+            [rec(), rec(qual=5.0), rec(depth=1)], plain_ref
+        )
+        summary = filter_summary(records)
+        assert summary["PASS"] == 1
+        assert summary["LowQual"] >= 1
+
+
+class TestPrecisionImprovement:
+    def test_filters_improve_precision_on_pipeline_output(
+        self, reference, truth, known_sites, read_pairs, tmp_path
+    ):
+        """On real pipeline output, filtering should cut false positives
+        at modest recall cost."""
+        from repro.engine.context import EngineConfig, GPFContext
+        from repro.wgs import build_wgs_pipeline
+
+        ctx = GPFContext(
+            EngineConfig(default_parallelism=3, spill_dir=str(tmp_path / "f"))
+        )
+        handles = build_wgs_pipeline(
+            ctx,
+            reference,
+            ctx.parallelize(read_pairs[:250], 3),
+            known_sites,
+            partition_length=4_000,
+        )
+        handles.pipeline.run()
+        raw = handles.vcf.rdd.collect()
+        ctx.stop()
+
+        filtered = passing(apply_hard_filters(raw, reference))
+        truth_keys = truth.truth_keys()
+
+        def precision(calls):
+            keys = {c.key() for c in calls}
+            tp = len(keys & truth_keys)
+            return tp / len(keys) if keys else 1.0, tp
+
+        raw_precision, raw_tp = precision(raw)
+        flt_precision, flt_tp = precision(filtered)
+        assert flt_precision >= raw_precision
+        assert flt_tp >= 0.7 * raw_tp  # recall cost bounded

@@ -1,0 +1,126 @@
+"""GVCF combination / joint genotyping tests."""
+
+import pytest
+
+from repro.caller.gvcf import CohortSite, SampleGvcf, combine_gvcfs
+from repro.formats.vcf import VcfRecord
+
+
+def variant(pos, genotype="0/1", qual=50.0, depth=10, contig="c", ref="A", alt="G"):
+    return VcfRecord(contig, pos, ref, alt, qual=qual, genotype=genotype, depth=depth)
+
+
+def block(start, end, contig="c"):
+    return VcfRecord(
+        contig, start, "A", "<NON_REF>", genotype="0/0", info={"END": end}
+    )
+
+
+class TestSampleGvcf:
+    def test_split_variants_and_blocks(self):
+        sample = SampleGvcf.from_records("s1", [variant(10), block(0, 10), block(11, 50)])
+        assert len(sample.variants) == 1
+        assert sample.blocks["c"] == [(0, 10), (11, 50)]
+
+    def test_coverage_lookup(self):
+        sample = SampleGvcf.from_records("s1", [block(10, 20), block(30, 40)])
+        assert sample.covered_as_reference("c", 15)
+        assert not sample.covered_as_reference("c", 25)
+        assert not sample.covered_as_reference("c", 40)  # half-open end
+        assert not sample.covered_as_reference("other", 15)
+
+
+class TestCombine:
+    def test_variant_in_one_sample_ref_in_other(self):
+        s1 = SampleGvcf.from_records("s1", [variant(10, "0/1")])
+        s2 = SampleGvcf.from_records("s2", [block(0, 100)])
+        (site,) = combine_gvcfs([s1, s2])
+        assert site.genotypes == {"s1": "0/1", "s2": "0/0"}
+        assert site.carrier_samples == 1
+        assert site.called_samples == 2
+
+    def test_uncovered_sample_gets_no_call(self):
+        s1 = SampleGvcf.from_records("s1", [variant(10)])
+        s2 = SampleGvcf.from_records("s2", [])  # no blocks at all
+        (site,) = combine_gvcfs([s1, s2])
+        assert site.genotypes["s2"] == "./."
+        assert site.called_samples == 1
+
+    def test_shared_variant_merges_depth(self):
+        s1 = SampleGvcf.from_records("s1", [variant(10, "0/1", depth=8)])
+        s2 = SampleGvcf.from_records("s2", [variant(10, "1/1", depth=12)])
+        (site,) = combine_gvcfs([s1, s2])
+        assert site.record.depth == 20
+        assert site.carrier_samples == 2
+        assert site.record.info["NS"] == 2
+
+    def test_best_qual_exemplar_used(self):
+        s1 = SampleGvcf.from_records("s1", [variant(10, qual=20.0)])
+        s2 = SampleGvcf.from_records("s2", [variant(10, qual=90.0)])
+        (site,) = combine_gvcfs([s1, s2])
+        assert site.record.qual == 90.0
+
+    def test_sites_sorted_by_position(self):
+        s1 = SampleGvcf.from_records("s1", [variant(50), variant(10)])
+        sites = combine_gvcfs([s1])
+        assert [s.record.pos for s in sites] == [10, 50]
+
+    def test_indel_window_merges_shifted_indels(self):
+        d1 = VcfRecord("c", 10, "ATTT", "A", qual=40.0, genotype="0/1", depth=5)
+        d2 = VcfRecord("c", 13, "GTTT", "G", qual=60.0, genotype="0/1", depth=7)
+        s1 = SampleGvcf.from_records("s1", [d1])
+        s2 = SampleGvcf.from_records("s2", [d2])
+        merged = combine_gvcfs([s1, s2], indel_window=5)
+        assert len(merged) == 1
+        assert merged[0].record.depth == 12
+        without = combine_gvcfs([s1, s2], indel_window=0)
+        assert len(without) == 2
+
+    def test_empty(self):
+        assert combine_gvcfs([]) == []
+
+
+class TestEndToEndGvcf:
+    def test_per_sample_gvcfs_combine_into_cohort(
+        self, reference, truth, known_sites, tmp_path
+    ):
+        """Run the pipeline in GVCF mode per sample; combining recovers the
+        shared truth variants with correct per-sample genotypes."""
+        from repro.engine.context import EngineConfig, GPFContext
+        from repro.sim import ReadSimConfig, ReadSimulator
+        from repro.wgs import build_wgs_pipeline
+
+        gvcfs = []
+        for i in range(2):
+            pairs = ReadSimulator(
+                truth.donor, ReadSimConfig(coverage=5.0, seed=120 + i)
+            ).simulate()
+            ctx = GPFContext(
+                EngineConfig(default_parallelism=3, spill_dir=str(tmp_path / f"g{i}"))
+            )
+            handles = build_wgs_pipeline(
+                ctx,
+                reference,
+                ctx.parallelize(pairs, 3),
+                known_sites,
+                partition_length=4_000,
+                use_gvcf=True,
+            )
+            handles.pipeline.run()
+            records = handles.vcf.rdd.collect()
+            ctx.stop()
+            assert any(r.alt == "<NON_REF>" for r in records)  # real GVCF
+            gvcfs.append(SampleGvcf.from_records(f"s{i}", records))
+
+        sites = combine_gvcfs(gvcfs, indel_window=10)
+        truth_keys = truth.truth_keys()
+        hits = [s for s in sites if s.record.key() in truth_keys]
+        assert len(hits) >= len(truth_keys) // 3
+        # Both samples come from the same donor: at truth sites where both
+        # are called, both should be carriers most of the time.
+        both_called = [
+            s for s in hits if all(g != "./." for g in s.genotypes.values())
+        ]
+        if both_called:
+            both_carriers = [s for s in both_called if s.carrier_samples == 2]
+            assert len(both_carriers) >= len(both_called) // 2

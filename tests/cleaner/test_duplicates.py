@@ -1,0 +1,121 @@
+import pytest
+
+from repro.cleaner.duplicates import mark_duplicates, remove_duplicates
+from repro.formats import flags as F
+from repro.formats.cigar import Cigar
+from repro.formats.sam import SamRecord
+
+
+def rec(qname, pos, flag=0, qual="JJJJ", rname="chr1", cigar="4M", seq="ACGT"):
+    return SamRecord(
+        qname=qname, flag=flag, rname=rname, pos=pos, mapq=60,
+        cigar=Cigar.parse(cigar), rnext="*", pnext=-1, tlen=0, seq=seq, qual=qual,
+    )
+
+
+class TestFragments:
+    def test_same_position_same_strand_marked(self):
+        a = rec("a", 100, qual="JJJJ")
+        b = rec("b", 100, qual="!!!!")
+        records, stats = mark_duplicates([a, b])
+        assert not a.is_duplicate  # higher quality survives
+        assert b.is_duplicate
+        assert stats.duplicates_marked == 1
+
+    def test_different_positions_not_marked(self):
+        a, b = rec("a", 100), rec("b", 200)
+        _, stats = mark_duplicates([a, b])
+        assert stats.duplicates_marked == 0
+
+    def test_opposite_strands_not_duplicates(self):
+        a = rec("a", 100)
+        b = rec("b", 97, flag=F.REVERSE)  # same span, other strand
+        mark_duplicates([a, b])
+        assert not a.is_duplicate and not b.is_duplicate
+
+    def test_soft_clip_does_not_hide_duplicate(self):
+        # Unclipped 5' positions coincide: 100 vs (101 - 1S).
+        a = rec("a", 100, cigar="4M")
+        b = rec("b", 101, cigar="1S3M", qual="!!!!")
+        mark_duplicates([a, b])
+        assert b.is_duplicate
+
+    def test_reverse_strand_uses_unclipped_end(self):
+        # Same 3'-end (5' of the reverse read): pos 100 + 4M == pos 98 + 6M.
+        a = rec("a", 100, flag=F.REVERSE, cigar="4M")
+        b = rec(
+            "b", 98, flag=F.REVERSE, cigar="6M", seq="ACGTAC", qual="!!!!!!"
+        )
+        mark_duplicates([a, b])
+        assert b.is_duplicate
+
+    def test_triplicate_keeps_only_best(self):
+        group = [rec("a", 50, qual="JJJJ"), rec("b", 50, qual="IIII"), rec("c", 50, qual="!!!!")]
+        _, stats = mark_duplicates(group)
+        assert stats.duplicates_marked == 2
+        assert not group[0].is_duplicate
+
+
+class TestPairs:
+    def make_pair(self, name, start, mate_start, qual="JJJJ"):
+        r1 = rec(f"{name}/1", start, flag=F.PAIRED | F.FIRST_IN_PAIR, qual=qual)
+        r2 = rec(
+            f"{name}/2",
+            mate_start,
+            flag=F.PAIRED | F.SECOND_IN_PAIR | F.REVERSE,
+            qual=qual,
+        )
+        return [r1, r2]
+
+    def test_pair_duplicates_marked_together(self):
+        p1 = self.make_pair("x", 100, 300, qual="JJJJ")
+        p2 = self.make_pair("y", 100, 300, qual="!!!!")
+        _, stats = mark_duplicates(p1 + p2)
+        assert all(r.is_duplicate for r in p2)
+        assert not any(r.is_duplicate for r in p1)
+        assert stats.duplicates_marked == 2
+
+    def test_pairs_with_different_mate_positions_distinct(self):
+        p1 = self.make_pair("x", 100, 300)
+        p2 = self.make_pair("y", 100, 400)
+        _, stats = mark_duplicates(p1 + p2)
+        assert stats.duplicates_marked == 0
+
+    def test_pair_not_confused_with_fragment(self):
+        pair = self.make_pair("x", 100, 300)
+        frag = rec("z", 100)
+        mark_duplicates(pair + [frag])
+        assert not frag.is_duplicate
+
+
+class TestExclusions:
+    def test_unmapped_ignored(self):
+        u = rec("u", -1, flag=F.UNMAPPED, rname="*", cigar="*", seq="ACGT")
+        _, stats = mark_duplicates([u])
+        assert stats.examined == 0
+
+    def test_secondary_ignored(self):
+        s = rec("s", 100, flag=F.SECONDARY)
+        a = rec("a", 100)
+        mark_duplicates([s, a])
+        assert not s.is_duplicate
+
+    def test_rerun_clears_previous_flags(self):
+        a = rec("a", 100)
+        a.set_duplicate(True)
+        mark_duplicates([a])
+        assert not a.is_duplicate
+
+
+class TestHelpers:
+    def test_remove_duplicates(self):
+        a, b = rec("a", 1, qual="JJJJ"), rec("b", 1, qual="!!!!")
+        mark_duplicates([a, b])
+        assert remove_duplicates([a, b]) == [a]
+
+    def test_simulated_duplicate_rate_detected(self, aligned_records):
+        records = [r.copy() for r in aligned_records]
+        _, stats = mark_duplicates(records)
+        # The simulator plants ~8% duplicate fragments; the marker must
+        # find a similar share (alignment noise allows a band).
+        assert 0.02 <= stats.duplicate_fraction <= 0.25

@@ -1,0 +1,124 @@
+"""QC metrics tests (flagstat / depth / insert size)."""
+
+import numpy as np
+import pytest
+
+from repro.cleaner.qc import (
+    FlagStat,
+    coverage_summary,
+    depth_profile,
+    flagstat,
+    insert_size_metrics,
+)
+from repro.formats import flags as F
+from repro.formats.cigar import Cigar
+from repro.formats.sam import SamRecord
+
+
+def rec(name, pos, flag=0, length=100, rname="chr1", tlen=0):
+    return SamRecord(
+        qname=name, flag=flag, rname=rname, pos=pos, mapq=60,
+        cigar=Cigar.parse(f"{length}M") if pos >= 0 else Cigar(()),
+        rnext="*", pnext=-1, tlen=tlen,
+        seq="A" * length if pos >= 0 else "A",
+        qual="I" * length if pos >= 0 else "I",
+    )
+
+
+class TestFlagstat:
+    def test_counts_each_category(self):
+        records = [
+            rec("a", 100, flag=F.PAIRED | F.PROPER_PAIR),
+            rec("b", 200, flag=F.PAIRED | F.REVERSE),
+            rec("c", 300, flag=F.DUPLICATE),
+            rec("d", -1, flag=F.UNMAPPED),
+            rec("e", 400, flag=F.SECONDARY),
+        ]
+        stats = flagstat(records)
+        assert stats.total == 5
+        assert stats.mapped == 4
+        assert stats.paired == 2
+        assert stats.proper_pairs == 1
+        assert stats.duplicates == 1
+        assert stats.secondary == 1
+        assert stats.reverse == 1
+
+    def test_fractions(self):
+        stats = flagstat([rec("a", 1), rec("b", -1, flag=F.UNMAPPED)])
+        assert stats.mapped_fraction == 0.5
+
+    def test_merge_additive(self):
+        a = flagstat([rec("a", 1)])
+        b = flagstat([rec("b", 2), rec("c", -1, flag=F.UNMAPPED)])
+        merged = a.merge(b)
+        assert merged.total == 3 and merged.mapped == 2
+
+    def test_report_text(self):
+        text = flagstat([rec("a", 1)]).report()
+        assert "1 in total" in text and "mapped" in text
+
+    def test_empty(self):
+        assert flagstat([]).mapped_fraction == 0.0
+
+    def test_real_aligned_records(self, aligned_records):
+        stats = flagstat(aligned_records)
+        assert stats.total == len(aligned_records)
+        assert stats.mapped_fraction > 0.9
+        assert stats.paired == stats.total  # everything is paired-end
+
+
+class TestDepth:
+    def test_profile_counts_overlaps(self):
+        records = [rec("a", 10, length=20), rec("b", 20, length=20)]
+        depth = depth_profile(records, "chr1", 0, 50)
+        assert depth[5] == 0
+        assert depth[15] == 1
+        assert depth[25] == 2
+        assert depth[45] == 0
+
+    def test_duplicates_excluded_by_default(self):
+        dup = rec("d", 10, flag=F.DUPLICATE, length=20)
+        assert depth_profile([dup], "chr1", 0, 40).max() == 0
+        assert depth_profile([dup], "chr1", 0, 40, include_duplicates=True).max() == 1
+
+    def test_other_contig_ignored(self):
+        assert depth_profile([rec("a", 5, rname="chr2")], "chr1", 0, 50).max() == 0
+
+    def test_empty_interval(self):
+        assert depth_profile([], "chr1", 10, 10).size == 0
+
+    def test_coverage_summary(self):
+        records = [rec(f"r{i}", i * 10, length=50) for i in range(10)]
+        summary = coverage_summary(records, "chr1", 200)
+        assert summary["mean_depth"] > 0
+        assert 0 < summary["breadth"] <= 1.0
+
+
+class TestInsertSize:
+    def test_statistics_from_proper_pairs(self):
+        records = [
+            rec("a", 100, flag=F.PAIRED | F.PROPER_PAIR, tlen=300),
+            rec("a2", 380, flag=F.PAIRED | F.PROPER_PAIR, tlen=-300),
+            rec("b", 200, flag=F.PAIRED | F.PROPER_PAIR, tlen=320),
+        ]
+        metrics = insert_size_metrics(records)
+        assert metrics.count == 2  # negative TLEN mate not double-counted
+        assert metrics.mean == pytest.approx(310.0)
+        assert metrics.min == 300 and metrics.max == 320
+
+    def test_histogram_binning(self):
+        records = [
+            rec(f"r{i}", 0, flag=F.PAIRED | F.PROPER_PAIR, tlen=t)
+            for i, t in enumerate((300, 301, 324, 326))
+        ]
+        metrics = insert_size_metrics(records, bin_width=25)
+        assert metrics.histogram == {300: 3, 325: 1}
+
+    def test_empty(self):
+        assert insert_size_metrics([]).count == 0
+
+    def test_simulated_inserts_match_config(self, aligned_records):
+        """The simulator draws inserts ~N(300, 30); the metric must see it."""
+        metrics = insert_size_metrics(aligned_records)
+        assert metrics.count > 20
+        assert 260 <= metrics.mean <= 340

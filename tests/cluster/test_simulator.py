@@ -1,0 +1,177 @@
+"""Cluster simulator, topology, and blocked-time analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.blocked_time import blocked_time_analysis, from_engine_metrics
+from repro.cluster.simulator import (
+    ClusterSimulator,
+    SimulationResult,
+    Stage,
+    Task,
+    skewed_task_sizes,
+)
+from repro.cluster.topology import LUSTRE, NFS, ClusterSpec, NodeSpec
+
+
+def cpu_stage(name, sizes, **task_kwargs):
+    return Stage(name, [Task(cpu_seconds=s, **task_kwargs) for s in sizes])
+
+
+class TestTopology:
+    def test_with_cores(self):
+        spec = ClusterSpec.with_cores(128)
+        assert spec.total_cores == 128
+        assert spec.num_nodes == 16
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec.with_cores(100, cores_per_node=8)
+
+    def test_filesystem_presets(self):
+        assert LUSTRE.aggregate_bandwidth > NFS.aggregate_bandwidth
+
+
+class TestScheduling:
+    def test_single_task(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        result = sim.run_job([cpu_stage("s", [10.0])])
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_perfectly_parallel_stage(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        result = sim.run_job([cpu_stage("s", [1.0] * 8)])
+        assert result.makespan == pytest.approx(1.0)
+        assert result.parallel_efficiency(8) == pytest.approx(1.0)
+
+    def test_waves_when_tasks_exceed_cores(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        result = sim.run_job([cpu_stage("s", [1.0] * 24)])
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_straggler_bounds_makespan(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        result = sim.run_job([cpu_stage("s", [1.0] * 7 + [10.0])])
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_stage_barrier(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        result = sim.run_job([cpu_stage("a", [2.0]), cpu_stage("b", [3.0])])
+        assert result.makespan == pytest.approx(5.0)
+        assert result.stage_spans[1][1] == pytest.approx(2.0)
+
+    def test_serial_seconds_extend_stage(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        stage = Stage("s", [Task(cpu_seconds=1.0)], serial_seconds=4.0)
+        assert sim.run_job([stage]).makespan == pytest.approx(5.0)
+
+    def test_empty_stage_free(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        assert sim.run_job([Stage("s", [])]).makespan == 0.0
+
+    def test_work_conservation(self):
+        """Sum of placement durations equals sum of task demands."""
+        sim = ClusterSimulator(ClusterSpec.with_cores(16))
+        sizes = list(np.random.default_rng(0).uniform(0.1, 3.0, size=50))
+        result = sim.run_job([cpu_stage("s", sizes)])
+        assert result.total_cpu_time == pytest.approx(sum(sizes))
+        assert result.core_seconds == pytest.approx(sum(sizes))
+
+
+class TestResourceModel:
+    def test_disk_time_scales_with_bytes(self):
+        spec = ClusterSpec.with_cores(8)
+        sim = ClusterSimulator(spec)
+        small = sim.run_job([Stage("s", [Task(disk_bytes=150e6)])]).makespan
+        large = sim.run_job([Stage("s", [Task(disk_bytes=300e6)])]).makespan
+        assert large == pytest.approx(2 * small)
+
+    def test_disk_contention_slows_tasks(self):
+        spec = ClusterSpec(num_nodes=1, node=NodeSpec(cores=8))
+        sim = ClusterSimulator(spec)
+        alone = sim.run_job([Stage("s", [Task(disk_bytes=150e6)])]).makespan
+        crowded = sim.run_job(
+            [Stage("s", [Task(disk_bytes=150e6) for _ in range(8)])]
+        ).makespan
+        assert crowded > 4 * alone  # 8 tasks share one disk
+
+    def test_nfs_slower_than_lustre_at_scale(self):
+        reads = [Task(shared_fs_bytes=1e9) for _ in range(64)]
+        lustre = ClusterSimulator(
+            ClusterSpec.with_cores(64, filesystem=LUSTRE)
+        ).run_job([Stage("s", list(reads))])
+        nfs = ClusterSimulator(
+            ClusterSpec.with_cores(64, filesystem=NFS)
+        ).run_job([Stage("s", list(reads))])
+        assert nfs.makespan > lustre.makespan
+
+    def test_io_fraction(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        result = sim.run_job(
+            [Stage("s", [Task(cpu_seconds=1.0, disk_bytes=150e6)])]
+        )
+        assert 0.0 < result.io_fraction() < 1.0
+
+
+class TestUtilizationTimeline:
+    def test_timeline_shapes(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        result = sim.run_job(
+            [cpu_stage("s", [1.0] * 16, disk_bytes=10e6)]
+        )
+        series = result.utilization_timeline(num_bins=20)
+        assert len(series["cpu"]) == 20
+        assert series["cpu"].max() > 0
+        assert series["disk_bytes"].sum() > 0
+
+    def test_empty_result(self):
+        series = SimulationResult(makespan=0).utilization_timeline(10)
+        assert series["cpu"].sum() == 0
+
+
+class TestSkewedSizes:
+    def test_zero_skew_uniform(self):
+        assert skewed_task_sizes(2.0, 5, 0.0) == [2.0] * 5
+
+    def test_total_work_preserved(self):
+        sizes = skewed_task_sizes(2.0, 100, 0.8, seed=1)
+        assert sum(sizes) == pytest.approx(200.0)
+
+    def test_higher_skew_bigger_max(self):
+        low = max(skewed_task_sizes(1.0, 200, 0.2, seed=2))
+        high = max(skewed_task_sizes(1.0, 200, 1.2, seed=2))
+        assert high > low
+
+    def test_empty(self):
+        assert skewed_task_sizes(1.0, 0, 0.5) == []
+
+
+class TestBlockedTime:
+    def test_cpu_only_job_sees_no_improvement(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        result = sim.run_job([cpu_stage("s", [1.0] * 8)])
+        report = blocked_time_analysis(result, 8)
+        assert report.disk_improvement == pytest.approx(0.0)
+        assert report.network_improvement == pytest.approx(0.0)
+
+    def test_disk_heavy_job_improves(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        result = sim.run_job(
+            [Stage("s", [Task(cpu_seconds=1.0, disk_bytes=150e6) for _ in range(8)])]
+        )
+        report = blocked_time_analysis(result, 8)
+        assert report.disk_improvement > 0.1
+        assert report.jct_without_disk < report.base_jct
+
+    def test_improvement_bounded_by_one(self):
+        sim = ClusterSimulator(ClusterSpec.with_cores(8))
+        result = sim.run_job([Stage("s", [Task(disk_bytes=1e9)])])
+        report = blocked_time_analysis(result, 8)
+        assert 0.0 <= report.disk_improvement <= 1.0
+
+    def test_from_engine_metrics(self, ctx):
+        ctx.parallelize([(i % 3, "x" * 200) for i in range(200)], 4).group_by_key().collect()
+        report = from_engine_metrics(ctx.metrics.job(), total_cores=4)
+        assert report.base_jct > 0
+        assert 0.0 <= report.disk_improvement <= 1.0
+        assert 0.0 <= report.network_improvement <= 1.0

@@ -1,0 +1,168 @@
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.records import FastqCodec, SamCodec, compressed_size
+from repro.compression.stats import (
+    concentration,
+    delta_histogram,
+    field_fraction,
+    quality_histogram,
+)
+from repro.formats.cigar import Cigar
+from repro.formats.fastq import FastqRecord
+from repro.formats.sam import SamRecord
+from repro.sim.qualities import ILLUMINA_HISEQ
+
+
+def make_fastq(n: int = 40, seed: int = 0) -> list[FastqRecord]:
+    rng = np.random.default_rng(seed)
+    records = []
+    for i in range(n):
+        length = int(rng.integers(50, 120))
+        seq = "".join(rng.choice(list("ACGTN"), size=length, p=[0.24, 0.24, 0.24, 0.24, 0.04]))
+        qual = ILLUMINA_HISEQ.sample(length, rng)
+        records.append(FastqRecord(f"read{i}", seq, qual))
+    return records
+
+
+def to_sam(rec: FastqRecord, pos: int) -> SamRecord:
+    return SamRecord(
+        qname=rec.name,
+        flag=0,
+        rname="chr1",
+        pos=pos,
+        mapq=60,
+        cigar=Cigar.parse(f"{len(rec)}M"),
+        rnext="*",
+        pnext=-1,
+        tlen=0,
+        seq=rec.sequence,
+        qual=rec.quality,
+        tags={"NM": 1},
+    )
+
+
+class TestFastqCodec:
+    def test_sequences_roundtrip_exactly(self):
+        records = make_fastq()
+        out = FastqCodec.decode(FastqCodec.encode(records))
+        assert [r.sequence for r in out] == [r.sequence for r in records]
+        assert [r.name for r in out] == [r.name for r in records]
+
+    def test_quality_preserved_at_regular_bases(self):
+        records = make_fastq()
+        out = FastqCodec.decode(FastqCodec.encode(records))
+        for before, after in zip(records, out):
+            for base, q_before, q_after in zip(
+                before.sequence, before.quality, after.quality
+            ):
+                if base in "ACGT":
+                    assert q_before == q_after
+
+    def test_compresses_below_raw_and_pickle(self):
+        records = make_fastq(100)
+        blob = FastqCodec.encode(records)
+        raw = sum(len(r.name) + len(r.sequence) + len(r.quality) + 6 for r in records)
+        assert len(blob) < 0.7 * raw  # Table 3: FASTQ ~0.55
+        assert len(blob) < len(pickle.dumps(records))
+
+    def test_empty_batch(self):
+        assert FastqCodec.decode(FastqCodec.encode([])) == []
+
+
+class TestSamCodec:
+    def test_full_roundtrip(self):
+        # The Deorowicz transform is lossy exactly at N bases (their
+        # quality becomes the Phred-0 marker); everything else must
+        # round-trip bit-exactly.
+        records = [to_sam(r, i * 50) for i, r in enumerate(make_fastq(30))]
+        out = SamCodec.decode(SamCodec.encode(records))
+        for before, after in zip(records, out):
+            assert after.seq == before.seq
+            assert (after.qname, after.flag, after.rname, after.pos) == (
+                before.qname,
+                before.flag,
+                before.rname,
+                before.pos,
+            )
+            assert (after.cigar, after.tags, after.mapq) == (
+                before.cigar,
+                before.tags,
+                before.mapq,
+            )
+            for base, q_before, q_after in zip(before.seq, before.qual, after.qual):
+                if base in "ACGT":
+                    assert q_before == q_after
+                else:
+                    assert q_after == "!"
+
+    def test_roundtrip_exact_without_n_bases(self):
+        records = [
+            to_sam(FastqRecord(f"r{i}", "ACGT" * 20, "I" * 80), i * 9)
+            for i in range(10)
+        ]
+        assert SamCodec.decode(SamCodec.encode(records)) == records
+
+    def test_unmapped_record_without_seq(self):
+        rec = SamRecord(
+            "u", 4, "*", -1, 0, Cigar(()), "*", -1, 0, "", "", {}
+        )
+        assert SamCodec.decode(SamCodec.encode([rec])) == [rec]
+
+    def test_sam_compresses_less_than_fastq(self):
+        # Table 3: SAM's uncompressed extra fields dilute the ratio.
+        fastq = make_fastq(60, seed=1)
+        sams = [to_sam(r, i * 10) for i, r in enumerate(fastq)]
+        fq_raw = sum(len(r.name) + len(r.sequence) + len(r.quality) + 6 for r in fastq)
+        sam_raw = sum(len(r.to_line()) + 1 for r in sams)
+        fq_ratio = len(FastqCodec.encode(fastq)) / fq_raw
+        sam_ratio = len(SamCodec.encode(sams)) / sam_raw
+        assert fq_ratio < sam_ratio
+
+    def test_compressed_size_dispatch(self):
+        fastq = make_fastq(5)
+        sams = [to_sam(r, 0) for r in fastq]
+        assert compressed_size(fastq) == len(FastqCodec.encode(fastq))
+        assert compressed_size(sams) == len(SamCodec.encode(sams))
+        assert compressed_size([]) == 0
+
+
+class TestStats:
+    def test_quality_histogram_percent_sums_to_100(self):
+        quals = [r.quality for r in make_fastq(20)]
+        hist = quality_histogram(quals)
+        assert abs(sum(hist.values()) - 100.0) < 1e-6
+
+    def test_delta_more_concentrated_than_raw(self):
+        # The Fig. 5 observation that motivates delta+Huffman coding.
+        quals = [r.quality for r in make_fastq(50, seed=2)]
+        raw_conc = concentration(quality_histogram(quals), radius=3)
+        delta_conc = concentration(delta_histogram(quals), radius=3)
+        assert delta_conc > raw_conc
+
+    def test_field_fraction_in_paper_range(self):
+        records = make_fastq(50, seed=3)
+        frac = field_fraction(
+            [r.sequence for r in records],
+            [r.quality for r in records],
+            [r.name for r in records],
+        )
+        assert 0.8 <= frac <= 0.98  # paper: 80-90%
+
+    def test_empty_histograms(self):
+        assert quality_histogram([]) == {}
+        assert delta_histogram([]) == {}
+        assert concentration({}) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.text(alphabet="ACGTN", min_size=1, max_size=80), min_size=1, max_size=10))
+def test_fastq_codec_sequence_property(seqs):
+    records = [
+        FastqRecord(f"r{i}", seq, "J" * len(seq)) for i, seq in enumerate(seqs)
+    ]
+    out = FastqCodec.decode(FastqCodec.encode(records))
+    assert [r.sequence for r in out] == seqs

@@ -1,0 +1,158 @@
+"""Reference-based SAM compression tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.records import SamCodec
+from repro.compression.refbased import (
+    RefBasedSamCodec,
+    encode_against_reference,
+)
+from repro.formats.cigar import Cigar
+from repro.formats.fasta import Contig, Reference
+from repro.formats.sam import SamRecord
+
+
+@pytest.fixture(scope="module")
+def ref():
+    rng = np.random.default_rng(51)
+    seq = "".join(rng.choice(list("ACGT"), size=3_000))
+    return Reference([Contig("chr1", seq.encode())])
+
+
+def mapped(ref, pos, length=100, mismatches=(), cigar=None, name="r"):
+    contig = ref["chr1"]
+    seq = list(contig.fetch(pos, pos + length))
+    for idx in mismatches:
+        seq[idx] = "A" if seq[idx] != "A" else "G"
+    return SamRecord(
+        qname=name, flag=0, rname="chr1", pos=pos, mapq=60,
+        cigar=cigar or Cigar.parse(f"{length}M"),
+        rnext="*", pnext=-1, tlen=0,
+        seq="".join(seq), qual="I" * length,
+    )
+
+
+class TestDiffEncoding:
+    def test_perfect_read_has_zero_diffs(self, ref):
+        blob = encode_against_reference(mapped(ref, 100), ref)
+        assert blob is not None
+        assert len(blob) == 4  # just the two u16 headers
+
+    def test_mismatches_counted(self, ref):
+        blob = encode_against_reference(mapped(ref, 100, mismatches=(5, 50)), ref)
+        assert len(blob) == 4 + 2 * 3
+
+    def test_unmapped_returns_none(self, ref):
+        rec = SamRecord("u", 4, "*", -1, 0, Cigar(()), "*", -1, 0, "ACGT", "IIII")
+        assert encode_against_reference(rec, ref) is None
+
+    def test_unknown_contig_returns_none(self, ref):
+        rec = mapped(ref, 100)
+        rec.rname = "chrX"
+        assert encode_against_reference(rec, ref) is None
+
+
+class TestCodecRoundTrip:
+    def test_perfect_reads(self, ref):
+        codec = RefBasedSamCodec(ref)
+        records = [mapped(ref, 50 + i * 10, name=f"r{i}") for i in range(20)]
+        out = codec.decode(codec.encode(records))
+        assert [r.seq for r in out] == [r.seq for r in records]
+        assert [r.qual for r in out] == [r.qual for r in records]
+
+    def test_reads_with_mismatches(self, ref):
+        codec = RefBasedSamCodec(ref)
+        records = [
+            mapped(ref, 100 + i * 7, mismatches=(3, 60, 99), name=f"m{i}")
+            for i in range(10)
+        ]
+        out = codec.decode(codec.encode(records))
+        assert [r.seq for r in out] == [r.seq for r in records]
+
+    def test_insertion_and_clip_cigars(self, ref):
+        contig = ref["chr1"]
+        seq = "TT" + contig.fetch(200, 240) + "GGGG" + contig.fetch(240, 280)
+        rec = SamRecord(
+            "i", 0, "chr1", 200, 60, Cigar.parse("2S40M4I40M"),
+            "*", -1, 0, seq, "I" * len(seq),
+        )
+        codec = RefBasedSamCodec(ref)
+        (out,) = codec.decode(codec.encode([rec]))
+        assert out.seq == seq
+
+    def test_deletion_cigar(self, ref):
+        contig = ref["chr1"]
+        seq = contig.fetch(300, 340) + contig.fetch(345, 385)
+        rec = SamRecord(
+            "d", 0, "chr1", 300, 60, Cigar.parse("40M5D40M"),
+            "*", -1, 0, seq, "I" * len(seq),
+        )
+        codec = RefBasedSamCodec(ref)
+        (out,) = codec.decode(codec.encode([rec]))
+        assert out.seq == seq
+
+    def test_unmapped_falls_back_to_twobit(self, ref):
+        rec = SamRecord(
+            "u", 4, "*", -1, 0, Cigar(()), "*", -1, 0, "ACGTNACGT", "IIII!IIII"
+        )
+        codec = RefBasedSamCodec(ref)
+        (out,) = codec.decode(codec.encode([rec]))
+        assert out.seq == "ACGTNACGT"
+
+    def test_mixed_batch(self, ref):
+        codec = RefBasedSamCodec(ref)
+        records = [
+            mapped(ref, 500),
+            SamRecord("u", 4, "*", -1, 0, Cigar(()), "*", -1, 0, "ACGT", "IIII"),
+            mapped(ref, 700, mismatches=(10,)),
+        ]
+        out = codec.decode(codec.encode(records))
+        assert [r.seq for r in out] == [r.seq for r in records]
+
+
+class TestCompressionGain:
+    def test_beats_twobit_on_clean_alignments(self, ref):
+        records = [mapped(ref, 100 + i * 11, name=f"c{i}") for i in range(100)]
+        ref_based = len(RefBasedSamCodec(ref).encode(records))
+        twobit = len(SamCodec.encode(records))
+        # The sequence portion collapses from ~29 bytes to ~4 per read.
+        assert ref_based < 0.85 * twobit
+
+    def test_degrades_gracefully_with_noise(self, ref):
+        rng = np.random.default_rng(8)
+        records = [
+            mapped(
+                ref,
+                100 + i * 11,
+                mismatches=tuple(rng.integers(0, 100, size=30)),
+                name=f"n{i}",
+            )
+            for i in range(50)
+        ]
+        ref_based = len(RefBasedSamCodec(ref).encode(records))
+        twobit = len(SamCodec.encode(records))
+        # 30 diffs x 3 bytes ~ 90 > 25 bytes of 2-bit packing: noisy reads
+        # are where diff encoding loses; the codec must still round-trip.
+        out = RefBasedSamCodec(ref).decode(RefBasedSamCodec(ref).encode(records))
+        assert [r.seq for r in out] == [r.seq for r in records]
+        assert ref_based > 0  # (size comparison intentionally not asserted)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(0, 2_800),
+    st.lists(st.integers(0, 99), max_size=8),
+)
+def test_roundtrip_property(start, mismatch_positions):
+    rng = np.random.default_rng(52)
+    seq = "".join(rng.choice(list("ACGT"), size=3_000))
+    reference = Reference([Contig("chr1", seq.encode())])
+    if start > 2_900:
+        start = 2_900
+    rec = mapped(reference, min(start, 2_900), mismatches=tuple(set(mismatch_positions)))
+    codec = RefBasedSamCodec(reference)
+    (out,) = codec.decode(codec.encode([rec]))
+    assert out.seq == rec.seq
+    assert out.pos == rec.pos

@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.twobit import (
+    MASK_QUAL_CHAR,
+    compress_sequence,
+    decompress_sequence,
+    mask_special_bases,
+    pack_bases,
+    unmask_special_bases,
+    unpack_bases,
+)
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        seq = "GGTTACCTA"
+        assert unpack_bases(pack_bases(seq), len(seq)) == seq
+
+    def test_paper_encoding(self):
+        # A:00 G:01 C:10 T:11 (Fig. 4); "AGCT" packs to one byte 00011011.
+        packed = pack_bases("AGCT")
+        assert packed.tolist() == [0b00011011]
+
+    def test_four_bases_per_byte(self):
+        assert len(pack_bases("A" * 17)) == 5  # ceil(17/4)
+
+    def test_non_acgt_rejected(self):
+        with pytest.raises(ValueError, match="non-ACGT"):
+            pack_bases("ACGN")
+
+    def test_empty(self):
+        assert unpack_bases(pack_bases(""), 0) == ""
+
+
+class TestMasking:
+    def test_n_becomes_a_with_phred_zero(self):
+        seq, qual = mask_special_bases("GGTTNCCTA", "CCCB#FFFF")
+        assert seq == "GGTTACCTA"
+        assert qual[4] == MASK_QUAL_CHAR
+        assert qual[:4] == "CCCB"
+
+    def test_unmask_restores_n(self):
+        seq, qual = mask_special_bases("ANCN", "IIII")
+        assert unmask_special_bases(seq, qual) == "ANCN"
+
+    def test_collision_with_reserved_score_rejected(self):
+        # A real base already carrying Phred 0 would be ambiguous.
+        with pytest.raises(ValueError, match="reserved"):
+            mask_special_bases("ACGT", "I!II")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mask_special_bases("AC", "I")
+
+
+class TestCompressRoundTrip:
+    def test_sequence_restored_exactly(self):
+        seq, qual = "ACGTNNACGT", "IIII##IIII"
+        blob, masked = compress_sequence(seq, qual)
+        assert decompress_sequence(blob, masked) == seq
+
+    def test_compression_is_about_4x(self):
+        # Paper: "improves storage by approximately four times".
+        seq = "ACGT" * 100
+        blob, _ = compress_sequence(seq, "I" * 400)
+        assert len(blob) == 4 + 100  # header + packed
+        assert len(seq) / len(blob) > 3.5
+
+
+@given(st.text(alphabet="ACGTN", min_size=0, max_size=300))
+def test_roundtrip_property(seq):
+    qual = "I" * len(seq)
+    blob, masked = compress_sequence(seq, qual)
+    assert decompress_sequence(blob, masked) == seq
+
+
+@given(st.text(alphabet="ACGT", min_size=1, max_size=200))
+def test_packed_size_bound(seq):
+    packed = pack_bases(seq)
+    assert len(packed) == (len(seq) + 3) // 4
+    assert isinstance(packed, np.ndarray)

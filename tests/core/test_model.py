@@ -1,0 +1,199 @@
+"""Resource/Process state machines and Pipeline (Algorithm 1) tests."""
+
+import pytest
+
+from repro.core.bundles import SAMBundle, VCFBundle
+from repro.core.pipeline import CircularDependencyError, Pipeline
+from repro.core.process import Process, ProcessState
+from repro.core.resource import Resource, ResourceState
+
+
+class AddOne(Process):
+    """Toy process: output = input + 1."""
+
+    def __init__(self, name, inp, outp):
+        super().__init__(name, inputs=[inp], outputs=[outp])
+
+    def execute(self, ctx):
+        self.outputs[0].define(self.inputs[0].value + 1)
+
+
+class Broken(Process):
+    def __init__(self, name, inp, outp):
+        super().__init__(name, inputs=[inp], outputs=[outp])
+
+    def execute(self, ctx):
+        raise RuntimeError("boom")
+
+
+class Forgetful(Process):
+    """Finishes without defining its output — a contract violation."""
+
+    def __init__(self, name, outp):
+        super().__init__(name, inputs=[], outputs=[outp])
+
+    def execute(self, ctx):
+        pass
+
+
+class TestResource:
+    def test_define_transitions_state(self):
+        r = Resource("x")
+        assert r.state is ResourceState.UNDEFINED and not r.is_defined
+        r.define(42)
+        assert r.state is ResourceState.DEFINED
+        assert r.value == 42
+
+    def test_double_define_rejected(self):
+        r = Resource("x")
+        r.define(1)
+        with pytest.raises(RuntimeError, match="already defined"):
+            r.define(2)
+
+    def test_read_undefined_rejected(self):
+        with pytest.raises(RuntimeError, match="undefined"):
+            _ = Resource("x").value
+
+    def test_undefine_resets(self):
+        r = Resource("x")
+        r.define(1)
+        r.undefine()
+        assert not r.is_defined
+
+
+class TestProcessStateMachine:
+    def test_blocked_until_inputs_defined(self):
+        inp, outp = Resource("i"), Resource("o")
+        p = AddOne("p", inp, outp)
+        assert p.refresh_state() is ProcessState.BLOCKED
+        inp.define(1)
+        assert p.refresh_state() is ProcessState.READY
+
+    def test_run_walks_to_end(self, ctx):
+        inp, outp = Resource("i"), Resource("o")
+        inp.define(1)
+        p = AddOne("p", inp, outp)
+        p.run(ctx)
+        assert p.state is ProcessState.END
+        assert outp.value == 2
+
+    def test_run_while_blocked_rejected(self, ctx):
+        p = AddOne("p", Resource("i"), Resource("o"))
+        with pytest.raises(RuntimeError, match="undefined inputs"):
+            p.run(ctx)
+
+    def test_failed_execute_returns_to_blocked(self, ctx):
+        inp, outp = Resource("i"), Resource("o")
+        inp.define(1)
+        p = Broken("p", inp, outp)
+        with pytest.raises(RuntimeError, match="boom"):
+            p.run(ctx)
+        assert p.state is ProcessState.BLOCKED
+
+    def test_missing_output_detected(self, ctx):
+        outp = Resource("o")
+        p = Forgetful("p", outp)
+        with pytest.raises(RuntimeError, match="without defining outputs"):
+            p.run(ctx)
+
+
+class TestPipeline:
+    def test_executes_in_dependency_order(self, ctx):
+        a, b, c = Resource("a"), Resource("b"), Resource("c")
+        a.define(0)
+        pipeline = Pipeline("p", ctx)
+        # Added out of order on purpose.
+        pipeline.add_process(AddOne("second", b, c))
+        pipeline.add_process(AddOne("first", a, b))
+        pipeline.run()
+        assert c.value == 2
+        assert [p.name for p in pipeline.executed] == ["first", "second"]
+
+    def test_diamond_dependencies(self, ctx):
+        a, b, c, d = (Resource(n) for n in "abcd")
+        a.define(10)
+
+        class Sum(Process):
+            def __init__(self):
+                super().__init__("sum", inputs=[b, c], outputs=[d])
+
+            def execute(self, _ctx):
+                d.define(b.value + c.value)
+
+        pipeline = Pipeline("diamond", ctx)
+        pipeline.add_process(Sum())
+        pipeline.add_process(AddOne("left", a, b))
+        pipeline.add_process(AddOne("right", a, c))
+        pipeline.run()
+        assert d.value == 22
+
+    def test_circular_dependency_detected(self, ctx):
+        a, b = Resource("a"), Resource("b")
+        pipeline = Pipeline("cycle", ctx)
+        pipeline.add_process(AddOne("p1", a, b))
+        pipeline.add_process(AddOne("p2", b, a))
+        with pytest.raises(CircularDependencyError):
+            pipeline.run()
+
+    def test_duplicate_process_rejected(self, ctx):
+        a, b = Resource("a"), Resource("b")
+        p = AddOne("p", a, b)
+        pipeline = Pipeline("dup", ctx)
+        pipeline.add_process(p)
+        with pytest.raises(ValueError, match="already added"):
+            pipeline.add_process(p)
+
+    def test_disconnected_components_both_run(self, ctx):
+        # The DAG "may not be a connected graph" (paper §4.3).
+        a, b = Resource("a"), Resource("b")
+        c, d = Resource("c"), Resource("d")
+        a.define(1)
+        c.define(100)
+        pipeline = Pipeline("forest", ctx)
+        pipeline.add_process(AddOne("x", a, b))
+        pipeline.add_process(AddOne("y", c, d))
+        pipeline.run()
+        assert (b.value, d.value) == (2, 101)
+
+
+class TestBundles:
+    def test_sam_bundle_states(self, ctx):
+        bundle = SAMBundle.undefined("sam")
+        assert not bundle.is_defined
+        rdd = ctx.parallelize([1, 2, 3], 1)
+        bundle.define(rdd)
+        assert bundle.rdd is rdd
+
+    def test_defined_constructors(self, ctx):
+        from repro.formats.sam import SamHeader
+        from repro.formats.vcf import VcfHeader
+
+        rdd = ctx.parallelize([], 1)
+        sam = SAMBundle.defined("s", rdd, SamHeader.unsorted())
+        vcf = VCFBundle.defined("v", rdd, VcfHeader())
+        assert sam.is_defined and vcf.is_defined
+
+
+class TestPipelineReset:
+    def test_rerun_after_reset(self, ctx):
+        a, b, c = Resource("a"), Resource("b"), Resource("c")
+        a.define(0)
+        pipeline = Pipeline("p", ctx)
+        pipeline.add_process(AddOne("p1", a, b))
+        pipeline.add_process(AddOne("p2", b, c))
+        pipeline.run()
+        assert c.value == 2
+        pipeline.reset()
+        assert not b.is_defined and not c.is_defined
+        assert a.is_defined  # user input untouched
+        pipeline.run()
+        assert c.value == 2
+
+    def test_rerun_without_reset_fails(self, ctx):
+        a, b = Resource("a"), Resource("b")
+        a.define(1)
+        pipeline = Pipeline("p", ctx)
+        pipeline.add_process(AddOne("p1", a, b))
+        pipeline.run()
+        with pytest.raises(RuntimeError):
+            pipeline.run()

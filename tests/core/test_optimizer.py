@@ -1,0 +1,178 @@
+"""Redundancy-elimination (Fig. 7) tests."""
+
+import pytest
+
+from repro.core.bundles import PartitionInfoBundle, SAMBundle
+from repro.core.optimizer import (
+    FusedPartitionChain,
+    eliminate_redundancy,
+    find_partition_chains,
+)
+from repro.core.process import Process
+from repro.core.resource import Resource
+
+
+class FakePartitionProcess(Process):
+    """Minimal partition Process implementing the optimizer protocol."""
+
+    def __init__(self, name, info, inp, outp):
+        super().__init__(name, inputs=[info, inp], outputs=[outp])
+        self.partition_info_bundle = info
+        self.built = 0
+        self.applied = 0
+
+    @property
+    def is_partition_process(self):
+        return True
+
+    def build_bundle_rdd(self, ctx):
+        # Real partition Processes bucket their *input* bundle; the fake
+        # mirrors that by seeding the bundle from the input resource.
+        self.built += 1
+        return ctx.parallelize([(0, str(self.inputs[1].value))], 1)
+
+    def apply_to_bundle(self, bundle_rdd, ctx):
+        self.applied += 1
+        name = self.name
+        return bundle_rdd.map(lambda kv: (kv[0], kv[1] + f"->{name}"))
+
+    def finalize_outputs(self, bundle_rdd, ctx):
+        (value,) = bundle_rdd.map(lambda kv: kv[1]).collect()
+        self.outputs[0].define(value)
+
+    def execute(self, ctx):
+        rdd = self.apply_to_bundle(self.build_bundle_rdd(ctx), ctx)
+        self.finalize_outputs(rdd, ctx)
+
+
+class PlainProcess(Process):
+    def __init__(self, name, inp, outp):
+        super().__init__(name, inputs=[inp], outputs=[outp])
+
+    def execute(self, ctx):
+        self.outputs[0].define(self.inputs[0].value)
+
+
+def make_chain(info, n=3, prefix="p"):
+    """n partition processes linked head to tail."""
+    resources = [Resource(f"{prefix}-r{i}") for i in range(n + 1)]
+    procs = [
+        FakePartitionProcess(f"{prefix}{i}", info, resources[i], resources[i + 1])
+        for i in range(n)
+    ]
+    return procs, resources
+
+
+class TestChainDetection:
+    def test_linear_chain_found(self):
+        info = PartitionInfoBundle.undefined("info")
+        procs, _ = make_chain(info, 3)
+        chains = find_partition_chains(procs)
+        assert len(chains) == 1
+        assert [p.name for p in chains[0]] == ["p0", "p1", "p2"]
+
+    def test_single_process_not_a_chain(self):
+        info = PartitionInfoBundle.undefined("info")
+        procs, _ = make_chain(info, 1)
+        assert find_partition_chains(procs) == []
+
+    def test_different_partition_info_breaks_chain(self):
+        info1 = PartitionInfoBundle.undefined("info1")
+        info2 = PartitionInfoBundle.undefined("info2")
+        r = [Resource(f"r{i}") for i in range(3)]
+        a = FakePartitionProcess("a", info1, r[0], r[1])
+        b = FakePartitionProcess("b", info2, r[1], r[2])
+        assert find_partition_chains([a, b]) == []
+
+    def test_extra_consumer_breaks_chain(self):
+        # The link resource feeds a process outside the path -> the start
+        # node's out-degree is not 1, so no fusion (Fig. 7 conditions).
+        info = PartitionInfoBundle.undefined("info")
+        procs, resources = make_chain(info, 2)
+        spy = PlainProcess("spy", resources[1], Resource("spy-out"))
+        assert find_partition_chains(procs + [spy]) == []
+
+    def test_non_partition_process_breaks_chain(self):
+        info = PartitionInfoBundle.undefined("info")
+        r = [Resource(f"r{i}") for i in range(4)]
+        a = FakePartitionProcess("a", info, r[0], r[1])
+        mid = PlainProcess("mid", r[1], r[2])
+        b = FakePartitionProcess("b", info, r[2], r[3])
+        assert find_partition_chains([a, mid, b]) == []
+
+
+class TestRewrite:
+    def test_chain_replaced_by_fused_process(self):
+        info = PartitionInfoBundle.undefined("info")
+        procs, _ = make_chain(info, 3)
+        plan = eliminate_redundancy(procs)
+        assert len(plan) == 1
+        assert isinstance(plan[0], FusedPartitionChain)
+        assert "p0" in plan[0].name and "p2" in plan[0].name
+
+    def test_non_chain_processes_preserved(self):
+        info = PartitionInfoBundle.undefined("info")
+        procs, resources = make_chain(info, 2)
+        head = PlainProcess("head", Resource("x"), resources[0])
+        plan = eliminate_redundancy([head] + procs)
+        assert plan[0] is head
+        assert isinstance(plan[1], FusedPartitionChain)
+
+    def test_fused_inputs_exclude_internal_links(self):
+        info = PartitionInfoBundle.undefined("info")
+        procs, resources = make_chain(info, 3)
+        fused = eliminate_redundancy(procs)[0]
+        input_names = {r.name for r in fused.inputs}
+        assert resources[1].name not in input_names  # internal
+        assert resources[0].name in input_names
+        assert "info" in input_names
+
+    def test_no_chains_returns_same_plan(self):
+        a = PlainProcess("a", Resource("x"), Resource("y"))
+        assert eliminate_redundancy([a]) == [a]
+
+
+class TestFusedExecution:
+    def test_bundle_built_once_and_applied_per_member(self, ctx):
+        info = PartitionInfoBundle.undefined("info")
+        info.define("the-info")
+        procs, resources = make_chain(info, 3)
+        resources[0].define("seed")
+        fused = eliminate_redundancy(procs)[0]
+        fused.run(ctx)
+        assert [p.built for p in procs] == [1, 0, 0]  # only head builds
+        assert all(p.applied == 1 for p in procs)
+        # Every member's output is defined and reflects the chained maps.
+        assert resources[3].value == "seed->p0->p1->p2"
+        assert resources[1].value == "seed->p0"
+
+    def test_unfused_equivalence(self, ctx):
+        """optimize=True and False produce the same terminal value."""
+        from repro.core.pipeline import Pipeline
+
+        results = {}
+        for opt in (True, False):
+            info = PartitionInfoBundle.undefined("info")
+            info.define("x")
+            procs, resources = make_chain(info, 3)
+            resources[0].define("seed")
+            pipeline = Pipeline("t", ctx)
+            for p in procs:
+                pipeline.add_process(p)
+            pipeline.run(optimize=opt)
+            results[opt] = resources[3].value
+        assert results[True] == results[False]
+
+    def test_fused_process_count_in_pipeline(self, ctx):
+        from repro.core.pipeline import Pipeline
+
+        info = PartitionInfoBundle.undefined("info")
+        info.define("x")
+        procs, resources = make_chain(info, 3)
+        resources[0].define("seed")
+        pipeline = Pipeline("t", ctx)
+        for p in procs:
+            pipeline.add_process(p)
+        pipeline.run(optimize=True)
+        assert len(pipeline.executed) == 1
+        assert isinstance(pipeline.executed[0], FusedPartitionChain)

@@ -1,0 +1,154 @@
+"""PartitionInfo tests, including the paper's Fig. 8/9 worked example."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partitioning import (
+    PartitionInfo,
+    PartitionSplitTable,
+    paper_example,
+)
+from repro.core.processes.regions import region_span
+
+
+class TestBaseMapping:
+    def test_start_ids_are_prefix_sums(self):
+        info = PartitionInfo([("a", 2_500_000), ("b", 1_000_000)], 1_000_000)
+        assert info.start_ids == {"a": 0, "b": 3}
+        assert info.partitions_per_contig == {"a": 3, "b": 1}
+        assert info.base_partitions == 4
+
+    def test_position_maps_to_segment(self):
+        info = PartitionInfo([("a", 3_000_000)], 1_000_000)
+        assert info.base_partition_id("a", 0) == 0
+        assert info.base_partition_id("a", 999_999) == 0
+        assert info.base_partition_id("a", 1_000_000) == 1
+        assert info.base_partition_id("a", 2_999_999) == 2
+
+    def test_unknown_contig_rejected(self):
+        info = PartitionInfo([("a", 100)], 10)
+        with pytest.raises(KeyError):
+            info.base_partition_id("zz", 0)
+
+    def test_out_of_range_position_rejected(self):
+        info = PartitionInfo([("a", 100)], 10)
+        with pytest.raises(ValueError):
+            info.base_partition_id("a", 100)
+
+    def test_invalid_partition_length(self):
+        with pytest.raises(ValueError):
+            PartitionInfo([("a", 100)], 0)
+
+
+class TestPaperExample:
+    def test_figure8_base_mapping(self):
+        info = paper_example()
+        # Fig. 8: contig "4" starts at id 693; offset 12,345,678 // 1e6 = 12.
+        assert info.start_ids["4"] == 693
+        assert info.base_partition_id("4", 12_345_678) == 705
+
+    def test_figure9_split_mapping(self):
+        info = paper_example()
+        # Fig. 9: partition 705 split 4 ways from 3510; sub-length 250,000;
+        # offset 345,678 // 250,000 = 1 -> final id 3511.
+        assert info.partition_id("4", 12_345_678) == 3511
+
+    def test_unsplit_partition_keeps_base_id(self):
+        info = paper_example()
+        assert info.partition_id("1", 500) == 0
+
+    def test_start_id_table_matches_paper(self):
+        info = paper_example()
+        starts = [info.start_ids[name] for name in info.contig_names]
+        assert starts == [0, 250, 494, 693, 885, 1066, 1238]
+
+
+class TestDynamicSplitting:
+    def test_overloaded_partition_splits(self):
+        info = PartitionInfo([("a", 4_000_000)], 1_000_000)
+        counts = {0: 100, 1: 5_000, 2: 90, 3: 50}
+        new = info.with_splits(counts, threshold=1_000)
+        assert len(new.split_table) == 1
+        pieces, start_id = new.split_table.lookup(1)
+        assert pieces == 5  # ceil(5000/1000)
+        assert start_id == info.base_partitions
+        assert new.num_partitions == info.base_partitions + 5
+
+    def test_split_spreads_positions(self):
+        info = PartitionInfo([("a", 2_000_000)], 1_000_000)
+        new = info.with_splits({0: 4_000}, threshold=1_000)
+        ids = {new.partition_id("a", p) for p in range(0, 1_000_000, 100_000)}
+        assert len(ids) == 4  # four sub-partitions all receive keys
+
+    def test_below_threshold_untouched(self):
+        info = PartitionInfo([("a", 2_000_000)], 1_000_000)
+        new = info.with_splits({0: 10, 1: 20}, threshold=100)
+        assert len(new.split_table) == 0
+
+    def test_bad_threshold(self):
+        info = PartitionInfo([("a", 100)], 10)
+        with pytest.raises(ValueError):
+            info.with_splits({}, 0)
+
+    def test_count_reads_histogram(self):
+        info = PartitionInfo([("a", 2_000_000)], 1_000_000)
+        keys = [("a", 10), ("a", 999_999), ("a", 1_000_001)]
+        assert info.count_reads(keys) == {0: 2, 1: 1}
+
+
+class TestSpans:
+    def test_base_partition_span(self):
+        info = PartitionInfo([("a", 2_500_000)], 1_000_000)
+        assert info.partition_span(0) == ("a", 0, 1_000_000)
+        assert info.partition_span(2) == ("a", 2_000_000, 2_500_000)
+
+    def test_split_partition_span(self):
+        info = PartitionInfo(
+            [("a", 2_000_000)],
+            1_000_000,
+            PartitionSplitTable({0: (4, 2)}),
+        )
+        assert region_span(info, 2) == ("a", 0, 250_000)
+        assert region_span(info, 5) == ("a", 750_000, 1_000_000)
+        assert region_span(info, 1) == ("a", 1_000_000, 2_000_000)
+
+    def test_unknown_span_rejected(self):
+        info = PartitionInfo([("a", 100)], 10)
+        with pytest.raises(ValueError):
+            region_span(info, 99)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(1, 5_000_000), min_size=1, max_size=6),
+    st.integers(100_000, 2_000_000),
+    st.data(),
+)
+def test_partition_id_bijective_over_spans(lengths, plen, data):
+    """Every position maps into a partition whose span contains it."""
+    named = [(f"c{i}", length) for i, length in enumerate(lengths)]
+    info = PartitionInfo(named, plen)
+    contig_idx = data.draw(st.integers(0, len(lengths) - 1))
+    name, length = named[contig_idx]
+    pos = data.draw(st.integers(0, length - 1))
+    pid = info.partition_id(name, pos)
+    span_contig, start, end = region_span(info, pid)
+    assert span_contig == name
+    assert start <= pos < end
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 50), st.integers(1, 20))
+def test_split_sub_partitions_cover_parent(count_thousands, pieces):
+    info = PartitionInfo([("a", 1_000_000)], 1_000_000)
+    new = info.with_splits({0: pieces * 1_000}, threshold=1_000)
+    if len(new.split_table) == 0:
+        return
+    covered = set()
+    for pos in range(0, 1_000_000, 7_919):
+        pid = new.partition_id("a", pos)
+        contig, start, end = region_span(new, pid)
+        assert start <= pos < end
+        covered.add(pid)
+    split_count, start_id = new.split_table.lookup(0)
+    assert covered <= set(range(start_id, start_id + split_count))

@@ -1,0 +1,136 @@
+"""Resilience tests: task retry, lineage recomputation, fault injection."""
+
+import pytest
+
+from repro.engine.context import EngineConfig, GPFContext
+from repro.engine.faults import FaultPlan, InjectedFault, RandomFaults, TaskFailedError
+
+
+class TestFaultPlan:
+    def test_planned_attempt_killed(self):
+        plan = FaultPlan({(0, 0)})
+        with pytest.raises(InjectedFault):
+            plan("result", 0, 0)
+        plan("result", 0, 1)  # next attempt survives
+        plan("result", 1, 0)  # other partitions untouched
+
+    def test_random_faults_deterministic(self):
+        a = RandomFaults(rate=0.5, seed=3)
+        b = RandomFaults(rate=0.5, seed=3)
+
+        def trace(injector):
+            outcomes = []
+            for i in range(20):
+                try:
+                    injector("result", i, 0)
+                    outcomes.append(False)
+                except InjectedFault:
+                    outcomes.append(True)
+            return outcomes
+
+        assert trace(a) == trace(b)
+
+    def test_max_failures_cap(self):
+        injector = RandomFaults(rate=1.0, seed=0, max_failures=2)
+        killed = 0
+        for i in range(10):
+            try:
+                injector("result", i, 0)
+            except InjectedFault:
+                killed += 1
+        assert killed == 2
+        assert injector.injected == 2
+
+
+class TestRetry:
+    def test_single_failure_recovers(self, ctx):
+        ctx.add_fault_injector(FaultPlan({(1, 0)}))  # kill partition 1, try 0
+        data = list(range(30))
+        assert ctx.parallelize(data, 3).map(lambda x: x * 2).collect() == [
+            x * 2 for x in data
+        ]
+
+    def test_retry_recomputes_from_lineage(self, ctx):
+        """The retried attempt re-runs the map function (recompute from
+        lineage, not replay of stale state): a failure *after* part of the
+        partition was computed forces those elements through again."""
+        calls: list[int] = []
+        failed_once = []
+
+        def flaky(x):
+            calls.append(x)
+            if x == 2 and not failed_once:
+                failed_once.append(True)
+                raise RuntimeError("transient worker death")
+            return x
+
+        rdd = ctx.parallelize([1, 2, 3, 4], 2).map(flaky)
+        assert rdd.collect() == [1, 2, 3, 4]
+        # Partition 0 = [1, 2]: attempt 0 computed 1 then died at 2; the
+        # retry recomputed both. Partition 1 ran once.
+        assert sorted(calls) == [1, 1, 2, 2, 3, 4]
+
+    def test_shuffle_map_retry(self, ctx):
+        ctx.add_fault_injector(FaultPlan({(0, 0), (2, 0), (2, 1)}))
+        rdd = ctx.parallelize([(i % 3, 1) for i in range(30)], 3)
+        out = dict(rdd.reduce_by_key(lambda a, b: a + b).collect())
+        assert out == {0: 10, 1: 10, 2: 10}
+
+    def test_budget_exhausted_raises(self, tmp_path):
+        config = EngineConfig(max_task_attempts=2, spill_dir=str(tmp_path / "s"))
+        with GPFContext(config) as ctx:
+            ctx.add_fault_injector(FaultPlan({(0, 0), (0, 1)}))
+            with pytest.raises(TaskFailedError) as excinfo:
+                ctx.parallelize([1], 1).collect()
+            assert isinstance(excinfo.value.cause, InjectedFault)
+
+    def test_failed_attempts_not_counted_in_metrics(self, ctx):
+        ctx.add_fault_injector(FaultPlan({(0, 0)}))
+        ctx.parallelize([1, 2], 2).collect()
+        job = ctx.metrics.job()
+        # Only successful attempts are recorded; partition 0's survivor
+        # carries attempt index 1.
+        tasks = [t for s in job.stages for t in s.tasks]
+        assert len(tasks) == 2
+        assert {t.attempt for t in tasks} == {0, 1}
+
+    def test_random_faults_full_pipeline_still_correct(self, tmp_path):
+        config = EngineConfig(
+            max_task_attempts=6, spill_dir=str(tmp_path / "rf"), default_parallelism=4
+        )
+        with GPFContext(config) as ctx:
+            ctx.add_fault_injector(RandomFaults(rate=0.25, seed=11))
+            rdd = ctx.parallelize(range(200), 8)
+            out = dict(
+                rdd.key_by(lambda x: x % 7)
+                .reduce_by_key(lambda a, b: a + b)
+                .collect()
+            )
+        expected: dict = {}
+        for x in range(200):
+            expected[x % 7] = expected.get(x % 7, 0) + x
+        assert out == expected
+
+    def test_pipeline_survives_faults(self, tmp_path, reference, known_sites, read_pairs):
+        """The whole WGS pipeline completes under random task failures."""
+        from repro.wgs import build_wgs_pipeline
+
+        config = EngineConfig(
+            max_task_attempts=6,
+            spill_dir=str(tmp_path / "wgs"),
+            default_parallelism=3,
+        )
+        with GPFContext(config) as ctx:
+            ctx.add_fault_injector(RandomFaults(rate=0.1, seed=5, max_failures=10))
+            handles = build_wgs_pipeline(
+                ctx,
+                reference,
+                ctx.parallelize(read_pairs[:60], 3),
+                known_sites,
+                partition_length=4_000,
+            )
+            handles.pipeline.run()
+            calls = handles.vcf.rdd.collect()
+            injected = ctx.fault_injectors[0].injected
+        assert injected > 0  # faults actually fired
+        assert isinstance(calls, list)  # and the pipeline still finished

@@ -1,0 +1,136 @@
+"""Lazy file-backed RDD tests."""
+
+import os
+
+import pytest
+
+from repro.engine.files import (
+    FastqFileRDD,
+    FastqPairFileRDD,
+    TextFileRDD,
+    load_fastq_pair_lazy,
+)
+from repro.formats.fastq import write_fastq
+
+
+@pytest.fixture()
+def text_path(tmp_path):
+    path = str(tmp_path / "data.txt")
+    with open(path, "w") as fh:
+        for i in range(1000):
+            fh.write(f"line-{i:04d} with some padding text\n")
+    return path
+
+
+@pytest.fixture()
+def fastq_paths(tmp_path, read_pairs):
+    p1 = str(tmp_path / "r1.fastq")
+    p2 = str(tmp_path / "r2.fastq")
+    subset = read_pairs[:120]
+    write_fastq([p.read1 for p in subset], p1)
+    write_fastq([p.read2 for p in subset], p2)
+    return p1, p2, subset
+
+
+class TestTextFile:
+    def test_all_lines_exactly_once(self, ctx, text_path):
+        rdd = TextFileRDD(ctx, text_path, 7)
+        lines = rdd.collect()
+        assert len(lines) == 1000
+        assert lines[0] == "line-0000 with some padding text"
+        assert lines[-1].startswith("line-0999")
+
+    def test_splits_are_nonoverlapping(self, ctx, text_path):
+        parts = TextFileRDD(ctx, text_path, 5).collect_partitions()
+        flat = [l for p in parts for l in p]
+        assert len(flat) == len(set(flat)) == 1000
+
+    def test_single_partition(self, ctx, text_path):
+        assert TextFileRDD(ctx, text_path, 1).count() == 1000
+
+    def test_more_partitions_than_lines(self, ctx, tmp_path):
+        path = str(tmp_path / "tiny.txt")
+        with open(path, "w") as fh:
+            fh.write("a\nb\n")
+        assert sorted(TextFileRDD(ctx, path, 8).collect()) == ["a", "b"]
+
+    def test_empty_file(self, ctx, tmp_path):
+        path = str(tmp_path / "empty.txt")
+        open(path, "w").close()
+        assert TextFileRDD(ctx, path, 3).collect() == []
+
+    def test_read_time_charged_to_disk(self, ctx, text_path):
+        TextFileRDD(ctx, text_path, 2).collect()
+        job = ctx.metrics.job()
+        assert sum(s.disk_blocked for s in job.stages) > 0
+
+    def test_invalid_partitions(self, ctx, text_path):
+        with pytest.raises(ValueError):
+            TextFileRDD(ctx, text_path, 0)
+
+
+class TestFastqFile:
+    def test_records_parse_exactly(self, ctx, fastq_paths):
+        p1, _, subset = fastq_paths
+        rdd = FastqFileRDD(ctx, p1, 5)
+        records = rdd.collect()
+        assert len(records) == len(subset)
+        assert [r.sequence for r in records] == [p.read1.sequence for p in subset]
+
+    def test_quality_lines_starting_with_at_not_confused(self, ctx, tmp_path):
+        # Quality strings may begin with '@' — the split snapper must not
+        # treat them as record headers.
+        from repro.formats.fastq import FastqRecord
+
+        path = str(tmp_path / "tricky.fastq")
+        records = [
+            FastqRecord(f"r{i}", "ACGTACGTAC", "@" + "I" * 9) for i in range(50)
+        ]
+        write_fastq(records, path)
+        out = FastqFileRDD(ctx, path, 7).collect()
+        assert len(out) == 50
+        assert all(r.quality.startswith("@") for r in out)
+
+
+class TestFastqPairFile:
+    def test_pairs_align_by_index(self, ctx, fastq_paths):
+        p1, p2, subset = fastq_paths
+        rdd = FastqPairFileRDD(ctx, p1, p2, 4)
+        pairs = rdd.collect()
+        assert len(pairs) == len(subset)
+        for got, expected in zip(pairs, subset):
+            assert got.read1.sequence == expected.read1.sequence
+            assert got.read2.sequence == expected.read2.sequence
+            assert got.read1.name == expected.read1.name
+
+    def test_partition_counts_balanced(self, ctx, fastq_paths):
+        p1, p2, subset = fastq_paths
+        parts = FastqPairFileRDD(ctx, p1, p2, 5).collect_partitions()
+        sizes = [len(p) for p in parts]
+        assert sum(sizes) == len(subset)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_mismatched_files_rejected(self, ctx, fastq_paths, tmp_path):
+        p1, _, subset = fastq_paths
+        short = str(tmp_path / "short.fastq")
+        write_fastq([p.read2 for p in subset[:-3]], short)
+        with pytest.raises(ValueError, match="disagree"):
+            FastqPairFileRDD(ctx, p1, short, 3)
+
+    def test_helper_uses_default_parallelism(self, ctx, fastq_paths):
+        p1, p2, _ = fastq_paths
+        rdd = load_fastq_pair_lazy(ctx, p1, p2)
+        assert rdd.num_partitions == ctx.config.default_parallelism
+
+    def test_pipeline_runs_from_lazy_files(
+        self, ctx, reference, known_sites, fastq_paths
+    ):
+        from repro.wgs import build_wgs_pipeline
+
+        p1, p2, _ = fastq_paths
+        rdd = load_fastq_pair_lazy(ctx, p1, p2, 3)
+        handles = build_wgs_pipeline(
+            ctx, reference, rdd, known_sites, partition_length=4_000
+        )
+        handles.pipeline.run()
+        assert isinstance(handles.vcf.rdd.collect(), list)

@@ -1,0 +1,121 @@
+import pytest
+
+from repro.engine.broadcast import Broadcast
+from repro.engine.context import EngineConfig, GPFContext
+from repro.engine.executors import SerialExecutor, ThreadExecutor, make_executor
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics
+
+
+class TestTaskMetrics:
+    def test_finalize_computes_cpu_time(self):
+        task = TaskMetrics(run_time=10.0, disk_blocked=2.0, network_blocked=1.0)
+        task.finalize()
+        assert task.cpu_time == 7.0
+
+    def test_finalize_clamps_at_zero(self):
+        task = TaskMetrics(run_time=1.0, disk_blocked=2.0)
+        task.finalize()
+        assert task.cpu_time == 0.0
+
+
+class TestAggregation:
+    def test_job_metrics_sum_stages(self):
+        s1 = StageMetrics(0, tasks=[TaskMetrics(run_time=1.0, shuffle_bytes_written=10)])
+        s2 = StageMetrics(1, tasks=[TaskMetrics(run_time=2.0, shuffle_bytes_written=20)])
+        job = JobMetrics(stages=[s1, s2])
+        assert job.stage_count == 2
+        assert job.core_seconds == 3.0
+        assert job.shuffle_bytes == 30
+
+    def test_blocked_fractions(self):
+        stage = StageMetrics(
+            0,
+            tasks=[
+                TaskMetrics(run_time=4.0, disk_blocked=1.0, network_blocked=0.5)
+            ],
+        )
+        disk, net = JobMetrics(stages=[stage]).blocked_fractions()
+        assert disk == pytest.approx(0.25)
+        assert net == pytest.approx(0.125)
+
+    def test_empty_job(self):
+        assert JobMetrics().blocked_fractions() == (0.0, 0.0)
+
+
+class TestEngineIntegration:
+    def test_shuffle_bytes_recorded(self, ctx):
+        rdd = ctx.parallelize([(i, "x" * 100) for i in range(50)], 4)
+        rdd.group_by_key().collect()
+        job = ctx.metrics.job()
+        assert job.shuffle_bytes > 0
+        read = sum(t.shuffle_bytes_read for s in job.stages for t in s.tasks)
+        written = sum(t.shuffle_bytes_written for s in job.stages for t in s.tasks)
+        assert read == written
+
+    def test_disk_blocked_time_positive_for_shuffles(self, ctx):
+        rdd = ctx.parallelize([(i % 3, "y" * 200) for i in range(300)], 4)
+        rdd.group_by_key().collect()
+        job = ctx.metrics.job()
+        assert sum(s.disk_blocked for s in job.stages) > 0
+
+    def test_network_model_charges_remote_fraction(self, tmp_path):
+        config = EngineConfig(
+            spill_dir=str(tmp_path / "s"), network_bandwidth=1e6
+        )  # slow fabric so the charge is visible
+        with GPFContext(config) as ctx:
+            ctx.parallelize([(i % 2, "z" * 500) for i in range(200)], 4).group_by_key().collect()
+            job = ctx.metrics.job()
+            assert sum(s.network_blocked for s in job.stages) > 0
+
+    def test_network_model_disabled(self, tmp_path):
+        config = EngineConfig(spill_dir=str(tmp_path / "s"), network_bandwidth=None)
+        with GPFContext(config) as ctx:
+            ctx.parallelize([(1, 1)], 2).group_by_key().collect()
+            job = ctx.metrics.job()
+            assert sum(s.network_blocked for s in job.stages) == 0
+
+    def test_metrics_reset(self, ctx):
+        ctx.parallelize([1], 1).collect()
+        assert ctx.metrics.job().stage_count > 0
+        ctx.metrics.reset()
+        assert ctx.metrics.job().stage_count == 0
+
+
+class TestBroadcast:
+    def test_value_access(self):
+        b = Broadcast({"a": 1})
+        assert b.value == {"a": 1}
+
+    def test_serialized_size_cached(self):
+        b = Broadcast(list(range(1000)))
+        size = b.serialized_size()
+        assert size > 1000
+        assert b.serialized_size() == size
+
+    def test_destroyed_broadcast_raises(self):
+        b = Broadcast(42)
+        b.destroy()
+        with pytest.raises(RuntimeError):
+            _ = b.value
+
+
+class TestExecutors:
+    def test_serial_runs_in_order(self):
+        order = []
+        tasks = [lambda i=i: order.append(i) or i for i in range(5)]
+        assert SerialExecutor().run_all(tasks) == [0, 1, 2, 3, 4]
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_threads_return_in_submission_order(self):
+        ex = ThreadExecutor(4)
+        try:
+            results = ex.run_all([lambda i=i: i * i for i in range(20)])
+            assert results == [i * i for i in range(20)]
+        finally:
+            ex.shutdown()
+
+    def test_make_executor_validation(self):
+        with pytest.raises(ValueError):
+            make_executor("mpi")
+        with pytest.raises(ValueError):
+            ThreadExecutor(0)

@@ -1,0 +1,205 @@
+"""Tests for the extended RDD operations."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.context import EngineConfig, GPFContext
+
+
+class TestAggregateByKey:
+    def test_set_accumulation(self, ctx):
+        pairs = [("a", 1), ("a", 2), ("b", 1), ("a", 1)]
+        rdd = ctx.parallelize(pairs, 2)
+        out = dict(
+            rdd.aggregate_by_key(
+                set(), lambda acc, v: acc | {v}, lambda a, b: a | b
+            ).collect()
+        )
+        assert out == {"a": {1, 2}, "b": {1}}
+
+    def test_zero_not_shared_between_keys(self, ctx):
+        # A mutable zero must not leak state across keys.
+        pairs = [("a", 1), ("b", 2)]
+        out = dict(
+            ctx.parallelize(pairs, 1)
+            .aggregate_by_key([], lambda acc, v: acc + [v], lambda a, b: a + b)
+            .collect()
+        )
+        assert out == {"a": [1], "b": [2]}
+
+    def test_fold_by_key(self, ctx):
+        pairs = [(i % 2, i) for i in range(10)]
+        out = dict(
+            ctx.parallelize(pairs, 3).fold_by_key(0, lambda a, b: a + b).collect()
+        )
+        assert out == {0: 20, 1: 25}
+
+    def test_mean_via_aggregate(self, ctx):
+        pairs = [("x", v) for v in (1.0, 2.0, 3.0, 4.0)]
+        out = dict(
+            ctx.parallelize(pairs, 2)
+            .aggregate_by_key(
+                (0.0, 0),
+                lambda acc, v: (acc[0] + v, acc[1] + 1),
+                lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            )
+            .map_values(lambda sc: sc[0] / sc[1])
+            .collect()
+        )
+        assert out["x"] == pytest.approx(2.5)
+
+
+class TestSetOperations:
+    def test_subtract(self, ctx):
+        a = ctx.parallelize([1, 2, 2, 3, 4], 2)
+        b = ctx.parallelize([2, 4], 1)
+        assert sorted(a.subtract(b).collect()) == [1, 3]
+
+    def test_subtract_keeps_multiplicity(self, ctx):
+        a = ctx.parallelize([1, 1, 2], 2)
+        b = ctx.parallelize([2], 1)
+        assert sorted(a.subtract(b).collect()) == [1, 1]
+
+    def test_intersection_is_distinct(self, ctx):
+        a = ctx.parallelize([1, 1, 2, 3], 2)
+        b = ctx.parallelize([1, 2, 2, 4], 2)
+        assert sorted(a.intersection(b).collect()) == [1, 2]
+
+    def test_disjoint_intersection_empty(self, ctx):
+        a = ctx.parallelize([1], 1)
+        b = ctx.parallelize([2], 1)
+        assert a.intersection(b).collect() == []
+
+
+class TestSample:
+    def test_fraction_zero_and_one(self, ctx):
+        rdd = ctx.parallelize(range(100), 4)
+        assert rdd.sample(0.0).collect() == []
+        assert rdd.sample(1.0 + 1e-12).count() == 100
+
+    def test_deterministic_given_seed(self, ctx):
+        rdd = ctx.parallelize(range(1000), 4)
+        assert rdd.sample(0.3, seed=7).collect() == rdd.sample(0.3, seed=7).collect()
+
+    def test_fraction_approximated(self, ctx):
+        rdd = ctx.parallelize(range(5000), 4)
+        count = rdd.sample(0.2, seed=1).count()
+        assert 800 <= count <= 1200
+
+    def test_with_replacement_can_duplicate(self, ctx):
+        rdd = ctx.parallelize(range(50), 2)
+        out = rdd.sample(3.0, seed=2, with_replacement=True).collect()
+        assert len(out) > 50
+        assert any(out.count(x) > 1 for x in set(out))
+
+    def test_negative_fraction_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).sample(-0.1)
+
+
+class TestZipWithIndex:
+    def test_indices_are_global_and_ordered(self, ctx):
+        rdd = ctx.parallelize(list("abcdefg"), 3)
+        out = rdd.zip_with_index().collect()
+        assert out == [(c, i) for i, c in enumerate("abcdefg")]
+
+    def test_empty(self, ctx):
+        assert ctx.parallelize([], 2).zip_with_index().collect() == []
+
+
+class TestNumericActions:
+    def test_sum_and_mean(self, ctx):
+        rdd = ctx.parallelize([1.5, 2.5, 3.0], 2)
+        assert rdd.sum() == pytest.approx(7.0)
+        assert rdd.mean() == pytest.approx(7.0 / 3)
+
+    def test_mean_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([], 1).mean()
+
+
+class TestSaveAsTextFile:
+    def test_one_file_per_partition(self, ctx, tmp_path):
+        rdd = ctx.parallelize(range(10), 3)
+        out_dir = str(tmp_path / "out")
+        rdd.save_as_text_file(out_dir)
+        files = sorted(os.listdir(out_dir))
+        assert files == ["part-00000", "part-00001", "part-00002"]
+        lines = []
+        for f in files:
+            with open(os.path.join(out_dir, f)) as fh:
+                lines.extend(int(l) for l in fh.read().splitlines())
+        assert lines == list(range(10))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(0, 30), max_size=40),
+    st.lists(st.integers(0, 30), max_size=40),
+)
+def test_set_operations_match_python_sets(left, right):
+    with GPFContext(EngineConfig(default_parallelism=3)) as ctx:
+        a = ctx.parallelize(left, 3)
+        b = ctx.parallelize(right, 2)
+        assert set(a.intersection(b).collect()) == set(left) & set(right)
+        assert set(a.subtract(b).collect()) == set(left) - set(right)
+
+
+class TestCoalesce:
+    def test_merges_without_shuffle(self, ctx):
+        rdd = ctx.parallelize(range(12), 6).coalesce(2)
+        assert rdd.num_partitions == 2
+        assert rdd.collect() == list(range(12))  # order preserved
+        rdd.collect()
+        job = ctx.metrics.job()
+        assert job.shuffle_bytes == 0  # narrow: nothing spilled
+
+    def test_growing_is_noop(self, ctx):
+        rdd = ctx.parallelize(range(4), 2)
+        assert rdd.coalesce(8) is rdd
+
+    def test_invalid(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).coalesce(0)
+
+
+class TestOrderedActions:
+    def test_top(self, ctx):
+        rdd = ctx.parallelize([5, 1, 9, 3, 7, 2], 3)
+        assert rdd.top(2) == [9, 7]
+
+    def test_top_with_key(self, ctx):
+        rdd = ctx.parallelize(["aa", "b", "cccc"], 2)
+        assert rdd.top(1, key=len) == ["cccc"]
+
+    def test_take_ordered(self, ctx):
+        rdd = ctx.parallelize([5, 1, 9, 3], 2)
+        assert rdd.take_ordered(3) == [1, 3, 5]
+
+    def test_lookup(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+        assert sorted(rdd.lookup("a")) == [1, 3]
+        assert rdd.lookup("zz") == []
+
+
+class TestHistogram:
+    def test_even_buckets(self, ctx):
+        rdd = ctx.parallelize([0.0, 1.0, 2.0, 3.0, 4.0], 2)
+        edges, counts = rdd.histogram(2)
+        assert edges == [0.0, 2.0, 4.0]
+        assert sum(counts) == 5
+        assert counts == [2, 3]  # 0,1 | 2,3,4 (max lands in last bucket)
+
+    def test_constant_values(self, ctx):
+        edges, counts = ctx.parallelize([7, 7, 7], 2).histogram(4)
+        assert edges == [7.0, 7.0]
+        assert counts == [3]
+
+    def test_empty(self, ctx):
+        assert ctx.parallelize([], 2).histogram(3) == ([], [])
+
+    def test_invalid_buckets(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).histogram(0)

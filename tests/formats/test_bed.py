@@ -1,0 +1,126 @@
+"""BED format tests."""
+
+import io
+
+import pytest
+
+from repro.formats.bed import (
+    merge_overlapping,
+    parse_bed,
+    read_bed,
+    subtract_records,
+    write_bed,
+)
+from repro.formats.cigar import Cigar
+from repro.formats.sam import SamRecord
+from repro.sim.targets import TargetInterval, TargetPanel
+
+
+class TestParse:
+    def test_basic_three_columns(self):
+        targets = parse_bed(["chr1\t100\t200", "chr2\t0\t50"])
+        assert targets == [
+            TargetInterval("chr1", 100, 200),
+            TargetInterval("chr2", 0, 50),
+        ]
+
+    def test_comments_and_headers_skipped(self):
+        targets = parse_bed(["# comment", "track name=x", "chr1\t1\t2", ""])
+        assert len(targets) == 1
+
+    def test_extra_columns_ignored(self):
+        (t,) = parse_bed(["chr1\t10\t20\texon1\t960\t+"])
+        assert t == TargetInterval("chr1", 10, 20)
+
+    @pytest.mark.parametrize("bad", ["chr1\t10", "chr1\tx\t20", "chr1\t20\t10"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_bed([bad])
+
+    def test_file_roundtrip(self, tmp_path):
+        panel = TargetPanel(
+            "exons",
+            [TargetInterval("chr1", 5, 50), TargetInterval("chr1", 100, 160)],
+        )
+        path = str(tmp_path / "targets.bed")
+        write_bed(panel, path)
+        loaded = read_bed(path, name="exons")
+        assert loaded.targets == panel.targets
+        assert loaded.name == "exons"
+
+    def test_write_to_stream_without_names(self):
+        panel = TargetPanel("p", [TargetInterval("c", 0, 5)])
+        buf = io.StringIO()
+        write_bed(panel, buf, names=False)
+        assert buf.getvalue() == "c\t0\t5\n"
+
+
+class TestMerge:
+    def test_overlapping_merged(self):
+        merged = merge_overlapping(
+            [
+                TargetInterval("c", 0, 10),
+                TargetInterval("c", 5, 20),
+                TargetInterval("c", 30, 40),
+            ]
+        )
+        assert merged == [TargetInterval("c", 0, 20), TargetInterval("c", 30, 40)]
+
+    def test_adjacent_merged(self):
+        merged = merge_overlapping(
+            [TargetInterval("c", 0, 10), TargetInterval("c", 10, 20)]
+        )
+        assert merged == [TargetInterval("c", 0, 20)]
+
+    def test_contigs_kept_apart(self):
+        merged = merge_overlapping(
+            [TargetInterval("a", 0, 10), TargetInterval("b", 0, 10)]
+        )
+        assert len(merged) == 2
+
+
+class TestSubtractRecords:
+    def rec(self, pos, rname="chr1"):
+        return SamRecord(
+            "r", 0, rname, pos, 60, Cigar.parse("50M"), "*", -1, 0, "A" * 50, "I" * 50
+        )
+
+    def test_split_on_off_target(self):
+        panel = TargetPanel("p", [TargetInterval("chr1", 100, 200)])
+        on, off = subtract_records([self.rec(120), self.rec(500)], panel)
+        assert len(on) == 1 and on[0].pos == 120
+        assert len(off) == 1 and off[0].pos == 500
+
+    def test_padding_widens_targets(self):
+        panel = TargetPanel("p", [TargetInterval("chr1", 100, 200)])
+        read = self.rec(210)  # just past the target
+        _, off = subtract_records([read], panel, padding=0)
+        on, _ = subtract_records([read], panel, padding=50)
+        assert off == [read]
+        assert on == [read]
+
+    def test_unmapped_always_off(self):
+        from repro.formats import flags as F
+
+        unmapped = SamRecord("u", F.UNMAPPED, "*", -1, 0, Cigar(()), "*", -1, 0, "A", "I")
+        panel = TargetPanel("p", [TargetInterval("chr1", 0, 10**6)])
+        on, off = subtract_records([unmapped], panel)
+        assert on == [] and off == [unmapped]
+
+    def test_capture_efficiency_of_targeted_sim(self, reference):
+        """TargetedReadSimulator output must be overwhelmingly on-target."""
+        from repro.align.pairing import PairedEndAligner
+        from repro.sim import ReadSimConfig, TargetedReadSimulator, generate_targets, plant_variants
+
+        truth = plant_variants(reference, seed=91)
+        panel = generate_targets(reference, 0.05, 300, seed=92)
+        pairs = TargetedReadSimulator(
+            truth.donor, panel, ReadSimConfig(coverage=4.0, seed=93)
+        ).simulate()
+        aligner = PairedEndAligner(reference)
+        records = []
+        for pair in pairs[:60]:
+            r1, r2 = aligner.align_pair(pair)
+            records.extend((r1, r2))
+        on, off = subtract_records(records, panel, padding=400)
+        assert len(on) / max(1, len(on) + len(off)) > 0.85

@@ -1,0 +1,119 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.formats.cigar import Cigar, CigarOp, VALID_OPS
+
+
+class TestParse:
+    def test_simple(self):
+        c = Cigar.parse("76M")
+        assert len(c) == 1
+        assert c.ops[0] == CigarOp(76, "M")
+
+    def test_multi_op(self):
+        c = Cigar.parse("10S30M2D36M4H")
+        assert [str(op) for op in c] == ["10S", "30M", "2D", "36M", "4H"]
+
+    def test_star_is_empty(self):
+        assert not Cigar.parse("*")
+        assert str(Cigar.parse("*")) == "*"
+
+    @pytest.mark.parametrize("bad", ["M", "10", "10Q", "3M4", "-3M", "1.5M"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            Cigar.parse(bad)
+
+    def test_zero_length_op_rejected(self):
+        with pytest.raises(ValueError):
+            CigarOp(0, "M")
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            CigarOp(5, "Z")
+
+
+class TestLengths:
+    def test_query_length_counts_m_i_s(self):
+        c = Cigar.parse("5S10M3I2D10M")
+        assert c.query_length() == 5 + 10 + 3 + 10
+
+    def test_reference_length_counts_m_d_n(self):
+        c = Cigar.parse("5S10M3I2D10M")
+        assert c.reference_length() == 10 + 2 + 10
+
+    def test_hard_clips_consume_nothing(self):
+        c = Cigar.parse("5H10M5H")
+        assert c.query_length() == 10
+        assert c.reference_length() == 10
+
+
+class TestClips:
+    def test_leading_and_trailing(self):
+        c = Cigar.parse("3H2S10M4S")
+        assert c.leading_clip() == 5
+        assert c.trailing_clip() == 4
+
+    def test_unclipped_start(self):
+        c = Cigar.parse("5S95M")
+        assert c.unclipped_start(100) == 95
+
+    def test_unclipped_end(self):
+        c = Cigar.parse("95M5S")
+        assert c.unclipped_end(100) == 100 + 95 + 5
+
+
+class TestWalk:
+    def test_walk_simple_match(self):
+        c = Cigar.parse("3M")
+        steps = list(c.walk(10))
+        assert steps == [(10, 0, "M"), (11, 1, "M"), (12, 2, "M")]
+
+    def test_walk_insertion_has_no_ref(self):
+        c = Cigar.parse("1M1I1M")
+        steps = list(c.walk(5))
+        assert steps[1] == (None, 1, "I")
+        assert steps[2] == (6, 2, "M")
+
+    def test_walk_deletion_has_no_query(self):
+        c = Cigar.parse("1M1D1M")
+        steps = list(c.walk(5))
+        assert steps[1] == (6, None, "D")
+        assert steps[2] == (7, 1, "M")
+
+
+class TestNormalize:
+    def test_merges_adjacent_runs(self):
+        c = Cigar.from_pairs([(2, "M"), (3, "M"), (1, "I"), (4, "M")])
+        assert str(c.normalized()) == "5M1I4M"
+
+    def test_roundtrip_string(self):
+        text = "5S10M2I3D20M1S"
+        assert str(Cigar.parse(text)) == text
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 200), st.sampled_from(sorted(VALID_OPS))),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_parse_str_roundtrip(pairs):
+    c = Cigar.from_pairs(pairs)
+    assert Cigar.parse(str(c)) == c
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 100), st.sampled_from("MIDS")),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_walk_counts_match_lengths(pairs):
+    c = Cigar.from_pairs(pairs)
+    steps = list(c.walk(0))
+    query_steps = sum(1 for _, q, _ in steps if q is not None)
+    ref_steps = sum(1 for r, _, _ in steps if r is not None)
+    assert query_steps == c.query_length()
+    assert ref_steps == c.reference_length()

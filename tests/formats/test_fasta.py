@@ -1,0 +1,67 @@
+import io
+
+import pytest
+
+from repro.formats.fasta import Contig, Reference, parse_fasta, read_fasta, write_fasta
+
+
+class TestContig:
+    def test_invalid_bases_rejected(self):
+        with pytest.raises(ValueError, match="invalid bases"):
+            Contig("c", b"ACGU")
+
+    def test_fetch_clips_to_bounds(self):
+        c = Contig("c", b"ACGTACGT")
+        assert c.fetch(-5, 3) == "ACG"
+        assert c.fetch(6, 100) == "GT"
+
+    def test_len(self):
+        assert len(Contig("c", b"ACGT")) == 4
+
+
+class TestReference:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Reference([Contig("c", b"A"), Contig("c", b"C")])
+
+    def test_lookup_and_contains(self):
+        ref = Reference([Contig("a", b"ACGT"), Contig("b", b"GG")])
+        assert "a" in ref and "x" not in ref
+        assert ref["b"].sequence == b"GG"
+        assert ref.contig_names == ["a", "b"]
+        assert ref.total_length() == 6
+
+    def test_contig_lengths_pairs(self):
+        ref = Reference([Contig("a", b"ACGT")])
+        assert ref.contig_lengths() == [("a", 4)]
+
+
+class TestParsing:
+    def test_parse_multi_contig(self):
+        lines = [">chr1 desc", "ACGT", "ACGT", ">chr2", "GGG"]
+        contigs = list(parse_fasta(lines))
+        assert contigs[0].name == "chr1"
+        assert contigs[0].sequence == b"ACGTACGT"
+        assert contigs[1].sequence == b"GGG"
+
+    def test_lowercase_uppercased(self):
+        (c,) = list(parse_fasta([">x", "acgt"]))
+        assert c.sequence == b"ACGT"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ValueError):
+            list(parse_fasta(["ACGT", ">x"]))
+
+    def test_file_roundtrip(self, tmp_path):
+        ref = Reference([Contig("chr1", b"ACGT" * 50), Contig("chr2", b"NNNACGT")])
+        path = str(tmp_path / "ref.fa")
+        write_fasta(ref, path, width=13)
+        assert read_fasta(path) == ref
+
+    def test_write_wraps_lines(self):
+        ref = Reference([Contig("c", b"A" * 100)])
+        buf = io.StringIO()
+        write_fasta(ref, buf, width=30)
+        body_lines = [l for l in buf.getvalue().splitlines() if not l.startswith(">")]
+        assert all(len(l) <= 30 for l in body_lines)
+        assert sum(len(l) for l in body_lines) == 100

@@ -1,0 +1,118 @@
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.formats.fastq import (
+    FastqPair,
+    FastqRecord,
+    pair_reads,
+    parse_fastq,
+    write_fastq,
+)
+
+seq_st = st.text(alphabet="ACGTN", min_size=1, max_size=150)
+
+
+class TestRecord:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r", "ACGT", "III")
+
+    def test_phred_scores(self):
+        rec = FastqRecord("r", "AC", "!J")
+        assert rec.phred_scores == [0, 41]
+
+    def test_len(self):
+        assert len(FastqRecord("r", "ACGT", "IIII")) == 4
+
+
+class TestParse:
+    def test_basic(self):
+        lines = ["@read1 desc", "ACGT", "+", "IIII"]
+        (rec,) = list(parse_fastq(lines))
+        assert rec.name == "read1"  # description stripped
+        assert rec.sequence == "ACGT"
+        assert rec.quality == "IIII"
+
+    def test_multiple_records(self):
+        lines = ["@a", "AC", "+", "II", "@b", "GT", "+", "JJ"]
+        recs = list(parse_fastq(lines))
+        assert [r.name for r in recs] == ["a", "b"]
+
+    def test_truncated_record(self):
+        with pytest.raises(ValueError, match="truncated"):
+            list(parse_fastq(["@a", "AC"]))
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            list(parse_fastq(["read", "AC", "+", "II"]))
+
+    def test_bad_separator(self):
+        with pytest.raises(ValueError, match="separator"):
+            list(parse_fastq(["@a", "AC", "x", "II"]))
+
+    def test_blank_lines_skipped(self):
+        recs = list(parse_fastq(["", "@a", "AC", "+", "II", ""]))
+        assert len(recs) == 1
+
+
+class TestWrite:
+    def test_roundtrip_via_stream(self):
+        recs = [FastqRecord("a", "ACGT", "IIII"), FastqRecord("b", "GG", "JJ")]
+        buf = io.StringIO()
+        write_fastq(recs, buf)
+        parsed = list(parse_fastq(buf.getvalue().splitlines()))
+        assert parsed == recs
+
+    def test_roundtrip_via_file(self, tmp_path):
+        from repro.formats.fastq import read_fastq
+
+        recs = [FastqRecord("a", "ACGTN", "IIII!")]
+        path = str(tmp_path / "x.fastq")
+        write_fastq(recs, path)
+        assert read_fastq(path) == recs
+
+
+class TestPairing:
+    def test_positional_pairing(self):
+        r1 = [FastqRecord("x/1", "AC", "II")]
+        r2 = [FastqRecord("x/2", "GT", "JJ")]
+        (pair,) = list(pair_reads(r1, r2))
+        assert pair.name == "x/1"
+        assert pair.read1.sequence == "AC"
+        assert pair.read2.sequence == "GT"
+
+    def test_mismatched_names_rejected(self):
+        r1 = [FastqRecord("x/1", "AC", "II")]
+        r2 = [FastqRecord("y/2", "GT", "JJ")]
+        with pytest.raises(ValueError, match="out of sync"):
+            list(pair_reads(r1, r2))
+
+    def test_unequal_lengths_rejected(self):
+        r1 = [FastqRecord("x/1", "AC", "II"), FastqRecord("z/1", "AC", "II")]
+        r2 = [FastqRecord("x/2", "GT", "JJ")]
+        with pytest.raises(ValueError, match="different read counts"):
+            list(pair_reads(r1, r2))
+
+    def test_pair_iterates_mates(self):
+        pair = FastqPair(FastqRecord("a", "A", "I"), FastqRecord("a", "C", "I"))
+        assert [r.sequence for r in pair] == ["A", "C"]
+
+
+@given(
+    st.lists(
+        st.builds(
+            lambda name, seq: FastqRecord(
+                name, seq, "I" * len(seq)
+            ),
+            st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters=" \t"), min_size=1, max_size=20),
+            seq_st,
+        ),
+        max_size=10,
+    )
+)
+def test_write_parse_roundtrip(records):
+    buf = io.StringIO()
+    write_fastq(records, buf)
+    assert list(parse_fastq(buf.getvalue().splitlines())) == records

@@ -1,0 +1,143 @@
+import io
+
+import pytest
+
+from repro.formats import flags as F
+from repro.formats.cigar import Cigar
+from repro.formats.sam import (
+    SamHeader,
+    SamRecord,
+    UNMAPPED_POS,
+    coordinate_key,
+    read_sam,
+    write_sam,
+)
+
+
+def make_record(**kwargs) -> SamRecord:
+    defaults = dict(
+        qname="read1",
+        flag=0,
+        rname="chr1",
+        pos=99,
+        mapq=60,
+        cigar=Cigar.parse("4M"),
+        rnext="*",
+        pnext=UNMAPPED_POS,
+        tlen=0,
+        seq="ACGT",
+        qual="IIII",
+    )
+    defaults.update(kwargs)
+    return SamRecord(**defaults)
+
+
+class TestFlags:
+    def test_flag_accessors(self):
+        rec = make_record(flag=F.PAIRED | F.REVERSE | F.FIRST_IN_PAIR)
+        assert rec.is_paired and rec.is_reverse and rec.is_first_in_pair
+        assert not rec.is_duplicate and not rec.is_unmapped
+
+    def test_set_and_clear_duplicate(self):
+        rec = make_record()
+        rec.set_duplicate(True)
+        assert rec.is_duplicate
+        rec.set_duplicate(False)
+        assert not rec.is_duplicate
+
+    def test_flag_validity_helper(self):
+        assert F.is_valid(F.PAIRED | F.DUPLICATE)
+        assert not F.is_valid(1 << 13)
+
+    def test_describe(self):
+        names = F.describe(F.PAIRED | F.UNMAPPED)
+        assert names == ["paired", "unmapped"]
+
+
+class TestCoordinates:
+    def test_end_uses_reference_length(self):
+        rec = make_record(cigar=Cigar.parse("2M1D2M"), seq="ACGT", qual="IIII")
+        assert rec.end == 99 + 5
+
+    def test_unclipped_start_end(self):
+        rec = make_record(cigar=Cigar.parse("1S3M"), seq="ACGT", qual="IIII")
+        assert rec.unclipped_start() == 98
+        assert rec.unclipped_end() == 99 + 3
+
+    def test_sum_of_base_qualities_threshold(self):
+        rec = make_record(qual="!!JJ")  # 0, 0, 41, 41
+        assert rec.sum_of_base_qualities(threshold=15) == 82
+
+
+class TestTextRoundTrip:
+    def test_line_roundtrip(self):
+        rec = make_record(tags={"NM": 2, "AS": 37, "RG": "grp1"})
+        parsed = SamRecord.from_line(rec.to_line())
+        assert parsed == rec
+
+    def test_one_based_conversion(self):
+        rec = make_record(pos=0)
+        assert "\t1\t" in rec.to_line()
+
+    def test_unmapped_pos_zero_in_text(self):
+        rec = make_record(flag=F.UNMAPPED, pos=UNMAPPED_POS, rname="*", cigar=Cigar(()))
+        fields = rec.to_line().split("\t")
+        assert fields[3] == "0"
+        assert SamRecord.from_line(rec.to_line()).pos == UNMAPPED_POS
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            SamRecord.from_line("too\tfew\tfields")
+
+    def test_file_roundtrip(self, tmp_path):
+        header = SamHeader.unsorted([("chr1", 1000)])
+        records = [make_record(), make_record(qname="r2", pos=5)]
+        path = str(tmp_path / "x.sam")
+        write_sam(header, records, path)
+        header2, records2 = read_sam(path)
+        assert header2 == header
+        assert records2 == records
+
+
+class TestHeader:
+    def test_lines_roundtrip(self):
+        header = SamHeader(contigs=(("chr1", 100), ("chr2", 50)), sort_order="coordinate")
+        assert SamHeader.from_lines(header.to_lines()) == header
+
+    def test_contig_lookup(self):
+        header = SamHeader.unsorted([("chr1", 100), ("chr2", 50)])
+        assert header.contig_index("chr2") == 1
+        assert header.contig_length("chr1") == 100
+        with pytest.raises(KeyError):
+            header.contig_index("chrX")
+
+    def test_sorted_by_coordinate(self):
+        header = SamHeader.unsorted([("chr1", 100)])
+        assert header.sorted_by_coordinate().sort_order == "coordinate"
+
+
+class TestCoordinateKey:
+    def test_orders_by_contig_then_pos(self):
+        header = SamHeader.unsorted([("chr1", 100), ("chr2", 100)])
+        key = coordinate_key(header)
+        a = make_record(rname="chr1", pos=50)
+        b = make_record(rname="chr2", pos=1)
+        c = make_record(rname="chr1", pos=10)
+        assert sorted([a, b, c], key=key) == [c, a, b]
+
+    def test_unmapped_sorts_last(self):
+        header = SamHeader.unsorted([("chr1", 100)])
+        key = coordinate_key(header)
+        mapped = make_record()
+        unmapped = make_record(
+            flag=F.UNMAPPED, rname="*", pos=UNMAPPED_POS, cigar=Cigar(())
+        )
+        assert sorted([unmapped, mapped], key=key) == [mapped, unmapped]
+
+
+class TestCopy:
+    def test_copy_is_deep_for_tags(self):
+        rec = make_record(tags={"NM": 1})
+        dup = rec.copy()
+        dup.tags["NM"] = 99
+        assert rec.tags["NM"] == 1

@@ -1,0 +1,117 @@
+"""Multi-sample (cohort) pipeline integration tests.
+
+Exercises the paper's ``inputSAMList: List(SAMBundle)`` API surface: one
+partition chain over several samples, per-sample BQSR tables, joint
+variant calling.
+"""
+
+import pytest
+
+from repro.core.optimizer import FusedPartitionChain
+from repro.engine.context import EngineConfig, GPFContext
+from repro.sim import ReadSimConfig, ReadSimulator
+from repro.wgs import build_cohort_pipeline
+
+
+@pytest.fixture(scope="module")
+def cohort_run(reference, truth, known_sites, tmp_path_factory):
+    """Run a two-sample cohort pipeline once for all tests."""
+    samples = [
+        ReadSimulator(
+            truth.donor, ReadSimConfig(coverage=4.0, seed=70 + i)
+        ).simulate()
+        for i in range(2)
+    ]
+    ctx = GPFContext(
+        EngineConfig(
+            default_parallelism=3,
+            serializer="gpf",
+            spill_dir=str(tmp_path_factory.mktemp("cohort")),
+        )
+    )
+    handles = build_cohort_pipeline(
+        ctx,
+        reference,
+        [ctx.parallelize(pairs, 3) for pairs in samples],
+        known_sites,
+        partition_length=4_000,
+    )
+    handles.pipeline.run()
+    calls = handles.vcf.rdd.collect()
+    yield handles, calls, samples, ctx
+    ctx.stop()
+
+
+class TestCohortPipeline:
+    def test_finds_planted_variants_jointly(self, cohort_run, truth):
+        _, calls, _, _ = cohort_run
+        truth_keys = truth.truth_keys()
+        called = {c.key() for c in calls}
+        # Two 4x samples pool to ~8x joint coverage: solid recall expected.
+        assert len(truth_keys & called) >= len(truth_keys) // 2
+
+    def test_partition_chain_fused_across_cohort(self, cohort_run):
+        handles, _, _, _ = cohort_run
+        fused = [
+            p
+            for p in handles.pipeline.executed
+            if isinstance(p, FusedPartitionChain)
+        ]
+        assert len(fused) == 1
+        assert "IndelRealign" in fused[0].name and "BQSR" in fused[0].name
+
+    def test_per_sample_outputs_preserved(self, cohort_run):
+        handles, _, samples, _ = cohort_run
+        for i, sample in enumerate(samples):
+            out = handles.recalibrated[i].rdd.collect()
+            mapped_in = sum(
+                1 for r in handles.aligned[i].rdd.collect() if not r.is_unmapped
+            )
+            assert len(out) == mapped_in
+            # Sample identity preserved: every record's name carries the
+            # simulator stem from its own sample.
+            in_names = {r.qname for r in handles.aligned[i].rdd.collect()}
+            assert all(r.qname in in_names for r in out)
+
+    def test_bqsr_builds_one_table_per_sample(self, cohort_run):
+        handles, _, _, _ = cohort_run
+        fused = next(
+            p
+            for p in handles.pipeline.executed
+            if isinstance(p, FusedPartitionChain)
+        )
+        bqsr = next(m for m in fused.members if "BQSR" in m.name)
+        assert bqsr.tables is not None
+        assert len(bqsr.tables) == 2
+        assert all(t.total_observations > 0 for t in bqsr.tables)
+
+    def test_joint_matches_merged_single_sample_calls(
+        self, cohort_run, reference, known_sites, truth, tmp_path
+    ):
+        """Joint calling finds at least what either single sample finds
+        alone at a shared site (pooling adds evidence)."""
+        from repro.wgs import build_wgs_pipeline
+
+        _, joint_calls, samples, _ = cohort_run
+        joint_keys = {c.key() for c in joint_calls}
+        single_keys: set = set()
+        for i, pairs in enumerate(samples):
+            ctx = GPFContext(
+                EngineConfig(
+                    default_parallelism=3,
+                    spill_dir=str(tmp_path / f"s{i}"),
+                )
+            )
+            handles = build_wgs_pipeline(
+                ctx,
+                reference,
+                ctx.parallelize(pairs, 3),
+                known_sites,
+                partition_length=4_000,
+            )
+            handles.pipeline.run()
+            single_keys |= {c.key() for c in handles.vcf.rdd.collect()}
+            ctx.stop()
+        truth_keys = truth.truth_keys()
+        # Compare recall on truth sites only (FP sets can differ freely).
+        assert len(joint_keys & truth_keys) >= 0.8 * len(single_keys & truth_keys)

@@ -1,0 +1,131 @@
+"""Targeted capture (WES / gene panel) simulation tests."""
+
+import pytest
+
+from repro.sim import (
+    ReadSimConfig,
+    TargetedReadSimulator,
+    exome_panel,
+    gene_panel,
+    generate_reference,
+    generate_targets,
+    plant_variants,
+)
+
+
+@pytest.fixture(scope="module")
+def big_reference():
+    return generate_reference([60_000, 40_000], seed=61)
+
+
+class TestPanelDesign:
+    def test_fraction_respected(self, big_reference):
+        panel = generate_targets(big_reference, 0.05, 300, seed=1)
+        assert panel.covered_fraction(big_reference) == pytest.approx(0.05, abs=0.02)
+
+    def test_targets_sorted_and_disjoint(self, big_reference):
+        panel = generate_targets(big_reference, 0.03, 200, seed=2)
+        by_contig: dict = {}
+        for t in panel.targets:
+            by_contig.setdefault(t.contig, []).append(t)
+        for targets in by_contig.values():
+            for a, b in zip(targets, targets[1:]):
+                assert a.start <= b.start
+                assert a.end <= b.start  # disjoint
+
+    def test_exome_vs_panel_scale(self, big_reference):
+        wes = exome_panel(big_reference, seed=3)
+        panel = gene_panel(big_reference, seed=3)
+        assert wes.total_span() > 5 * panel.total_span()
+        assert len(wes.targets) > len(panel.targets)
+
+    def test_contains(self, big_reference):
+        panel = generate_targets(big_reference, 0.02, 300, seed=4)
+        target = panel.targets[0]
+        assert panel.contains(target.contig, target.start)
+        assert panel.contains(target.contig, target.start - 50, padding=100)
+
+    def test_invalid_fraction(self, big_reference):
+        with pytest.raises(ValueError):
+            generate_targets(big_reference, 0.0, 100)
+
+
+class TestTargetedReads:
+    @pytest.fixture(scope="class")
+    def scene(self, big_reference):
+        truth = plant_variants(big_reference, seed=62)
+        panel = generate_targets(big_reference, 0.03, 400, seed=63)
+        sim = TargetedReadSimulator(
+            truth.donor,
+            panel,
+            ReadSimConfig(coverage=6.0, seed=64),
+            off_target_rate=0.02,
+        )
+        return panel, sim.simulate()
+
+    def test_reads_concentrate_on_targets(self, scene):
+        panel, pairs = scene
+        on_target = sum(
+            1
+            for p in pairs
+            if panel.contains(p.name.split("_")[1], int(p.name.split("_")[2]), padding=500)
+        )
+        assert on_target / len(pairs) > 0.9
+
+    def test_far_fewer_reads_than_wgs(self, big_reference, scene):
+        from repro.sim import ReadSimulator
+
+        panel, pairs = scene
+        truth = plant_variants(big_reference, seed=62)
+        wgs = ReadSimulator(truth.donor, ReadSimConfig(coverage=6.0, seed=64)).simulate()
+        assert len(pairs) < 0.3 * len(wgs)
+
+    def test_deterministic(self, big_reference):
+        truth = plant_variants(big_reference, seed=62)
+        panel = generate_targets(big_reference, 0.02, 300, seed=65)
+        mk = lambda: TargetedReadSimulator(
+            truth.donor, panel, ReadSimConfig(coverage=4.0, seed=66)
+        ).simulate()
+        assert [p.name for p in mk()] == [p.name for p in mk()]
+
+
+class TestWorkloadPresets:
+    def test_three_workloads_scale_correctly(self):
+        from repro.cluster.costmodel import DEFAULT_COST_MODEL
+        from repro.cluster.simulator import ClusterSimulator
+        from repro.cluster.topology import ClusterSpec
+        from repro.cluster.workloads import WORKLOAD_PRESETS, workload_stages
+
+        sim = ClusterSimulator(ClusterSpec.with_cores(256))
+        spans = {
+            w: sim.run_job(workload_stages(w, DEFAULT_COST_MODEL)).makespan
+            for w in WORKLOAD_PRESETS
+        }
+        assert spans["WGS"] > spans["WES"] > spans["GenePanel"]
+
+    def test_unknown_workload_rejected(self):
+        from repro.cluster.costmodel import DEFAULT_COST_MODEL
+        from repro.cluster.workloads import workload_stages
+
+        with pytest.raises(ValueError, match="unknown workload"):
+            workload_stages("RNAseq", DEFAULT_COST_MODEL)
+
+    def test_gc_and_blocked_fractions_ordering(self):
+        """The paper's Fig. 12 dump: WGS has the largest GC share and the
+        smallest shuffle-disk share; GenePanel the reverse (fixed costs
+        weigh more as data shrinks)."""
+        from repro.cluster.blocked_time import blocked_time_analysis
+        from repro.cluster.costmodel import DEFAULT_COST_MODEL
+        from repro.cluster.simulator import ClusterSimulator
+        from repro.cluster.topology import ClusterSpec
+        from repro.cluster.workloads import WORKLOAD_PRESETS, workload_stages
+
+        cores = 512
+        sim = ClusterSimulator(ClusterSpec.with_cores(cores))
+        improvements = {}
+        for workload in WORKLOAD_PRESETS:
+            result = sim.run_job(workload_stages(workload, DEFAULT_COST_MODEL))
+            report = blocked_time_analysis(result, cores)
+            improvements[workload] = report.disk_improvement
+        # Every workload is CPU-bound (the paper's common conclusion).
+        assert all(v < 0.10 for v in improvements.values())

@@ -1,0 +1,142 @@
+"""CLI end-to-end tests (simulate -> run -> evaluate -> scaling)."""
+
+import os
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture(scope="module")
+def sample_dir(tmp_path_factory):
+    out = str(tmp_path_factory.mktemp("cli_sample"))
+    rc = main(
+        [
+            "simulate",
+            out,
+            "--genome-size",
+            "12000",
+            "--coverage",
+            "6",
+            "--seed",
+            "5",
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+class TestSimulate:
+    def test_writes_all_files(self, sample_dir):
+        for name in (
+            "reference.fa",
+            "sample_1.fastq",
+            "sample_2.fastq",
+            "known_sites.vcf",
+            "truth.vcf",
+        ):
+            path = os.path.join(sample_dir, name)
+            assert os.path.exists(path) and os.path.getsize(path) > 0
+
+    def test_files_parse(self, sample_dir):
+        from repro.formats.fasta import read_fasta
+        from repro.formats.fastq import read_fastq
+        from repro.formats.vcf import read_vcf
+
+        ref = read_fasta(os.path.join(sample_dir, "reference.fa"))
+        assert ref.total_length() == 12000
+        reads1 = read_fastq(os.path.join(sample_dir, "sample_1.fastq"))
+        reads2 = read_fastq(os.path.join(sample_dir, "sample_2.fastq"))
+        assert len(reads1) == len(reads2) > 0
+        _, truth = read_vcf(os.path.join(sample_dir, "truth.vcf"))
+        assert truth
+
+    def test_deterministic_by_seed(self, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        for out in (a, b):
+            main(["simulate", out, "--genome-size", "6000", "--seed", "9"])
+        with open(os.path.join(a, "sample_1.fastq")) as fa, open(
+            os.path.join(b, "sample_1.fastq")
+        ) as fb:
+            assert fa.read() == fb.read()
+
+
+class TestRunAndEvaluate:
+    @pytest.fixture(scope="class")
+    def calls_path(self, sample_dir):
+        out = os.path.join(sample_dir, "calls.vcf")
+        rc = main(
+            [
+                "run",
+                "--reference",
+                os.path.join(sample_dir, "reference.fa"),
+                "--fastq1",
+                os.path.join(sample_dir, "sample_1.fastq"),
+                "--fastq2",
+                os.path.join(sample_dir, "sample_2.fastq"),
+                "--known-sites",
+                os.path.join(sample_dir, "known_sites.vcf"),
+                "--output",
+                out,
+                "--partition-length",
+                "4000",
+            ]
+        )
+        assert rc == 0
+        return out
+
+    def test_run_writes_vcf(self, calls_path):
+        from repro.formats.vcf import read_vcf
+
+        _, calls = read_vcf(calls_path)
+        assert calls
+
+    def test_evaluate_reports_scores(self, sample_dir, calls_path, capsys):
+        rc = main(
+            [
+                "evaluate",
+                "--calls",
+                calls_path,
+                "--truth",
+                os.path.join(sample_dir, "truth.vcf"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "precision" in out and "recall" in out
+        recall = float(out.split("recall")[1].split()[0])
+        assert recall > 0.3
+
+    def test_run_without_known_sites(self, sample_dir, tmp_path):
+        out = str(tmp_path / "nodbsnp.vcf")
+        rc = main(
+            [
+                "run",
+                "--reference",
+                os.path.join(sample_dir, "reference.fa"),
+                "--fastq1",
+                os.path.join(sample_dir, "sample_1.fastq"),
+                "--fastq2",
+                os.path.join(sample_dir, "sample_2.fastq"),
+                "--output",
+                out,
+                "--partition-length",
+                "4000",
+                "--no-optimize",
+            ]
+        )
+        assert rc == 0
+        assert os.path.exists(out)
+
+
+class TestScaling:
+    def test_prints_table(self, capsys):
+        rc = main(["scaling", "--cores", "128", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GPF" in out and "Churchill" in out
+        assert "128" in out and "256" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
