@@ -1,0 +1,46 @@
+"""gpfcheck — static pipeline linter and closure analyzer (no execution).
+
+The paper's Pipeline performs "a unified analysis of every added Process
+before any committed operation" (§3.2, Algorithm 1).  This package makes
+that analysis a standalone static pass: it validates a plan's Process
+DAG, cross-checks the Fig. 7 redundancy elimination, and inspects the
+closures a run would ship to RDD tasks — producing stable ``GPF***``
+diagnostics instead of mid-run stack traces.
+
+Entry points::
+
+    from repro.analysis import lint_pipeline, lint_plan
+    report = lint_pipeline(pipeline, returned=[vcf_bundle])
+    if report.has_errors:
+        print(report.render())
+
+or ``Pipeline.lint()`` / ``Pipeline.run(strict=True)`` / ``gpf lint``.
+"""
+
+from repro.analysis.closures import (
+    analyze_closure,
+    check_rdd_lineage,
+    iter_lineage_functions,
+)
+from repro.analysis.diagnostics import CODES, Diagnostic, LintReport, Severity
+from repro.analysis.linter import LintOptions, lint_pipeline, lint_plan
+from repro.analysis.optimizer_check import run_optimizer_checks
+from repro.analysis.plan_rules import run_plan_rules
+from repro.analysis.source_scan import scan_directory, scan_source
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintOptions",
+    "LintReport",
+    "Severity",
+    "analyze_closure",
+    "check_rdd_lineage",
+    "iter_lineage_functions",
+    "lint_pipeline",
+    "lint_plan",
+    "run_optimizer_checks",
+    "run_plan_rules",
+    "scan_directory",
+    "scan_source",
+]

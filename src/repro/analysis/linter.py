@@ -1,0 +1,97 @@
+"""gpfcheck: the lint orchestrator.
+
+``lint_plan`` runs all three analysis layers over a pipeline plan — plan
+rules over the Process DAG, the optimizer cross-check, and the closure
+analyzer over the lineage of every already-defined RDD input — and
+returns one :class:`~repro.analysis.diagnostics.LintReport`.  This is the
+paper's "unified analysis ... before any committed operation" turned into
+a standalone, side-effect-free pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TYPE_CHECKING
+
+from repro.analysis.closures import (
+    DEFAULT_BIG_CAPTURE_BYTES,
+    check_rdd_lineage,
+)
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.optimizer_check import run_optimizer_checks
+from repro.analysis.plan_rules import run_plan_rules
+from repro.core.process import Process
+from repro.core.resource import Resource
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import Pipeline
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Knobs of a lint run."""
+
+    #: run the optimizer cross-check layer.
+    check_optimizer: bool = True
+    #: walk defined RDD lineages and analyze task closures.
+    check_closures: bool = True
+    #: GPF203 threshold, in estimated bytes.
+    big_capture_bytes: int = DEFAULT_BIG_CAPTURE_BYTES
+
+
+def lint_plan(
+    processes: Sequence[Process],
+    returned: Sequence[Resource] = (),
+    options: LintOptions | None = None,
+) -> LintReport:
+    """Statically check a plan (a list of Processes) without running it."""
+    options = options or LintOptions()
+    report = LintReport()
+    report.extend(run_plan_rules(processes, returned=returned))
+    if options.check_optimizer:
+        report.extend(run_optimizer_checks(list(processes)))
+    if options.check_closures:
+        report.extend(_closure_diagnostics(processes, options))
+    return report
+
+
+def _closure_diagnostics(
+    processes: Sequence[Process], options: LintOptions
+):
+    """Closure checks over the lineage of every defined RDD resource.
+
+    At plan time only the pipeline's *input* bundles hold RDDs, so this
+    inspects exactly the driver-built lineage a run would ship to tasks
+    first (loaders, pre-processing maps) — the place user closures live.
+    """
+    from repro.engine.rdd import RDD
+
+    out = []
+    seen: set[int] = set()
+    for process in processes:
+        for resource in list(process.inputs) + list(process.outputs):
+            if not resource.is_defined or id(resource) in seen:
+                continue
+            seen.add(id(resource))
+            value = resource.value
+            if isinstance(value, RDD):
+                out.extend(
+                    check_rdd_lineage(
+                        value, big_capture_bytes=options.big_capture_bytes
+                    )
+                )
+    return out
+
+
+def lint_pipeline(
+    pipeline: "Pipeline",
+    returned: Sequence[Resource] = (),
+    options: LintOptions | None = None,
+) -> LintReport:
+    """Lint a Pipeline's (unoptimized) plan.
+
+    Resources declared via ``Pipeline.mark_returned`` count as returned in
+    addition to any passed explicitly.
+    """
+    combined = list(returned) + list(getattr(pipeline, "returned", ()))
+    return lint_plan(pipeline.processes, returned=combined, options=options)

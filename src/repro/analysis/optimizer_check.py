@@ -1,0 +1,128 @@
+"""Layer 2 of gpfcheck: cross-check the Fig. 7 redundancy elimination.
+
+``repro.core.optimizer.find_partition_chains`` fuses chains of partition
+Processes so the groupBy/join bundle build runs once per chain (the
+paper's Table 4 accounting).  This module independently walks the DAG's
+partition-Process edges and explains every *almost*-fusable link the
+optimizer will skip:
+
+- GPF101 — producer and consumer do not share one PartitionInfo bundle,
+- GPF102 — the link Resource has a consumer outside the chain, so fusion
+  would change what that side consumer observes.
+
+Links the optimizer will fuse are reported as GPF103 info lines, with the
+number of redundant bundle builds eliminated — a static version of the
+paper's Table 4 numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.core.optimizer import _same_partition_info, find_partition_chains
+from repro.core.process import Process
+
+
+def run_optimizer_checks(processes: Sequence[Process]) -> list[Diagnostic]:
+    """Diff the optimizer's chains against the DAG's partition edges."""
+    plan = list(processes)
+    chains = find_partition_chains(plan)
+
+    # Links the optimizer will actually fuse: consecutive chain members.
+    fused_links: set[tuple[int, int]] = set()
+    for chain in chains:
+        for a, b in zip(chain, chain[1:]):
+            fused_links.add((id(a), id(b)))
+
+    consumers: dict[int, list[Process]] = {}
+    for process in plan:
+        for resource in process.inputs:
+            consumers.setdefault(id(resource), []).append(process)
+
+    out: list[Diagnostic] = []
+    for chain in chains:
+        names = " -> ".join(p.name for p in chain)
+        out.append(
+            Diagnostic(
+                code="GPF103",
+                severity=Severity.INFO,
+                message=(
+                    f"partition chain [{names}] fuses: {len(chain) - 1} "
+                    "redundant bundle build(s) eliminated"
+                ),
+                process=chain[0].name,
+            )
+        )
+
+    # Every producer->consumer edge between partition Processes that the
+    # optimizer will NOT fuse gets an explanation.
+    for producer in plan:
+        if not producer.is_partition_process:
+            continue
+        for resource in producer.outputs:
+            for consumer in consumers.get(id(resource), []):
+                if not consumer.is_partition_process:
+                    continue
+                if (id(producer), id(consumer)) in fused_links:
+                    continue
+                if not _same_partition_info(producer, consumer):
+                    out.append(
+                        Diagnostic(
+                            code="GPF101",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"{producer.name!r} -> {consumer.name!r} "
+                                "would fuse, but they do not share a "
+                                "PartitionInfo bundle; the bundle RDD will "
+                                "be rebuilt"
+                            ),
+                            process=consumer.name,
+                            resource=resource.name,
+                            fix_hint="pass the same PartitionInfoBundle "
+                            "instance to both Processes",
+                        )
+                    )
+                    continue
+                side = [
+                    p.name
+                    for p in consumers.get(id(resource), [])
+                    if p is not consumer
+                ]
+                if side:
+                    out.append(
+                        Diagnostic(
+                            code="GPF102",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"{producer.name!r} -> {consumer.name!r} "
+                                "would fuse, but "
+                                f"{resource.name!r} is also consumed by "
+                                f"{', '.join(sorted(side))}; the side "
+                                "consumer breaks the chain"
+                            ),
+                            process=consumer.name,
+                            resource=resource.name,
+                            fix_hint="read the side input from an earlier "
+                            "bundle, or accept the extra bundle build",
+                        )
+                    )
+                else:
+                    # Remaining reason: fan-out from the producer (multiple
+                    # distinct partition consumers) or a broken interior
+                    # link — report as a chain break too.
+                    out.append(
+                        Diagnostic(
+                            code="GPF102",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"{producer.name!r} -> {consumer.name!r} "
+                                "would fuse, but the link is not a simple "
+                                "path (fan-in/fan-out); fusion needs a "
+                                "linear chain"
+                            ),
+                            process=consumer.name,
+                            resource=resource.name,
+                        )
+                    )
+    return out

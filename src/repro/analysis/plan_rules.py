@@ -1,0 +1,292 @@
+"""Layer 1 of gpfcheck: structural rules over the Process DAG.
+
+These rules re-derive, *statically*, every failure Algorithm 1 would only
+hit mid-run: cycles (``CircularDependencyError``), inputs nobody defines
+(a Process Blocked forever), double definition (``Resource.define`` on an
+already-defined Resource), and state-machine tampering.  They also flag
+plan smells that are legal but almost always mistakes: outputs nobody
+reads and plans that split into disconnected islands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.core.process import Process, ProcessState
+from repro.core.resource import Resource
+
+
+@dataclass
+class PlanContext:
+    """Producer/consumer indexes computed once and shared by every rule."""
+
+    processes: list[Process]
+    #: id(resource) -> Processes listing it as an output.
+    producers: dict[int, list[Process]] = field(default_factory=dict)
+    #: id(resource) -> Processes listing it as an input.
+    consumers: dict[int, list[Process]] = field(default_factory=dict)
+    #: id(resource) -> the Resource object itself.
+    resources: dict[int, Resource] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, processes: Sequence[Process]) -> "PlanContext":
+        ctx = cls(processes=list(processes))
+        for process in ctx.processes:
+            for resource in process.outputs:
+                ctx.producers.setdefault(id(resource), []).append(process)
+                ctx.resources[id(resource)] = resource
+            for resource in process.inputs:
+                ctx.consumers.setdefault(id(resource), []).append(process)
+                ctx.resources[id(resource)] = resource
+        return ctx
+
+
+def check_cycles(ctx: PlanContext) -> list[Diagnostic]:
+    """GPF001: any cycle makes Algorithm 1 stall with no Ready Process."""
+    from repro.core.dag import find_cycles
+
+    out = []
+    for cycle in find_cycles(ctx.processes):
+        out.append(
+            Diagnostic(
+                code="GPF001",
+                severity=Severity.ERROR,
+                message=f"cycle in the Process DAG: {' -> '.join(cycle + [cycle[0]])}",
+                process=cycle[0],
+                fix_hint="break the cycle; a Process cannot consume its own "
+                "(transitive) output",
+            )
+        )
+    return out
+
+
+def check_dangling_inputs(ctx: PlanContext) -> list[Diagnostic]:
+    """GPF002: an undefined input with no producer blocks its Process forever."""
+    out = []
+    for process in ctx.processes:
+        for resource in process.inputs:
+            if resource.is_defined or ctx.producers.get(id(resource)):
+                continue
+            out.append(
+                Diagnostic(
+                    code="GPF002",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"input {resource.name!r} of {process.name!r} is "
+                        "undefined and no Process produces it; the Process "
+                        "can never leave BLOCKED"
+                    ),
+                    process=process.name,
+                    resource=resource.name,
+                    fix_hint="define the Resource up front (e.g. "
+                    "Bundle.defined(...)) or add the producing Process to "
+                    "the plan",
+                )
+            )
+    return out
+
+
+def check_multiple_producers(ctx: PlanContext) -> list[Diagnostic]:
+    """GPF003: two producers race to define one Resource; the second raises."""
+    out = []
+    for rid, procs in ctx.producers.items():
+        if len(procs) < 2:
+            continue
+        resource = ctx.resources[rid]
+        names = ", ".join(sorted(p.name for p in procs))
+        out.append(
+            Diagnostic(
+                code="GPF003",
+                severity=Severity.ERROR,
+                message=(
+                    f"resource {resource.name!r} is produced by "
+                    f"{len(procs)} Processes ({names}); the second define() "
+                    "will raise at runtime"
+                ),
+                process=procs[0].name,
+                resource=resource.name,
+                fix_hint="give each producer its own output Resource",
+            )
+        )
+    return out
+
+
+def check_double_definition(ctx: PlanContext) -> list[Diagnostic]:
+    """GPF008: a user-defined Resource that a Process also produces."""
+    out = []
+    for rid, procs in ctx.producers.items():
+        resource = ctx.resources[rid]
+        if not resource.is_defined:
+            continue
+        out.append(
+            Diagnostic(
+                code="GPF008",
+                severity=Severity.ERROR,
+                message=(
+                    f"resource {resource.name!r} is already defined but "
+                    f"{procs[0].name!r} lists it as an output; its define() "
+                    "will raise at runtime"
+                ),
+                process=procs[0].name,
+                resource=resource.name,
+                fix_hint="pass an undefined Resource as the output, or drop "
+                "the producing Process",
+            )
+        )
+    return out
+
+
+def check_unconsumed_outputs(
+    ctx: PlanContext, returned: Sequence[Resource] = ()
+) -> list[Diagnostic]:
+    """GPF004: outputs nobody reads and the caller does not keep are dead work."""
+    returned_ids = {id(r) for r in returned}
+    out = []
+    for process in ctx.processes:
+        for resource in process.outputs:
+            if id(resource) in returned_ids or ctx.consumers.get(id(resource)):
+                continue
+            out.append(
+                Diagnostic(
+                    code="GPF004",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"output {resource.name!r} of {process.name!r} is "
+                        "never consumed and not marked as returned; the work "
+                        "producing it may be wasted"
+                    ),
+                    process=process.name,
+                    resource=resource.name,
+                    fix_hint="consume it, drop it, or declare it with "
+                    "Pipeline.mark_returned(...)",
+                )
+            )
+    return out
+
+
+def check_disconnected(ctx: PlanContext) -> list[Diagnostic]:
+    """GPF005: a plan that splits into islands is legal (paper §4.3) but is
+    usually a forgotten wire, so it rates a warning naming the smallest
+    component."""
+    from repro.core.dag import build_process_graph
+
+    import networkx as nx
+
+    graph = build_process_graph(ctx.processes)
+    if len(graph) == 0:
+        return []
+    components = sorted(
+        nx.weakly_connected_components(graph), key=len
+    )
+    if len(components) < 2:
+        return []
+    smallest = sorted(p.name for p in components[0])
+    return [
+        Diagnostic(
+            code="GPF005",
+            severity=Severity.WARNING,
+            message=(
+                f"plan splits into {len(components)} disconnected "
+                f"components; smallest is {{{', '.join(smallest)}}}"
+            ),
+            process=smallest[0],
+            fix_hint="check for a missing producer/consumer wire between "
+            "the components (intentional forests can ignore this)",
+        )
+    ]
+
+
+def check_bundle_types(ctx: PlanContext) -> list[Diagnostic]:
+    """GPF006: wiring vs declaration mismatch.
+
+    Processes may declare expected Resource classes per slot via the
+    ``input_types`` / ``output_types`` arguments of ``Process.__init__``
+    (``None`` entries mean "any").  A ``SAMBundle`` wired into a slot
+    declared ``VCFBundle`` is exactly the paper's data-contract violation:
+    the Process would read records of the wrong schema mid-run.
+    """
+    out = []
+    for process in ctx.processes:
+        slots = [
+            ("input", process.inputs, process.input_types),
+            ("output", process.outputs, process.output_types),
+        ]
+        for kind, resources, types in slots:
+            if types is None:
+                continue
+            for index, (resource, expected) in enumerate(zip(resources, types)):
+                if expected is None or isinstance(resource, expected):
+                    continue
+                producer = ctx.producers.get(id(resource))
+                origin = (
+                    f" (produced by {producer[0].name!r})" if producer else ""
+                )
+                out.append(
+                    Diagnostic(
+                        code="GPF006",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"{kind} slot {index} of {process.name!r} "
+                            f"declares {expected.__name__} but is wired to "
+                            f"{type(resource).__name__} "
+                            f"{resource.name!r}{origin}"
+                        ),
+                        process=process.name,
+                        resource=resource.name,
+                        fix_hint=f"wire a {expected.__name__} into this slot",
+                    )
+                )
+    return out
+
+
+def check_state_machine(ctx: PlanContext) -> list[Diagnostic]:
+    """GPF007: every Process must sit at BLOCKED before the plan runs.
+
+    A READY/RUNNING/END Process at plan time means the state machine was
+    driven outside the Pipeline (or the plan already ran without
+    ``Pipeline.reset()``); Algorithm 1's bookkeeping would be wrong.
+    """
+    out = []
+    for process in ctx.processes:
+        if process.state is ProcessState.BLOCKED:
+            continue
+        out.append(
+            Diagnostic(
+                code="GPF007",
+                severity=Severity.ERROR,
+                message=(
+                    f"process {process.name!r} is {process.state.value!r} at "
+                    "plan time; expected 'blocked'"
+                ),
+                process=process.name,
+                fix_hint="call Pipeline.reset() (or Process.reset()) before "
+                "re-running, and never drive the state machine directly",
+            )
+        )
+    return out
+
+
+#: Rules that need no extra arguments, in report order.
+_SIMPLE_RULES = (
+    check_cycles,
+    check_dangling_inputs,
+    check_multiple_producers,
+    check_double_definition,
+    check_disconnected,
+    check_bundle_types,
+    check_state_machine,
+)
+
+
+def run_plan_rules(
+    processes: Sequence[Process], returned: Sequence[Resource] = ()
+) -> list[Diagnostic]:
+    """Run every plan rule over the (unoptimized) plan."""
+    ctx = PlanContext.build(processes)
+    out: list[Diagnostic] = []
+    for rule in _SIMPLE_RULES:
+        out.extend(rule(ctx))
+    out.extend(check_unconsumed_outputs(ctx, returned))
+    return out

@@ -54,6 +54,38 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--calls", required=True)
     ev.add_argument("--truth", required=True)
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically validate the WGS pipeline plan (gpfcheck)",
+        description=(
+            "Build the standard WGS plan (over a tiny in-memory sample, or "
+            "over your files) and run gpfcheck's static analysis: DAG plan "
+            "rules, optimizer cross-check, and closure analysis. Nothing is "
+            "executed."
+        ),
+    )
+    lint.add_argument("--reference", help="FASTA path (default: simulated)")
+    lint.add_argument("--fastq1", help="FASTQ mate-1 path")
+    lint.add_argument("--fastq2", help="FASTQ mate-2 path")
+    lint.add_argument("--known-sites", help="dbSNP-like VCF path")
+    lint.add_argument("--partition-length", type=int, default=5_000)
+    lint.add_argument("--partitions", type=int, default=4)
+    lint.add_argument(
+        "--no-closures",
+        action="store_true",
+        help="skip the closure-analysis layer",
+    )
+    lint.add_argument(
+        "--warnings-as-errors",
+        action="store_true",
+        help="exit nonzero on warnings too",
+    )
+    lint.add_argument(
+        "--examples",
+        metavar="DIR",
+        help="also source-scan every *.py plan in DIR",
+    )
+
     sc = sub.add_parser("scaling", help="print the Fig. 10 scaling table")
     sc.add_argument("--gigabases", type=float, default=146.9)
     sc.add_argument(
@@ -166,6 +198,81 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """lint: build the WGS plan and statically validate it (no execution)."""
+    from repro.analysis import LintOptions, Severity, lint_pipeline, scan_directory
+    from repro.engine import EngineConfig, GPFContext
+    from repro.wgs import build_wgs_pipeline
+
+    if args.reference:
+        from repro.engine.files import load_fastq_pair_lazy
+        from repro.formats.fasta import read_fasta
+        from repro.formats.vcf import read_vcf
+
+        if not (args.fastq1 and args.fastq2):
+            print("lint: --reference requires --fastq1/--fastq2", file=sys.stderr)
+            return 2
+        reference = read_fasta(args.reference)
+        known = []
+        if args.known_sites:
+            _, known = read_vcf(args.known_sites)
+    else:
+        # No files: lint the built-in plan over a tiny simulated sample.
+        from repro.sim import (
+            ReadSimConfig,
+            ReadSimulator,
+            generate_known_sites,
+            generate_reference,
+            plant_variants,
+        )
+
+        reference = generate_reference([4_000], seed=0)
+        truth = plant_variants(
+            reference, snp_rate=0.002, indel_rate=0.0003, seed=1
+        )
+        known = generate_known_sites(truth, reference, seed=2)
+
+    exit_code = 0
+    options = LintOptions(check_closures=not args.no_closures)
+    with GPFContext(EngineConfig(default_parallelism=args.partitions)) as ctx:
+        if args.reference:
+            rdd = load_fastq_pair_lazy(
+                ctx, args.fastq1, args.fastq2, args.partitions
+            )
+        else:
+            pairs = ReadSimulator(
+                truth.donor, ReadSimConfig(coverage=2.0, seed=3)
+            ).simulate()
+            rdd = ctx.parallelize(pairs, args.partitions)
+        handles = build_wgs_pipeline(
+            ctx,
+            reference,
+            rdd,
+            known,
+            partition_length=args.partition_length,
+        )
+        report = lint_pipeline(handles.pipeline, options=options)
+        print(f"gpfcheck: plan {handles.pipeline.name!r} "
+              f"({len(handles.pipeline.processes)} processes)")
+        print(report.render(min_severity=Severity.INFO))
+        if report.has_errors or (args.warnings_as_errors and report.warnings):
+            exit_code = 1
+
+    if args.examples:
+        if not os.path.isdir(args.examples):
+            print(f"lint: no such directory: {args.examples}", file=sys.stderr)
+            return 2
+        print(f"\ngpfcheck: source scan over {args.examples}/*.py")
+        for name, diags in scan_directory(args.examples).items():
+            for diag in diags:
+                print(f"  {name}: {diag.render()}")
+                if diag.severity >= Severity.ERROR or args.warnings_as_errors:
+                    exit_code = 1
+            if not diags:
+                print(f"  {name}: clean")
+    return exit_code
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """evaluate: score calls against truth and print the report."""
     from repro.caller.evaluation import evaluate_calls
@@ -214,6 +321,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "run": cmd_run,
         "evaluate": cmd_evaluate,
+        "lint": cmd_lint,
         "scaling": cmd_scaling,
     }
     return handlers[args.command](args)

@@ -32,7 +32,9 @@ def build_process_graph(processes: Sequence[Process]) -> "nx.DiGraph":
     for process in processes:
         for resource in process.inputs:
             producer = producers.get(id(resource))
-            if producer is not None and producer is not process:
+            # A self-edge (a Process consuming its own output) is a real
+            # one-Process cycle: it can never leave BLOCKED.
+            if producer is not None:
                 graph.add_edge(producer, process, resource=resource.name)
     return graph
 

@@ -14,13 +14,30 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.optimizer import eliminate_redundancy
 from repro.core.process import Process
+from repro.core.resource import Resource
 from repro.engine.context import GPFContext
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import LintReport
 
 
 class CircularDependencyError(RuntimeError):
     pass
+
+
+class PipelineLintError(RuntimeError):
+    """``run(strict=True)`` refused a plan with error-severity diagnostics."""
+
+    def __init__(self, report: "LintReport"):
+        self.report = report
+        super().__init__(
+            "pipeline failed static analysis with "
+            f"{len(report.errors)} error(s):\n{report.render()}"
+        )
 
 
 class Pipeline:
@@ -30,6 +47,9 @@ class Pipeline:
         self.processes: list[Process] = []
         #: Processes actually executed on the last run (post-optimization).
         self.executed: list[Process] = []
+        #: Resources the caller keeps (terminal outputs); gpfcheck's
+        #: GPF004 dead-output rule treats them as consumed.
+        self.returned: list[Resource] = []
 
     def add_process(self, process: Process) -> "Pipeline":
         """Append a Process to the plan (each instance at most once)."""
@@ -38,9 +58,35 @@ class Pipeline:
         self.processes.append(process)
         return self
 
+    def mark_returned(self, *resources: Resource) -> "Pipeline":
+        """Declare terminal outputs the caller will read after the run."""
+        self.returned.extend(resources)
+        return self
+
+    # -- static analysis (gpfcheck) -----------------------------------------
+    def lint(self, **kwargs) -> "LintReport":
+        """Statically validate the plan without executing anything.
+
+        Keyword arguments are forwarded to
+        :func:`repro.analysis.lint_pipeline` (``returned=``, ``options=``).
+        """
+        from repro.analysis import lint_pipeline
+
+        return lint_pipeline(self, **kwargs)
+
     # -- Algorithm 1 ---------------------------------------------------------
-    def run(self, optimize: bool = True) -> None:
-        """Analyze, optimize, and execute every Process."""
+    def run(self, optimize: bool = True, strict: bool = False) -> None:
+        """Analyze, optimize, and execute every Process.
+
+        With ``strict=True`` the plan is linted first and execution is
+        refused (``PipelineLintError``) if any error-severity diagnostic
+        is found — the paper's fail-before-any-committed-operation
+        contract.
+        """
+        if strict:
+            report = self.lint()
+            if report.has_errors:
+                raise PipelineLintError(report)
         plan = list(self.processes)
         if optimize:
             plan = eliminate_redundancy(plan)
@@ -77,9 +123,7 @@ class Pipeline:
         """Undefine every Process-produced Resource so the pipeline can be
         re-run (user-defined inputs stay defined)."""
         for process in self.processes:
-            for resource in process.outputs:
-                resource.undefine()
-            process._state = type(process._state).BLOCKED
+            process.reset()
         self.executed = []
 
     def describe(self) -> str:

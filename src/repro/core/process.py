@@ -38,11 +38,35 @@ class Process:
         name: str,
         inputs: Sequence[Resource],
         outputs: Sequence[Resource],
+        input_types: Sequence[type | None] | None = None,
+        output_types: Sequence[type | None] | None = None,
     ):
         self.name = name
         self.inputs = list(inputs)
         self.outputs = list(outputs)
+        #: Optional per-slot Resource-class declarations checked by
+        #: gpfcheck's GPF006 rule (None entries mean "any").
+        self.input_types = self._check_spec("input", self.inputs, input_types)
+        self.output_types = self._check_spec(
+            "output", self.outputs, output_types
+        )
         self._state = ProcessState.BLOCKED
+
+    @staticmethod
+    def _check_spec(
+        kind: str,
+        resources: list[Resource],
+        types: Sequence[type | None] | None,
+    ) -> tuple[type | None, ...] | None:
+        if types is None:
+            return None
+        types = tuple(types)
+        if len(types) != len(resources):
+            raise ValueError(
+                f"{kind}_types has {len(types)} entries for "
+                f"{len(resources)} {kind} resources"
+            )
+        return types
 
     # -- state machine -------------------------------------------------------
     @property
@@ -57,6 +81,19 @@ class Process:
             self._state = ProcessState.READY
         return self._state
 
+    def reset(self) -> None:
+        """Re-block the state machine so the Process can run again.
+
+        The public counterpart of the BLOCKED->...->END walk: undefines
+        every output this Process produced and returns to BLOCKED.  Input
+        Resources are left alone (they may be user inputs or another
+        Process's outputs).
+        """
+        for resource in self.outputs:
+            if resource.is_defined:
+                resource.undefine()
+        self._state = ProcessState.BLOCKED
+
     def run(self, ctx: "GPFContext") -> None:
         """Issue the Process: READY -> RUNNING -> END."""
         self.refresh_state()
@@ -67,9 +104,15 @@ class Process:
                 f"undefined inputs: {undefined}"
             )
         self._state = ProcessState.RUNNING
+        defined_before = [r.is_defined for r in self.outputs]
         try:
             self.execute(ctx)
         except Exception:
+            # Roll back outputs the failed attempt defined, so a retried
+            # plan does not see phantom Resources.
+            for resource, was_defined in zip(self.outputs, defined_before):
+                if resource.is_defined and not was_defined:
+                    resource.undefine()
             self._state = ProcessState.BLOCKED
             raise
         not_defined = [r.name for r in self.outputs if not r.is_defined]

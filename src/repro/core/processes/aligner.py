@@ -32,7 +32,13 @@ class BwaMemProcess(Process):
         aligner_config: AlignerConfig | None = None,
         pairing_config: PairingConfig | None = None,
     ):
-        super().__init__(name, inputs=[input_bundle], outputs=[output_bundle])
+        super().__init__(
+            name,
+            inputs=[input_bundle],
+            outputs=[output_bundle],
+            input_types=[FASTQPairBundle],
+            output_types=[SAMBundle],
+        )
         self.reference = reference
         self.input_bundle = input_bundle
         self.output_bundle = output_bundle

@@ -38,6 +38,7 @@ class HaplotypeCallerProcess(PartitionProcessBase):
             partition_info_bundle,
             input_sam_bundles,
             [output_vcf_bundle],
+            output_types=[VCFBundle],
         )
         config = caller_config or CallerConfig()
         config.gvcf = use_gvcf
@@ -72,7 +73,13 @@ class VariantFiltrationProcess(Process):
         filter_config: FilterConfig | None = None,
         keep_failing: bool = True,
     ):
-        super().__init__(name, inputs=[input_vcf], outputs=[output_vcf])
+        super().__init__(
+            name,
+            inputs=[input_vcf],
+            outputs=[output_vcf],
+            input_types=[VCFBundle],
+            output_types=[VCFBundle],
+        )
         self.reference = reference
         self.input_vcf = input_vcf
         self.output_vcf = output_vcf

@@ -27,7 +27,13 @@ class SortProcess(Process):
     """Coordinate sort (Samtools sort analogue)."""
 
     def __init__(self, name: str, input_bundle: SAMBundle, output_bundle: SAMBundle):
-        super().__init__(name, inputs=[input_bundle], outputs=[output_bundle])
+        super().__init__(
+            name,
+            inputs=[input_bundle],
+            outputs=[output_bundle],
+            input_types=[SAMBundle],
+            output_types=[SAMBundle],
+        )
         self.input_bundle = input_bundle
         self.output_bundle = output_bundle
 
@@ -60,7 +66,13 @@ class MarkDuplicateProcess(Process):
     """
 
     def __init__(self, name: str, input_bundle: SAMBundle, output_bundle: SAMBundle):
-        super().__init__(name, inputs=[input_bundle], outputs=[output_bundle])
+        super().__init__(
+            name,
+            inputs=[input_bundle],
+            outputs=[output_bundle],
+            input_types=[SAMBundle],
+            output_types=[SAMBundle],
+        )
         self.input_bundle = input_bundle
         self.output_bundle = output_bundle
 
@@ -118,6 +130,7 @@ class IndelRealignProcess(PartitionProcessBase):
             partition_info_bundle,
             input_sam_bundles,
             output_sam_bundles,
+            output_types=[SAMBundle] * len(list(output_sam_bundles)),
         )
         for inp, outp in zip(input_sam_bundles, output_sam_bundles):
             outp.header = inp.header
@@ -154,6 +167,7 @@ class BaseRecalibrationProcess(PartitionProcessBase):
             partition_info_bundle,
             input_sam_bundles,
             output_sam_bundles,
+            output_types=[SAMBundle] * len(list(output_sam_bundles)),
         )
         for inp, outp in zip(input_sam_bundles, output_sam_bundles):
             outp.header = inp.header

@@ -51,7 +51,9 @@ class LoadFastqPairProcess(Process):
         output: FASTQPairBundle,
         num_partitions: int | None = None,
     ):
-        super().__init__(name, inputs=[], outputs=[output])
+        super().__init__(
+            name, inputs=[], outputs=[output], output_types=[FASTQPairBundle]
+        )
         self.path1 = path1
         self.path2 = path2
         self.num_partitions = num_partitions
@@ -68,7 +70,9 @@ class WriteVcfProcess(Process):
     """Collects a VCFBundle and writes a sorted VCF file."""
 
     def __init__(self, name: str, vcf_bundle: VCFBundle, path: str):
-        super().__init__(name, inputs=[vcf_bundle], outputs=[])
+        super().__init__(
+            name, inputs=[vcf_bundle], outputs=[], input_types=[VCFBundle]
+        )
         self.vcf_bundle = vcf_bundle
         self.path = path
 

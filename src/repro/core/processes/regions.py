@@ -104,9 +104,17 @@ class PartitionProcessBase(Process):
         partition_info_bundle: PartitionInfoBundle,
         input_sam_bundles: Sequence[SAMBundle],
         outputs: Sequence,
+        output_types: Sequence[type | None] | None = None,
     ):
         inputs: list = [partition_info_bundle, *input_sam_bundles]
-        super().__init__(name, inputs=inputs, outputs=list(outputs))
+        super().__init__(
+            name,
+            inputs=inputs,
+            outputs=list(outputs),
+            input_types=[PartitionInfoBundle]
+            + [SAMBundle] * len(input_sam_bundles),
+            output_types=output_types,
+        )
         self.reference = reference
         self.rod_map = rod_map
         self.partition_info_bundle = partition_info_bundle

@@ -36,7 +36,11 @@ class ReadRepartitioner(Process):
         segmentation_threshold: int | None = None,
     ):
         super().__init__(
-            name, inputs=list(input_sam_bundles), outputs=[output_partition_info]
+            name,
+            inputs=list(input_sam_bundles),
+            outputs=[output_partition_info],
+            input_types=[SAMBundle] * len(list(input_sam_bundles)),
+            output_types=[PartitionInfoBundle],
         )
         self.input_sam_bundles = list(input_sam_bundles)
         self.output_partition_info = output_partition_info

@@ -110,6 +110,10 @@ def build_wgs_pipeline(
         )
     )
 
+    # The caller reads the VCF bundle after the run; gpfcheck's dead-output
+    # rule (GPF004) must not flag it.
+    pipeline.mark_returned(vcf)
+
     return WgsPipelineHandles(
         pipeline=pipeline,
         fastq=fastq,
@@ -215,6 +219,8 @@ def build_cohort_pipeline(
             caller_config=caller_config,
         )
     )
+
+    pipeline.mark_returned(vcf)
 
     return CohortPipelineHandles(
         pipeline=pipeline,

@@ -1,0 +1,112 @@
+"""Lint gate over the shipped plans: every examples/*.py source-scans
+clean, and the plans the examples build pass gpfcheck with zero errors."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, scan_directory, scan_source
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestSourceScan:
+    def test_examples_directory_found(self):
+        assert EXAMPLE_FILES, f"no examples under {EXAMPLES_DIR}"
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=[p.name for p in EXAMPLE_FILES]
+    )
+    def test_example_scans_clean(self, path):
+        diags = scan_source(path)
+        rendered = "\n".join(d.render() for d in diags)
+        assert not diags, f"{path.name} has closure findings:\n{rendered}"
+
+    def test_scan_directory_covers_every_example(self):
+        results = scan_directory(EXAMPLES_DIR)
+        assert set(results) == {p.name for p in EXAMPLE_FILES}
+
+    def test_scan_catches_planted_nondeterminism(self, tmp_path):
+        bad = tmp_path / "bad_plan.py"
+        bad.write_text(
+            "import random\n"
+            "def build(ctx):\n"
+            "    return ctx.parallelize(range(10), 2)"
+            ".map(lambda x: x + random.random())\n"
+        )
+        diags = scan_source(bad)
+        assert [d.code for d in diags] == ["GPF201"]
+
+    def test_scan_catches_planted_mutation(self, tmp_path):
+        bad = tmp_path / "bad_mut.py"
+        bad.write_text(
+            "seen = []\n"
+            "def build(ctx):\n"
+            "    rdd = ctx.parallelize(range(10), 2)\n"
+            "    def track(x):\n"
+            "        seen.append(x)\n"
+            "        return x\n"
+            "    return rdd.map(track)\n"
+        )
+        diags = scan_source(bad)
+        assert [d.code for d in diags] == ["GPF202"]
+
+    def test_scan_resolves_named_module_functions(self, tmp_path):
+        bad = tmp_path / "bad_named.py"
+        bad.write_text(
+            "import random\n"
+            "def jitter(x):\n"
+            "    return x + random.random()\n"
+            "def build(ctx):\n"
+            "    return ctx.parallelize(range(10), 2).map(jitter)\n"
+        )
+        assert [d.code for d in scan_source(bad)] == ["GPF201"]
+
+    def test_unparseable_file_reported(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def build(:\n")
+        [diag] = scan_source(bad)
+        assert diag.severity is Severity.ERROR
+
+
+class TestExamplePlansLintClean:
+    """Build the plans the examples build (tiny data) and lint them."""
+
+    def test_wgs_files_plan(self, ctx, reference, known_sites, tmp_path):
+        # wgs_from_files.py / gpf run: lazy file RDD into the WGS plan.
+        from repro.engine.files import load_fastq_pair_lazy
+        from repro.formats.fasta import write_fasta
+        from repro.formats.fastq import write_fastq
+        from repro.sim import ReadSimConfig, ReadSimulator, plant_variants
+        from repro.wgs import build_wgs_pipeline
+
+        truth = plant_variants(reference, snp_rate=0.002, indel_rate=0.0, seed=7)
+        pairs = ReadSimulator(
+            truth.donor, ReadSimConfig(coverage=1.0, seed=8)
+        ).simulate()[:10]
+        fq1 = str(tmp_path / "r1.fastq")
+        fq2 = str(tmp_path / "r2.fastq")
+        write_fastq([p.read1 for p in pairs], fq1)
+        write_fastq([p.read2 for p in pairs], fq2)
+        write_fasta(reference, str(tmp_path / "ref.fa"))
+
+        rdd = load_fastq_pair_lazy(ctx, fq1, fq2, 2)
+        handles = build_wgs_pipeline(ctx, reference, rdd, known_sites)
+        report = handles.pipeline.lint()
+        assert not report.has_errors, report.render()
+        assert not report.warnings, report.render()
+
+    def test_gvcf_plan(self, ctx, reference, known_sites, read_pairs):
+        # cohort_joint_calling.py's per-sample gVCF variant of the plan.
+        from repro.wgs import build_wgs_pipeline
+
+        handles = build_wgs_pipeline(
+            ctx,
+            reference,
+            ctx.parallelize(read_pairs[:5], 2),
+            known_sites,
+            use_gvcf=True,
+        )
+        report = handles.pipeline.lint()
+        assert not report.has_errors, report.render()

@@ -1,0 +1,102 @@
+"""gpfcheck optimizer cross-check (GPF1xx): Fig. 7 fusion accounting."""
+
+from repro.analysis import run_optimizer_checks
+from repro.core.bundles import PartitionInfoBundle
+from repro.core.optimizer import find_partition_chains
+from repro.core.process import Process
+from repro.core.resource import Resource
+
+
+class FakePartitionProcess(Process):
+    """A partition Process stub with a controllable PartitionInfo bundle."""
+
+    def __init__(self, name, info_bundle, inputs, outputs):
+        super().__init__(name, inputs=[info_bundle, *inputs], outputs=outputs)
+        self.partition_info_bundle = info_bundle
+
+    @property
+    def is_partition_process(self) -> bool:
+        return True
+
+    def execute(self, ctx):
+        for outp in self.outputs:
+            outp.define(1)
+
+
+class PlainProcess(Process):
+    def __init__(self, name, inputs, outputs):
+        super().__init__(name, inputs=inputs, outputs=outputs)
+
+    def execute(self, ctx):
+        for outp in self.outputs:
+            outp.define(1)
+
+
+def codes(diags):
+    return sorted({d.code for d in diags})
+
+
+def chain_of_three(info):
+    a_in, ab, bc, c_out = (Resource(n) for n in ("a_in", "ab", "bc", "c_out"))
+    plan = [
+        FakePartitionProcess("A", info, [a_in], [ab]),
+        FakePartitionProcess("B", info, [ab], [bc]),
+        FakePartitionProcess("C", info, [bc], [c_out]),
+    ]
+    return plan, (a_in, ab, bc, c_out)
+
+
+class TestFusedChainInfo:
+    def test_clean_chain_reports_gpf103_only(self):
+        info = PartitionInfoBundle.undefined("info")
+        plan, _ = chain_of_three(info)
+        diags = run_optimizer_checks(plan)
+        assert codes(diags) == ["GPF103"]
+        [diag] = diags
+        assert "A -> B -> C" in diag.message
+        assert "2 redundant bundle build(s)" in diag.message
+        # Sanity: the optimizer agrees this is one chain.
+        assert len(find_partition_chains(plan)) == 1
+
+
+class TestMismatchedPartitionInfo:
+    def test_different_info_bundles_break_fusion(self):
+        info1 = PartitionInfoBundle.undefined("info1")
+        info2 = PartitionInfoBundle.undefined("info2")
+        a_in, ab, b_out = Resource("a_in"), Resource("ab"), Resource("b_out")
+        plan = [
+            FakePartitionProcess("A", info1, [a_in], [ab]),
+            FakePartitionProcess("B", info2, [ab], [b_out]),
+        ]
+        diags = run_optimizer_checks(plan)
+        assert "GPF101" in codes(diags)
+        [diag] = [d for d in diags if d.code == "GPF101"]
+        assert "PartitionInfo" in diag.message
+        assert find_partition_chains(plan) == []
+
+
+class TestSideConsumer:
+    def test_side_consumer_breaks_the_chain(self):
+        info = PartitionInfoBundle.undefined("info")
+        a_in, ab, b_out = Resource("a_in"), Resource("ab"), Resource("b_out")
+        side_out = Resource("side_out")
+        plan = [
+            FakePartitionProcess("A", info, [a_in], [ab]),
+            FakePartitionProcess("B", info, [ab], [b_out]),
+            PlainProcess("Side", [ab], [side_out]),
+        ]
+        diags = run_optimizer_checks(plan)
+        assert "GPF102" in codes(diags)
+        [diag] = [d for d in diags if d.code == "GPF102"]
+        assert "Side" in diag.message
+        assert find_partition_chains(plan) == []
+
+
+class TestNonPartitionPlansAreQuiet:
+    def test_plain_chain_no_diagnostics(self):
+        a, b, c = Resource("a"), Resource("b"), Resource("c")
+        plan = [PlainProcess("p1", [a], [b]), PlainProcess("p2", [b], [c])]
+        assert run_optimizer_checks(plan) == []
+
+    def test_empty_plan(self):
+        assert run_optimizer_checks([]) == []

@@ -1,0 +1,287 @@
+"""gpfcheck plan rules (GPF0xx) over the Process DAG."""
+
+import pytest
+
+from repro.analysis import CODES, Diagnostic, Severity, lint_plan
+from repro.analysis.plan_rules import PlanContext, run_plan_rules
+from repro.core.bundles import SAMBundle, VCFBundle
+from repro.core.pipeline import Pipeline, PipelineLintError
+from repro.core.process import Process, ProcessState
+from repro.core.resource import Resource
+
+
+class Passthrough(Process):
+    def __init__(self, name, inputs, outputs, **kwargs):
+        super().__init__(name, inputs=inputs, outputs=outputs, **kwargs)
+
+    def execute(self, ctx):
+        for outp in self.outputs:
+            outp.define(1)
+
+
+class TestDiagnosticModel:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic(code="GPF999", severity=Severity.ERROR, message="x")
+
+    def test_render_mentions_code_and_location(self):
+        diag = Diagnostic(
+            code="GPF002",
+            severity=Severity.ERROR,
+            message="boom",
+            process="p",
+            resource="r",
+            fix_hint="wire it",
+        )
+        text = diag.render()
+        assert "GPF002" in text and "process=p" in text and "wire it" in text
+
+    def test_report_orders_worst_first(self):
+        report = lint_plan(
+            [Passthrough("p", [Resource("missing")], [Resource("out")])]
+        )
+        rendered = report.sorted()
+        assert rendered[0].severity is Severity.ERROR
+
+    def test_every_emitted_code_is_registered(self):
+        # The registry is the public contract; rules may only emit from it.
+        assert all(code.startswith("GPF") for code in CODES)
+
+
+class TestCycleRule:
+    def test_two_process_cycle(self):
+        a, b = Resource("a"), Resource("b")
+        plan = [Passthrough("p1", [a], [b]), Passthrough("p2", [b], [a])]
+        report = lint_plan(plan)
+        assert "GPF001" in report.codes()
+        assert report.has_errors
+
+    def test_self_feeding_process_is_a_cycle(self):
+        s = Resource("s")
+        report = lint_plan([Passthrough("selfy", [s], [s])])
+        assert "GPF001" in report.codes()
+
+
+class TestDanglingInputRule:
+    def test_undefined_unproduced_input(self):
+        report = lint_plan(
+            [Passthrough("p", [Resource("ghost")], [Resource("out")])],
+        )
+        [diag] = report.by_code("GPF002")
+        assert diag.resource == "ghost" and diag.severity is Severity.ERROR
+
+    def test_defined_input_is_fine(self):
+        inp = Resource("inp")
+        inp.define(1)
+        out = Resource("out")
+        report = lint_plan([Passthrough("p", [inp], [out])], returned=[out])
+        assert "GPF002" not in report.codes()
+
+    def test_produced_input_is_fine(self):
+        inp = Resource("inp")
+        inp.define(1)
+        mid, out = Resource("mid"), Resource("out")
+        plan = [
+            Passthrough("first", [inp], [mid]),
+            Passthrough("second", [mid], [out]),
+        ]
+        report = lint_plan(plan, returned=[out])
+        assert "GPF002" not in report.codes()
+
+
+class TestProducerRules:
+    def test_multiple_producers(self):
+        shared = Resource("shared")
+        plan = [
+            Passthrough("p1", [], [shared]),
+            Passthrough("p2", [], [shared]),
+        ]
+        report = lint_plan(plan, returned=[shared])
+        [diag] = report.by_code("GPF003")
+        assert "p1" in diag.message and "p2" in diag.message
+
+    def test_double_definition(self):
+        already = Resource("already")
+        already.define(42)
+        report = lint_plan(
+            [Passthrough("p", [], [already])], returned=[already]
+        )
+        assert "GPF008" in report.codes()
+
+
+class TestDeadOutputRule:
+    def test_unconsumed_output_warns(self):
+        inp = Resource("inp")
+        inp.define(1)
+        report = lint_plan([Passthrough("p", [inp], [Resource("dead")])])
+        [diag] = report.by_code("GPF004")
+        assert diag.severity is Severity.WARNING
+
+    def test_returned_output_is_fine(self):
+        inp = Resource("inp")
+        inp.define(1)
+        out = Resource("out")
+        report = lint_plan([Passthrough("p", [inp], [out])], returned=[out])
+        assert "GPF004" not in report.codes()
+
+
+class TestDisconnectedRule:
+    def test_two_islands_warn(self):
+        a, c = Resource("a"), Resource("c")
+        a.define(1)
+        c.define(1)
+        out1, out2 = Resource("o1"), Resource("o2")
+        plan = [
+            Passthrough("x", [a], [out1]),
+            Passthrough("y", [c], [out2]),
+        ]
+        report = lint_plan(plan, returned=[out1, out2])
+        [diag] = report.by_code("GPF005")
+        assert "2 disconnected" in diag.message
+
+
+class TestBundleTypeRule:
+    def test_sam_into_declared_vcf_slot(self):
+        sam = SAMBundle.undefined("sam")
+        producer = Passthrough("prod", [], [sam], output_types=[SAMBundle])
+        consumer = Passthrough(
+            "cons", [sam], [], input_types=[VCFBundle]
+        )
+        report = lint_plan([producer, consumer])
+        [diag] = report.by_code("GPF006")
+        assert diag.process == "cons"
+        assert "VCFBundle" in diag.message and "SAMBundle" in diag.message
+        assert "prod" in diag.message  # names the producer
+
+    def test_matching_types_pass(self):
+        sam = SAMBundle.undefined("sam")
+        plan = [
+            Passthrough("prod", [], [sam], output_types=[SAMBundle]),
+            Passthrough("cons", [sam], [], input_types=[SAMBundle]),
+        ]
+        assert "GPF006" not in lint_plan(plan).codes()
+
+    def test_none_entries_mean_any(self):
+        sam = SAMBundle.undefined("sam")
+        plan = [
+            Passthrough("prod", [], [sam], output_types=[None]),
+            Passthrough("cons", [sam], [], input_types=[None]),
+        ]
+        assert "GPF006" not in lint_plan(plan).codes()
+
+    def test_mismatched_spec_length_rejected(self):
+        with pytest.raises(ValueError, match="input_types has"):
+            Passthrough(
+                "bad", [Resource("r")], [], input_types=[SAMBundle, VCFBundle]
+            )
+
+
+class TestStateRule:
+    def test_executed_process_flagged(self, ctx):
+        inp, out = Resource("i"), Resource("o")
+        inp.define(1)
+        process = Passthrough("p", [inp], [out])
+        process.run(ctx)
+        assert process.state is ProcessState.END
+        report = lint_plan([process], returned=[out])
+        assert "GPF007" in report.codes()
+
+    def test_reset_clears_the_flag(self, ctx):
+        inp, out = Resource("i"), Resource("o")
+        inp.define(1)
+        process = Passthrough("p", [inp], [out])
+        process.run(ctx)
+        process.reset()
+        report = lint_plan([process], returned=[out])
+        assert "GPF007" not in report.codes()
+
+
+class TestPipelineIntegration:
+    def test_lint_method_and_mark_returned(self, ctx):
+        a = Resource("a")
+        a.define(0)
+        out = Resource("out")
+        pipeline = Pipeline("p", ctx)
+        pipeline.add_process(Passthrough("only", [a], [out]))
+        assert "GPF004" in pipeline.lint().codes()
+        pipeline.mark_returned(out)
+        assert "GPF004" not in pipeline.lint().codes()
+
+    def test_strict_run_refuses_errors(self, ctx):
+        pipeline = Pipeline("bad", ctx)
+        pipeline.add_process(
+            Passthrough("p", [Resource("ghost")], [Resource("out")])
+        )
+        with pytest.raises(PipelineLintError) as excinfo:
+            pipeline.run(strict=True)
+        assert "GPF002" in excinfo.value.report.codes()
+        assert pipeline.executed == []  # nothing committed
+
+    def test_strict_run_executes_clean_plan(self, ctx):
+        a, out = Resource("a"), Resource("out")
+        a.define(1)
+        pipeline = Pipeline("ok", ctx)
+        pipeline.add_process(Passthrough("p", [a], [out]))
+        pipeline.mark_returned(out)
+        pipeline.run(strict=True)
+        assert out.value == 1
+
+    def test_strict_rerun_without_reset_refused(self, ctx):
+        a, out = Resource("a"), Resource("out")
+        a.define(1)
+        pipeline = Pipeline("ok", ctx)
+        pipeline.add_process(Passthrough("p", [a], [out]))
+        pipeline.mark_returned(out)
+        pipeline.run(strict=True)
+        with pytest.raises(PipelineLintError) as excinfo:
+            pipeline.run(strict=True)
+        assert "GPF007" in excinfo.value.report.codes()
+        pipeline.reset()
+        pipeline.run(strict=True)
+        assert out.value == 1
+
+
+class TestPlanContext:
+    def test_indexes(self):
+        inp, out = Resource("i"), Resource("o")
+        inp.define(1)
+        process = Passthrough("p", [inp], [out])
+        plan_ctx = PlanContext.build([process])
+        assert plan_ctx.producers[id(out)] == [process]
+        assert plan_ctx.consumers[id(inp)] == [process]
+
+    def test_run_plan_rules_on_empty_plan(self):
+        assert run_plan_rules([]) == []
+
+
+class TestWgsPlanClean:
+    def test_wgs_plan_zero_errors_and_warnings(
+        self, ctx, reference, known_sites, read_pairs
+    ):
+        from repro.wgs import build_wgs_pipeline
+
+        handles = build_wgs_pipeline(
+            ctx,
+            reference,
+            ctx.parallelize(read_pairs[:5], 2),
+            known_sites,
+        )
+        report = handles.pipeline.lint()
+        assert not report.has_errors, report.render()
+        assert not report.warnings, report.render()
+        # The IR -> BQSR -> HC chain must be reported as fusable.
+        [info] = report.by_code("GPF103")
+        assert "IndelRealign" in info.message
+        assert "HaplotypeCaller" in info.message
+
+    def test_cohort_plan_zero_errors(self, ctx, reference, known_sites, read_pairs):
+        from repro.wgs import build_cohort_pipeline
+
+        handles = build_cohort_pipeline(
+            ctx,
+            reference,
+            [ctx.parallelize(read_pairs[:4], 2), ctx.parallelize(read_pairs[4:8], 2)],
+            known_sites,
+        )
+        report = handles.pipeline.lint()
+        assert not report.has_errors, report.render()

@@ -79,6 +79,13 @@ class TestCycles:
         procs, _ = chain(3)
         assert find_cycles(procs) == []
 
+    def test_self_feeding_process_is_a_cycle(self):
+        s = Resource("s")
+        selfy = Passthrough("selfy", [s], [s])
+        cycles = find_cycles([selfy])
+        assert cycles and cycles[0] == ["selfy"]
+        assert not analyze([selfy]).is_dag
+
     def test_critical_path_rejects_cycle(self):
         a, b = Resource("a"), Resource("b")
         procs = [Passthrough("p1", [a], [b]), Passthrough("p2", [b], [a])]
@@ -109,6 +116,22 @@ class TestCriticalPath:
     def test_empty(self):
         assert critical_path([], lambda p: 1.0) == ([], 0.0)
 
+    def test_tied_paths_pick_exactly_one(self):
+        # Two equal-cost branches: the result must be ONE complete root-to-
+        # leaf path with the shared total, not a merge of both branches.
+        a = Resource("a")
+        split = Passthrough("split", [a], [Resource("b"), Resource("c")])
+        b, c = split.outputs
+        procs = [
+            split,
+            Passthrough("left", [b], [Resource("d")]),
+            Passthrough("right", [c], [Resource("e")]),
+        ]
+        path, total = critical_path(procs, lambda p: 1.0)
+        assert total == 2.0
+        assert path[0] == "split" and len(path) == 2
+        assert path[1] in {"left", "right"}
+
 
 class TestLevels:
     def test_generations_match_algorithm1_batches(self):
@@ -120,6 +143,17 @@ class TestLevels:
         ]
         levels = execution_levels(procs)
         assert levels == [["also-first", "first"], ["second"]]
+
+    def test_disconnected_components_share_levels(self):
+        # Two independent chains interleave by depth: level k holds the
+        # k-th process of every island, so islands run concurrently.
+        x_procs, _ = chain(2, "x")
+        y_procs, _ = chain(3, "y")
+        levels = execution_levels(x_procs + y_procs)
+        assert levels == [["x0", "y0"], ["x1", "y1"], ["y2"]]
+
+    def test_empty_plan_has_no_levels(self):
+        assert execution_levels([]) == []
 
 
 class TestDot:

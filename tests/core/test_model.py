@@ -96,6 +96,64 @@ class TestProcessStateMachine:
         with pytest.raises(RuntimeError, match="without defining outputs"):
             p.run(ctx)
 
+    def test_reset_undefines_outputs_and_reblocks(self, ctx):
+        inp, outp = Resource("i"), Resource("o")
+        inp.define(1)
+        p = AddOne("p", inp, outp)
+        p.run(ctx)
+        p.reset()
+        assert p.state is ProcessState.BLOCKED
+        assert not outp.is_defined
+        p.run(ctx)  # runnable again without touching private state
+        assert outp.value == 2
+
+    def test_reset_before_any_run_is_a_noop(self):
+        inp, outp = Resource("i"), Resource("o")
+        p = AddOne("p", inp, outp)
+        p.reset()
+        assert p.state is ProcessState.BLOCKED
+        assert not outp.is_defined
+
+    def test_failed_execute_rolls_back_partial_outputs(self, ctx):
+        class HalfWriter(Process):
+            """Defines output 1 of 2, then dies."""
+
+            def __init__(self, name, inp, out1, out2):
+                super().__init__(name, inputs=[inp], outputs=[out1, out2])
+
+            def execute(self, _ctx):
+                self.outputs[0].define("partial")
+                raise RuntimeError("midway crash")
+
+        inp = Resource("i")
+        inp.define(1)
+        out1, out2 = Resource("o1"), Resource("o2")
+        p = HalfWriter("half", inp, out1, out2)
+        with pytest.raises(RuntimeError, match="midway crash"):
+            p.run(ctx)
+        # Neither output may survive the crash: a retry must start clean.
+        assert not out1.is_defined and not out2.is_defined
+        assert p.state is ProcessState.BLOCKED
+
+    def test_failed_execute_keeps_preexisting_definitions(self, ctx):
+        class Appender(Process):
+            """Crashes without defining anything new."""
+
+            def __init__(self, name, inp, outp):
+                super().__init__(name, inputs=[inp], outputs=[outp])
+
+            def execute(self, _ctx):
+                raise RuntimeError("boom")
+
+        inp = Resource("i")
+        inp.define(1)
+        outp = Resource("o")
+        outp.define("already here")  # defined before the run, not by it
+        p = Appender("p", inp, outp)
+        with pytest.raises(RuntimeError, match="boom"):
+            p.run(ctx)
+        assert outp.is_defined and outp.value == "already here"
+
 
 class TestPipeline:
     def test_executes_in_dependency_order(self, ctx):

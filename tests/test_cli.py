@@ -129,6 +129,47 @@ class TestRunAndEvaluate:
         assert os.path.exists(out)
 
 
+class TestLint:
+    def test_builtin_plan_lints_clean(self, capsys):
+        rc = main(["lint"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gpfcheck" in out
+        assert "0 error(s)" in out and "0 warning(s)" in out
+        assert "GPF103" in out  # the IR->BQSR->HC fusion chain
+
+    def test_lints_files_plan(self, sample_dir, capsys):
+        rc = main(
+            [
+                "lint",
+                "--reference",
+                os.path.join(sample_dir, "reference.fa"),
+                "--fastq1",
+                os.path.join(sample_dir, "sample_1.fastq"),
+                "--fastq2",
+                os.path.join(sample_dir, "sample_2.fastq"),
+                "--known-sites",
+                os.path.join(sample_dir, "known_sites.vcf"),
+            ]
+        )
+        assert rc == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_examples_scan(self, capsys):
+        examples = os.path.join(os.path.dirname(__file__), "..", "examples")
+        rc = main(["lint", "--examples", examples])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "source scan" in out and "clean" in out
+
+    def test_reference_without_fastqs_rejected(self, sample_dir, capsys):
+        rc = main(
+            ["lint", "--reference", os.path.join(sample_dir, "reference.fa")]
+        )
+        assert rc == 2
+        assert "requires --fastq1/--fastq2" in capsys.readouterr().err
+
+
 class TestScaling:
     def test_prints_table(self, capsys):
         rc = main(["scaling", "--cores", "128", "256"])
