@@ -5,12 +5,12 @@ Writes simulated paired-end FASTQ files to disk, then builds the pipeline
 exactly the way the paper's example does — FileLoader, Bundles, Processes
 added one by one, ``pipeline.run()`` — and writes a sorted VCF.
 
-Run:  python examples/wgs_from_files.py [output_dir]
+Run:  python examples/wgs_from_files.py [output_dir] [--backend serial|threads|process] [--workers N]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import tempfile
 from pathlib import Path
 
@@ -44,7 +44,19 @@ from repro.sim import (
 
 
 def main() -> None:
-    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp())
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output_dir", nargs="?", default=None)
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "threads", "process"],
+        default="serial",
+        help="executor backend for the engine's task pools",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker count for threads/process"
+    )
+    args = parser.parse_args()
+    workdir = Path(args.output_dir) if args.output_dir else Path(tempfile.mkdtemp())
     workdir.mkdir(parents=True, exist_ok=True)
 
     # --- make input files (stand-ins for the sequencer's FASTQ) ---------
@@ -60,7 +72,14 @@ def main() -> None:
 
     # --- the Fig. 3 program, line for line ------------------------------
     # Set up environment for Process and Resource
-    ctx = GPFContext(EngineConfig(default_parallelism=4, serializer="gpf"))
+    ctx = GPFContext(
+        EngineConfig(
+            default_parallelism=4,
+            serializer="gpf",
+            executor_backend=args.backend,
+            num_workers=args.workers,
+        )
+    )
     pipeline = Pipeline("myPipeline", ctx)
 
     # Load pair-end FASTQ to RDD

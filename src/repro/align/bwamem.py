@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.align.fmindex import FMIndex, reverse_complement
 from repro.align.seeds import Seed, chain_seeds, find_seeds
 from repro.align.smith_waterman import ScoringScheme, smith_waterman
+from repro.align.sw_batch import smith_waterman_batch
 from repro.formats import flags as F
 from repro.formats.cigar import Cigar, CigarOp
 from repro.formats.fasta import Reference
@@ -53,6 +54,17 @@ class AlignmentCandidate:
         return self.pos + self.cigar.reference_length()
 
 
+@dataclass(frozen=True, slots=True)
+class _ChainJob:
+    """One chain's extension window, ready for the (batched) SW kernel."""
+
+    query: str
+    ref_window: str
+    window_start: int
+    contig: str
+    is_reverse: bool
+
+
 class BwaMemAligner:
     """Single-end alignment against an FM-indexed reference."""
 
@@ -64,47 +76,43 @@ class BwaMemAligner:
     # -- public ------------------------------------------------------------
     def candidates(self, sequence: str) -> list[AlignmentCandidate]:
         """All scored candidate placements, best first."""
+        return self.candidates_batch([sequence])[0]
+
+    def candidates_batch(
+        self, sequences: list[str]
+    ) -> list[list[AlignmentCandidate]]:
+        """Candidate placements for a batch of reads, best first per read.
+
+        Seed/chain discovery runs per read, but every candidate chain of
+        every read in the batch is extended in ONE vectorized banded
+        Smith-Waterman DP (:func:`smith_waterman_batch`) — the CPU-bound
+        extension kernel the paper's Fig. 13 profile points at.
+        """
         cfg = self.config
-        seeds = find_seeds(
-            self.index,
-            sequence,
-            min_seed_length=cfg.min_seed_length,
-            max_hits_per_seed=cfg.max_hits_per_seed,
-            anchor_stride=cfg.anchor_stride,
+        jobs: list[_ChainJob] = []
+        owners: list[int] = []
+        for idx, sequence in enumerate(sequences):
+            for job in self._chain_jobs(sequence):
+                jobs.append(job)
+                owners.append(idx)
+        results = smith_waterman_batch(
+            [(job.query, job.ref_window) for job in jobs],
+            scoring=cfg.scoring,
+            band=cfg.extension_pad + cfg.band_width,
         )
-        if not seeds:
-            return []
-        n = len(sequence)
-        rc = reverse_complement(sequence)
-        # Reverse-strand seeds refer to the reverse-complemented read:
-        # transform their query interval into RC-read coordinates.
-        oriented: list[Seed] = []
-        for seed in seeds:
-            if seed.is_reverse:
-                oriented.append(
-                    Seed(
-                        query_start=n - seed.query_end,
-                        query_end=n - seed.query_start,
-                        contig=seed.contig,
-                        ref_start=seed.ref_start,
-                        is_reverse=True,
-                    )
-                )
-            else:
-                oriented.append(seed)
-        chains = chain_seeds(oriented)
-        out: list[AlignmentCandidate] = []
-        seen: set[tuple[str, int, bool]] = set()
-        for chain in chains[: cfg.max_chains_to_extend]:
-            cand = self._extend_chain(chain, sequence, rc)
+        per_read: list[list[AlignmentCandidate]] = [[] for _ in sequences]
+        seen: list[set[tuple[str, int, bool]]] = [set() for _ in sequences]
+        for idx, job, result in zip(owners, jobs, results):
+            cand = self._candidate_from_result(job, result)
             if cand is None or cand.score < cfg.min_score:
                 continue
             key = (cand.contig, cand.pos, cand.is_reverse)
-            if key not in seen:
-                seen.add(key)
-                out.append(cand)
-        out.sort(key=lambda c: -c.score)
-        return out
+            if key not in seen[idx]:
+                seen[idx].add(key)
+                per_read[idx].append(cand)
+        for cands in per_read:
+            cands.sort(key=lambda c: -c.score)
+        return per_read
 
     def align_read(self, record: FastqRecord) -> SamRecord:
         """Best single-end alignment as a SAM record (unmapped if none).
@@ -138,9 +146,45 @@ class BwaMemAligner:
         return ";".join(entries) + ";"
 
     # -- internals --------------------------------------------------------
-    def _extend_chain(
+    def _chain_jobs(self, sequence: str) -> list[_ChainJob]:
+        """Seed, orient and chain one read; extension jobs for top chains."""
+        cfg = self.config
+        seeds = find_seeds(
+            self.index,
+            sequence,
+            min_seed_length=cfg.min_seed_length,
+            max_hits_per_seed=cfg.max_hits_per_seed,
+            anchor_stride=cfg.anchor_stride,
+        )
+        if not seeds:
+            return []
+        n = len(sequence)
+        rc = reverse_complement(sequence)
+        # Reverse-strand seeds refer to the reverse-complemented read:
+        # transform their query interval into RC-read coordinates.
+        oriented: list[Seed] = []
+        for seed in seeds:
+            if seed.is_reverse:
+                oriented.append(
+                    Seed(
+                        query_start=n - seed.query_end,
+                        query_end=n - seed.query_start,
+                        contig=seed.contig,
+                        ref_start=seed.ref_start,
+                        is_reverse=True,
+                    )
+                )
+            else:
+                oriented.append(seed)
+        chains = chain_seeds(oriented)
+        return [
+            self._job_from_chain(chain, sequence, rc)
+            for chain in chains[: cfg.max_chains_to_extend]
+        ]
+
+    def _job_from_chain(
         self, chain: list[Seed], sequence: str, rc: str
-    ) -> AlignmentCandidate | None:
+    ) -> _ChainJob:
         cfg = self.config
         is_reverse = chain[0].is_reverse
         query = rc if is_reverse else sequence
@@ -153,18 +197,39 @@ class BwaMemAligner:
         window_end = anchor.ref_start + (n - anchor.query_start) + cfg.extension_pad
         window_start = max(0, window_start)
         window_end = min(len(contig), window_end)
-        ref_window = contig.fetch(window_start, window_end)
+        return _ChainJob(
+            query=query,
+            ref_window=contig.fetch(window_start, window_end),
+            window_start=window_start,
+            contig=anchor.contig,
+            is_reverse=is_reverse,
+        )
+
+    def _extend_chain(
+        self, chain: list[Seed], sequence: str, rc: str
+    ) -> AlignmentCandidate | None:
+        """Scalar single-chain extension (the batched path in
+        :meth:`candidates_batch` is the hot one; this stays as the
+        reference entry point)."""
+        cfg = self.config
+        job = self._job_from_chain(chain, sequence, rc)
         # The seed diagonal sits ``extension_pad`` columns right of the main
         # diagonal (the window starts that far before the read's implied
         # start), so a band of pad + band_width covers it plus indel slack.
         result = smith_waterman(
-            query,
-            ref_window,
+            job.query,
+            job.ref_window,
             scoring=cfg.scoring,
             band=cfg.extension_pad + cfg.band_width,
         )
+        return self._candidate_from_result(job, result)
+
+    def _candidate_from_result(
+        self, job: _ChainJob, result
+    ) -> AlignmentCandidate | None:
         if result.score <= 0 or not result.cigar_pairs:
             return None
+        n = len(job.query)
         # Soft-clip the unaligned query ends.
         ops: list[CigarOp] = []
         if result.query_start > 0:
@@ -173,12 +238,12 @@ class BwaMemAligner:
         if result.query_end < n:
             ops.append(CigarOp(n - result.query_end, "S"))
         cigar = Cigar(ops).normalized()
-        pos = window_start + result.ref_start
-        nm = self._edit_distance(query, ref_window, result)
+        pos = job.window_start + result.ref_start
+        nm = self._edit_distance(job.query, job.ref_window, result)
         return AlignmentCandidate(
-            contig=anchor.contig,
+            contig=job.contig,
             pos=pos,
-            is_reverse=is_reverse,
+            is_reverse=job.is_reverse,
             score=result.score,
             cigar=cigar,
             edit_distance=nm,

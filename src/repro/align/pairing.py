@@ -54,8 +54,10 @@ class PairedEndAligner:
     # -- public ------------------------------------------------------------
     def align_pair(self, pair: FastqPair) -> tuple[SamRecord, SamRecord]:
         """Align one pair: joint candidate selection, rescue, flags, TLEN."""
-        cands1 = self.single.candidates(pair.read1.sequence)
-        cands2 = self.single.candidates(pair.read2.sequence)
+        # Both mates' chains extend through one batched Smith-Waterman DP.
+        cands1, cands2 = self.single.candidates_batch(
+            [pair.read1.sequence, pair.read2.sequence]
+        )
 
         if not cands1 and cands2:
             rescued = self._rescue(pair.read1, cands2[0])

@@ -127,9 +127,27 @@ def smith_waterman(
         E[i, jj] = e_vals
     if best == 0:
         return AlignmentResult(0, 0, 0, 0, 0, ())
+    return traceback_alignment(q, r, s, H, E, F, best, best_pos)
 
-    # Traceback: a three-state (H/E/F) walk so affine gap runs are
-    # attributed correctly.
+
+def traceback_alignment(
+    q: np.ndarray,
+    r: np.ndarray,
+    s: ScoringScheme,
+    H: np.ndarray,
+    E: np.ndarray,
+    F: np.ndarray,
+    best: int,
+    best_pos: tuple[int, int],
+) -> AlignmentResult:
+    """Three-state (H/E/F) traceback over filled DP matrices.
+
+    Shared by the scalar kernel and the batched kernel
+    (:func:`repro.align.sw_batch.smith_waterman_batch`), which fills the
+    same matrices vectorized over a batch; affine gap runs are attributed
+    correctly by walking the explicit E/F states.
+    """
+    n_mask_r = r == ord("N")
     i, j = best_pos
     ops: list[str] = []
     state = "H"

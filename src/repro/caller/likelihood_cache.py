@@ -1,0 +1,82 @@
+"""Content-addressed dedup cache for pair-HMM read likelihoods.
+
+High-coverage samples hand the caller the same (read sequence, qualities,
+haplotype) triple many times — overlapping active regions re-test the same
+reads, duplicate reads share sequence and quality strings, and assembly
+often rediscovers identical haplotypes across neighbouring regions.  The
+forward-algorithm likelihood depends on nothing but the triple's content,
+so a content-addressed map turns every repeat into a dictionary hit
+instead of an O(read x haplotype) dynamic program — the same redundancy-
+elimination argument GPF applies at the Process level (Table 4), pushed
+down into the hot kernel.
+
+Keys are BLAKE2b digests of a canonical encoding of the triple; values are
+the log-likelihoods.  Eviction is least-recently-used with a bounded entry
+count, so a long-running caller process cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+DEFAULT_MAX_ENTRIES = 1 << 16
+
+
+class LikelihoodCache:
+    """Bounded LRU map from (read, quals, haplotype) content to log P."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries <= 0:
+            raise ValueError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[bytes, float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(read: str, quals: Sequence[int] | np.ndarray, haplotype: str) -> bytes:
+        """Content digest of one (read, quals, haplotype) triple.
+
+        Qualities are canonicalized through float64 (the dtype the kernel
+        computes with), so ``[30, 30]`` and ``np.array([30.0, 30.0])``
+        address the same entry.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(read.encode("ascii"))
+        digest.update(b"\x00")
+        digest.update(np.asarray(quals, dtype=np.float64).tobytes())
+        digest.update(b"\x00")
+        digest.update(haplotype.encode("ascii"))
+        return digest.digest()
+
+    def get(self, key: bytes) -> float | None:
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: bytes, value: float) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -47,7 +47,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable redundancy elimination (Fig. 7)",
     )
     run.add_argument(
-        "--threads", type=int, default=0, help="worker threads (0 = serial)"
+        "--threads",
+        type=int,
+        default=0,
+        help="worker threads (0 = serial); shorthand for --backend threads",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("serial", "threads", "process"),
+        default=None,
+        help="executor backend (default: serial, or threads when --threads > 0)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="workers for the threads/process backends (default: --threads or 4)",
     )
 
     ev = sub.add_parser("evaluate", help="score a VCF against a truth VCF")
@@ -163,11 +178,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.known_sites:
         _, known = read_vcf(args.known_sites)
 
+    backend = args.backend or ("threads" if args.threads > 0 else "serial")
+    workers = args.workers or args.threads or 4
     config = EngineConfig(
         default_parallelism=args.partitions,
         serializer=args.serializer,
-        executor_backend="threads" if args.threads > 0 else "serial",
-        num_workers=max(1, args.threads),
+        executor_backend=backend,
+        num_workers=max(1, workers),
     )
     start = time.perf_counter()
     with GPFContext(config) as ctx:

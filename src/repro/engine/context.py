@@ -32,9 +32,11 @@ class EngineConfig:
 
     #: Default partition count for ``parallelize`` when not specified.
     default_parallelism: int = 4
-    #: 'serial' (deterministic) or 'threads'.
+    #: 'serial' (deterministic), 'threads' (NumPy kernels release the
+    #: GIL), or 'process' (spawn-safe pool for pure-Python stages; batches
+    #: with unpicklable closures fall back to threads automatically).
     executor_backend: str = "serial"
-    #: Workers for the 'threads' backend.
+    #: Workers for the 'threads' and 'process' backends.
     num_workers: int = 4
     #: 'pickle' (Java-serialization analogue), 'compact' (Kryo), 'gpf', or
     #: a constructed Serializer instance (e.g. GpfRefSerializer).

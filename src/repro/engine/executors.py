@@ -4,12 +4,20 @@
 deterministic, ideal for tests.  ``threads`` uses a thread pool; the
 pipeline's hot kernels (pair-HMM, Smith-Waterman, bit packing) are NumPy
 code that releases the GIL, so threads deliver genuine parallel speedup
-for the stages that dominate run time.
+for the stages that dominate run time.  ``process`` adds a spawn-safe
+process pool for the pure-Python parts the GIL would otherwise serialize:
+tasks are pickled in chunks on the driver and shipped to workers; batches
+whose closures cannot be pickled (the common case for lineage closures
+that capture an RDD context) transparently fall back to the thread pool,
+so ``process`` is always safe to select.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -23,6 +31,18 @@ class Executor:
 
     def shutdown(self) -> None:  # pragma: no cover - trivial default
         pass
+
+
+def _drain_in_order(futures: Sequence[Future]) -> list:
+    """Collect results in submission order; on the first failure, cancel
+    every future that has not started yet so a failed stage stops the
+    batch instead of letting queued tasks run to completion."""
+    try:
+        return [f.result() for f in futures]
+    except BaseException:
+        for f in futures:
+            f.cancel()
+        raise
 
 
 class SerialExecutor(Executor):
@@ -39,16 +59,114 @@ class ThreadExecutor(Executor):
 
     def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         futures = [self._pool.submit(task) for task in tasks]
-        return [f.result() for f in futures]
+        return _drain_in_order(futures)
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
 
 
+def _run_pickled_chunk(blob: bytes) -> bytes:
+    """Worker-side body: unpickle a chunk of thunks, run them in order.
+
+    Module-level (not a closure) so it imports cleanly under the spawn
+    start method, which re-imports this module in the worker instead of
+    inheriting driver state.
+    """
+    tasks = pickle.loads(blob)
+    return pickle.dumps([task() for task in tasks])
+
+
+class ProcessExecutor(Executor):
+    """Process-pool backend for CPU-bound pure-Python stages.
+
+    Submission is *chunked*: tasks are pre-pickled on the driver into
+    ``num_workers * chunks_per_worker`` chunks, so per-task IPC overhead
+    is amortized and a pickling failure is detected eagerly — before
+    anything is submitted — rather than surfacing as a broken pool.  When
+    any task in the batch is unpicklable (lineage closures capturing the
+    engine context usually are), the whole batch runs on an internal
+    :class:`ThreadExecutor` instead, which preserves result order and
+    exception behaviour exactly.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        chunks_per_worker: int = 4,
+        start_method: str = "spawn",
+    ):
+        if num_workers <= 0:
+            raise ValueError("need at least one worker")
+        if chunks_per_worker <= 0:
+            raise ValueError("need at least one chunk per worker")
+        self.num_workers = num_workers
+        self.chunks_per_worker = chunks_per_worker
+        self._mp_context = multiprocessing.get_context(start_method)
+        self._pool: ProcessPoolExecutor | None = None  # spawned lazily
+        self._fallback = ThreadExecutor(num_workers)
+        self._pool_broken = False
+        #: Batches routed to the thread fallback because of unpicklable
+        #: closures or a broken pool (observable by tests and operators).
+        self.fallback_batches = 0
+
+    def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        if not tasks:
+            return []
+        if self._pool_broken:
+            self.fallback_batches += 1
+            return self._fallback.run_all(tasks)
+        try:
+            blobs = [
+                pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+                for chunk in self._chunks(tasks)
+            ]
+        except Exception:
+            self.fallback_batches += 1
+            return self._fallback.run_all(tasks)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.num_workers, mp_context=self._mp_context
+            )
+        futures = [self._pool.submit(_run_pickled_chunk, blob) for blob in blobs]
+        try:
+            result_blobs = _drain_in_order(futures)
+        except BrokenProcessPool:
+            # Spawn-hostile environments (REPL drivers, frozen mains) kill
+            # workers at import time; engine tasks are idempotent (they
+            # recompute from lineage), so rerun the batch on threads and
+            # stop trying processes for this executor's lifetime.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_broken = True
+            self.fallback_batches += 1
+            return self._fallback.run_all(tasks)
+        out: list[T] = []
+        for result_blob in result_blobs:
+            out.extend(pickle.loads(result_blob))
+        return out
+
+    def _chunks(
+        self, tasks: Sequence[Callable[[], T]]
+    ) -> list[Sequence[Callable[[], T]]]:
+        target = self.num_workers * self.chunks_per_worker
+        size = max(1, -(-len(tasks) // target))
+        return [tasks[i : i + size] for i in range(0, len(tasks), size)]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._fallback.shutdown()
+
+
 def make_executor(backend: str, num_workers: int = 4) -> Executor:
-    """Executor factory: 'serial' or 'threads'."""
+    """Executor factory: 'serial', 'threads' or 'process'."""
     if backend == "serial":
         return SerialExecutor()
     if backend == "threads":
         return ThreadExecutor(num_workers)
-    raise ValueError(f"unknown executor backend {backend!r}; options: serial, threads")
+    if backend == "process":
+        return ProcessExecutor(num_workers)
+    raise ValueError(
+        f"unknown executor backend {backend!r}; options: serial, threads, process"
+    )

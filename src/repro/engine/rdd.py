@@ -11,6 +11,7 @@ Elements of key-value RDDs are 2-tuples ``(key, value)``.
 from __future__ import annotations
 
 import bisect
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TYPE_CHECKING
 
@@ -39,9 +40,51 @@ class Partitioner:
         return type(self) is type(other) and self.__dict__ == other.__dict__
 
 
+def _canonical_key_bytes(key: object) -> bytes:
+    """Type-tagged canonical encoding of a shuffle key.
+
+    Equal keys must encode identically even across interpreter
+    boundaries, so numeric types are normalized the way ``==`` compares
+    them (``True == 1 == 1.0``) and containers are length-prefixed to
+    keep the encoding unambiguous.
+    """
+    if key is None:
+        return b"z"
+    if isinstance(key, bool):
+        key = int(key)
+    if isinstance(key, float) and key.is_integer():
+        key = int(key)
+    if isinstance(key, int):
+        return b"i" + str(key).encode("ascii")
+    if isinstance(key, float):
+        return b"f" + repr(key).encode("ascii")
+    if isinstance(key, str):
+        return b"s" + key.encode("utf-8")
+    if isinstance(key, bytes):
+        return b"b" + key
+    if isinstance(key, (tuple, list)):
+        parts = [_canonical_key_bytes(item) for item in key]
+        return b"t" + b"".join(
+            len(part).to_bytes(4, "big") + part for part in parts
+        )
+    # Last resort for exotic key types: their repr (deterministic for
+    # anything with a value-based repr; builtin hash() would not be).
+    return b"o" + repr(key).encode("utf-8", "backslashreplace")
+
+
+def stable_hash(key: object) -> int:
+    """Process-portable key hash (crc32 of the canonical encoding).
+
+    Builtin ``hash()`` is salted per interpreter (PYTHONHASHSEED), so two
+    spawn-started workers would bucket the same key differently; every
+    shuffle-placement decision goes through this instead.
+    """
+    return zlib.crc32(_canonical_key_bytes(key))
+
+
 class HashPartitioner(Partitioner):
     def __call__(self, key: object) -> int:
-        return hash(key) % self.num_partitions
+        return stable_hash(key) % self.num_partitions
 
 
 class RangePartitioner(Partitioner):

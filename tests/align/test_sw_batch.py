@@ -1,0 +1,87 @@
+"""Batched Smith-Waterman must reproduce the scalar kernel exactly."""
+
+import numpy as np
+import pytest
+
+from repro.align.bwamem import BwaMemAligner
+from repro.align.smith_waterman import ScoringScheme, smith_waterman
+from repro.align.sw_batch import smith_waterman_batch
+from repro.sim import generate_reference
+
+BASES = np.array(list("ACGTN"))
+BASE_P = [0.2425, 0.2425, 0.2425, 0.2425, 0.03]
+
+
+def _random_seq(rng, lo, hi):
+    return "".join(rng.choice(BASES, size=int(rng.integers(lo, hi + 1)), p=BASE_P))
+
+
+class TestBatchScalarEquivalence:
+    @pytest.mark.parametrize("band", [None, 4, 8, 16, 64])
+    def test_randomized_batches_match_scalar(self, band):
+        rng = np.random.default_rng(hash(band) % 1000 if band else 0)
+        for _ in range(40):
+            pairs = []
+            for _ in range(int(rng.integers(1, 9))):
+                query = _random_seq(rng, 0, 60)
+                ref = _random_seq(rng, 0, 120)
+                # Plant the query so real alignments (not just score-0
+                # rejections) are exercised.
+                if rng.random() < 0.5 and len(ref) > len(query) > 4:
+                    pos = int(rng.integers(0, len(ref) - len(query)))
+                    ref = ref[:pos] + query + ref[pos + len(query):]
+                pairs.append((query, ref))
+            batched = smith_waterman_batch(pairs, band=band)
+            for (query, ref), got in zip(pairs, batched):
+                assert got == smith_waterman(query, ref, band=band)
+
+    def test_edge_cases(self):
+        pairs = [
+            ("", ""),
+            ("", "ACGT"),
+            ("ACGT", ""),
+            ("A", "A"),
+            ("A", "T"),
+            ("N", "N"),
+            ("NNNN", "NNNN"),
+            ("ACGT", "NNNN"),
+            ("A" * 40, "A" * 40),
+        ]
+        batched = smith_waterman_batch(pairs, band=8)
+        for (query, ref), got in zip(pairs, batched):
+            assert got == smith_waterman(query, ref, band=8)
+
+    def test_empty_batch(self):
+        assert smith_waterman_batch([]) == []
+
+    def test_mixed_lengths_padding_does_not_leak(self):
+        # One long pair forces heavy padding on the short ones.
+        pairs = [("ACGTACGTA" * 12, "ACGTACGTA" * 20), ("AC", "ACGT"), ("G", "G")]
+        batched = smith_waterman_batch(pairs)
+        for (query, ref), got in zip(pairs, batched):
+            assert got == smith_waterman(query, ref)
+
+    def test_positive_gap_open_falls_back_to_scalar(self):
+        scoring = ScoringScheme(match=2, mismatch=-1, gap_open=1, gap_extend=-2)
+        pairs = [("ACGTAC", "ACGGTAC"), ("TTTT", "TTAT")]
+        batched = smith_waterman_batch(pairs, scoring=scoring)
+        for (query, ref), got in zip(pairs, batched):
+            assert got == smith_waterman(query, ref, scoring=scoring)
+
+
+class TestAlignerBatchWiring:
+    def test_candidates_batch_matches_single_reads(self):
+        reference = generate_reference([6_000], seed=42)
+        aligner = BwaMemAligner(reference)
+        contig = reference.contigs[0]
+        rng = np.random.default_rng(5)
+        sequences = []
+        for _ in range(12):
+            start = int(rng.integers(0, len(contig) - 80))
+            seq = contig.fetch(start, start + 70)
+            sequences.append(seq)
+        batched = aligner.candidates_batch(sequences)
+        assert len(batched) == len(sequences)
+        for seq, cands in zip(sequences, batched):
+            assert cands == aligner.candidates(seq)
+            assert cands, "planted read must align"
