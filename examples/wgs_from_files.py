@@ -55,6 +55,23 @@ def main() -> None:
     parser.add_argument(
         "--workers", type=int, default=4, help="worker count for threads/process"
     )
+    parser.add_argument(
+        "--malformed",
+        choices=["fail", "drop", "quarantine"],
+        default="fail",
+        help="bad-input policy for the FASTQ loader",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="run-journal directory; re-running resumes after completed Processes",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-attempt task deadline in seconds",
+    )
     args = parser.parse_args()
     workdir = Path(args.output_dir) if args.output_dir else Path(tempfile.mkdtemp())
     workdir.mkdir(parents=True, exist_ok=True)
@@ -78,12 +95,15 @@ def main() -> None:
             serializer="gpf",
             executor_backend=args.backend,
             num_workers=args.workers,
+            task_timeout=args.task_timeout,
         )
     )
     pipeline = Pipeline("myPipeline", ctx)
 
     # Load pair-end FASTQ to RDD
-    fastq_pair_rdd = FileLoader.load_fastq_pair_to_rdd(ctx, fastq1, fastq2)
+    fastq_pair_rdd = FileLoader.load_fastq_pair_to_rdd(
+        ctx, fastq1, fastq2, malformed=args.malformed
+    )
     fastq_pair_bundle = FASTQPairBundle.defined("fastqPair", fastq_pair_rdd)
 
     # Add Aligner Process into the Pipeline
@@ -155,7 +175,7 @@ def main() -> None:
     pipeline.add_process(WriteVcfProcess("WriteVCF", vcf_bundle, vcf_path))
 
     # Issue and Execute Processes
-    pipeline.run()
+    pipeline.run(journal_dir=args.journal_dir)
 
     _, calls = read_vcf(vcf_path)
     truth_keys = truth.truth_keys()
@@ -163,6 +183,10 @@ def main() -> None:
     print(f"\nVCF written to {vcf_path}")
     print(f"   {len(calls)} variants called, {tp}/{len(truth_keys)} truth recovered")
     print(f"   executed: {[p.name for p in pipeline.executed]}")
+    if pipeline.skipped:
+        print(f"   resumed from journal; skipped: {[p.name for p in pipeline.skipped]}")
+    if ctx.quarantine.total:
+        print(f"   {ctx.quarantine.summary()}")
     ctx.stop()
 
 

@@ -18,6 +18,14 @@ detectable on the driver before anything runs:
 - **GPF203 large captures** — a closure that drags a reference dict or an
   FM-index along ships it with *every* task.  ``GPFContext.broadcast``
   ships it once per executor (paper §4.4 step 2).
+- **GPF204 stateful RNG / wall clock** — a closure that captures a live
+  generator instance (``random.Random``, ``numpy.random.Generator``)
+  shares mutable draw state across tasks: retried or recomputed
+  partitions resume from wherever the generator happens to be, so even a
+  *seeded* generator breaks replay determinism (and races across worker
+  threads).  The same rule flags constructing an unseeded generator or
+  reading the wall clock (``datetime.now()`` and friends) inside the
+  task body.
 
 The analyzer works on ``inspect.getsource`` + ``ast`` when source is
 available and degrades to ``co_names`` screening when it is not (builtins,
@@ -125,6 +133,44 @@ def _has_seeding(tree: ast.AST) -> bool:
         if chain[-1] in {"default_rng", "RandomState", "Random"} and node.args:
             return True
     return False
+
+
+#: wall-clock-reading call tails recognized on datetime/date chains.
+WALL_CLOCK_TAILS = frozenset({"now", "utcnow", "today"})
+
+#: RNG-constructor call tails; unseeded (argument-free) calls are flagged.
+RNG_CONSTRUCTOR_TAILS = frozenset({"Random", "RandomState", "default_rng"})
+
+#: roots a wall-clock chain may start from (import aliases included).
+_DATETIME_ROOTS = frozenset({"datetime", "date", "dt"})
+
+
+def find_unseeded_rng_and_clock(tree: ast.AST) -> list[tuple[str, int]]:
+    """(description, line) pairs for GPF204's AST half: constructing an
+    unseeded generator, or reading the wall clock, inside a task body."""
+    hits: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _call_chain(node.func)
+        if not chain:
+            continue
+        dotted = ".".join(chain)
+        line = getattr(node, "lineno", 0)
+        tail = chain[-1]
+        if (
+            tail in RNG_CONSTRUCTOR_TAILS
+            and not node.args
+            and not node.keywords
+        ):
+            hits.append((f"unseeded RNG construction {dotted}()", line))
+        elif (
+            tail in WALL_CLOCK_TAILS
+            and len(chain) >= 2
+            and chain[0] in _DATETIME_ROOTS
+        ):
+            hits.append((f"wall-clock read {dotted}()", line))
+    return hits
 
 
 def find_nondeterministic_calls(tree: ast.AST) -> list[tuple[str, int]]:
@@ -410,6 +456,22 @@ def analyze_closure(
             for name, value in _captured_values(func)
             if isinstance(value, (dict, list, set, bytearray))
         }
+        for desc, line in find_unseeded_rng_and_clock(node):
+            out.append(
+                Diagnostic(
+                    code="GPF204",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"closure {label} contains {desc} (line {line}); "
+                        "retried or recomputed partitions will not replay "
+                        "identically"
+                    ),
+                    resource=label,
+                    fix_hint="seed from stable task identity, e.g. "
+                    "numpy.random.default_rng((seed, split)), and pass "
+                    "timestamps in from the driver",
+                )
+            )
         for name, how, line in find_captured_mutations(node, captured_names):
             out.append(
                 Diagnostic(
@@ -444,8 +506,28 @@ def analyze_closure(
                 break
 
     seen_big: set[int] = set()
+    seen_rng: set[int] = set()
     for name, value in _captured_values(func):
         if isinstance(value, Broadcast) or inspect.ismodule(value):
+            continue
+        if _is_rng_instance(value) and id(value) not in seen_rng:
+            seen_rng.add(id(value))
+            out.append(
+                Diagnostic(
+                    code="GPF204",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"closure {label} captures live RNG instance "
+                        f"{name!r} ({type(value).__name__}); its mutable "
+                        "draw state is shared across tasks, so retries and "
+                        "recomputed partitions do not replay identically"
+                    ),
+                    resource=label,
+                    fix_hint="construct a generator inside the task seeded "
+                    "from stable identity, e.g. "
+                    "numpy.random.default_rng((seed, split))",
+                )
+            )
             continue
         if inspect.isclass(value) or callable(value):
             continue
@@ -530,6 +612,19 @@ def check_rdd_lineage(
             )
         )
     return out
+
+
+def _is_rng_instance(value: object) -> bool:
+    """True for live generator objects whose draw state mutates per call."""
+    import random as stdlib_random
+
+    if isinstance(value, stdlib_random.Random):
+        return True
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep here
+        return False
+    return isinstance(value, (np.random.Generator, np.random.RandomState))
 
 
 def _is_engine_internal(func: Callable) -> bool:

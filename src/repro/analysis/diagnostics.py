@@ -47,6 +47,7 @@ CODES: dict[str, str] = {
     "GPF201": "nondeterministic call in an RDD closure",
     "GPF202": "RDD closure mutates captured driver-side state",
     "GPF203": "RDD closure captures a large object; broadcast it",
+    "GPF204": "RDD closure captures an unseeded RNG or reads the wall clock",
 }
 
 

@@ -16,6 +16,7 @@ from pathlib import Path
 from repro.analysis.closures import (
     find_captured_mutations,
     find_nondeterministic_calls,
+    find_unseeded_rng_and_clock,
 )
 from repro.analysis.diagnostics import Diagnostic, Severity
 
@@ -103,6 +104,21 @@ def scan_source(path: str | Path) -> list[Diagnostic]:
                     resource=label,
                     fix_hint="seed a generator, e.g. "
                     "numpy.random.default_rng((seed, split))",
+                )
+            )
+        for desc, rng_line in find_unseeded_rng_and_clock(func_node):
+            out.append(
+                Diagnostic(
+                    code="GPF204",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{label} closure contains {desc} "
+                        f"(line {rng_line}); recomputed partitions will "
+                        "not replay identically"
+                    ),
+                    resource=label,
+                    fix_hint="seed from stable task identity and pass "
+                    "timestamps in from the driver",
                 )
             )
         for name, how, mut_line in find_captured_mutations(func_node):

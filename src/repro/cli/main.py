@@ -64,6 +64,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="workers for the threads/process backends (default: --threads or 4)",
     )
+    run.add_argument(
+        "--malformed",
+        choices=("fail", "drop", "quarantine"),
+        default="fail",
+        help=(
+            "bad-input policy for FASTQ/SAM/VCF parsing: fail on the first "
+            "corrupt record, drop silently, or quarantine and report"
+        ),
+    )
+    run.add_argument(
+        "--journal-dir",
+        help=(
+            "run-journal directory: finished pipeline Processes are "
+            "checkpointed there, and a re-run with the same plan resumes "
+            "after the last completed Process"
+        ),
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-attempt task deadline in seconds (hung tasks are retried)",
+    )
 
     ev = sub.add_parser("evaluate", help="score a VCF against a truth VCF")
     ev.add_argument("--calls", required=True)
@@ -173,11 +196,6 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.formats.vcf import read_vcf, sort_records, write_vcf
     from repro.wgs import build_wgs_pipeline
 
-    reference = read_fasta(args.reference)
-    known = []
-    if args.known_sites:
-        _, known = read_vcf(args.known_sites)
-
     backend = args.backend or ("threads" if args.threads > 0 else "serial")
     workers = args.workers or args.threads or 4
     config = EngineConfig(
@@ -185,10 +203,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         serializer=args.serializer,
         executor_backend=backend,
         num_workers=max(1, workers),
+        task_timeout=args.task_timeout,
     )
     start = time.perf_counter()
     with GPFContext(config) as ctx:
-        rdd = load_fastq_pair_lazy(ctx, args.fastq1, args.fastq2, args.partitions)
+        sink = ctx.quarantine if args.malformed == "quarantine" else None
+        reference = read_fasta(args.reference)
+        known = []
+        if args.known_sites:
+            _, known = read_vcf(args.known_sites, args.malformed, sink)
+        rdd = load_fastq_pair_lazy(
+            ctx, args.fastq1, args.fastq2, args.partitions, malformed=args.malformed
+        )
         handles = build_wgs_pipeline(
             ctx,
             reference,
@@ -197,7 +223,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             partition_length=args.partition_length,
             use_gvcf=args.gvcf,
         )
-        handles.pipeline.run(optimize=not args.no_optimize)
+        handles.pipeline.run(
+            optimize=not args.no_optimize, journal_dir=args.journal_dir
+        )
         calls = handles.vcf.rdd.collect()
         write_vcf(
             handles.vcf.header,
@@ -212,6 +240,20 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"shuffle {job.shuffle_bytes / 1e3:.1f} KB | "
             f"executed: {', '.join(p.name for p in handles.pipeline.executed)}"
         )
+        if handles.pipeline.skipped:
+            print(
+                "  resumed from journal; skipped: "
+                + ", ".join(p.name for p in handles.pipeline.skipped)
+            )
+        failures = ctx.metrics.failure_counts()
+        if failures:
+            worst = sorted(failures.items(), key=lambda kv: -kv[1])[:3]
+            summary = ", ".join(
+                f"{kind} p{part}×{n}" for (kind, part), n in worst
+            )
+            print(f"  task failures (retried): {summary}")
+        if ctx.quarantine.total:
+            print(f"  {ctx.quarantine.summary()}")
     return 0
 
 

@@ -47,6 +47,9 @@ class Pipeline:
         self.processes: list[Process] = []
         #: Processes actually executed on the last run (post-optimization).
         self.executed: list[Process] = []
+        #: Processes skipped on the last run because the run journal
+        #: already held their outputs (crash resume).
+        self.skipped: list[Process] = []
         #: Resources the caller keeps (terminal outputs); gpfcheck's
         #: GPF004 dead-output rule treats them as consumed.
         self.returned: list[Resource] = []
@@ -75,13 +78,24 @@ class Pipeline:
         return lint_pipeline(self, **kwargs)
 
     # -- Algorithm 1 ---------------------------------------------------------
-    def run(self, optimize: bool = True, strict: bool = False) -> None:
+    def run(
+        self,
+        optimize: bool = True,
+        strict: bool = False,
+        journal_dir: str | None = None,
+    ) -> None:
         """Analyze, optimize, and execute every Process.
 
         With ``strict=True`` the plan is linted first and execution is
         refused (``PipelineLintError``) if any error-severity diagnostic
         is found — the paper's fail-before-any-committed-operation
         contract.
+
+        With ``journal_dir`` set, every finished Process's outputs are
+        checkpointed there and journaled; a re-run against the same
+        directory with the same (optimized) plan restores those outputs
+        and skips the finished Processes (``self.skipped``) — the crash
+        resume path.  A journal written by a different plan is discarded.
         """
         if strict:
             report = self.lint()
@@ -91,6 +105,13 @@ class Pipeline:
         if optimize:
             plan = eliminate_redundancy(plan)
         self.executed = []
+        self.skipped = []
+        journal = None
+        if journal_dir is not None:
+            from repro.engine.journal import RunJournal, plan_signature
+
+            journal = RunJournal(journal_dir)
+            journal.open(plan_signature(plan))
 
         unfinished: list[Process] = list(plan)
         resource_pool: set[int] = set()
@@ -113,8 +134,13 @@ class Pipeline:
                     f"no executable process; circular dependency among {blocked}"
                 )
             for process in ready:
-                process.run(self.ctx)
-                self.executed.append(process)
+                if journal is not None and journal.restore(process, self.ctx):
+                    self.skipped.append(process)
+                else:
+                    process.run(self.ctx)
+                    self.executed.append(process)
+                    if journal is not None:
+                        journal.record(process, self.ctx)
                 unfinished.remove(process)
                 for resource in process.outputs:
                     resource_pool.add(id(resource))

@@ -123,6 +123,17 @@ class Process:
             )
         self._state = ProcessState.END
 
+    def restore_outputs(self) -> None:
+        """Mark the Process finished after its outputs were re-defined
+        from a run journal (crash resume) instead of by :meth:`execute`."""
+        not_defined = [r.name for r in self.outputs if not r.is_defined]
+        if not_defined:
+            raise RuntimeError(
+                f"process {self.name!r} restored without defined outputs: "
+                f"{not_defined}"
+            )
+        self._state = ProcessState.END
+
     # -- to be implemented ------------------------------------------------
     def execute(self, ctx: "GPFContext") -> None:
         raise NotImplementedError

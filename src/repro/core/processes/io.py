@@ -15,28 +15,56 @@ if TYPE_CHECKING:
     from repro.engine.rdd import RDD
 
 
+def _sink(ctx: "GPFContext", malformed: str):
+    return ctx.quarantine if malformed == "quarantine" else None
+
+
 class FileLoader:
-    """Static loaders mirroring ``FileLoader.loadFastqPairToRdd`` etc."""
+    """Static loaders mirroring ``FileLoader.loadFastqPairToRdd`` etc.
+
+    Every loader takes ``malformed`` — the corrupt-input policy applied
+    while parsing: ``"fail"`` (default) raises on the first bad record,
+    ``"drop"`` skips bad records silently, ``"quarantine"`` skips them and
+    routes the raw text to ``ctx.quarantine`` for reporting.
+    """
 
     @staticmethod
     def load_fastq_pair_to_rdd(
-        ctx: "GPFContext", path1: str, path2: str, num_partitions: int | None = None
+        ctx: "GPFContext",
+        path1: str,
+        path2: str,
+        num_partitions: int | None = None,
+        malformed: str = "fail",
     ) -> "RDD":
-        pairs = list(pair_reads(read_fastq(path1), read_fastq(path2)))
+        sink = _sink(ctx, malformed)
+        pairs = list(
+            pair_reads(
+                read_fastq(path1, malformed, sink),
+                read_fastq(path2, malformed, sink),
+                malformed,
+                sink,
+            )
+        )
         return ctx.parallelize(pairs, num_partitions)
 
     @staticmethod
     def load_sam_to_rdd(
-        ctx: "GPFContext", path: str, num_partitions: int | None = None
+        ctx: "GPFContext",
+        path: str,
+        num_partitions: int | None = None,
+        malformed: str = "fail",
     ):
-        header, records = read_sam(path)
+        header, records = read_sam(path, malformed, _sink(ctx, malformed))
         return header, ctx.parallelize(records, num_partitions)
 
     @staticmethod
     def load_vcf_to_rdd(
-        ctx: "GPFContext", path: str, num_partitions: int | None = None
+        ctx: "GPFContext",
+        path: str,
+        num_partitions: int | None = None,
+        malformed: str = "fail",
     ):
-        header, records = read_vcf(path)
+        header, records = read_vcf(path, malformed, _sink(ctx, malformed))
         return header, ctx.parallelize(records, num_partitions)
 
 
@@ -50,6 +78,7 @@ class LoadFastqPairProcess(Process):
         path2: str,
         output: FASTQPairBundle,
         num_partitions: int | None = None,
+        malformed: str = "fail",
     ):
         super().__init__(
             name, inputs=[], outputs=[output], output_types=[FASTQPairBundle]
@@ -57,11 +86,11 @@ class LoadFastqPairProcess(Process):
         self.path1 = path1
         self.path2 = path2
         self.num_partitions = num_partitions
+        self.malformed = malformed
 
     def execute(self, ctx: "GPFContext") -> None:
-        """Collect the VCF bundle and write a sorted VCF file."""
         rdd = FileLoader.load_fastq_pair_to_rdd(
-            ctx, self.path1, self.path2, self.num_partitions
+            ctx, self.path1, self.path2, self.num_partitions, self.malformed
         )
         self.outputs[0].define(rdd)
 

@@ -7,14 +7,66 @@ level exists.  This block manager stores serialized partition blobs in
 memory up to ``memory_limit`` bytes and evicts least-recently-used blocks
 to spill files; reads transparently fall back to disk.  Eviction and
 disk reads are counted so benches can show the memory/IO trade-off.
+
+Every block that touches disk — spilled cache blocks and the durable
+checkpoint store behind :meth:`repro.engine.rdd.RDD.checkpoint` — is
+framed with a crc32 checksum.  A corrupt file is *detected*, counted in
+:attr:`BlockStats.corrupt_reads`, and treated as a miss, so the engine
+recomputes the partition from lineage instead of feeding garbage to the
+next stage (or crashing the run).
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
+
+#: Magic prefix of every checksummed block file.
+BLOCK_MAGIC = b"GPFB"
+
+
+class BlockCorruptionError(RuntimeError):
+    """A block file failed its crc32 verification."""
+
+
+def frame_block(blob: bytes) -> bytes:
+    """Wrap a blob in the on-disk frame: magic + crc32 + payload."""
+    return BLOCK_MAGIC + zlib.crc32(blob).to_bytes(4, "big") + blob
+
+
+def unframe_block(data: bytes, where: str = "") -> bytes:
+    """Verify and strip the frame; raises :class:`BlockCorruptionError`."""
+    if len(data) < 8 or data[:4] != BLOCK_MAGIC:
+        raise BlockCorruptionError(f"not a GPF block file: {where or '<bytes>'}")
+    expected = int.from_bytes(data[4:8], "big")
+    blob = data[8:]
+    actual = zlib.crc32(blob)
+    if actual != expected:
+        raise BlockCorruptionError(
+            f"crc32 mismatch in {where or '<bytes>'}: "
+            f"stored {expected:#010x}, computed {actual:#010x}"
+        )
+    return blob
+
+
+def write_block_file(path: str, blob: bytes) -> None:
+    """Atomically write a framed block file (tmp + rename)."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(frame_block(blob))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def read_block_file(path: str) -> bytes:
+    """Read and verify a framed block file."""
+    with open(path, "rb") as fh:
+        return unframe_block(fh.read(), where=path)
 
 
 @dataclass
@@ -27,14 +79,30 @@ class BlockStats:
     disk_reads: int = 0
     hits: int = 0
     misses: int = 0
+    #: Disk blocks (spill or checkpoint) that failed crc32 verification.
+    corrupt_reads: int = 0
+    #: Checkpoint partitions written/read back.
+    checkpoint_writes: int = 0
+    checkpoint_reads: int = 0
 
 
 class BlockManager:
-    """LRU memory cache with disk spill for serialized partition blobs."""
+    """LRU memory cache with disk spill for serialized partition blobs,
+    plus a durable checksummed checkpoint store."""
 
-    def __init__(self, spill_dir: str, memory_limit: int | None = None):
+    def __init__(
+        self,
+        spill_dir: str,
+        memory_limit: int | None = None,
+        checkpoint_dir: str | None = None,
+    ):
         self._dir = os.path.join(spill_dir, "blocks")
         os.makedirs(self._dir, exist_ok=True)
+        # A caller-supplied checkpoint dir outlives the context (it backs
+        # cross-run resume); only the defaulted in-spill dir is cleaned up.
+        self._owns_ckpt = checkpoint_dir is None
+        self._ckpt_dir = checkpoint_dir or os.path.join(spill_dir, "checkpoints")
+        os.makedirs(self._ckpt_dir, exist_ok=True)
         self._limit = memory_limit
         self._lock = threading.Lock()
         #: key -> blob, most-recently-used last.
@@ -61,10 +129,18 @@ class BlockManager:
                 self.stats.hits += 1
                 return blob
             if key in self._on_disk:
+                try:
+                    blob = read_block_file(self._block_path(key))
+                except (BlockCorruptionError, OSError):
+                    # A corrupt spill file is a miss, not a crash: the
+                    # caller recomputes the partition from lineage.
+                    self.stats.corrupt_reads += 1
+                    self.stats.misses += 1
+                    self._on_disk.discard(key)
+                    return None
                 self.stats.hits += 1
                 self.stats.disk_reads += 1
-                with open(self._block_path(key), "rb") as fh:
-                    return fh.read()
+                return blob
             self.stats.misses += 1
             return None
 
@@ -88,10 +164,47 @@ class BlockManager:
     def total_bytes(self) -> int:
         with self._lock:
             return self._memory_bytes + sum(
-                os.path.getsize(self._block_path(k))
-                for k in self._on_disk
-                if os.path.exists(self._block_path(k))
+                self._disk_payload_bytes(k) for k in self._on_disk
             )
+
+    # -- checkpoint store ----------------------------------------------------
+    def put_checkpoint(self, key: tuple[int, int], blob: bytes) -> str:
+        """Durably write one checkpointed partition; returns the file path."""
+        path = self._checkpoint_path(key)
+        write_block_file(path, blob)
+        with self._lock:
+            self.stats.checkpoint_writes += 1
+        return path
+
+    def get_checkpoint(self, key: tuple[int, int]) -> bytes | None:
+        """Read one checkpointed partition; None when missing or corrupt
+        (corruption is counted in :attr:`BlockStats.corrupt_reads`)."""
+        path = self._checkpoint_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            blob = read_block_file(path)
+        except (BlockCorruptionError, OSError):
+            with self._lock:
+                self.stats.corrupt_reads += 1
+            return None
+        with self._lock:
+            self.stats.checkpoint_reads += 1
+        return blob
+
+    def has_checkpoint(self, key: tuple[int, int]) -> bool:
+        return os.path.exists(self._checkpoint_path(key))
+
+    # -- lifecycle ------------------------------------------------------------
+    def cleanup(self) -> None:
+        """Remove every on-disk artifact (context shutdown)."""
+        with self._lock:
+            self._memory.clear()
+            self._memory_bytes = 0
+            self._on_disk.clear()
+        shutil.rmtree(self._dir, ignore_errors=True)
+        if self._owns_ckpt:
+            shutil.rmtree(self._ckpt_dir, ignore_errors=True)
 
     # -- internals ------------------------------------------------------------
     def _evict_if_needed(self) -> None:
@@ -100,8 +213,7 @@ class BlockManager:
         while self._memory_bytes > self._limit and len(self._memory) > 1:
             key, blob = self._memory.popitem(last=False)  # LRU
             self._memory_bytes -= len(blob)
-            with open(self._block_path(key), "wb") as fh:
-                fh.write(blob)
+            write_block_file(self._block_path(key), blob)
             self._on_disk.add(key)
             self.stats.evictions += 1
 
@@ -110,10 +222,19 @@ class BlockManager:
         self.stats.disk_blocks = len(self._on_disk)
         self.stats.memory_bytes = self._memory_bytes
         self.stats.disk_bytes = sum(
-            os.path.getsize(self._block_path(k))
-            for k in self._on_disk
-            if os.path.exists(self._block_path(k))
+            self._disk_payload_bytes(k) for k in self._on_disk
         )
+
+    def _disk_payload_bytes(self, key: tuple[int, int]) -> int:
+        """Cached payload bytes of a spilled block (frame header excluded,
+        so byte accounting matches what was put())."""
+        path = self._block_path(key)
+        if not os.path.exists(path):
+            return 0
+        return max(0, os.path.getsize(path) - 8)
 
     def _block_path(self, key: tuple[int, int]) -> str:
         return os.path.join(self._dir, f"rdd{key[0]}_p{key[1]}.blk")
+
+    def _checkpoint_path(self, key: tuple[int, int]) -> str:
+        return os.path.join(self._ckpt_dir, f"rdd{key[0]}_p{key[1]}.ckpt")

@@ -22,6 +22,7 @@ from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.engine.scheduler import DAGScheduler
 from repro.engine.serializers import get_serializer
 from repro.engine.shuffle import ShuffleManager
+from repro.formats.quarantine import QuarantineSink
 
 T = TypeVar("T")
 
@@ -53,6 +54,20 @@ class EngineConfig:
     cache_memory_limit: int | None = None
     #: zlib over shuffle blocks (Spark's spark.shuffle.compress).
     shuffle_compression: bool = False
+    #: Per-attempt task deadline in seconds; a hung attempt is abandoned
+    #: with :class:`~repro.engine.faults.TaskTimeoutError` and retried.
+    #: None disables the watchdog entirely (zero overhead).
+    task_timeout: float | None = None
+    #: Base delay (seconds) of the exponential retry backoff; attempt k
+    #: sleeps ~``retry_backoff * 2**k`` plus deterministic jitter.
+    retry_backoff: float = 0.05
+    #: Ceiling on a single backoff sleep.
+    retry_backoff_max: float = 2.0
+    #: Executor-level incidents (timeouts, broken pools) tolerated before
+    #: the process pool is blacklisted and batches run on threads.
+    blacklist_after: int = 3
+    #: Directory for durable RDD checkpoints; defaults inside the spill dir.
+    checkpoint_dir: str | None = None
     #: Extra key-value settings (reserved for experiments).
     extra: dict = field(default_factory=dict)
 
@@ -70,11 +85,14 @@ class GPFContext:
             get_serializer(serializer) if isinstance(serializer, str) else serializer
         )
         self.executor = make_executor(
-            self.config.executor_backend, self.config.num_workers
+            self.config.executor_backend,
+            self.config.num_workers,
+            blacklist_after=self.config.blacklist_after,
         )
         spill = self.config.spill_dir or tempfile.mkdtemp(prefix="gpf_spill_")
         os.makedirs(spill, exist_ok=True)
         self._owns_spill = self.config.spill_dir is None
+        self._spill_dir = spill
         self.shuffle_manager = ShuffleManager(
             spill,
             network_bandwidth=self.config.network_bandwidth,
@@ -88,12 +106,17 @@ class GPFContext:
         # bytes (MEMORY_SER with disk spill beyond the configured limit):
         # GPF persists RDDs in compressed serialized form (paper §4.2).
         self.block_manager = BlockManager(
-            spill, memory_limit=self.config.cache_memory_limit
+            spill,
+            memory_limit=self.config.cache_memory_limit,
+            checkpoint_dir=self.config.checkpoint_dir,
         )
         self._rdd_partitions: dict[int, int] = {}
         self._closed = False
         #: Fault injectors consulted at every task attempt (tests only).
         self.fault_injectors: list = []
+        #: Context-wide sink for malformed input records routed by the
+        #: ``malformed="quarantine"`` loader policy.
+        self.quarantine = QuarantineSink()
 
     # -- construction ---------------------------------------------------
     def parallelize(self, data: Sequence[T], num_partitions: int | None = None) -> RDD:
@@ -140,6 +163,18 @@ class GPFContext:
             for split in range(rdd.num_partitions)
         )
 
+    # -- checkpoints -------------------------------------------------------
+    def _checkpoint_put(self, rdd: RDD, split: int, data: list) -> str:
+        return self.block_manager.put_checkpoint(
+            (rdd.id, split), self.serializer.dumps(data)
+        )
+
+    def _checkpoint_get(self, rdd: RDD, split: int) -> list | None:
+        blob = self.block_manager.get_checkpoint((rdd.id, split))
+        if blob is None:
+            return None
+        return self.serializer.loads(blob)
+
     def cached_bytes(self) -> int:
         """Total size of the serialized block cache (Table 3 measurements)."""
         return self.block_manager.total_bytes()
@@ -157,6 +192,10 @@ class GPFContext:
             self.executor.shutdown()
             if self._owns_spill:
                 self.shuffle_manager.cleanup()
+                self.block_manager.cleanup()
+                import shutil
+
+                shutil.rmtree(self._spill_dir, ignore_errors=True)
             self._closed = True
 
     def __enter__(self) -> "GPFContext":

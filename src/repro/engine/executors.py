@@ -29,6 +29,14 @@ class Executor:
     def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         raise NotImplementedError
 
+    def note_slot_failure(self, reason: str = "") -> bool:
+        """Record an executor-level incident (timeout, broken pool).
+
+        Returns True when this report tripped the blacklist threshold.
+        Backends without slots (serial, threads) ignore reports.
+        """
+        return False
+
     def shutdown(self) -> None:  # pragma: no cover - trivial default
         pass
 
@@ -94,6 +102,7 @@ class ProcessExecutor(Executor):
         num_workers: int,
         chunks_per_worker: int = 4,
         start_method: str = "spawn",
+        blacklist_after: int = 3,
     ):
         if num_workers <= 0:
             raise ValueError("need at least one worker")
@@ -101,6 +110,7 @@ class ProcessExecutor(Executor):
             raise ValueError("need at least one chunk per worker")
         self.num_workers = num_workers
         self.chunks_per_worker = chunks_per_worker
+        self.blacklist_after = blacklist_after
         self._mp_context = multiprocessing.get_context(start_method)
         self._pool: ProcessPoolExecutor | None = None  # spawned lazily
         self._fallback = ThreadExecutor(num_workers)
@@ -108,11 +118,26 @@ class ProcessExecutor(Executor):
         #: Batches routed to the thread fallback because of unpicklable
         #: closures or a broken pool (observable by tests and operators).
         self.fallback_batches = 0
+        #: Executor-level incidents reported by the scheduler (timeouts,
+        #: broken pools); once they reach ``blacklist_after`` the process
+        #: pool is blacklisted and every batch runs on the thread fallback.
+        self.slot_failures = 0
+        self.blacklisted = False
+
+    def note_slot_failure(self, reason: str = "") -> bool:
+        self.slot_failures += 1
+        if not self.blacklisted and self.slot_failures >= self.blacklist_after:
+            self.blacklisted = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            return True
+        return False
 
     def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         if not tasks:
             return []
-        if self._pool_broken:
+        if self._pool_broken or self.blacklisted:
             self.fallback_batches += 1
             return self._fallback.run_all(tasks)
         try:
@@ -159,14 +184,16 @@ class ProcessExecutor(Executor):
         self._fallback.shutdown()
 
 
-def make_executor(backend: str, num_workers: int = 4) -> Executor:
+def make_executor(
+    backend: str, num_workers: int = 4, blacklist_after: int = 3
+) -> Executor:
     """Executor factory: 'serial', 'threads' or 'process'."""
     if backend == "serial":
         return SerialExecutor()
     if backend == "threads":
         return ThreadExecutor(num_workers)
     if backend == "process":
-        return ProcessExecutor(num_workers)
+        return ProcessExecutor(num_workers, blacklist_after=blacklist_after)
     raise ValueError(
         f"unknown executor backend {backend!r}; options: serial, threads, process"
     )

@@ -20,7 +20,14 @@ import numpy as np
 
 
 class InjectedFault(RuntimeError):
-    """Raised inside a task by a fault injector."""
+    """Raised inside a task by a fault injector.
+
+    Kept picklable (single ``args`` message) so injected failures survive
+    the round trip through the ``process`` executor backend.
+    """
+
+    def __init__(self, message: str = ""):
+        super().__init__(message)
 
 
 @dataclass
@@ -69,13 +76,50 @@ class RandomFaults:
     def injected(self) -> int:
         return self._injected
 
+    # Locks do not pickle; drop the lock so the injector can ship to a
+    # process-backend worker (each worker gets an independent lock).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 class TaskFailedError(RuntimeError):
-    """A task exhausted its retry budget."""
+    """A task exhausted its retry budget.
+
+    The last underlying exception is both stored as :attr:`cause` and
+    chained as ``__cause__`` so tracebacks show the real failure.
+    """
 
     def __init__(self, stage_kind: str, partition: int, attempts: int, cause: Exception):
         super().__init__(
             f"{stage_kind} task for partition {partition} failed after "
             f"{attempts} attempts: {cause}"
         )
+        self.stage_kind = stage_kind
+        self.partition = partition
+        self.attempts = attempts
         self.cause = cause
+        self.__cause__ = cause
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.stage_kind, self.partition, self.attempts, self.cause),
+        )
+
+
+class TaskTimeoutError(RuntimeError):
+    """A task attempt overran its deadline (``EngineConfig.task_timeout``)."""
+
+    def __init__(self, where: str, timeout: float):
+        super().__init__(f"task {where} exceeded its {timeout:.3f}s deadline")
+        self.where = where
+        self.timeout = timeout
+
+    def __reduce__(self):
+        return (type(self), (self.where, self.timeout))

@@ -23,7 +23,8 @@ from typing import TYPE_CHECKING
 
 from repro.engine.metrics import TaskMetrics, timed
 from repro.engine.rdd import RDD
-from repro.formats.fastq import FastqPair, FastqRecord, parse_fastq
+from repro.formats.fastq import FastqPair, FastqRecord, pair_reads, parse_fastq
+from repro.formats.quarantine import QuarantineSink, check_policy
 
 if TYPE_CHECKING:
     from repro.engine.context import GPFContext
@@ -117,11 +118,19 @@ class TextFileRDD(RDD):
 class FastqFileRDD(RDD):
     """FASTQ records of a file, read lazily per partition."""
 
-    def __init__(self, ctx: "GPFContext", path: str, num_partitions: int):
+    def __init__(
+        self,
+        ctx: "GPFContext",
+        path: str,
+        num_partitions: int,
+        malformed: str = "fail",
+    ):
         if num_partitions <= 0:
             raise ValueError("need at least one partition")
+        check_policy(malformed)
         super().__init__(ctx, num_partitions, name=f"fastq:{os.path.basename(path)}")
         self._path = path
+        self._malformed = malformed
         self._ranges = _fastq_aligned_offsets(path, num_partitions)
 
     def compute(self, split: int, task: TaskMetrics) -> list:
@@ -129,7 +138,8 @@ class FastqFileRDD(RDD):
         if end <= start:
             return []
         text = _read_range(self._path, start, end, task)
-        records = list(parse_fastq(text.splitlines()))
+        sink = _quarantine_sink(self.ctx, self._malformed)
+        records = list(parse_fastq(text.splitlines(), self._malformed, sink))
         task.records_read += len(records)
         return records
 
@@ -143,23 +153,34 @@ class FastqPairFileRDD(RDD):
     """
 
     def __init__(
-        self, ctx: "GPFContext", path1: str, path2: str, num_partitions: int
+        self,
+        ctx: "GPFContext",
+        path1: str,
+        path2: str,
+        num_partitions: int,
+        malformed: str = "fail",
     ):
         if num_partitions <= 0:
             raise ValueError("need at least one partition")
+        check_policy(malformed)
         super().__init__(
             ctx, num_partitions, name=f"fastq-pair:{os.path.basename(path1)}"
         )
         self._path1 = path1
         self._path2 = path2
+        self._malformed = malformed
         # Index-aligned splits need record counts; count records once per
         # file (a sequential scan, not a load).
-        count1 = _count_fastq_records(path1)
-        count2 = _count_fastq_records(path2)
+        count1 = _count_fastq_records(path1, malformed)
+        count2 = _count_fastq_records(path2, malformed)
         if count1 != count2:
-            raise ValueError(
-                f"paired FASTQ files disagree: {count1} vs {count2} records"
-            )
+            if malformed == "fail":
+                raise ValueError(
+                    f"paired FASTQ files disagree: {count1} vs {count2} records"
+                )
+            # Tolerant policies pair up to the shorter file; the unmatched
+            # tail is quarantined record-by-record when its split is read.
+            count1 = min(count1, count2)
         self._record_ranges = [
             (count1 * i // num_partitions, count1 * (i + 1) // num_partitions)
             for i in range(num_partitions)
@@ -172,19 +193,37 @@ class FastqPairFileRDD(RDD):
         if hi <= lo:
             return []
         count = hi - lo
-        reads1 = _read_records(self._path1, self._offsets1[split], count, task)
-        reads2 = _read_records(self._path2, self._offsets2[split], count, task)
-        task.records_read += count
-        return [FastqPair(r1, r2) for r1, r2 in zip(reads1, reads2)]
+        sink = _quarantine_sink(self.ctx, self._malformed)
+        reads1 = _read_records(
+            self._path1, self._offsets1[split], count, task, self._malformed, sink
+        )
+        reads2 = _read_records(
+            self._path2, self._offsets2[split], count, task, self._malformed, sink
+        )
+        if self._malformed == "fail":
+            pairs = [FastqPair(r1, r2) for r1, r2 in zip(reads1, reads2)]
+        else:
+            pairs = list(pair_reads(reads1, reads2, self._malformed, sink))
+        task.records_read += len(pairs)
+        return pairs
 
 
-def _count_fastq_records(path: str) -> int:
+def _quarantine_sink(ctx: "GPFContext", malformed: str) -> "QuarantineSink | None":
+    return ctx.quarantine if malformed == "quarantine" else None
+
+
+def _count_fastq_records(path: str, malformed: str = "fail") -> int:
     lines = 0
     with open(path, "rb") as fh:
         for _ in fh:
             lines += 1
     if lines % 4:
-        raise ValueError(f"{path}: FASTQ line count {lines} not a multiple of 4")
+        if malformed == "fail":
+            raise ValueError(
+                f"{path}: FASTQ line count {lines} not a multiple of 4"
+            )
+        # Tolerant policies drop the trailing partial record; the parse
+        # step quarantines its lines when the final split is read.
     return lines // 4
 
 
@@ -210,7 +249,12 @@ def _record_offsets(path: str, record_indices: list[int]) -> list[int]:
 
 
 def _read_records(
-    path: str, offset: int, count: int, task: TaskMetrics
+    path: str,
+    offset: int,
+    count: int,
+    task: TaskMetrics,
+    malformed: str = "fail",
+    sink: "QuarantineSink | None" = None,
 ) -> list[FastqRecord]:
     lines: list[str] = []
     with timed(task, "disk_blocked"):
@@ -221,12 +265,20 @@ def _read_records(
                 if not line:
                     break
                 lines.append(line.decode("ascii"))
-    return list(parse_fastq(lines))
+    return list(parse_fastq(lines, malformed, sink))
 
 
 def load_fastq_pair_lazy(
-    ctx: "GPFContext", path1: str, path2: str, num_partitions: int | None = None
+    ctx: "GPFContext",
+    path1: str,
+    path2: str,
+    num_partitions: int | None = None,
+    malformed: str = "fail",
 ) -> FastqPairFileRDD:
     return FastqPairFileRDD(
-        ctx, path1, path2, num_partitions or ctx.config.default_parallelism
+        ctx,
+        path1,
+        path2,
+        num_partitions or ctx.config.default_parallelism,
+        malformed=malformed,
     )

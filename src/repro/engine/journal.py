@@ -1,0 +1,234 @@
+"""Pipeline run journal: crash-resumable Process-level checkpointing.
+
+The journal makes ``Pipeline.run(journal_dir=...)`` idempotent at Process
+granularity.  After each Process finishes, every output Resource is
+materialized to crc32-framed checkpoint files in the journal directory
+and one JSON line describing them is appended (and fsynced) to
+``journal.jsonl``.  Files are durably written *before* their journal
+line, so a crash mid-checkpoint leaves no entry and the Process simply
+re-executes on resume.
+
+A later run with the same journal directory and the same *plan
+signature* (a hash of the optimized Process graph) restores the journaled
+outputs — RDDs come back as :class:`CheckpointFileRDD` sources with no
+lineage to replay — and skips the finished Processes.  A journal written
+by a different plan is discarded, never partially applied.
+
+Layout::
+
+    <journal_dir>/journal.jsonl           header + one line per Process
+    <journal_dir>/data/<process>__<resource>__p<N>.ckpt   RDD partitions
+    <journal_dir>/data/<process>__<resource>.val          plain values
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+from typing import Sequence, TYPE_CHECKING
+
+from repro.engine.blockmanager import read_block_file, write_block_file
+from repro.engine.metrics import TaskMetrics
+from repro.engine.rdd import RDD
+
+if TYPE_CHECKING:
+    from repro.core.process import Process
+    from repro.engine.context import GPFContext
+
+JOURNAL_VERSION = 1
+
+
+def plan_signature(processes: Sequence["Process"]) -> str:
+    """Stable hash of the (optimized) plan structure.
+
+    Covers Process class names, Process names, and input/output Resource
+    names — enough to reject a journal written by a structurally different
+    plan (the optimizer's fused names are deterministic, so optimization
+    does not perturb the signature across runs).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for process in processes:
+        entry = "|".join(
+            [
+                type(process).__name__,
+                process.name,
+                ",".join(r.name for r in process.inputs),
+                ",".join(r.name for r in process.outputs),
+            ]
+        )
+        digest.update(entry.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class CheckpointFileRDD(RDD):
+    """Source RDD over journaled checkpoint files — one file per partition.
+
+    Has no lineage: a resumed pipeline reads finished Processes' outputs
+    straight from these files instead of replaying upstream stages.
+    Corruption is not survivable here (there is nothing to recompute
+    from), but :meth:`RunJournal.restore` verifies every file before the
+    RDD is handed to the plan, so a torn file downgrades to a re-executed
+    Process rather than a mid-run crash.
+    """
+
+    def __init__(self, ctx: "GPFContext", paths: Sequence[str]):
+        super().__init__(ctx, len(paths), name="checkpoint-file")
+        self._paths = list(paths)
+
+    def compute(self, split: int, task: TaskMetrics) -> list:
+        return self.ctx.serializer.loads(read_block_file(self._paths[split]))
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+
+
+class RunJournal:
+    """Append-only JSONL journal of completed Processes for one plan."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.path = os.path.join(directory, "journal.jsonl")
+        self.data_dir = os.path.join(directory, "data")
+        os.makedirs(self.data_dir, exist_ok=True)
+        self._entries: dict[str, dict] = {}
+        #: True when an existing journal was discarded (plan changed).
+        self.discarded_stale = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def open(self, plan_sig: str) -> None:
+        """Load entries for this plan; discard a stale journal."""
+        self._entries = {}
+        lines: list[dict] = []
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for raw in fh:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        lines.append(json.loads(raw))
+                    except json.JSONDecodeError:
+                        # A torn trailing line is the expected crash
+                        # artifact; everything before it is intact.
+                        break
+        header_ok = (
+            bool(lines)
+            and lines[0].get("kind") == "header"
+            and lines[0].get("plan") == plan_sig
+            and lines[0].get("version") == JOURNAL_VERSION
+        )
+        if header_ok:
+            for line in lines[1:]:
+                if line.get("kind") == "process":
+                    self._entries[line["process"]] = line
+            return
+        if lines:
+            self.discarded_stale = True
+        self._write_header(plan_sig)
+
+    def _write_header(self, plan_sig: str) -> None:
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {"kind": "header", "version": JOURNAL_VERSION, "plan": plan_sig}
+                )
+            )
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    @property
+    def completed(self) -> set[str]:
+        return set(self._entries)
+
+    # -- record ------------------------------------------------------------
+    def record(self, process: "Process", ctx: "GPFContext") -> None:
+        """Checkpoint every output of a just-finished Process.
+
+        All files are written (atomically, fsynced) before the journal
+        line is appended: the line is the commit point.
+        """
+        outputs: list[dict] = []
+        for resource in process.outputs:
+            value = resource.value
+            spec: dict = {"name": resource.name}
+            stem = f"{_safe_name(process.name)}__{_safe_name(resource.name)}"
+            if isinstance(value, RDD):
+                paths = []
+                for split, part in enumerate(ctx.run_job(value)):
+                    path = os.path.join(self.data_dir, f"{stem}__p{split}.ckpt")
+                    write_block_file(path, ctx.serializer.dumps(part))
+                    paths.append(path)
+                spec["type"] = "rdd"
+                spec["paths"] = paths
+            else:
+                path = os.path.join(self.data_dir, f"{stem}.val")
+                write_block_file(
+                    path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                spec["type"] = "value"
+                spec["path"] = path
+            # Bundles carry format metadata (SAM/VCF headers) the Process
+            # mutated; persist it or the resumed run would see stale headers.
+            header = getattr(resource, "header", None)
+            if header is not None:
+                spec["header"] = pickle.dumps(
+                    header, protocol=pickle.HIGHEST_PROTOCOL
+                ).hex()
+            outputs.append(spec)
+        entry = {"kind": "process", "process": process.name, "outputs": outputs}
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry))
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._entries[process.name] = entry
+
+    # -- restore -----------------------------------------------------------
+    def restore(self, process: "Process", ctx: "GPFContext") -> bool:
+        """Re-define a journaled Process's outputs; True when skipped.
+
+        Every checkpoint file is crc32-verified *before* any Resource is
+        touched, so a corrupt or missing file leaves the plan untouched
+        and the Process re-executes normally.
+        """
+        entry = self._entries.get(process.name)
+        if entry is None:
+            return False
+        specs = entry["outputs"]
+        by_name = {r.name: r for r in process.outputs}
+        if set(s["name"] for s in specs) != set(by_name):
+            return False
+        restored: list[tuple] = []
+        try:
+            for spec in specs:
+                if spec["type"] == "rdd":
+                    blobs = [read_block_file(p) for p in spec["paths"]]
+                    # Deserialize eagerly too: a blob that passes crc32 but
+                    # does not decode must also downgrade to re-execution.
+                    for blob in blobs:
+                        ctx.serializer.loads(blob)
+                    value: object = CheckpointFileRDD(ctx, spec["paths"])
+                else:
+                    value = pickle.loads(read_block_file(spec["path"]))
+                header = (
+                    pickle.loads(bytes.fromhex(spec["header"]))
+                    if "header" in spec
+                    else None
+                )
+                restored.append((by_name[spec["name"]], value, header))
+        except Exception:  # noqa: BLE001 - any decode failure => re-execute
+            return False
+        for resource, value, header in restored:
+            if resource.is_defined:
+                resource.undefine()
+            resource.define(value)
+            if header is not None:
+                resource.header = header
+        process.restore_outputs()
+        return True

@@ -115,6 +115,20 @@ class JobMetrics:
         return (disk / total, net / total)
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed task attempt, as recorded by the scheduler's retry loop."""
+
+    stage_kind: str  # "result" | "shuffle-map"
+    partition: int
+    attempt: int
+    error_type: str  # exception class name, e.g. "TaskTimeoutError"
+    message: str
+    #: backoff delay (seconds) applied before the next attempt; 0 when the
+    #: attempt was the last one.
+    backoff: float = 0.0
+
+
 class MetricsRegistry:
     """Collects stage metrics for one context; thread-safe."""
 
@@ -122,6 +136,8 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._stages: dict[int, StageMetrics] = {}
         self._next_stage_id = 0
+        self._failures: list[TaskFailure] = []
+        self._executor_events: dict[str, int] = {}
 
     def new_stage(self, name: str = "") -> StageMetrics:
         with self._lock:
@@ -139,10 +155,60 @@ class MetricsRegistry:
         with self._lock:
             return JobMetrics(stages=[self._stages[i] for i in sorted(self._stages)])
 
+    # -- failure ledger -----------------------------------------------------
+    def record_failure(
+        self,
+        stage_kind: str,
+        partition: int,
+        attempt: int,
+        error: BaseException,
+        backoff: float = 0.0,
+    ) -> None:
+        """Ledger one failed task attempt (successful retries still leave
+        their failures visible here — Spark's failed-task accounting)."""
+        with self._lock:
+            self._failures.append(
+                TaskFailure(
+                    stage_kind=stage_kind,
+                    partition=partition,
+                    attempt=attempt,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    backoff=backoff,
+                )
+            )
+
+    @property
+    def failures(self) -> list[TaskFailure]:
+        with self._lock:
+            return list(self._failures)
+
+    def failure_counts(self) -> dict[tuple[str, int], int]:
+        """Failed attempts per (stage_kind, partition) — the hot spots."""
+        counts: dict[tuple[str, int], int] = {}
+        for failure in self.failures:
+            key = (failure.stage_kind, failure.partition)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- executor events ------------------------------------------------------
+    def record_executor_event(self, kind: str) -> None:
+        """Count executor-level incidents: timeouts, broken pools,
+        slot blacklisting, thread fallbacks."""
+        with self._lock:
+            self._executor_events[kind] = self._executor_events.get(kind, 0) + 1
+
+    @property
+    def executor_events(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._executor_events)
+
     def reset(self) -> None:
         with self._lock:
             self._stages.clear()
             self._next_stage_id = 0
+            self._failures.clear()
+            self._executor_events.clear()
 
 
 class _GcTimer:

@@ -154,13 +154,23 @@ class RDD:
         self.shuffle_deps = list(shuffle_deps)
         self.name = name or type(self).__name__
         self._persisted = False
+        self._checkpointed = False
+        #: Lineage backup taken by :meth:`checkpoint` — consulted only to
+        #: recompute a partition whose checkpoint file went missing or
+        #: failed its crc32 check.
+        self._checkpoint_lineage: tuple[list, list] | None = None
 
     # -- evaluation -------------------------------------------------------
     def compute(self, split: int, task: TaskMetrics) -> list:
         raise NotImplementedError
 
     def iterator(self, split: int, task: TaskMetrics) -> list:
-        """Compute a partition, honouring the cache for persisted RDDs."""
+        """Compute a partition, honouring checkpoints and the cache."""
+        if self._checkpointed:
+            data = self.ctx._checkpoint_get(self, split)
+            if data is not None:
+                return data
+            return self._recompute_checkpoint(split, task)
         if self._persisted:
             cached = self.ctx._cache_get(self, split)
             if cached is not None:
@@ -180,6 +190,49 @@ class RDD:
         self._persisted = False
         self.ctx._cache_evict(self)
         return self
+
+    def checkpoint(self) -> "RDD":
+        """Materialize every partition to the durable checkpoint store and
+        truncate lineage.
+
+        Spark semantics, eagerly: partitions are computed now, written as
+        crc32-framed files through the block manager, and the parent /
+        shuffle dependencies are cut so downstream stages read from the
+        checkpoint instead of replaying the (possibly expensive) lineage.
+        The severed lineage is kept as a private backup solely to
+        recompute a partition whose checkpoint file is later found
+        missing or corrupt.
+        """
+        if self._checkpointed:
+            return self
+        for split, data in enumerate(self.ctx.run_job(self)):
+            self.ctx._checkpoint_put(self, split, data)
+        self._checkpoint_lineage = (self.parents, self.shuffle_deps)
+        self.parents = []
+        self.shuffle_deps = []
+        self._checkpointed = True
+        return self
+
+    @property
+    def is_checkpointed(self) -> bool:
+        return self._checkpointed
+
+    def _recompute_checkpoint(self, split: int, task: TaskMetrics) -> list:
+        """Checkpoint partition lost or corrupt: temporarily restore the
+        severed lineage, recompute, re-materialize, re-truncate."""
+        if self._checkpoint_lineage is None:
+            raise RuntimeError(
+                f"checkpoint partition {split} of RDD {self.id} is missing "
+                "and no lineage backup exists to recompute it"
+            )
+        self.parents, self.shuffle_deps = self._checkpoint_lineage
+        try:
+            data = self.compute(split, task)
+        finally:
+            self.parents = []
+            self.shuffle_deps = []
+        self.ctx._checkpoint_put(self, split, data)
+        return data
 
     @property
     def serializer(self) -> "Serializer":

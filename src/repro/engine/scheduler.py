@@ -12,14 +12,31 @@ Tasks that raise are retried up to ``EngineConfig.max_task_attempts``
 times (Spark's ``spark.task.maxFailures``); a retry recomputes the
 partition from lineage — the RDD resilience property — and registered
 fault injectors (``repro.engine.faults``) can kill attempts to prove it.
+
+Retries are hardened three ways (Spark's speculation/blacklisting,
+scaled down):
+
+- **Deadlines** — with ``EngineConfig.task_timeout`` set, each attempt
+  runs under a watchdog; a hung attempt is abandoned with
+  :class:`~repro.engine.faults.TaskTimeoutError` and retried.
+- **Backoff** — failed attempts sleep ``retry_backoff * 2**attempt``
+  (capped, plus deterministic jitter) before retrying, so a transiently
+  overloaded resource is not hammered.
+- **Ledger + blacklisting** — every failed attempt is recorded in the
+  metrics failure ledger keyed by ``(stage_kind, partition)``; repeated
+  executor-level incidents (timeouts, broken process pools) blacklist
+  the process pool, pinning subsequent batches to the thread fallback.
 """
 
 from __future__ import annotations
 
+import random
+import threading
 import time
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence, TYPE_CHECKING
 
-from repro.engine.faults import TaskFailedError
+from repro.engine.faults import TaskFailedError, TaskTimeoutError
 from repro.engine.metrics import GC_TIMER, TaskMetrics
 
 if TYPE_CHECKING:
@@ -64,6 +81,82 @@ class DAGScheduler:
         return ordered
 
     # -- task attempt wrapper --------------------------------------------------
+    def _attempt_once(
+        self,
+        stage_kind: str,
+        split: int,
+        attempt: int,
+        body: Callable[[TaskMetrics], object],
+    ) -> tuple[TaskMetrics, object]:
+        """One measured task attempt: injectors, body, GC accounting."""
+        task = TaskMetrics(partition=split, attempt=attempt)
+        start = time.perf_counter()
+        with GC_TIMER.measure() as gc_state:
+            for injector in self.ctx.fault_injectors:
+                injector(stage_kind, split, attempt)
+            value = body(task)
+        task.gc_time = gc_state["total"]
+        task.run_time = time.perf_counter() - start
+        task.finalize()
+        return task, value
+
+    def _attempt_with_deadline(
+        self,
+        stage_kind: str,
+        split: int,
+        attempt: int,
+        body: Callable[[TaskMetrics], object],
+        timeout: float | None,
+    ) -> tuple[TaskMetrics, object]:
+        """Run one attempt under the watchdog.
+
+        The attempt runs on a daemon thread joined with ``timeout``; a
+        still-running attempt is abandoned (Python threads cannot be
+        killed, but its writes are idempotent — shuffle/checkpoint files
+        are written atomically) and :class:`TaskTimeoutError` is raised so
+        the retry loop treats the hang like any other failure.  With no
+        timeout configured the attempt runs inline at zero overhead.
+        """
+        if timeout is None:
+            return self._attempt_once(stage_kind, split, attempt, body)
+        outcome: list = []
+        failure: list = []
+
+        def run_attempt() -> None:
+            try:
+                outcome.append(self._attempt_once(stage_kind, split, attempt, body))
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                failure.append(exc)
+
+        worker = threading.Thread(
+            target=run_attempt,
+            daemon=True,
+            name=f"gpf-task-{stage_kind}-p{split}-a{attempt}",
+        )
+        worker.start()
+        worker.join(timeout)
+        if worker.is_alive():
+            raise TaskTimeoutError(
+                f"{stage_kind} partition {split} attempt {attempt}", timeout
+            )
+        if failure:
+            raise failure[0]
+        return outcome[0]
+
+    def _backoff_delay(self, stage_kind: str, split: int, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter, capped."""
+        base = self.ctx.config.retry_backoff
+        if base <= 0:
+            return 0.0
+        cap = self.ctx.config.retry_backoff_max
+        delay = min(base * (2**attempt), cap)
+        # Jitter is seeded from the task identity (a string seed hashes
+        # identically across interpreters) so reruns back off identically.
+        jitter = random.Random(f"{stage_kind}:{split}:{attempt}").uniform(
+            0.0, delay / 2
+        )
+        return min(delay + jitter, cap)
+
     def _run_with_retries(
         self,
         stage_kind: str,
@@ -73,24 +166,39 @@ class DAGScheduler:
     ) -> object:
         """Run one task body with fault injection + retry; returns its value."""
         max_attempts = max(1, self.ctx.config.max_task_attempts)
+        timeout = self.ctx.config.task_timeout
         last_error: Exception | None = None
         for attempt in range(max_attempts):
-            task = TaskMetrics(partition=split, attempt=attempt)
-            start = time.perf_counter()
             try:
-                with GC_TIMER.measure() as gc_state:
-                    for injector in self.ctx.fault_injectors:
-                        injector(stage_kind, split, attempt)
-                    value = body(task)
-                task.gc_time = gc_state["total"]
-                task.run_time = time.perf_counter() - start
-                task.finalize()
+                task, value = self._attempt_with_deadline(
+                    stage_kind, split, attempt, body, timeout
+                )
                 record(task)
                 return value
             except Exception as exc:  # noqa: BLE001 - retry semantics
                 last_error = exc
+                if isinstance(exc, (TaskTimeoutError, BrokenProcessPool)):
+                    kind = (
+                        "timeout"
+                        if isinstance(exc, TaskTimeoutError)
+                        else "broken_pool"
+                    )
+                    self.ctx.metrics.record_executor_event(kind)
+                    if self.ctx.executor.note_slot_failure(kind):
+                        self.ctx.metrics.record_executor_event("blacklisted")
+                retries_left = max_attempts - attempt - 1
+                delay = (
+                    self._backoff_delay(stage_kind, split, attempt)
+                    if retries_left
+                    else 0.0
+                )
+                self.ctx.metrics.record_failure(
+                    stage_kind, split, attempt, exc, backoff=delay
+                )
+                if delay:
+                    time.sleep(delay)
         assert last_error is not None
-        raise TaskFailedError(stage_kind, split, max_attempts, last_error)
+        raise TaskFailedError(stage_kind, split, max_attempts, last_error) from last_error
 
     # -- execution ----------------------------------------------------------
     def _run_map_stage(self, dep: "ShuffleDependency") -> None:

@@ -13,6 +13,7 @@ from typing import IO, Iterable, Iterator
 
 from repro.formats import flags as F
 from repro.formats.cigar import Cigar
+from repro.formats.quarantine import QuarantineSink, check_policy, route_malformed
 
 #: Sentinel position for unmapped records (SAM uses 0 in 1-based text form;
 #: internally we use -1 with 0-based coordinates).
@@ -126,6 +127,12 @@ class SamRecord:
         parts = line.rstrip("\n").split("\t")
         if len(parts) < 11:
             raise ValueError(f"malformed SAM line ({len(parts)} fields): {line!r}")
+        flag = int(parts[1])
+        if not 0 <= flag < (1 << 16):
+            raise ValueError(f"SAM flag out of range [0, 65536): {flag}")
+        mapq = int(parts[4])
+        if not 0 <= mapq <= 255:
+            raise ValueError(f"SAM MAPQ out of range [0, 255]: {mapq}")
         pos = int(parts[3]) - 1
         pnext = int(parts[7]) - 1
         tags: dict[str, object] = {}
@@ -134,10 +141,10 @@ class SamRecord:
             tags[key] = value
         return cls(
             qname=parts[0],
-            flag=int(parts[1]),
+            flag=flag,
             rname=parts[2],
             pos=pos if pos >= 0 else UNMAPPED_POS,
-            mapq=int(parts[4]),
+            mapq=mapq,
             cigar=Cigar.parse(parts[5]),
             rnext=parts[6],
             pnext=pnext if pnext >= 0 else UNMAPPED_POS,
@@ -225,8 +232,18 @@ class SamHeader:
         return cls(tuple(contigs), sort_order)
 
 
-def read_sam(path: str) -> tuple[SamHeader, list[SamRecord]]:
-    """Read a SAM text file into (header, records)."""
+def read_sam(
+    path: str,
+    malformed: str = "fail",
+    sink: QuarantineSink | None = None,
+) -> tuple[SamHeader, list[SamRecord]]:
+    """Read a SAM text file into (header, records).
+
+    ``malformed`` selects the bad-record policy (bad CIGARs, out-of-range
+    flags/MAPQ, unparsable integer fields): ``"fail"`` raises, ``"drop"``
+    skips, ``"quarantine"`` routes the raw line to ``sink`` and skips.
+    """
+    check_policy(malformed)
     header_lines: list[str] = []
     records: list[SamRecord] = []
     with open(path, "r", encoding="ascii") as fh:
@@ -234,7 +251,12 @@ def read_sam(path: str) -> tuple[SamHeader, list[SamRecord]]:
             if line.startswith("@"):
                 header_lines.append(line.rstrip("\n"))
             elif line.strip():
-                records.append(SamRecord.from_line(line))
+                try:
+                    records.append(SamRecord.from_line(line))
+                except ValueError as exc:
+                    if malformed == "fail":
+                        raise
+                    route_malformed(sink, "sam", line.rstrip("\n"), str(exc))
     return SamHeader.from_lines(header_lines), records
 
 
@@ -267,7 +289,17 @@ def coordinate_key(header: SamHeader) -> "callable":
     return key
 
 
-def iter_sam_lines(lines: Iterable[str]) -> Iterator[SamRecord]:
+def iter_sam_lines(
+    lines: Iterable[str],
+    malformed: str = "fail",
+    sink: QuarantineSink | None = None,
+) -> Iterator[SamRecord]:
+    check_policy(malformed)
     for line in lines:
         if not line.startswith("@") and line.strip():
-            yield SamRecord.from_line(line)
+            try:
+                yield SamRecord.from_line(line)
+            except ValueError as exc:
+                if malformed == "fail":
+                    raise
+                route_malformed(sink, "sam", line.rstrip("\n"), str(exc))

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Iterator
 
+from repro.formats.quarantine import QuarantineSink, check_policy, route_malformed
+
 
 @dataclass(frozen=True, slots=True)
 class VcfRecord:
@@ -153,8 +155,36 @@ class VcfHeader:
         return cls(tuple(contigs), sample)
 
 
-def read_vcf(path: str) -> tuple[VcfHeader, list[VcfRecord]]:
-    """Read a VCF text file into (header, records)."""
+def parse_vcf_lines(
+    lines: Iterable[str],
+    malformed: str = "fail",
+    sink: QuarantineSink | None = None,
+) -> Iterator[VcfRecord]:
+    """Parse non-header VCF text lines under a bad-record policy."""
+    check_policy(malformed)
+    for line in lines:
+        if line.startswith("#") or not line.strip():
+            continue
+        try:
+            yield VcfRecord.from_line(line)
+        except ValueError as exc:
+            if malformed == "fail":
+                raise
+            route_malformed(sink, "vcf", line.rstrip("\n"), str(exc))
+
+
+def read_vcf(
+    path: str,
+    malformed: str = "fail",
+    sink: QuarantineSink | None = None,
+) -> tuple[VcfHeader, list[VcfRecord]]:
+    """Read a VCF text file into (header, records).
+
+    ``malformed`` selects the bad-record policy for unparsable data lines
+    (bad POS/QUAL numbers, empty REF/ALT, short field counts): ``"fail"``
+    raises, ``"drop"`` skips, ``"quarantine"`` routes to ``sink``.
+    """
+    check_policy(malformed)
     header_lines: list[str] = []
     records: list[VcfRecord] = []
     with open(path, "r", encoding="ascii") as fh:
@@ -162,7 +192,12 @@ def read_vcf(path: str) -> tuple[VcfHeader, list[VcfRecord]]:
             if line.startswith("#"):
                 header_lines.append(line.rstrip("\n"))
             elif line.strip():
-                records.append(VcfRecord.from_line(line))
+                try:
+                    records.append(VcfRecord.from_line(line))
+                except ValueError as exc:
+                    if malformed == "fail":
+                        raise
+                    route_malformed(sink, "vcf", line.rstrip("\n"), str(exc))
     return VcfHeader.from_lines(header_lines), records
 
 

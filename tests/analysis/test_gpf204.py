@@ -1,0 +1,145 @@
+"""GPF204: RDD closures capturing unseeded RNGs or reading the wall clock.
+
+Recomputation-under-retry only replays identically when every draw and
+timestamp in a task is derived from stable task identity; GPF204 flags
+the captures/calls that break that.
+"""
+
+import random
+
+import numpy as np
+
+from repro.analysis import analyze_closure
+from repro.analysis.closures import find_unseeded_rng_and_clock
+from repro.analysis.diagnostics import CODES
+from repro.analysis.source_scan import scan_source
+
+
+def codes(diags):
+    return sorted({d.code for d in diags})
+
+
+def _parse(source):
+    import ast
+
+    return ast.parse(source)
+
+
+class TestCapturedRngInstances:
+    def test_captured_stdlib_random_flagged(self):
+        rng = random.Random(3)  # seeded, but its draw state still mutates
+
+        def task(x):
+            return x + rng.random()
+
+        diags = analyze_closure(task)
+        assert "GPF204" in codes(diags)
+        assert any("live RNG instance" in d.message for d in diags)
+
+    def test_captured_numpy_generator_flagged(self):
+        rng = np.random.default_rng(42)
+
+        def task(x):
+            return x + rng.random()
+
+        assert "GPF204" in codes(analyze_closure(task))
+
+    def test_captured_legacy_randomstate_flagged(self):
+        rng = np.random.RandomState(7)
+
+        def task(x):
+            return x + rng.rand()
+
+        assert "GPF204" in codes(analyze_closure(task))
+
+    def test_plain_captures_clean(self):
+        offset = 10
+
+        def task(x):
+            return x + offset
+
+        assert analyze_closure(task) == []
+
+
+class TestUnseededConstructionAst:
+    def test_argless_random_flagged(self):
+        hits = find_unseeded_rng_and_clock(
+            _parse("def f(x):\n    rng = random.Random()\n    return rng.random()\n")
+        )
+        assert len(hits) == 1 and "Random" in hits[0][0]
+
+    def test_argless_default_rng_flagged(self):
+        hits = find_unseeded_rng_and_clock(
+            _parse("def f(p):\n    rng = np.random.default_rng()\n    return rng\n")
+        )
+        assert len(hits) == 1
+
+    def test_seeded_constructions_clean(self):
+        source = (
+            "def f(p, split):\n"
+            "    a = random.Random(7)\n"
+            "    b = np.random.default_rng((7, split))\n"
+            "    c = np.random.RandomState(seed=1)\n"
+            "    return a, b, c\n"
+        )
+        assert find_unseeded_rng_and_clock(_parse(source)) == []
+
+    def test_wall_clock_reads_flagged(self):
+        source = (
+            "def f(x):\n"
+            "    a = datetime.now()\n"
+            "    b = datetime.datetime.utcnow()\n"
+            "    c = date.today()\n"
+            "    return a, b, c\n"
+        )
+        hits = find_unseeded_rng_and_clock(_parse(source))
+        assert len(hits) == 3
+
+    def test_unrelated_now_attribute_clean(self):
+        # .now() on a non-datetime root is someone else's API.
+        source = "def f(x):\n    return clock_service.now()\n"
+        assert find_unseeded_rng_and_clock(_parse(source)) == []
+
+    def test_closure_diagnostic_carries_fix_hint(self):
+        def task(part):
+            rng = random.Random()
+            return [x + rng.random() for x in part]
+
+        hits = [d for d in analyze_closure(task) if d.code == "GPF204"]
+        assert hits and hits[0].fix_hint
+
+
+class TestSourceScan:
+    def test_lambda_with_wall_clock_flagged(self, tmp_path):
+        path = tmp_path / "plan.py"
+        path.write_text(
+            "from datetime import datetime\n"
+            "out = rdd.map(lambda x: (x, datetime.now()))\n"
+        )
+        diags = scan_source(path)
+        assert "GPF204" in codes(diags)
+
+    def test_named_function_with_unseeded_rng_flagged(self, tmp_path):
+        path = tmp_path / "plan.py"
+        path.write_text(
+            "import random\n"
+            "def jitter(x):\n"
+            "    return x + random.Random().random()\n"
+            "out = rdd.map(jitter)\n"
+        )
+        diags = scan_source(path)
+        assert "GPF204" in codes(diags)
+
+    def test_seeded_plan_clean(self, tmp_path):
+        path = tmp_path / "plan.py"
+        path.write_text(
+            "import numpy as np\n"
+            "def jitter(x):\n"
+            "    return x + np.random.default_rng((7, x)).random()\n"
+            "out = rdd.map(jitter)\n"
+        )
+        assert "GPF204" not in codes(scan_source(path))
+
+
+def test_code_registered():
+    assert "GPF204" in CODES

@@ -1,0 +1,444 @@
+"""Fault-tolerance suite: RDD checkpointing, run-journal crash resume,
+task deadlines with backoff, executor blacklisting, shutdown cleanup."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.core.pipeline import Pipeline
+from repro.core.process import Process, ProcessState
+from repro.core.resource import Resource
+from repro.engine.context import EngineConfig, GPFContext
+from repro.engine.executors import ProcessExecutor
+from repro.engine.faults import (
+    InjectedFault,
+    RandomFaults,
+    TaskFailedError,
+    TaskTimeoutError,
+)
+from repro.engine.journal import RunJournal, plan_signature
+
+
+# ---------------------------------------------------------------------------
+# RDD.checkpoint()
+# ---------------------------------------------------------------------------
+class TestCheckpoint:
+    def test_checkpoint_truncates_lineage(self, ctx):
+        calls: list[int] = []
+
+        def bump(x):
+            calls.append(x)
+            return x + 1
+
+        rdd = ctx.parallelize(range(10), 2).map(bump)
+        assert not rdd.is_checkpointed
+        rdd.checkpoint()
+        assert rdd.is_checkpointed
+        assert rdd.parents == [] and rdd.shuffle_deps == []
+        computed = len(calls)
+        assert computed == 10  # checkpoint() materialized every partition
+
+        downstream = rdd.map(lambda x: x * 2)
+        assert downstream.collect() == [(x + 1) * 2 for x in range(10)]
+        # Reads came from the checkpoint files, not a recompute.
+        assert len(calls) == computed
+        assert ctx.block_manager.stats.checkpoint_reads >= 2
+
+    def test_checkpoint_is_idempotent(self, ctx):
+        rdd = ctx.parallelize(range(6), 3).map(lambda x: -x)
+        assert rdd.checkpoint() is rdd
+        writes = ctx.block_manager.stats.checkpoint_writes
+        rdd.checkpoint()  # second call is a no-op
+        assert ctx.block_manager.stats.checkpoint_writes == writes
+        assert rdd.collect() == [-x for x in range(6)]
+
+    def test_corrupt_checkpoint_recomputes_from_lineage(self, ctx):
+        rdd = ctx.parallelize(range(8), 2).map(lambda x: x * 3)
+        rdd.checkpoint()
+        path = ctx.block_manager._checkpoint_path((rdd.id, 0))
+        with open(path, "r+b") as fh:  # flip payload bytes past the header
+            fh.seek(10)
+            fh.write(b"\xff\xff\xff")
+        assert rdd.collect() == [x * 3 for x in range(8)]
+        assert ctx.block_manager.stats.corrupt_reads >= 1
+        # The recompute rewrote the checkpoint; the next read is clean.
+        corrupt_before = ctx.block_manager.stats.corrupt_reads
+        assert rdd.collect() == [x * 3 for x in range(8)]
+        assert ctx.block_manager.stats.corrupt_reads == corrupt_before
+
+    def test_checkpoint_feeds_shuffle(self, ctx):
+        rdd = ctx.parallelize([(i % 3, 1) for i in range(30)], 3).checkpoint()
+        out = dict(rdd.reduce_by_key(lambda a, b: a + b).collect())
+        assert out == {0: 10, 1: 10, 2: 10}
+
+
+# ---------------------------------------------------------------------------
+# Context shutdown cleanup (satellite: spill/checkpoint dir lifecycle)
+# ---------------------------------------------------------------------------
+class TestShutdownCleanup:
+    def test_stop_removes_owned_spill_and_checkpoint_dirs(self):
+        ctx = GPFContext(EngineConfig(default_parallelism=2))
+        ctx.parallelize(range(4), 2).map(lambda x: x).checkpoint()
+        spill = ctx._spill_dir
+        assert os.path.isdir(spill)
+        ctx.stop()
+        assert not os.path.exists(spill)
+
+    def test_user_checkpoint_dir_survives_stop(self, tmp_path):
+        ckpt = tmp_path / "keep-ckpt"
+        config = EngineConfig(default_parallelism=2, checkpoint_dir=str(ckpt))
+        ctx = GPFContext(config)
+        ctx.parallelize(range(4), 2).checkpoint()
+        ctx.stop()
+        assert ckpt.is_dir() and list(ckpt.iterdir())
+
+
+# ---------------------------------------------------------------------------
+# Run journal: crash resume at Process granularity
+# ---------------------------------------------------------------------------
+class _Stage(Process):
+    """Adds one to every element; optionally crashes (simulated kill)."""
+
+    def __init__(self, name, src, dst, log=None):
+        super().__init__(name, [src], [dst])
+        self._log = log
+        self.crash = False
+
+    def execute(self, ctx):
+        if self.crash:
+            raise RuntimeError("simulated crash")
+        if self._log is not None:
+            self._log.append(self.name)
+        self.outputs[0].define(self.inputs[0].value.map(lambda x: x + 1))
+
+
+class _Collect(Process):
+    """Materializes the RDD into a plain list (journal 'value' path)."""
+
+    def __init__(self, name, src, dst, log=None):
+        super().__init__(name, [src], [dst])
+        self._log = log
+
+    def execute(self, ctx):
+        if self._log is not None:
+            self._log.append(self.name)
+        self.outputs[0].define(self.inputs[0].value.collect())
+
+
+def _build(ctx, log, n_stages=3):
+    src = Resource("src")
+    src.define(ctx.parallelize(range(20), 2))
+    pipeline = Pipeline("journal-test", ctx)
+    prev = src
+    stages = []
+    for i in range(n_stages):
+        out = Resource(f"r{i}")
+        stage = _Stage(f"stage{i}", prev, out, log)
+        pipeline.add_process(stage)
+        stages.append(stage)
+        prev = out
+    total = Resource("total")
+    pipeline.add_process(_Collect("collect", prev, total, log))
+    return pipeline, stages, total
+
+
+class TestJournalResume:
+    def test_kill_and_resume_skips_completed_processes(self, ctx, tmp_path):
+        jdir = str(tmp_path / "journal")
+        expected = [x + 3 for x in range(20)]
+
+        log1: list[str] = []
+        pipe1, stages1, _ = _build(ctx, log1)
+        stages1[2].crash = True  # dies after stage0/stage1 committed
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            pipe1.run(journal_dir=jdir)
+        assert log1 == ["stage0", "stage1"]
+
+        log2: list[str] = []
+        pipe2, _, total2 = _build(ctx, log2)
+        pipe2.run(journal_dir=jdir)
+        # Only Processes after the kill point re-execute.
+        assert log2 == ["stage2", "collect"]
+        assert [p.name for p in pipe2.skipped] == ["stage0", "stage1"]
+        assert [p.name for p in pipe2.executed] == ["stage2", "collect"]
+        assert total2.value == expected
+        # Byte-identical to an unjournaled reference run.
+        pipe3, _, total3 = _build(ctx, [])
+        pipe3.run()
+        assert pickle.dumps(total2.value) == pickle.dumps(total3.value)
+
+    def test_second_resume_skips_everything(self, ctx, tmp_path):
+        jdir = str(tmp_path / "journal")
+        pipe1, _, total1 = _build(ctx, [])
+        pipe1.run(journal_dir=jdir)
+        log: list[str] = []
+        pipe2, stages2, total2 = _build(ctx, log)
+        pipe2.run(journal_dir=jdir)
+        assert log == []
+        assert len(pipe2.skipped) == 4
+        assert all(p.state is ProcessState.END for p in stages2)
+        assert total2.value == total1.value
+
+    def test_stale_journal_from_different_plan_is_discarded(self, ctx, tmp_path):
+        jdir = str(tmp_path / "journal")
+        pipe1, _, _ = _build(ctx, [], n_stages=2)
+        pipe1.run(journal_dir=jdir)
+        log: list[str] = []
+        pipe2, _, total2 = _build(ctx, log, n_stages=3)  # structurally new plan
+        pipe2.run(journal_dir=jdir)
+        assert log == ["stage0", "stage1", "stage2", "collect"]
+        assert pipe2.skipped == []
+        assert total2.value == [x + 3 for x in range(20)]
+
+    def test_torn_trailing_line_tolerated(self, ctx, tmp_path):
+        jdir = str(tmp_path / "journal")
+        log1: list[str] = []
+        pipe1, stages1, _ = _build(ctx, log1)
+        stages1[1].crash = True
+        with pytest.raises(RuntimeError):
+            pipe1.run(journal_dir=jdir)
+        # Simulate a crash mid-append: a torn, non-JSON trailing line.
+        with open(os.path.join(jdir, "journal.jsonl"), "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "process", "proc')
+        log2: list[str] = []
+        pipe2, _, total2 = _build(ctx, log2)
+        pipe2.run(journal_dir=jdir)
+        assert log2 == ["stage1", "stage2", "collect"]
+        assert total2.value == [x + 3 for x in range(20)]
+
+    def test_corrupt_checkpoint_file_reexecutes_process(self, ctx, tmp_path):
+        jdir = str(tmp_path / "journal")
+        pipe1, _, _ = _build(ctx, [])
+        pipe1.run(journal_dir=jdir)
+        # Corrupt one of stage0's journaled partitions.
+        data_dir = os.path.join(jdir, "data")
+        victim = sorted(
+            p for p in os.listdir(data_dir) if p.startswith("stage0__")
+        )[0]
+        with open(os.path.join(data_dir, victim), "r+b") as fh:
+            fh.seek(10)
+            fh.write(b"\x00\x00\x00")
+        log: list[str] = []
+        pipe2, _, total2 = _build(ctx, log)
+        pipe2.run(journal_dir=jdir)
+        # stage0 re-executes (its checkpoint is bad); later Processes with
+        # intact checkpoints still skip.
+        assert "stage0" in log
+        assert "stage1" not in log and "stage2" not in log
+        assert total2.value == [x + 3 for x in range(20)]
+
+    def test_header_metadata_restored(self, ctx, tmp_path):
+        class _Headered(Resource):
+            def __init__(self, name):
+                super().__init__(name)
+                self.header = None
+
+        class _Produce(Process):
+            def execute(self, process_ctx):
+                self.outputs[0].define(process_ctx.parallelize(range(4), 2))
+                self.outputs[0].header = {"sorted": True, "by": self.name}
+
+        def build():
+            out = _Headered("headered")
+            pipeline = Pipeline("hdr", ctx)
+            pipeline.add_process(_Produce("producer", [], [out]))
+            return pipeline, out
+
+        jdir = str(tmp_path / "journal")
+        pipe1, out1 = build()
+        pipe1.run(journal_dir=jdir)
+        assert out1.header == {"sorted": True, "by": "producer"}
+        pipe2, out2 = build()
+        pipe2.run(journal_dir=jdir)
+        assert [p.name for p in pipe2.skipped] == ["producer"]
+        assert out2.header == {"sorted": True, "by": "producer"}
+        assert out2.value.collect() == list(range(4))
+
+    def test_plan_signature_stable_and_structural(self, ctx):
+        pipe1, _, _ = _build(ctx, [])
+        pipe2, _, _ = _build(ctx, [])
+        assert plan_signature(pipe1.processes) == plan_signature(pipe2.processes)
+        pipe3, _, _ = _build(ctx, [], n_stages=2)
+        assert plan_signature(pipe1.processes) != plan_signature(pipe3.processes)
+
+    @pytest.mark.parametrize("backend", ["threads", "process"])
+    def test_kill_and_resume_under_random_faults(self, tmp_path, backend):
+        """Crash resume is byte-identical even with tasks dying at rate 0.2."""
+        jdir = str(tmp_path / "journal")
+        config = EngineConfig(
+            default_parallelism=2,
+            spill_dir=str(tmp_path / "spill"),
+            executor_backend=backend,
+            num_workers=2,
+            max_task_attempts=8,
+        )
+        with GPFContext(config) as ctx:
+            ctx.add_fault_injector(RandomFaults(rate=0.2, seed=7))
+            reference, _, total_ref = _build(ctx, [])
+            reference.run()
+            expected = pickle.dumps(total_ref.value)
+
+            pipe1, stages1, _ = _build(ctx, [])
+            stages1[1].crash = True
+            with pytest.raises(RuntimeError, match="simulated crash"):
+                pipe1.run(journal_dir=jdir)
+
+            log: list[str] = []
+            pipe2, _, total2 = _build(ctx, log)
+            pipe2.run(journal_dir=jdir)
+            assert [p.name for p in pipe2.skipped] == ["stage0"]
+            assert "stage0" not in log
+            assert pickle.dumps(total2.value) == expected
+
+
+# ---------------------------------------------------------------------------
+# Task deadlines, backoff, failure ledger, blacklisting
+# ---------------------------------------------------------------------------
+class TestDeadlinesAndBackoff:
+    def test_timeout_kills_hung_task_and_ledgers_backoff(self, tmp_path):
+        config = EngineConfig(
+            default_parallelism=1,
+            spill_dir=str(tmp_path / "spill"),
+            task_timeout=0.2,
+            max_task_attempts=2,
+            retry_backoff=0.01,
+        )
+
+        def hang(x):
+            time.sleep(2.0)
+            return x
+
+        with GPFContext(config) as ctx:
+            with pytest.raises(TaskFailedError) as excinfo:
+                ctx.parallelize([1], 1).map(hang).collect()
+            assert isinstance(excinfo.value.cause, TaskTimeoutError)
+            assert excinfo.value.__cause__ is excinfo.value.cause
+
+            failures = ctx.metrics.failures
+            assert len(failures) == 2
+            assert {f.error_type for f in failures} == {"TaskTimeoutError"}
+            # Backoff before the retry; none after the final attempt.
+            assert failures[0].backoff > 0
+            assert failures[1].backoff == 0.0
+            assert ctx.metrics.failure_counts() == {("result", 0): 2}
+            assert ctx.metrics.executor_events["timeout"] == 2
+
+    def test_timeout_recovers_when_retry_is_fast(self, tmp_path):
+        config = EngineConfig(
+            default_parallelism=1,
+            spill_dir=str(tmp_path / "spill"),
+            task_timeout=0.5,
+            max_task_attempts=3,
+            retry_backoff=0.01,
+        )
+        hung_once: list[bool] = []
+
+        def flaky(x):
+            if not hung_once:
+                hung_once.append(True)
+                time.sleep(2.0)
+            return x * 2
+
+        with GPFContext(config) as ctx:
+            assert ctx.parallelize([1, 2], 1).map(flaky).collect() == [2, 4]
+            assert ctx.metrics.failure_counts() == {("result", 0): 1}
+
+    def test_backoff_is_deterministic_and_bounded(self, tmp_path):
+        config = EngineConfig(
+            spill_dir=str(tmp_path / "spill"),
+            retry_backoff=0.05,
+            retry_backoff_max=0.4,
+        )
+        with GPFContext(config) as ctx:
+            scheduler = ctx._scheduler
+            first = scheduler._backoff_delay("result", 3, 2)
+            assert first == scheduler._backoff_delay("result", 3, 2)
+            assert 0 < first <= 0.4
+            # Different task identity jitters differently.
+            assert first != scheduler._backoff_delay("result", 4, 2)
+            # Exponential growth until the cap.
+            assert scheduler._backoff_delay("result", 0, 9) <= 0.4
+
+    def test_injected_failures_enter_ledger(self, ctx):
+        ctx.add_fault_injector(RandomFaults(rate=1.0, seed=0, max_failures=2))
+        ctx.parallelize(range(6), 2).collect()
+        ledger = ctx.metrics.failures
+        assert len(ledger) == 2
+        assert {f.error_type for f in ledger} == {"InjectedFault"}
+
+
+class TestBlacklisting:
+    def test_process_executor_blacklists_after_repeated_failures(self):
+        executor = ProcessExecutor(num_workers=2, blacklist_after=2)
+        try:
+            assert executor.note_slot_failure("timeout") is False
+            assert executor.note_slot_failure("timeout") is True  # trips
+            assert executor.blacklisted
+            assert executor.note_slot_failure("timeout") is False  # only once
+            before = executor.fallback_batches
+            assert executor.run_all([lambda: 1, lambda: 2]) == [1, 2]
+            assert executor.fallback_batches == before + 1  # thread fallback
+        finally:
+            executor.shutdown()
+
+    def test_scheduler_blacklists_slot_on_repeated_timeouts(self, tmp_path):
+        config = EngineConfig(
+            default_parallelism=1,
+            spill_dir=str(tmp_path / "spill"),
+            executor_backend="process",
+            num_workers=2,
+            task_timeout=0.15,
+            max_task_attempts=2,
+            retry_backoff=0.0,
+            blacklist_after=1,
+        )
+
+        def hang(x):
+            time.sleep(2.0)
+            return x
+
+        with GPFContext(config) as ctx:
+            with pytest.raises(TaskFailedError):
+                ctx.parallelize([1], 1).map(hang).collect()
+            assert ctx.executor.blacklisted
+            events = ctx.metrics.executor_events
+            assert events["timeout"] == 2
+            assert events["blacklisted"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Exceptions survive the process-backend pickle round trip
+# ---------------------------------------------------------------------------
+class TestExceptionPickling:
+    def test_task_failed_error_round_trip(self):
+        err = TaskFailedError("result", 3, 4, InjectedFault("boom"))
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, TaskFailedError)
+        assert (clone.stage_kind, clone.partition, clone.attempts) == ("result", 3, 4)
+        assert isinstance(clone.cause, InjectedFault)
+        assert clone.__cause__ is clone.cause
+
+    def test_task_timeout_error_round_trip(self):
+        clone = pickle.loads(pickle.dumps(TaskTimeoutError("result p0", 1.5)))
+        assert isinstance(clone, TaskTimeoutError)
+        assert clone.timeout == 1.5 and clone.where == "result p0"
+
+    def test_injector_round_trip_keeps_determinism(self):
+        injector = RandomFaults(rate=0.5, seed=3)
+        clone = pickle.loads(pickle.dumps(injector))
+
+        def trace(inj):
+            outcomes = []
+            for i in range(20):
+                try:
+                    inj("result", i, 0)
+                    outcomes.append(False)
+                except InjectedFault:
+                    outcomes.append(True)
+            return outcomes
+
+        assert trace(injector) == trace(clone)

@@ -1,0 +1,207 @@
+"""Corrupt-input policies: fail / drop / quarantine across the parsers."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.engine.files import load_fastq_pair_lazy
+from repro.formats.fastq import pair_reads, parse_fastq, read_fastq
+from repro.formats.quarantine import (
+    MAX_RAW_CHARS,
+    QuarantineSink,
+    check_policy,
+    route_malformed,
+)
+from repro.formats.sam import iter_sam_lines
+from repro.formats.vcf import parse_vcf_lines
+
+GOOD_QUAD = ["@r1", "ACGT", "+", "IIII"]
+BAD_SEPARATOR = ["@r2", "ACGT", "x", "IIII"]
+LENGTH_MISMATCH = ["@r3", "ACGTACGT", "+", "II"]
+TAIL_QUAD = ["@r4", "TTTT", "+", "IIII"]
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown malformed policy"):
+            check_policy("ignore")
+        with pytest.raises(ValueError, match="unknown malformed policy"):
+            list(parse_fastq(GOOD_QUAD, malformed="ignore"))
+
+
+class TestFastqPolicies:
+    def test_fail_raises_original_messages(self):
+        with pytest.raises(ValueError, match="malformed FASTQ separator line"):
+            list(parse_fastq(GOOD_QUAD + BAD_SEPARATOR))
+        with pytest.raises(ValueError, match="malformed FASTQ header line"):
+            list(parse_fastq(["not-a-header", *GOOD_QUAD]))
+        with pytest.raises(ValueError, match="truncated FASTQ record"):
+            list(parse_fastq(["@only-header"]))
+        with pytest.raises(ValueError, match="length mismatch"):
+            list(parse_fastq(LENGTH_MISMATCH))
+
+    def test_drop_skips_and_resyncs(self):
+        lines = GOOD_QUAD + BAD_SEPARATOR + LENGTH_MISMATCH + TAIL_QUAD
+        records = list(parse_fastq(lines, malformed="drop"))
+        assert [r.name for r in records] == ["r1", "r4"]
+
+    def test_quarantine_routes_to_sink(self):
+        sink = QuarantineSink()
+        lines = GOOD_QUAD + BAD_SEPARATOR + LENGTH_MISMATCH + TAIL_QUAD
+        records = list(parse_fastq(lines, malformed="quarantine", sink=sink))
+        assert [r.name for r in records] == ["r1", "r4"]
+        assert sink.counts == {"fastq": 2}
+        reasons = {s.reason for s in sink.samples}
+        assert any("separator" in r for r in reasons)
+        assert any("length mismatch" in r for r in reasons)
+
+    def test_pair_reads_out_of_sync(self):
+        r1 = list(parse_fastq(["@a/1", "AC", "+", "II", "@b/1", "AC", "+", "II"]))
+        r2 = list(parse_fastq(["@a/2", "AC", "+", "II", "@x/2", "AC", "+", "II"]))
+        with pytest.raises(ValueError, match="out of sync"):
+            list(pair_reads(r1, r2))
+        sink = QuarantineSink()
+        pairs = list(pair_reads(r1, r2, malformed="quarantine", sink=sink))
+        assert [p.name for p in pairs] == ["a/1"]
+        assert sink.counts == {"fastq": 1}
+
+    def test_pair_reads_unequal_lengths(self):
+        r1 = list(parse_fastq(GOOD_QUAD + TAIL_QUAD))
+        r2 = list(parse_fastq(["@r1", "AC", "+", "II"]))
+        with pytest.raises(ValueError, match="different read counts"):
+            list(pair_reads(r1, r2))
+        sink = QuarantineSink()
+        pairs = list(pair_reads(r1, r2, malformed="quarantine", sink=sink))
+        assert len(pairs) == 1
+        assert sink.total == 1  # the unmatched tail read
+
+    def test_read_fastq_policy(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("\n".join(GOOD_QUAD + BAD_SEPARATOR + TAIL_QUAD) + "\n")
+        with pytest.raises(ValueError):
+            read_fastq(str(path))
+        assert len(read_fastq(str(path), malformed="drop")) == 2
+
+
+class TestSamPolicies:
+    GOOD = "r1\t0\tchr1\t10\t60\t4M\t*\t0\t0\tACGT\tIIII"
+    SHORT = "r2\t0\tchr1"
+    BAD_MAPQ = "r3\t0\tchr1\t10\t300\t4M\t*\t0\t0\tACGT\tIIII"
+    BAD_FLAG = "r4\t99999\tchr1\t10\t60\t4M\t*\t0\t0\tACGT\tIIII"
+
+    def test_fail_raises(self):
+        with pytest.raises(ValueError, match="malformed SAM line"):
+            list(iter_sam_lines([self.GOOD, self.SHORT]))
+        with pytest.raises(ValueError, match="MAPQ out of range"):
+            list(iter_sam_lines([self.BAD_MAPQ]))
+        with pytest.raises(ValueError, match="flag out of range"):
+            list(iter_sam_lines([self.BAD_FLAG]))
+
+    def test_drop_and_quarantine(self):
+        lines = [self.GOOD, self.SHORT, self.BAD_MAPQ, self.BAD_FLAG]
+        kept = list(iter_sam_lines(lines, malformed="drop"))
+        assert [r.qname for r in kept] == ["r1"]
+        sink = QuarantineSink()
+        kept = list(iter_sam_lines(lines, malformed="quarantine", sink=sink))
+        assert [r.qname for r in kept] == ["r1"]
+        assert sink.counts == {"sam": 3}
+
+
+class TestVcfPolicies:
+    GOOD = "chr1\t11\t.\tA\tG\t50\tPASS\t.\tGT\t0/1"
+    SHORT = "chr1\t12"
+    BAD_POS = "chr1\txyz\t.\tA\tG\t50\tPASS\t.\tGT\t0/1"
+
+    def test_fail_raises(self):
+        with pytest.raises(ValueError):
+            list(parse_vcf_lines([self.GOOD, self.SHORT]))
+
+    def test_drop_and_quarantine(self):
+        lines = [self.GOOD, self.SHORT, self.BAD_POS]
+        assert len(list(parse_vcf_lines(lines, malformed="drop"))) == 1
+        sink = QuarantineSink()
+        kept = list(parse_vcf_lines(lines, malformed="quarantine", sink=sink))
+        assert len(kept) == 1
+        assert sink.counts == {"vcf": 2}
+
+
+class TestQuarantineSink:
+    def test_counts_samples_and_summary(self):
+        sink = QuarantineSink(max_samples=2)
+        sink.add("fastq", "raw1", "bad")
+        sink.add("fastq", "raw2", "bad")
+        sink.add("sam", "raw3", "bad")  # over the sample cap, still counted
+        assert sink.total == 3
+        assert sink.counts == {"fastq": 2, "sam": 1}
+        assert len(sink.samples) == 2
+        assert sink.summary() == "quarantine: 3 record(s) (fastq=2, sam=1)"
+        assert QuarantineSink().summary() == "quarantine: empty"
+
+    def test_raw_text_truncated(self):
+        sink = QuarantineSink()
+        sink.add("fastq", "x" * (MAX_RAW_CHARS + 100), "huge")
+        assert len(sink.samples[0].raw) == MAX_RAW_CHARS
+
+    def test_merge(self):
+        a, b = QuarantineSink(), QuarantineSink()
+        a.add("fastq", "r", "bad")
+        b.add("fastq", "r", "bad")
+        b.add("vcf", "r", "bad")
+        a.merge(b)
+        assert a.counts == {"fastq": 2, "vcf": 1}
+        assert len(a.samples) == 3
+
+    def test_pickle_round_trip(self):
+        sink = QuarantineSink()
+        sink.add("fastq", "raw", "bad")
+        clone = pickle.loads(pickle.dumps(sink))
+        clone.add("fastq", "raw2", "bad")  # lock was re-created
+        assert clone.counts == {"fastq": 2}
+
+    def test_route_malformed_none_sink_is_noop(self):
+        route_malformed(None, "fastq", "raw", "bad")  # drop policy: no sink
+
+    def test_write_report(self, tmp_path):
+        sink = QuarantineSink()
+        sink.add("fastq", "@broken", "separator")
+        report = tmp_path / "report.txt"
+        sink.write_report(str(report))
+        text = report.read_text()
+        assert "quarantine: 1 record(s)" in text
+        assert "@broken" in text
+
+
+class TestLoaderIntegration:
+    def test_lazy_pair_loader_quarantines_bad_quads(self, ctx, tmp_path):
+        p1, p2 = tmp_path / "s_1.fastq", tmp_path / "s_2.fastq"
+        p1.write_text(
+            "\n".join(
+                ["@a/1", "ACGT", "+", "IIII"]
+                + ["@b/1", "ACGT", "x", "IIII"]  # bad separator
+                + ["@c/1", "ACGT", "+", "IIII"]
+            )
+            + "\n"
+        )
+        p2.write_text(
+            "\n".join(
+                ["@a/2", "ACGT", "+", "IIII"]
+                + ["@b/2", "ACGT", "+", "IIII"]
+                + ["@c/2", "ACGT", "+", "IIII"]
+            )
+            + "\n"
+        )
+        from repro.engine.faults import TaskFailedError
+
+        with pytest.raises(TaskFailedError) as excinfo:
+            load_fastq_pair_lazy(ctx, str(p1), str(p2)).collect()
+        assert isinstance(excinfo.value.cause, ValueError)
+        rdd = load_fastq_pair_lazy(
+            ctx, str(p1), str(p2), malformed="quarantine"
+        )
+        pairs = rdd.collect()
+        # b's bad quad is quarantined; b/2 loses its mate and is dropped.
+        assert [p.name for p in pairs] == ["a/1", "c/1"]
+        assert ctx.quarantine.total >= 1
+        assert "fastq" in ctx.quarantine.counts

@@ -129,6 +129,75 @@ class TestRunAndEvaluate:
         assert os.path.exists(out)
 
 
+class TestFaultToleranceFlags:
+    def _run_args(self, sample_dir, out, *extra):
+        return [
+            "run",
+            "--reference",
+            os.path.join(sample_dir, "reference.fa"),
+            "--fastq1",
+            os.path.join(sample_dir, "sample_1.fastq"),
+            "--fastq2",
+            os.path.join(sample_dir, "sample_2.fastq"),
+            "--output",
+            out,
+            "--partition-length",
+            "4000",
+            *extra,
+        ]
+
+    def test_malformed_quarantine_survives_bad_quad(
+        self, sample_dir, tmp_path, capsys
+    ):
+        # Corrupt one FASTQ quad; fail policy dies, quarantine completes.
+        bad_dir = tmp_path / "bad"
+        bad_dir.mkdir()
+        for name in ("reference.fa", "sample_2.fastq"):
+            (bad_dir / name).write_text(
+                open(os.path.join(sample_dir, name)).read()
+            )
+        lines = open(os.path.join(sample_dir, "sample_1.fastq")).read().splitlines()
+        lines[2] = "BROKEN-SEPARATOR"  # first record's '+' line
+        (bad_dir / "sample_1.fastq").write_text("\n".join(lines) + "\n")
+
+        out = str(tmp_path / "calls.vcf")
+        args = [
+            "run",
+            "--reference",
+            str(bad_dir / "reference.fa"),
+            "--fastq1",
+            str(bad_dir / "sample_1.fastq"),
+            "--fastq2",
+            str(bad_dir / "sample_2.fastq"),
+            "--output",
+            out,
+            "--partition-length",
+            "4000",
+        ]
+        with pytest.raises(Exception):
+            main(args)
+        capsys.readouterr()
+        rc = main(args + ["--malformed", "quarantine"])
+        assert rc == 0
+        assert os.path.exists(out)
+        assert "quarantine:" in capsys.readouterr().out
+
+    def test_journal_dir_resumes(self, sample_dir, tmp_path, capsys):
+        out = str(tmp_path / "calls.vcf")
+        journal = str(tmp_path / "journal")
+        rc = main(self._run_args(sample_dir, out, "--journal-dir", journal))
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert "resumed from journal" not in first
+        first_vcf = open(out).read()
+
+        rc = main(self._run_args(sample_dir, out, "--journal-dir", journal))
+        assert rc == 0
+        second = capsys.readouterr().out
+        assert "resumed from journal" in second
+        assert open(out).read() == first_vcf
+
+
 class TestLint:
     def test_builtin_plan_lints_clean(self, capsys):
         rc = main(["lint"])
