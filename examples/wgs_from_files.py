@@ -72,6 +72,11 @@ def main() -> None:
         default=None,
         help="per-attempt task deadline in seconds",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="tracing directory: writes events.jsonl and a Chrome trace.json",
+    )
     args = parser.parse_args()
     workdir = Path(args.output_dir) if args.output_dir else Path(tempfile.mkdtemp())
     workdir.mkdir(parents=True, exist_ok=True)
@@ -96,6 +101,7 @@ def main() -> None:
             executor_backend=args.backend,
             num_workers=args.workers,
             task_timeout=args.task_timeout,
+            trace_dir=args.trace_out,
         )
     )
     pipeline = Pipeline("myPipeline", ctx)
@@ -188,6 +194,8 @@ def main() -> None:
     if ctx.quarantine.total:
         print(f"   {ctx.quarantine.summary()}")
     ctx.stop()
+    if args.trace_out:
+        print(f"   trace written under {args.trace_out} (see `gpf report`)")
 
 
 if __name__ == "__main__":

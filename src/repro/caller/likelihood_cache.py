@@ -36,6 +36,7 @@ class LikelihoodCache:
         self._entries: OrderedDict[bytes, float] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def key(read: str, quals: Sequence[int] | np.ndarray, haplotype: str) -> bytes:
@@ -67,6 +68,7 @@ class LikelihoodCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -76,7 +78,18 @@ class LikelihoodCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> dict:
+        """Point-in-time counters, suitable for telemetry publication."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "hit_rate": self.hit_rate,
+        }
+
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

@@ -87,10 +87,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-attempt task deadline in seconds (hung tasks are retried)",
     )
+    run.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        help=(
+            "tracing directory: enables the span tracer and structured "
+            "event log; writes DIR/events.jsonl and DIR/trace.json "
+            "(Chrome trace, load in chrome://tracing or Perfetto)"
+        ),
+    )
+    run.add_argument(
+        "--report",
+        choices=("text", "json"),
+        default=None,
+        help="print the full run report (Table 4 stages, blocked time, telemetry)",
+    )
 
     ev = sub.add_parser("evaluate", help="score a VCF against a truth VCF")
     ev.add_argument("--calls", required=True)
     ev.add_argument("--truth", required=True)
+
+    rep = sub.add_parser(
+        "report",
+        help="render a run report from a saved events.jsonl",
+        description=(
+            "Rebuild the gpf run report (process wall times, Table 4 stage "
+            "table, Fig. 12 blocked-time fractions, failures, telemetry) "
+            "from an event log written by `gpf run --trace-out DIR`."
+        ),
+    )
+    rep.add_argument("events", help="path to events.jsonl")
+    rep.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    rep.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every event against the schema; exit nonzero on problems",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -194,6 +228,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.engine.files import load_fastq_pair_lazy
     from repro.formats.fasta import read_fasta
     from repro.formats.vcf import read_vcf, sort_records, write_vcf
+    from repro.obs import RunReport
     from repro.wgs import build_wgs_pipeline
 
     backend = args.backend or ("threads" if args.threads > 0 else "serial")
@@ -204,6 +239,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         executor_backend=backend,
         num_workers=max(1, workers),
         task_timeout=args.task_timeout,
+        trace_dir=args.trace_out,
     )
     start = time.perf_counter()
     with GPFContext(config) as ctx:
@@ -254,7 +290,58 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  task failures (retried): {summary}")
         if ctx.quarantine.total:
             print(f"  {ctx.quarantine.summary()}")
+        # Lazy evaluation means the caller's dedup cache fills after its
+        # Process "finished"; re-publish so the report sees final numbers.
+        for process in handles.pipeline.processes:
+            publish = getattr(process, "publish_cache_stats", None)
+            if publish is not None:
+                publish(ctx)
+        report = RunReport.from_context(ctx, handles.pipeline, elapsed=elapsed)
+        print(report.summary_line(), file=sys.stderr)
+        if args.trace_out:
+            print(
+                f"trace: {os.path.join(args.trace_out, 'events.jsonl')} "
+                f"(render with `gpf report`); Chrome trace at "
+                f"{os.path.join(args.trace_out, 'trace.json')}",
+                file=sys.stderr,
+            )
+        if args.report == "text":
+            print(report.render_text(), end="")
+        elif args.report == "json":
+            import json
+
+            print(json.dumps(report.to_json(), indent=2))
     return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """report: rebuild and render the run report from an event log."""
+    import json
+
+    from repro.obs import RunReport, read_events, validate_events
+
+    if not os.path.exists(args.events):
+        print(f"report: no such file: {args.events}", file=sys.stderr)
+        return 2
+    events = read_events(args.events)
+    if not events:
+        print(f"report: no events found in {args.events}", file=sys.stderr)
+        return 2
+    exit_code = 0
+    if args.validate:
+        problems = validate_events(events)
+        if problems:
+            for problem in problems:
+                print(f"report: schema: {problem}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"report: {len(events)} event(s), schema OK", file=sys.stderr)
+    report = RunReport.from_events(events)
+    if args.fmt == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text(), end="")
+    return exit_code
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -382,6 +469,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": cmd_evaluate,
         "lint": cmd_lint,
         "scaling": cmd_scaling,
+        "report": cmd_report,
     }
     return handlers[args.command](args)
 

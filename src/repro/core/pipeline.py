@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from repro.core.optimizer import eliminate_redundancy
@@ -107,11 +108,14 @@ class Pipeline:
         self.executed = []
         self.skipped = []
         journal = None
+        events = self.ctx.events
         if journal_dir is not None:
             from repro.engine.journal import RunJournal, plan_signature
 
             journal = RunJournal(journal_dir)
             journal.open(plan_signature(plan))
+            if journal.discarded_stale:
+                events.publish("journal.stale")
 
         unfinished: list[Process] = list(plan)
         resource_pool: set[int] = set()
@@ -122,28 +126,45 @@ class Pipeline:
                 if resource.is_defined:
                     resource_pool.add(id(resource))
 
-        while unfinished:
-            ready = [
-                p
-                for p in unfinished
-                if all(id(r) in resource_pool or r.is_defined for r in p.inputs)
-            ]
-            if not ready:
-                blocked = {p.name: [r.name for r in p.inputs if not r.is_defined] for p in unfinished}
-                raise CircularDependencyError(
-                    f"no executable process; circular dependency among {blocked}"
-                )
-            for process in ready:
-                if journal is not None and journal.restore(process, self.ctx):
-                    self.skipped.append(process)
-                else:
-                    process.run(self.ctx)
-                    self.executed.append(process)
-                    if journal is not None:
-                        journal.record(process, self.ctx)
-                unfinished.remove(process)
-                for resource in process.outputs:
-                    resource_pool.add(id(resource))
+        start = time.perf_counter()
+        events.publish(
+            "pipeline.start",
+            pipeline=self.name,
+            processes=[p.name for p in plan],
+        )
+        with self.ctx.tracer.span(
+            f"pipeline:{self.name}", kind="pipeline", processes=len(plan)
+        ):
+            while unfinished:
+                ready = [
+                    p
+                    for p in unfinished
+                    if all(id(r) in resource_pool or r.is_defined for r in p.inputs)
+                ]
+                if not ready:
+                    blocked = {p.name: [r.name for r in p.inputs if not r.is_defined] for p in unfinished}
+                    raise CircularDependencyError(
+                        f"no executable process; circular dependency among {blocked}"
+                    )
+                for process in ready:
+                    if journal is not None and journal.restore(process, self.ctx):
+                        self.skipped.append(process)
+                        events.publish("process.skipped", process=process.name)
+                    else:
+                        process.run(self.ctx)
+                        self.executed.append(process)
+                        if journal is not None:
+                            journal.record(process, self.ctx)
+                    unfinished.remove(process)
+                    for resource in process.outputs:
+                        resource_pool.add(id(resource))
+        events.publish(
+            "pipeline.end",
+            pipeline=self.name,
+            elapsed=time.perf_counter() - start,
+            executed=[p.name for p in self.executed],
+            skipped=[p.name for p in self.skipped],
+        )
 
     def reset(self) -> None:
         """Undefine every Process-produced Resource so the pipeline can be

@@ -15,6 +15,7 @@ and fuse Processes before anything is submitted to the engine.
 from __future__ import annotations
 
 import enum
+import time
 from typing import Sequence, TYPE_CHECKING
 
 from repro.core.resource import Resource
@@ -51,6 +52,9 @@ class Process:
             "output", self.outputs, output_types
         )
         self._state = ProcessState.BLOCKED
+        #: Wall-clock seconds of the most recent :meth:`run` (None until
+        #: the Process has run once); surfaced by the run report.
+        self.last_run_seconds: float | None = None
 
     @staticmethod
     def _check_spec(
@@ -105,21 +109,42 @@ class Process:
             )
         self._state = ProcessState.RUNNING
         defined_before = [r.is_defined for r in self.outputs]
+        events = getattr(ctx, "events", None)
+        tracer = getattr(ctx, "tracer", None)
+        if events is not None:
+            events.publish("process.start", process=self.name)
+        started = time.perf_counter()
         try:
-            self.execute(ctx)
-        except Exception:
+            if tracer is not None:
+                with tracer.span(f"process:{self.name}", kind="process"):
+                    self.execute(ctx)
+            else:
+                self.execute(ctx)
+        except Exception as exc:
             # Roll back outputs the failed attempt defined, so a retried
             # plan does not see phantom Resources.
             for resource, was_defined in zip(self.outputs, defined_before):
                 if resource.is_defined and not was_defined:
                     resource.undefine()
             self._state = ProcessState.BLOCKED
+            self.last_run_seconds = time.perf_counter() - started
+            if events is not None:
+                events.publish(
+                    "process.failed",
+                    process=self.name,
+                    error=type(exc).__name__,
+                )
             raise
+        self.last_run_seconds = time.perf_counter() - started
         not_defined = [r.name for r in self.outputs if not r.is_defined]
         if not_defined:
             raise RuntimeError(
                 f"process {self.name!r} finished without defining outputs: "
                 f"{not_defined}"
+            )
+        if events is not None:
+            events.publish(
+                "process.end", process=self.name, elapsed=self.last_run_seconds
             )
         self._state = ProcessState.END
 

@@ -95,7 +95,12 @@ class BlockManager:
         spill_dir: str,
         memory_limit: int | None = None,
         checkpoint_dir: str | None = None,
+        events=None,
     ):
+        #: Optional EventBus: evictions and corruption detections are rare
+        #: and diagnostic, so they are published as events (counters stay
+        #: in BlockStats and are folded into the telemetry snapshot).
+        self._events = events
         self._dir = os.path.join(spill_dir, "blocks")
         os.makedirs(self._dir, exist_ok=True)
         # A caller-supplied checkpoint dir outlives the context (it backs
@@ -118,8 +123,11 @@ class BlockManager:
                 self._memory_bytes -= len(self._memory.pop(key))
             self._memory[key] = blob
             self._memory_bytes += len(blob)
-            self._evict_if_needed()
+            evicted = self._evict_if_needed()
             self._refresh_stats()
+        if self._events is not None:
+            for rdd_id, partition in evicted:
+                self._events.publish("block.evict", rdd_id=rdd_id, partition=partition)
 
     def get(self, key: tuple[int, int]) -> bytes | None:
         with self._lock:
@@ -137,12 +145,17 @@ class BlockManager:
                     self.stats.corrupt_reads += 1
                     self.stats.misses += 1
                     self._on_disk.discard(key)
+                    self._publish_corrupt(self._block_path(key))
                     return None
                 self.stats.hits += 1
                 self.stats.disk_reads += 1
                 return blob
             self.stats.misses += 1
             return None
+
+    def _publish_corrupt(self, where: str) -> None:
+        if self._events is not None:
+            self._events.publish("block.corrupt", where=where)
 
     def contains(self, key: tuple[int, int]) -> bool:
         with self._lock:
@@ -187,6 +200,7 @@ class BlockManager:
         except (BlockCorruptionError, OSError):
             with self._lock:
                 self.stats.corrupt_reads += 1
+            self._publish_corrupt(path)
             return None
         with self._lock:
             self.stats.checkpoint_reads += 1
@@ -207,15 +221,19 @@ class BlockManager:
             shutil.rmtree(self._ckpt_dir, ignore_errors=True)
 
     # -- internals ------------------------------------------------------------
-    def _evict_if_needed(self) -> None:
+    def _evict_if_needed(self) -> list[tuple[int, int]]:
+        """Spill LRU blocks past the limit; returns the evicted keys."""
+        evicted: list[tuple[int, int]] = []
         if self._limit is None:
-            return
+            return evicted
         while self._memory_bytes > self._limit and len(self._memory) > 1:
             key, blob = self._memory.popitem(last=False)  # LRU
             self._memory_bytes -= len(blob)
             write_block_file(self._block_path(key), blob)
             self._on_disk.add(key)
             self.stats.evictions += 1
+            evicted.append(key)
+        return evicted
 
     def _refresh_stats(self) -> None:
         self.stats.memory_blocks = len(self._memory)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Sequence, TypeVar
 
@@ -17,12 +18,20 @@ from repro.engine.accumulators import Accumulator, counter
 from repro.engine.blockmanager import BlockManager
 from repro.engine.broadcast import Broadcast
 from repro.engine.executors import make_executor
-from repro.engine.metrics import MetricsRegistry
+from repro.engine.metrics import GC_TIMER, MetricsRegistry
 from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.engine.scheduler import DAGScheduler
 from repro.engine.serializers import get_serializer
 from repro.engine.shuffle import ShuffleManager
 from repro.formats.quarantine import QuarantineSink
+from repro.obs import (
+    EventBus,
+    JsonlEventSink,
+    NoopTracer,
+    TelemetryRegistry,
+    Tracer,
+    write_chrome_trace,
+)
 
 T = TypeVar("T")
 
@@ -68,6 +77,12 @@ class EngineConfig:
     blacklist_after: int = 3
     #: Directory for durable RDD checkpoints; defaults inside the spill dir.
     checkpoint_dir: str | None = None
+    #: Trace output directory.  When set, the context runs a real
+    #: :class:`~repro.obs.Tracer`, streams every event to
+    #: ``<trace_dir>/events.jsonl``, and writes ``<trace_dir>/trace.json``
+    #: (Chrome-trace/Perfetto) on ``stop()``.  None (the default) keeps
+    #: the no-op tracer and an inert event bus: zero overhead.
+    trace_dir: str | None = None
     #: Extra key-value settings (reserved for experiments).
     extra: dict = field(default_factory=dict)
 
@@ -84,11 +99,30 @@ class GPFContext:
         self.serializer = (
             get_serializer(serializer) if isinstance(serializer, str) else serializer
         )
+        # -- observability (repro.obs) ----------------------------------
+        # Every context owns a telemetry registry and an event bus; both
+        # are near-free when nothing subscribes.  A configured trace_dir
+        # upgrades the tracer from no-op to collecting and attaches the
+        # JSONL sink.
+        self.telemetry = TelemetryRegistry()
+        self.events = EventBus()
+        self._event_sink: JsonlEventSink | None = None
+        self._started = time.time()
+        if self.config.trace_dir:
+            os.makedirs(self.config.trace_dir, exist_ok=True)
+            self.tracer: Tracer | NoopTracer = Tracer()
+            self._event_sink = JsonlEventSink(
+                os.path.join(self.config.trace_dir, "events.jsonl")
+            )
+            self.events.subscribe(self._event_sink)
+        else:
+            self.tracer = NoopTracer()
         self.executor = make_executor(
             self.config.executor_backend,
             self.config.num_workers,
             blacklist_after=self.config.blacklist_after,
         )
+        self.executor.events = self.events
         spill = self.config.spill_dir or tempfile.mkdtemp(prefix="gpf_spill_")
         os.makedirs(spill, exist_ok=True)
         self._owns_spill = self.config.spill_dir is None
@@ -97,6 +131,7 @@ class GPFContext:
             spill,
             network_bandwidth=self.config.network_bandwidth,
             compress=self.config.shuffle_compression,
+            telemetry=self.telemetry,
         )
         self.metrics = MetricsRegistry()
         self._scheduler = DAGScheduler(self)
@@ -109,6 +144,7 @@ class GPFContext:
             spill,
             memory_limit=self.config.cache_memory_limit,
             checkpoint_dir=self.config.checkpoint_dir,
+            events=self.events,
         )
         self._rdd_partitions: dict[int, int] = {}
         self._closed = False
@@ -116,7 +152,16 @@ class GPFContext:
         self.fault_injectors: list = []
         #: Context-wide sink for malformed input records routed by the
         #: ``malformed="quarantine"`` loader policy.
-        self.quarantine = QuarantineSink()
+        self.quarantine = QuarantineSink(events=self.events)
+        # The gc.callbacks hook is refcounted per live context and removed
+        # when the last context stops (no global callback left behind).
+        GC_TIMER.acquire()
+        self.events.publish(
+            "run.start",
+            backend=self.config.executor_backend,
+            workers=self.config.num_workers,
+            serializer=str(self.config.serializer),
+        )
 
     # -- construction ---------------------------------------------------
     def parallelize(self, data: Sequence[T], num_partitions: int | None = None) -> RDD:
@@ -179,6 +224,58 @@ class GPFContext:
         """Total size of the serialized block cache (Table 3 measurements)."""
         return self.block_manager.total_bytes()
 
+    # -- observability -----------------------------------------------------
+    def telemetry_snapshot(self) -> dict:
+        """Merged view of every subsystem's counters, non-mutating.
+
+        Live-incremented counters (shuffle bytes, journal restores, cache
+        statistics) come straight from the registry; subsystems that keep
+        their own tallies (block manager, quarantine sink, failure ledger,
+        executor events) are folded in read-only, so calling this twice
+        never double-counts.
+        """
+        snapshot = self.telemetry.snapshot()
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        stats = self.block_manager.stats
+        for name, value in (
+            ("block.hits", stats.hits),
+            ("block.misses", stats.misses),
+            ("block.evictions", stats.evictions),
+            ("block.disk_reads", stats.disk_reads),
+            ("block.corrupt_reads", stats.corrupt_reads),
+            ("checkpoint.writes", stats.checkpoint_writes),
+            ("checkpoint.reads", stats.checkpoint_reads),
+        ):
+            if value:
+                counters[name] = counters.get(name, 0) + value
+        gauges["block.memory_bytes"] = stats.memory_bytes
+        gauges["block.disk_bytes"] = stats.disk_bytes
+        for kind, count in self.metrics.executor_events.items():
+            counters[f"executor.{kind}"] = counters.get(f"executor.{kind}", 0) + count
+        for kind, count in self.quarantine.counts.items():
+            counters[f"quarantine.{kind}"] = (
+                counters.get(f"quarantine.{kind}", 0) + count
+            )
+        failures = len(self.metrics.failures)
+        if failures:
+            counters["task.failures"] = counters.get("task.failures", 0) + failures
+        return {"counters": counters, "gauges": gauges}
+
+    def _flush_observability(self) -> None:
+        """Final telemetry event, Chrome-trace file, sink close (stop())."""
+        if self._event_sink is None:
+            return
+        self.events.publish("telemetry", **self.telemetry_snapshot())
+        self.events.publish("run.end", elapsed=time.time() - self._started)
+        if isinstance(self.tracer, Tracer):
+            write_chrome_trace(
+                os.path.join(self.config.trace_dir, "trace.json"), self.tracer
+            )
+        self.events.unsubscribe(self._event_sink)
+        self._event_sink.close()
+        self._event_sink = None
+
     # -- bookkeeping ---------------------------------------------------------
     def _register_rdd(self, rdd: RDD) -> int:
         with self._lock:
@@ -189,6 +286,8 @@ class GPFContext:
 
     def stop(self) -> None:
         if not self._closed:
+            self._flush_observability()
+            GC_TIMER.release()
             self.executor.shutdown()
             if self._owns_spill:
                 self.shuffle_manager.cleanup()

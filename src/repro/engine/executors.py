@@ -26,6 +26,10 @@ T = TypeVar("T")
 class Executor:
     """Runs a batch of task thunks and returns results in order."""
 
+    #: Optional EventBus the owning context attaches; backends publish
+    #: executor-level incidents (thread fallbacks, broken pools) to it.
+    events = None
+
     def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         raise NotImplementedError
 
@@ -134,11 +138,18 @@ class ProcessExecutor(Executor):
             return True
         return False
 
+    def _note_fallback(self, reason: str) -> None:
+        self.fallback_batches += 1
+        if self.events is not None:
+            self.events.publish(
+                "executor.incident", incident="fallback_batch", reason=reason
+            )
+
     def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         if not tasks:
             return []
         if self._pool_broken or self.blacklisted:
-            self.fallback_batches += 1
+            self._note_fallback("blacklisted" if self.blacklisted else "pool_broken")
             return self._fallback.run_all(tasks)
         try:
             blobs = [
@@ -146,7 +157,7 @@ class ProcessExecutor(Executor):
                 for chunk in self._chunks(tasks)
             ]
         except Exception:
-            self.fallback_batches += 1
+            self._note_fallback("unpicklable")
             return self._fallback.run_all(tasks)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
@@ -163,7 +174,7 @@ class ProcessExecutor(Executor):
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
             self._pool_broken = True
-            self.fallback_batches += 1
+            self._note_fallback("broken_pool")
             return self._fallback.run_all(tasks)
         out: list[T] = []
         for result_blob in result_blobs:

@@ -188,6 +188,8 @@ class RunJournal:
             fh.flush()
             os.fsync(fh.fileno())
         self._entries[process.name] = entry
+        ctx.telemetry.inc("journal.recorded")
+        ctx.events.publish("journal.record", process=process.name)
 
     # -- restore -----------------------------------------------------------
     def restore(self, process: "Process", ctx: "GPFContext") -> bool:
@@ -231,4 +233,6 @@ class RunJournal:
             if header is not None:
                 resource.header = header
         process.restore_outputs()
+        ctx.telemetry.inc("journal.restored")
+        ctx.events.publish("journal.restore", process=process.name)
         return True

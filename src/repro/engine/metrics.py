@@ -212,11 +212,20 @@ class MetricsRegistry:
 
 
 class _GcTimer:
-    """Accumulates real garbage-collector pause time per thread."""
+    """Accumulates real garbage-collector pause time per thread.
+
+    The ``gc.callbacks`` hook is process-global, so installation is
+    reference-counted: each live :class:`~repro.engine.context.GPFContext`
+    holds one reference (``acquire`` in its constructor, ``release`` in
+    ``stop()``), and the callback is removed when the last reference
+    drops — a stopped context no longer leaves a global hook firing on
+    every collection for the rest of the interpreter's life.
+    """
 
     def __init__(self) -> None:
         self._local = threading.local()
         self._installed = False
+        self._refs = 0
         self._lock = threading.Lock()
 
     def _callback(self, phase: str, info: dict) -> None:
@@ -229,11 +238,55 @@ class _GcTimer:
         elif phase == "stop" and state.get("start") is not None:
             state["total"] += now - state.pop("start")
 
-    def install(self) -> None:
+    @property
+    def installed(self) -> bool:
         with self._lock:
-            if not self._installed:
-                gc.callbacks.append(self._callback)
-                self._installed = True
+            return self._installed
+
+    def install(self) -> None:
+        """Ensure the hook is present (idempotent; does not take a ref)."""
+        with self._lock:
+            self._install_locked()
+
+    def _install_locked(self) -> None:
+        if not self._installed:
+            gc.callbacks.append(self._callback)
+            self._installed = True
+
+    def uninstall(self) -> None:
+        """Remove the hook unconditionally and drop all references."""
+        with self._lock:
+            self._refs = 0
+            self._uninstall_locked()
+
+    def _uninstall_locked(self) -> None:
+        if self._installed:
+            try:
+                gc.callbacks.remove(self._callback)
+            except ValueError:
+                pass
+            self._installed = False
+
+    # -- reference counting (one ref per live context) ----------------------
+    def acquire(self) -> None:
+        with self._lock:
+            self._refs += 1
+            self._install_locked()
+
+    def release(self) -> None:
+        with self._lock:
+            self._refs = max(0, self._refs - 1)
+            if self._refs == 0:
+                self._uninstall_locked()
+
+    @contextmanager
+    def installed_for(self) -> Iterator[None]:
+        """Context-managed acquire/release pairing."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
 
     @contextmanager
     def measure(self) -> Iterator[dict]:

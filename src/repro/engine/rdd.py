@@ -211,6 +211,9 @@ class RDD:
         self.parents = []
         self.shuffle_deps = []
         self._checkpointed = True
+        self.ctx.events.publish(
+            "rdd.checkpoint", rdd_id=self.id, partitions=self.num_partitions
+        )
         return self
 
     @property
@@ -225,6 +228,10 @@ class RDD:
                 f"checkpoint partition {split} of RDD {self.id} is missing "
                 "and no lineage backup exists to recompute it"
             )
+        self.ctx.events.publish(
+            "checkpoint.recompute", rdd_id=self.id, partition=split
+        )
+        self.ctx.telemetry.inc("checkpoint.recomputes")
         self.parents, self.shuffle_deps = self._checkpoint_lineage
         try:
             data = self.compute(split, task)

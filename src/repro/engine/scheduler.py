@@ -51,9 +51,10 @@ class DAGScheduler:
     # -- public ------------------------------------------------------------
     def run_job(self, rdd: "RDD", partitions: Sequence[int] | None = None) -> list[list]:
         """Materialize the given partitions of ``rdd`` (all by default)."""
-        for dep in self._pending_shuffles(rdd):
-            self._run_map_stage(dep)
-        return self._run_result_stage(rdd, partitions)
+        with self.ctx.tracer.span(f"job:{rdd.name}", kind="job", rdd_id=rdd.id):
+            for dep in self._pending_shuffles(rdd):
+                self._run_map_stage(dep)
+            return self._run_result_stage(rdd, partitions)
 
     # -- planning ------------------------------------------------------------
     def _pending_shuffles(self, rdd: "RDD") -> list["ShuffleDependency"]:
@@ -87,17 +88,38 @@ class DAGScheduler:
         split: int,
         attempt: int,
         body: Callable[[TaskMetrics], object],
+        parent_span=None,
     ) -> tuple[TaskMetrics, object]:
-        """One measured task attempt: injectors, body, GC accounting."""
+        """One measured task attempt: injectors, body, GC accounting.
+
+        ``parent_span`` is the stage span: task bodies run on executor
+        threads with no thread-local span ancestry, so nesting must be
+        explicit here.
+        """
         task = TaskMetrics(partition=split, attempt=attempt)
         start = time.perf_counter()
-        with GC_TIMER.measure() as gc_state:
-            for injector in self.ctx.fault_injectors:
-                injector(stage_kind, split, attempt)
-            value = body(task)
-        task.gc_time = gc_state["total"]
-        task.run_time = time.perf_counter() - start
-        task.finalize()
+        with self.ctx.tracer.span(
+            f"{stage_kind}-p{split}",
+            kind="task",
+            parent=parent_span,
+            partition=split,
+            attempt=attempt,
+        ) as span:
+            with GC_TIMER.measure() as gc_state:
+                for injector in self.ctx.fault_injectors:
+                    injector(stage_kind, split, attempt)
+                value = body(task)
+            task.gc_time = gc_state["total"]
+            task.run_time = time.perf_counter() - start
+            task.finalize()
+            span.set_attributes(
+                run_time=task.run_time,
+                gc_time=task.gc_time,
+                shuffle_bytes_read=task.shuffle_bytes_read,
+                shuffle_bytes_written=task.shuffle_bytes_written,
+                records_read=task.records_read,
+                records_written=task.records_written,
+            )
         return task, value
 
     def _attempt_with_deadline(
@@ -107,6 +129,7 @@ class DAGScheduler:
         attempt: int,
         body: Callable[[TaskMetrics], object],
         timeout: float | None,
+        parent_span=None,
     ) -> tuple[TaskMetrics, object]:
         """Run one attempt under the watchdog.
 
@@ -118,13 +141,15 @@ class DAGScheduler:
         timeout configured the attempt runs inline at zero overhead.
         """
         if timeout is None:
-            return self._attempt_once(stage_kind, split, attempt, body)
+            return self._attempt_once(stage_kind, split, attempt, body, parent_span)
         outcome: list = []
         failure: list = []
 
         def run_attempt() -> None:
             try:
-                outcome.append(self._attempt_once(stage_kind, split, attempt, body))
+                outcome.append(
+                    self._attempt_once(stage_kind, split, attempt, body, parent_span)
+                )
             except BaseException as exc:  # noqa: BLE001 - reraised below
                 failure.append(exc)
 
@@ -163,17 +188,36 @@ class DAGScheduler:
         split: int,
         body: Callable[[TaskMetrics], object],
         record: Callable[[TaskMetrics], None],
+        parent_span=None,
     ) -> object:
         """Run one task body with fault injection + retry; returns its value."""
         max_attempts = max(1, self.ctx.config.max_task_attempts)
         timeout = self.ctx.config.task_timeout
+        events = self.ctx.events
         last_error: Exception | None = None
         for attempt in range(max_attempts):
             try:
                 task, value = self._attempt_with_deadline(
-                    stage_kind, split, attempt, body, timeout
+                    stage_kind, split, attempt, body, timeout, parent_span
                 )
                 record(task)
+                if events.active:
+                    events.publish(
+                        "task.end",
+                        stage_id=task.stage_id,
+                        stage_kind=stage_kind,
+                        partition=task.partition,
+                        attempt=task.attempt,
+                        run_time=task.run_time,
+                        cpu_time=task.cpu_time,
+                        disk_blocked=task.disk_blocked,
+                        network_blocked=task.network_blocked,
+                        gc_time=task.gc_time,
+                        shuffle_bytes_read=task.shuffle_bytes_read,
+                        shuffle_bytes_written=task.shuffle_bytes_written,
+                        records_read=task.records_read,
+                        records_written=task.records_written,
+                    )
                 return value
             except Exception as exc:  # noqa: BLE001 - retry semantics
                 last_error = exc
@@ -184,8 +228,10 @@ class DAGScheduler:
                         else "broken_pool"
                     )
                     self.ctx.metrics.record_executor_event(kind)
+                    events.publish("executor.incident", incident=kind)
                     if self.ctx.executor.note_slot_failure(kind):
                         self.ctx.metrics.record_executor_event("blacklisted")
+                        events.publish("executor.incident", incident="blacklisted")
                 retries_left = max_attempts - attempt - 1
                 delay = (
                     self._backoff_delay(stage_kind, split, attempt)
@@ -195,10 +241,39 @@ class DAGScheduler:
                 self.ctx.metrics.record_failure(
                     stage_kind, split, attempt, exc, backoff=delay
                 )
+                events.publish(
+                    "task.failure",
+                    stage_kind=stage_kind,
+                    partition=split,
+                    attempt=attempt,
+                    error_type=type(exc).__name__,
+                    message=str(exc)[:200],
+                    backoff=delay,
+                )
                 if delay:
                     time.sleep(delay)
         assert last_error is not None
         raise TaskFailedError(stage_kind, split, max_attempts, last_error) from last_error
+
+    # -- stage events ---------------------------------------------------------
+    def _publish_stage_end(self, stage) -> None:
+        events = self.ctx.events
+        if not events.active:
+            return
+        events.publish(
+            "stage.end",
+            stage_id=stage.stage_id,
+            name=stage.name,
+            tasks=len(stage.tasks),
+            run_time=stage.run_time,
+            disk_blocked=stage.disk_blocked,
+            network_blocked=stage.network_blocked,
+            gc_time=stage.gc_time,
+            shuffle_bytes_read=stage.shuffle_bytes_read,
+            shuffle_bytes_written=stage.shuffle_bytes_written,
+            records_read=sum(t.records_read for t in stage.tasks),
+            records_written=sum(t.records_written for t in stage.tasks),
+        )
 
     # -- execution ----------------------------------------------------------
     def _run_map_stage(self, dep: "ShuffleDependency") -> None:
@@ -207,8 +282,11 @@ class DAGScheduler:
         shuffle_id = self.ctx.shuffle_manager.register(
             parent.num_partitions, dep.partitioner.num_partitions
         )
+        self.ctx.events.publish(
+            "stage.start", stage_id=stage.stage_id, name=stage.name
+        )
 
-        def make_task(split: int):
+        def make_task(split: int, stage_span):
             def body(task: TaskMetrics) -> None:
                 elements = parent.iterator(split, task)
                 if dep.map_side_combine is not None:
@@ -228,14 +306,22 @@ class DAGScheduler:
                     split,
                     body,
                     lambda task: self.ctx.metrics.add_task(stage, task),
+                    parent_span=stage_span,
                 )
 
             return run
 
-        self.ctx.executor.run_all(
-            [make_task(split) for split in range(parent.num_partitions)]
-        )
+        with self.ctx.tracer.span(
+            stage.name, kind="stage", stage_id=stage.stage_id
+        ) as stage_span:
+            self.ctx.executor.run_all(
+                [
+                    make_task(split, stage_span)
+                    for split in range(parent.num_partitions)
+                ]
+            )
         dep.shuffle_id = shuffle_id
+        self._publish_stage_end(stage)
 
     def _run_result_stage(
         self, rdd: "RDD", partitions: Sequence[int] | None
@@ -244,16 +330,27 @@ class DAGScheduler:
             range(rdd.num_partitions)
         )
         stage = self.ctx.metrics.new_stage(name=f"result:{rdd.name}")
+        self.ctx.events.publish(
+            "stage.start", stage_id=stage.stage_id, name=stage.name
+        )
 
-        def make_task(split: int):
+        def make_task(split: int, stage_span):
             def run() -> list:
                 return self._run_with_retries(
                     "result",
                     split,
                     lambda task: rdd.iterator(split, task),
                     lambda task: self.ctx.metrics.add_task(stage, task),
+                    parent_span=stage_span,
                 )
 
             return run
 
-        return self.ctx.executor.run_all([make_task(split) for split in splits])
+        with self.ctx.tracer.span(
+            stage.name, kind="stage", stage_id=stage.stage_id
+        ) as stage_span:
+            results = self.ctx.executor.run_all(
+                [make_task(split, stage_span) for split in splits]
+            )
+        self._publish_stage_end(stage)
+        return results

@@ -50,9 +50,13 @@ class ShuffleManager:
         spill_dir: str,
         network_bandwidth: float | None = 1.25e9,
         compress: bool = False,
+        telemetry=None,
     ):
         self._spill_dir = spill_dir
         self._network_bandwidth = network_bandwidth
+        #: Optional TelemetryRegistry mirroring shuffle traffic as named
+        #: whole-run counters (the context wires its own registry in).
+        self._telemetry = telemetry
         #: Spark's spark.shuffle.compress: zlib over the serialized bucket.
         #: Off by default here because the gpf serializer already entropy-
         #: codes its payload; the ablation benches flip it per run.
@@ -109,6 +113,9 @@ class ShuffleManager:
                     fh.write(blob)
         task.shuffle_bytes_written += total
         task.records_written += len(elements)
+        if self._telemetry is not None:
+            self._telemetry.inc("shuffle.bytes_written", total)
+            self._telemetry.inc("shuffle.records_written", len(elements))
         with self._lock:
             info.bytes_written += total
             info.map_done.add(map_partition)
@@ -142,6 +149,9 @@ class ShuffleManager:
             out.extend(serializer.loads(body))
         task.shuffle_bytes_read += total
         task.records_read += len(out)
+        if self._telemetry is not None:
+            self._telemetry.inc("shuffle.bytes_read", total)
+            self._telemetry.inc("shuffle.records_read", len(out))
         if self._network_bandwidth and info.num_map_partitions > 1:
             remote_fraction = (info.num_map_partitions - 1) / info.num_map_partitions
             task.network_blocked += total * remote_fraction / self._network_bandwidth

@@ -49,11 +49,15 @@ class QuarantinedRecord:
 class QuarantineSink:
     """Counted, bounded-sample collector of malformed input records."""
 
-    def __init__(self, max_samples: int = 100):
+    def __init__(self, max_samples: int = 100, events=None):
         self.max_samples = max_samples
         self._lock = threading.Lock()
         self._counts: dict[str, int] = {}
         self._samples: list[QuarantinedRecord] = []
+        #: Optional EventBus; each quarantined record publishes a
+        #: "quarantine.record" event (driver-side sinks only — the
+        #: reference is dropped when a per-task sink is pickled).
+        self._events = events
 
     def add(self, kind: str, raw: str, reason: str) -> None:
         with self._lock:
@@ -62,6 +66,8 @@ class QuarantineSink:
                 self._samples.append(
                     QuarantinedRecord(kind, reason, raw[:MAX_RAW_CHARS])
                 )
+        if self._events is not None:
+            self._events.publish("quarantine.record", format=kind, reason=reason)
 
     # -- queries -----------------------------------------------------------
     @property
@@ -105,10 +111,13 @@ class QuarantineSink:
                 fh.write(f"\n--- {record.kind}: {record.reason}\n")
                 fh.write(record.raw + "\n")
 
-    # A sink never pickles its lock (process-backend task closures).
+    # A sink never pickles its lock or its event bus (process-backend
+    # task closures); a deserialized sink counts silently and its records
+    # surface when it is merge()d back into the driver-side sink.
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_lock"]
+        state["_events"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:

@@ -1,0 +1,58 @@
+"""repro.obs — unified tracing and telemetry for the GPF engine.
+
+The paper's whole evaluation (§5: Table 4's stage/shuffle accounting,
+Fig. 12's blocked-time analysis, Fig. 13's utilization) is an
+observability story.  This package is the single surface that makes a
+run inspectable:
+
+- :mod:`repro.obs.tracer` — nested spans
+  (pipeline → process → job → stage → task attempt) with monotonic
+  timestamps and process-safe IDs; a no-op tracer by default.
+- :mod:`repro.obs.events` — the :class:`EventBus` every subsystem
+  publishes to, its JSONL sink, and the event-schema validator.
+- :mod:`repro.obs.telemetry` — named counters/gauges replacing the
+  subsystems' private tallies; composes with ``MetricsRegistry``.
+- :mod:`repro.obs.chrome_trace` — Chrome-trace/Perfetto JSON export.
+- :mod:`repro.obs.report` — the Table-4 / Fig.-12 style run report,
+  renderable from a live context or a saved ``events.jsonl``.
+"""
+
+from repro.obs.chrome_trace import (
+    chrome_trace_dict,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EventBus,
+    JsonlEventSink,
+    MemorySink,
+    read_events,
+    validate_event,
+    validate_events,
+)
+from repro.obs.report import ProcessRow, RunReport, StageRow
+from repro.obs.telemetry import TelemetryRegistry
+from repro.obs.tracer import NOOP_SPAN, NoopTracer, Span, Tracer, new_span_id
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EventBus",
+    "JsonlEventSink",
+    "MemorySink",
+    "NoopTracer",
+    "NOOP_SPAN",
+    "ProcessRow",
+    "RunReport",
+    "Span",
+    "StageRow",
+    "TelemetryRegistry",
+    "Tracer",
+    "chrome_trace_dict",
+    "new_span_id",
+    "read_events",
+    "validate_chrome_trace",
+    "validate_event",
+    "validate_events",
+    "write_chrome_trace",
+]

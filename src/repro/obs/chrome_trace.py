@@ -1,0 +1,89 @@
+"""Chrome-trace / Perfetto export of a traced run.
+
+Converts the tracer's finished spans to the Trace Event Format's
+"complete" (``ph: "X"``) events, one per span, so ``chrome://tracing``
+or https://ui.perfetto.dev can open a GPF run: pipeline/process spans on
+the driver thread row, task spans on their executor-thread rows, with
+span attributes (partition, attempt, shuffle bytes, cache hits) in
+``args``.
+
+Format reference: Trace Event Format, "JSON Object Format" — the
+``traceEvents`` array plus optional metadata events naming processes and
+threads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
+
+
+def chrome_trace_dict(tracer: "Tracer") -> dict:
+    """The run as a Trace Event Format JSON object."""
+    events: list[dict] = []
+    pids = set()
+    tids = set()
+    for span in tracer.finished_spans():
+        if not span.finished:
+            continue
+        pids.add(span.pid)
+        tids.add((span.pid, span.tid))
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                # Microseconds since the tracer's monotonic origin.
+                "ts": (span.start - tracer.origin_mono) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": dict(span.attrs, span_id=span.span_id, parent_id=span.parent_id),
+            }
+        )
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "gpf"},
+        }
+        for pid in sorted(pids)
+    ]
+    return {
+        "traceEvents": metadata + sorted(events, key=lambda e: e["ts"]),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tracer_origin_wall": tracer.origin_wall,
+            "threads": len(tids),
+        },
+    }
+
+
+def write_chrome_trace(path: str, tracer: "Tracer") -> None:
+    """Write the trace JSON file (open it in chrome://tracing / Perfetto)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace_dict(tracer), fh)
+
+
+def validate_chrome_trace(trace: dict) -> list[str]:
+    """Structural problems with a trace dict (empty = loadable)."""
+    problems: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, event in enumerate(events):
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                problems.append(f"traceEvents[{i}]: missing {field!r}")
+        if event.get("ph") == "X":
+            for field in ("ts", "dur"):
+                if not isinstance(event.get(field), (int, float)):
+                    problems.append(f"traceEvents[{i}]: non-numeric {field!r}")
+                elif field == "dur" and event[field] < 0:
+                    problems.append(f"traceEvents[{i}]: negative dur")
+    return problems

@@ -1,0 +1,75 @@
+"""Named counters and gauges shared by every engine subsystem.
+
+Before this registry existed, each subsystem hoarded private counters —
+the likelihood cache counted hits internally, the block manager had
+``BlockStats``, the quarantine sink its own per-format dict — and no
+single surface reported them.  The :class:`TelemetryRegistry` gives them
+one namespace (``shuffle.bytes_written``, ``quarantine.fastq``,
+``likelihood_cache.hits``, ...) that the run report and the final
+``telemetry`` event render.
+
+It *composes with* the existing :class:`~repro.engine.metrics.MetricsRegistry`
+rather than replacing it: per-task/stage timing stays in MetricsRegistry;
+this registry holds the named whole-run counts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class TelemetryRegistry:
+    """Thread-safe map of counter and gauge values."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # -- counters -----------------------------------------------------------
+    def inc(self, name: str, delta: float = 1) -> None:
+        """Add ``delta`` to a monotonically increasing counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- gauges -------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (cache sizes, memory bytes)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> float | None:
+        with self._lock:
+            return self._gauges.get(name)
+
+    # -- export -------------------------------------------------------------
+    def counters(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def snapshot(self) -> dict:
+        """Copy of everything: ``{"counters": {...}, "gauges": {...}}``."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+            }
+
+    def merge_counts(self, counts: dict[str, float]) -> None:
+        """Fold a mapping of counter deltas in (per-task partial counts)."""
+        with self._lock:
+            for name, delta in counts.items():
+                self._counters[name] = self._counters.get(name, 0) + delta
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()

@@ -1,0 +1,212 @@
+"""Hierarchical tracing: nested spans with monotonic timestamps.
+
+The span model mirrors the run's natural hierarchy::
+
+    pipeline -> process -> job -> stage -> task attempt
+
+A :class:`Span` records a name, a kind (one of the levels above), start
+and end timestamps on the monotonic clock, free-form attributes
+(partition, attempt, shuffle bytes, records, cache hits), and its parent
+span.  Span IDs embed the producing process's PID plus a process-local
+counter, so IDs minted inside ``process``-backend workers can never
+collide with driver IDs.
+
+Two tracers share the interface:
+
+- :class:`Tracer` collects finished spans for export (Chrome trace,
+  events.jsonl).  Within one thread, spans nest implicitly through a
+  thread-local stack; work handed to executor threads passes the parent
+  span explicitly instead.
+- :class:`NoopTracer` is the default on every context: ``span()`` is a
+  reusable no-op context manager and nothing is recorded, so tracing
+  costs nothing unless a trace directory is configured.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Span kinds, outermost first (purely informational — nesting is free-form).
+SPAN_KINDS = ("pipeline", "process", "job", "stage", "task", "span")
+
+_span_counter = itertools.count(1)
+
+
+def new_span_id() -> str:
+    """Process- and thread-safe span ID: ``<pid>-<counter>`` in hex."""
+    return f"{os.getpid():x}-{next(_span_counter):x}"
+
+
+class Span:
+    """One timed, attributed interval of the run."""
+
+    __slots__ = (
+        "name",
+        "kind",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "attrs",
+        "pid",
+        "tid",
+    )
+
+    def __init__(self, name: str, kind: str = "span", parent_id: str | None = None):
+        self.name = name
+        self.kind = kind
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.attrs: dict = {}
+        self.pid = os.getpid()
+        self.tid = threading.get_native_id()
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def set_attributes(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds; 0.0 while still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e3:.2f}ms" if self.finished else "open"
+        return f"<Span {self.kind}:{self.name} {self.span_id} {state}>"
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled tracer."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+    kind = "noop"
+    name = ""
+    attrs: dict = {}
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def set_attributes(self, **attrs) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """Disabled tracer: every operation is a cheap no-op."""
+
+    enabled = False
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span", parent=None, **attrs) -> Iterator[_NoopSpan]:
+        yield NOOP_SPAN
+
+    def start_span(self, name: str, kind: str = "span", parent=None, **attrs) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def finish(self, span) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+    def finished_spans(self) -> list:
+        return []
+
+
+class Tracer:
+    """Collects nested spans; thread-safe."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+        #: Anchors for converting monotonic timestamps to wall clock
+        #: (Chrome trace wants absolute-ish microseconds).
+        self.origin_mono = time.perf_counter()
+        self.origin_wall = time.time()
+
+    # -- implicit parent stack (per thread) ---------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Span | None:
+        """The innermost open span started on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- span lifecycle -----------------------------------------------------
+    def start_span(
+        self, name: str, kind: str = "span", parent: Span | None = None, **attrs
+    ) -> Span:
+        """Open a span; ``parent`` overrides the thread-local nesting.
+
+        Executor threads have no thread-local ancestry, so stage/task
+        spans created there must pass the driver-side parent explicitly.
+        """
+        if parent is None:
+            parent = self.current()
+        parent_id = getattr(parent, "span_id", None)
+        span = Span(name, kind=kind, parent_id=parent_id)
+        if attrs:
+            span.attrs.update(attrs)
+        self._stack().append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close a span and archive it for export."""
+        if span.end is not None:
+            return
+        span.end = time.perf_counter()
+        stack = self._stack()
+        if span in stack:
+            # Pop through (tolerates a missed finish of an inner span).
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            self._finished.append(span)
+
+    @contextmanager
+    def span(
+        self, name: str, kind: str = "span", parent: Span | None = None, **attrs
+    ) -> Iterator[Span]:
+        """Context-managed span; an escaping exception is recorded as the
+        ``error`` attribute before the span closes."""
+        span = self.start_span(name, kind=kind, parent=parent, **attrs)
+        try:
+            yield span
+        except BaseException as exc:
+            span.set_attribute("error", type(exc).__name__)
+            raise
+        finally:
+            self.finish(span)
+
+    def finished_spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._finished)

@@ -1,9 +1,18 @@
+import gc
+import threading
+
 import pytest
 
 from repro.engine.broadcast import Broadcast
 from repro.engine.context import EngineConfig, GPFContext
 from repro.engine.executors import SerialExecutor, ThreadExecutor, make_executor
-from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics
+from repro.engine.metrics import (
+    GC_TIMER,
+    JobMetrics,
+    MetricsRegistry,
+    StageMetrics,
+    TaskMetrics,
+)
 
 
 class TestTaskMetrics:
@@ -79,6 +88,81 @@ class TestEngineIntegration:
         assert ctx.metrics.job().stage_count > 0
         ctx.metrics.reset()
         assert ctx.metrics.job().stage_count == 0
+
+
+class TestMetricsRegistryConcurrency:
+    def test_parallel_recording_is_consistent(self):
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 50
+        stage_ids: list[int] = []
+        lock = threading.Lock()
+
+        def pump():
+            mine = []
+            for i in range(per_thread):
+                stage = registry.new_stage(name=f"s{i}")
+                mine.append(stage.stage_id)
+                registry.add_task(stage, TaskMetrics(run_time=0.001))
+                registry.record_failure("result", i, 0, ValueError("x"))
+                registry.record_executor_event("timeout")
+            with lock:
+                stage_ids.extend(mine)
+
+        workers = [threading.Thread(target=pump) for _ in range(threads_n)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        total = threads_n * per_thread
+        assert len(stage_ids) == len(set(stage_ids)) == total
+        job = registry.job()
+        assert job.stage_count == total
+        assert sum(len(s.tasks) for s in job.stages) == total
+        # Stage ids come back sorted and dense.
+        assert [s.stage_id for s in job.stages] == list(range(total))
+        assert len(registry.failures) == total
+        assert registry.executor_events == {"timeout": total}
+
+
+class TestGcTimer:
+    def test_context_refcounts_global_hook(self, tmp_path):
+        baseline = GC_TIMER._refs
+        c1 = GPFContext(EngineConfig(spill_dir=str(tmp_path / "a")))
+        c2 = GPFContext(EngineConfig(spill_dir=str(tmp_path / "b")))
+        assert GC_TIMER._refs == baseline + 2
+        assert GC_TIMER._callback in gc.callbacks
+        c1.stop()
+        # One context still alive: the hook must stay.
+        assert GC_TIMER._callback in gc.callbacks
+        c2.stop()
+        assert GC_TIMER._refs == baseline
+        if baseline == 0:
+            assert GC_TIMER._callback not in gc.callbacks
+
+    def test_stop_is_idempotent_for_refcount(self, tmp_path):
+        baseline = GC_TIMER._refs
+        ctx = GPFContext(EngineConfig(spill_dir=str(tmp_path / "a")))
+        ctx.stop()
+        ctx.stop()
+        assert GC_TIMER._refs == baseline
+
+    def test_uninstall_removes_hook_unconditionally(self):
+        GC_TIMER.acquire()
+        GC_TIMER.acquire()
+        GC_TIMER.uninstall()
+        assert GC_TIMER._refs == 0
+        assert GC_TIMER._callback not in gc.callbacks
+        assert not GC_TIMER.installed
+        # Re-acquire works after a hard uninstall.
+        with GC_TIMER.installed_for():
+            assert GC_TIMER.installed
+        assert not GC_TIMER.installed
+
+    def test_measure_still_accumulates(self):
+        with GC_TIMER.installed_for():
+            with GC_TIMER.measure() as state:
+                gc.collect()
+            assert state["total"] >= 0.0
 
 
 class TestBroadcast:

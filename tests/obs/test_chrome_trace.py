@@ -1,0 +1,75 @@
+import json
+import os
+
+from repro.engine.context import EngineConfig, GPFContext
+from repro.obs import Tracer, chrome_trace_dict, validate_chrome_trace
+
+
+class TestChromeTraceDict:
+    def test_spans_become_complete_events(self):
+        tracer = Tracer()
+        with tracer.span("pipeline:x", kind="pipeline"):
+            with tracer.span("job:y", kind="job", partition=2):
+                pass
+        trace = chrome_trace_dict(tracer)
+        assert validate_chrome_trace(trace) == []
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"pipeline:x", "job:y"}
+        for event in complete:
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+            assert "span_id" in event["args"]
+        job = next(e for e in complete if e["name"] == "job:y")
+        pipeline = next(e for e in complete if e["name"] == "pipeline:x")
+        assert job["args"]["parent_id"] == pipeline["args"]["span_id"]
+        assert job["args"]["partition"] == 2
+
+    def test_events_sorted_and_metadata_present(self):
+        tracer = Tracer()
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        trace = chrome_trace_dict(tracer)
+        metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert metadata and metadata[0]["name"] == "process_name"
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [e["ts"] for e in complete] == sorted(e["ts"] for e in complete)
+
+    def test_open_spans_excluded(self):
+        tracer = Tracer()
+        tracer.start_span("never-finished")
+        trace = chrome_trace_dict(tracer)
+        assert [e for e in trace["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace({}) == ["traceEvents is not a list"]
+        bad = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": -1}]}
+        assert any("negative dur" in p for p in validate_chrome_trace(bad))
+
+
+class TestTracedRunExport:
+    def test_context_writes_loadable_trace_json(self, tmp_path):
+        config = EngineConfig(
+            spill_dir=str(tmp_path / "spill"), trace_dir=str(tmp_path / "trace")
+        )
+        with GPFContext(config) as ctx:
+            ctx.parallelize(range(20), 4).map(lambda x: x + 1).collect()
+        path = os.path.join(str(tmp_path / "trace"), "trace.json")
+        with open(path, "r", encoding="utf-8") as fh:
+            trace = json.load(fh)
+        assert validate_chrome_trace(trace) == []
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        # One job span plus its per-partition task spans.
+        assert any(name.startswith("job:") for name in names)
+        assert any(name.startswith("result-p") for name in names)
+        # Task spans parent into the stage span across executor threads.
+        by_id = {
+            e["args"]["span_id"]: e
+            for e in trace["traceEvents"]
+            if e["ph"] == "X"
+        }
+        tasks = [e for e in by_id.values() if e["name"].startswith("result-p")]
+        assert tasks
+        for task in tasks:
+            parent = by_id[task["args"]["parent_id"]]
+            assert parent["cat"] == "stage"

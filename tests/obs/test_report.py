@@ -1,0 +1,151 @@
+import json
+import os
+
+from repro.engine.context import EngineConfig, GPFContext
+from repro.obs import RunReport, read_events
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_report.txt")
+
+
+def synthetic_events() -> list[dict]:
+    """A tiny fixed run: every value deterministic, for the golden test."""
+    return [
+        {"kind": "run.start", "ts": 0.0, "backend": "serial"},
+        {
+            "kind": "pipeline.start",
+            "ts": 0.1,
+            "pipeline": "demo",
+            "processes": ["Align", "Call"],
+        },
+        {"kind": "process.start", "ts": 0.1, "process": "Align"},
+        {
+            "kind": "stage.end",
+            "ts": 0.4,
+            "stage_id": 0,
+            "name": "shuffle-map:reads",
+            "tasks": 4,
+            "run_time": 2.0,
+            "disk_blocked": 0.5,
+            "network_blocked": 0.25,
+            "gc_time": 0.125,
+            "shuffle_bytes_read": 0,
+            "shuffle_bytes_written": 4096,
+            "records_read": 100,
+            "records_written": 100,
+        },
+        {"kind": "process.end", "ts": 0.5, "process": "Align", "elapsed": 0.4},
+        {"kind": "process.skipped", "ts": 0.5, "process": "Call"},
+        {
+            "kind": "stage.end",
+            "ts": 0.9,
+            "stage_id": 1,
+            "name": "result:calls",
+            "tasks": 2,
+            "run_time": 2.0,
+            "disk_blocked": 0.1,
+            "network_blocked": 0.05,
+            "gc_time": 0.0,
+            "shuffle_bytes_read": 4096,
+            "shuffle_bytes_written": 0,
+            "records_read": 100,
+            "records_written": 10,
+        },
+        {
+            "kind": "task.failure",
+            "ts": 0.7,
+            "stage_kind": "result",
+            "partition": 1,
+            "attempt": 0,
+            "error_type": "ValueError",
+            "backoff": 0.05,
+        },
+        {
+            "kind": "pipeline.end",
+            "ts": 1.0,
+            "pipeline": "demo",
+            "elapsed": 0.9,
+            "executed": ["Align"],
+            "skipped": ["Call"],
+        },
+        {
+            "kind": "telemetry",
+            "ts": 1.0,
+            "counters": {
+                "journal.restored": 1,
+                "quarantine.fastq": 3,
+                "likelihood_cache.hits": 10,
+            },
+            "gauges": {"likelihood_cache.entries": 5},
+        },
+        {"kind": "run.end", "ts": 1.1, "elapsed": 1.1},
+    ]
+
+
+class TestFromEvents:
+    def test_derived_numbers(self):
+        report = RunReport.from_events(synthetic_events())
+        assert report.pipeline_name == "demo"
+        assert report.elapsed == 0.9
+        assert report.task_count == 6
+        assert report.core_seconds == 4.0
+        assert report.shuffle_bytes == 4096
+        disk, net = report.blocked_fractions()
+        assert disk == (0.5 + 0.1) / 4.0
+        assert net == (0.25 + 0.05) / 4.0
+        assert report.failures == [("result", 1, "ValueError")]
+        assert [p.name for p in report.processes] == ["Align", "Call"]
+        assert report.processes[1].skipped
+
+    def test_summary_line(self):
+        report = RunReport.from_events(synthetic_events())
+        assert report.summary_line() == (
+            "gpf run: 6 task(s), 1 retried failure(s), 3 quarantined "
+            "record(s), 1 process(es) restored from journal"
+        )
+
+    def test_golden_text_render(self):
+        report = RunReport.from_events(synthetic_events())
+        with open(GOLDEN, "r", encoding="utf-8") as fh:
+            expected = fh.read()
+        assert report.render_text() == expected
+
+    def test_to_json_round_trips_through_json(self):
+        report = RunReport.from_events(synthetic_events())
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["pipeline"] == "demo"
+        assert payload["totals"]["tasks"] == 6
+        assert payload["blocked_fractions"]["disk"] > 0
+        assert payload["counters"]["journal.restored"] == 1
+        assert len(payload["stages"]) == 2
+
+    def test_empty_event_list_renders(self):
+        report = RunReport.from_events([])
+        text = report.render_text()
+        assert "no pipeline information" in text
+        assert report.summary_line().startswith("gpf run: 0 task(s)")
+
+
+class TestFromContextMatchesFromEvents:
+    def test_traced_run_agrees(self, tmp_path):
+        config = EngineConfig(
+            spill_dir=str(tmp_path / "spill"), trace_dir=str(tmp_path / "trace")
+        )
+        ctx = GPFContext(config)
+        try:
+            data = [(i % 3, i) for i in range(30)]
+            ctx.parallelize(data, 3).group_by_key().collect()
+            live = RunReport.from_context(ctx)
+        finally:
+            ctx.stop()
+        saved = RunReport.from_events(
+            read_events(str(tmp_path / "trace" / "events.jsonl"))
+        )
+        assert [s.stage_id for s in saved.stages] == [
+            s.stage_id for s in live.stages
+        ]
+        assert [s.tasks for s in saved.stages] == [s.tasks for s in live.stages]
+        assert [s.shuffle_bytes_written for s in saved.stages] == [
+            s.shuffle_bytes_written for s in live.stages
+        ]
+        assert saved.counters == live.counters
+        assert saved.task_count == live.task_count

@@ -1,0 +1,116 @@
+import threading
+
+import pytest
+
+from repro.obs import NOOP_SPAN, NoopTracer, Tracer, new_span_id
+
+
+class TestSpanIds:
+    def test_ids_unique_across_threads(self):
+        ids: list[str] = []
+        lock = threading.Lock()
+
+        def mint():
+            mine = [new_span_id() for _ in range(500)]
+            with lock:
+                ids.extend(mine)
+
+        threads = [threading.Thread(target=mint) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ids) == len(set(ids)) == 4000
+
+    def test_id_embeds_pid(self):
+        import os
+
+        assert new_span_id().startswith(f"{os.getpid():x}-")
+
+
+class TestTracerNesting:
+    def test_context_manager_nests_implicitly(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="pipeline") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner", kind="job") as inner:
+                assert inner.parent_id == outer.span_id
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        finished = tracer.finished_spans()
+        assert [s.name for s in finished] == ["inner", "outer"]
+        for span in finished:
+            assert span.finished
+            assert span.end >= span.start
+            assert span.duration >= 0
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        root = tracer.start_span("root")
+        tracer.finish(root)
+        # A worker thread has no stack ancestry; the parent is explicit.
+        result = {}
+
+        def worker():
+            with tracer.span("task", kind="task", parent=root) as span:
+                result["parent"] = span.parent_id
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert result["parent"] == root.span_id
+
+    def test_attributes(self):
+        tracer = Tracer()
+        with tracer.span("s", partition=3) as span:
+            span.set_attribute("records", 10)
+            span.set_attributes(bytes=99, attempt=0)
+        (finished,) = tracer.finished_spans()
+        assert finished.attrs == {
+            "partition": 3,
+            "records": 10,
+            "bytes": 99,
+            "attempt": 0,
+        }
+
+    def test_exception_recorded_as_error_attr(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (span,) = tracer.finished_spans()
+        assert span.attrs["error"] == "ValueError"
+        assert span.finished
+
+    def test_double_finish_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.start_span("s")
+        tracer.finish(span)
+        end = span.end
+        tracer.finish(span)
+        assert span.end == end
+        assert len(tracer.finished_spans()) == 1
+
+    def test_missed_inner_finish_tolerated(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        tracer.start_span("inner")  # never finished explicitly
+        tracer.finish(outer)
+        assert tracer.current() is None
+
+
+class TestNoopTracer:
+    def test_disabled_and_recordless(self):
+        tracer = NoopTracer()
+        assert tracer.enabled is False
+        with tracer.span("anything", kind="task", partition=1) as span:
+            assert span is NOOP_SPAN
+            span.set_attribute("x", 1)  # silently ignored
+            span.set_attributes(y=2)
+        assert tracer.finished_spans() == []
+        assert tracer.current() is None
+
+    def test_default_context_uses_noop_tracer(self, ctx):
+        assert isinstance(ctx.tracer, NoopTracer)
+        assert not ctx.events.active
