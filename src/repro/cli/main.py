@@ -82,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--job-id",
+        help=(
+            "namespace the journal as <journal-dir>/<job-id>/ so runs "
+            "sharing one journal root never restore each other's "
+            "checkpoints (requires --journal-dir)"
+        ),
+    )
+    run.add_argument(
         "--task-timeout",
         type=float,
         default=None,
@@ -164,6 +172,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--cores", type=int, nargs="+", default=[128, 256, 512, 1024, 2048]
     )
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the resident pipeline service (job queue + HTTP API)",
+        description=(
+            "Start a multi-tenant pipeline service: a bounded job queue, "
+            "N workers with warm pooled engine contexts, per-job run "
+            "journals (a killed service resumes incomplete jobs on "
+            "restart), and a JSON API (POST/GET/DELETE /jobs, /healthz, "
+            "/metrics).  SIGINT/SIGTERM drains gracefully: running jobs "
+            "finish, queued jobs survive in --state-dir."
+        ),
+    )
+    srv.add_argument("--state-dir", required=True, help="durable service state")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8765, help="0 picks a free port")
+    srv.add_argument("--workers", type=int, default=2, help="worker threads")
+    srv.add_argument(
+        "--queue-depth", type=int, default=8, help="admission bound (HTTP 429 past it)"
+    )
+    srv.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job deadline in seconds (checked between Processes)",
+    )
+    srv.add_argument(
+        "--backend", choices=("serial", "threads", "process"), default="serial"
+    )
+    srv.add_argument(
+        "--partitions", type=int, default=4, help="default per-job parallelism"
+    )
+    srv.add_argument(
+        "--access-log", action="store_true", help="log every HTTP request to stderr"
+    )
+
+    smt = sub.add_parser("submit", help="submit a WGS run to a gpf serve instance")
+    smt.add_argument("--url", default="http://127.0.0.1:8765")
+    smt.add_argument("--reference", required=True, help="FASTA path")
+    smt.add_argument("--fastq1", required=True)
+    smt.add_argument("--fastq2", required=True)
+    smt.add_argument("--known-sites", help="dbSNP-like VCF path")
+    smt.add_argument("--output", help="server-side output VCF path")
+    smt.add_argument("--partitions", type=int, default=None)
+    smt.add_argument("--partition-length", type=int, default=None)
+    smt.add_argument("--gvcf", action="store_true")
+    smt.add_argument("--priority", type=int, default=0, help="larger runs first")
+    smt.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    smt.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait deadline in seconds"
+    )
+
+    jb = sub.add_parser("jobs", help="list jobs on a gpf serve instance")
+    jb.add_argument("--url", default="http://127.0.0.1:8765")
+    jb.add_argument(
+        "--state",
+        choices=("queued", "admitted", "running", "succeeded", "failed", "cancelled"),
+        help="only jobs in this state",
+    )
+    jb.add_argument(
+        "--metrics", action="store_true", help="print /metrics instead of the job table"
+    )
+
+    st = sub.add_parser("status", help="show one job on a gpf serve instance")
+    st.add_argument("job_id")
+    st.add_argument("--url", default="http://127.0.0.1:8765")
+    st.add_argument(
+        "--json", action="store_true", help="dump the raw job document (with report)"
+    )
+    st.add_argument("--cancel", action="store_true", help="cancel instead of show")
+
     return parser
 
 
@@ -223,13 +303,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """run: execute the WGS pipeline over files, write the VCF."""
-    from repro.engine import EngineConfig, GPFContext
-    from repro.engine.files import load_fastq_pair_lazy
-    from repro.formats.fasta import read_fasta
-    from repro.formats.vcf import read_vcf, sort_records, write_vcf
-    from repro.obs import RunReport
-    from repro.wgs import build_wgs_pipeline
+    """run: execute the WGS pipeline over files, write the VCF.
+
+    Pipeline failures never escape as raw tracebacks: the error is
+    reported on one stderr line with resume (journal) and bad-input
+    (quarantine) hints, and the exit code is 1.
+    """
+    from repro.engine import EngineConfig
+    from repro.engine.journal import job_journal_dir
+
+    journal_dir = args.journal_dir
+    if args.job_id:
+        if not journal_dir:
+            print("run: --job-id requires --journal-dir", file=sys.stderr)
+            return 2
+        journal_dir = job_journal_dir(journal_dir, args.job_id)
 
     backend = args.backend or ("threads" if args.threads > 0 else "serial")
     workers = args.workers or args.threads or 4
@@ -242,6 +330,41 @@ def cmd_run(args: argparse.Namespace) -> int:
         trace_dir=args.trace_out,
     )
     start = time.perf_counter()
+    try:
+        return _run_pipeline(args, config, journal_dir, start)
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:  # noqa: BLE001 - CLI boundary: no raw tracebacks
+        print(f"run: {type(exc).__name__}: {exc}", file=sys.stderr)
+        if journal_dir:
+            print(
+                f"  finished Processes are journaled under {journal_dir}; "
+                "re-run with the same flags to resume after the last one",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "  hint: --journal-dir DIR makes an interrupted run resumable",
+                file=sys.stderr,
+            )
+        if args.malformed == "fail":
+            print(
+                "  hint: --malformed quarantine isolates corrupt input "
+                "records instead of failing the run",
+                file=sys.stderr,
+            )
+        return 1
+
+
+def _run_pipeline(args, config, journal_dir: str | None, start: float) -> int:
+    """The happy path of ``gpf run`` (exceptions handled by the caller)."""
+    from repro.engine import GPFContext
+    from repro.engine.files import load_fastq_pair_lazy
+    from repro.formats.fasta import read_fasta
+    from repro.formats.vcf import read_vcf, sort_records, write_vcf
+    from repro.obs import RunReport
+    from repro.wgs import build_wgs_pipeline
+
     with GPFContext(config) as ctx:
         sink = ctx.quarantine if args.malformed == "quarantine" else None
         reference = read_fasta(args.reference)
@@ -260,7 +383,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             use_gvcf=args.gvcf,
         )
         handles.pipeline.run(
-            optimize=not args.no_optimize, journal_dir=args.journal_dir
+            optimize=not args.no_optimize, journal_dir=journal_dir
         )
         calls = handles.vcf.rdd.collect()
         write_vcf(
@@ -460,6 +583,157 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """serve: run the resident pipeline service until signalled."""
+    import signal
+    import threading
+
+    from repro.engine import EngineConfig
+    from repro.serve import PipelineService, ServiceConfig, start_http_server
+
+    config = ServiceConfig(
+        workers=max(1, args.workers),
+        queue_depth=max(1, args.queue_depth),
+        job_timeout=args.job_timeout,
+        engine=EngineConfig(
+            default_parallelism=args.partitions,
+            executor_backend=args.backend,
+        ),
+    )
+    service = PipelineService(args.state_dir, config).start()
+    server = start_http_server(
+        service, host=args.host, port=args.port, quiet=not args.access_log
+    )
+    recovered = service.metrics()["service"]["jobs_recovered"]
+    print(
+        f"gpf serve: listening on http://{args.host}:{server.port} "
+        f"({config.workers} worker(s), queue depth {config.queue_depth}, "
+        f"state in {args.state_dir})"
+    )
+    if recovered:
+        print(f"gpf serve: recovered {recovered} unfinished job(s) from the log")
+    stop = threading.Event()
+
+    def _signalled(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _signalled)
+    signal.signal(signal.SIGINT, _signalled)
+    stop.wait()
+    print("gpf serve: draining (running jobs finish; queued jobs stay durable)")
+    server.shutdown()
+    service.drain()
+    print("gpf serve: drained cleanly")
+    return 0
+
+
+def _client(args):
+    from repro.serve import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _print_job_line(job: dict) -> None:
+    took = ""
+    if job.get("finished_at") and job.get("started_at"):
+        took = f"  {job['finished_at'] - job['started_at']:.1f}s"
+    error = f"  {job['error']}" if job.get("error") else ""
+    records = ""
+    if job.get("result") and job["result"].get("records") is not None:
+        records = f"  {job['result']['records']} records"
+    print(
+        f"{job['id']}  {job['state']:<9}  prio {job['priority']:>3}"
+        f"{took}{records}{error}"
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """submit: POST one WGS run spec to a serve instance."""
+    from repro.serve import ServiceError
+
+    spec: dict = {
+        "reference": args.reference,
+        "fastq1": args.fastq1,
+        "fastq2": args.fastq2,
+    }
+    if args.known_sites:
+        spec["known_sites"] = args.known_sites
+    if args.output:
+        spec["output"] = args.output
+    if args.partitions:
+        spec["partitions"] = args.partitions
+    if args.partition_length:
+        spec["partition_length"] = args.partition_length
+    if args.gvcf:
+        spec["gvcf"] = True
+    client = _client(args)
+    try:
+        job = client.submit(spec, priority=args.priority)
+    except (ServiceError, OSError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    print(f"submitted {job['id']} ({job['state']})")
+    if not args.wait:
+        return 0
+    try:
+        job = client.wait(job["id"], timeout=args.timeout)
+    except TimeoutError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    _print_job_line(job)
+    return 0 if job["state"] == "succeeded" else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """jobs: list jobs (or dump /metrics) from a serve instance."""
+    import json
+
+    from repro.serve import ServiceError
+
+    client = _client(args)
+    try:
+        if args.metrics:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+            return 0
+        jobs = client.jobs(state=args.state)
+    except (ServiceError, OSError) as exc:
+        print(f"jobs: {exc}", file=sys.stderr)
+        return 1
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        _print_job_line(job)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """status: one job's state (or cancel it)."""
+    import json
+
+    from repro.serve import ServiceError
+
+    client = _client(args)
+    try:
+        if args.cancel:
+            job = client.cancel(args.job_id)
+        else:
+            job = client.job(args.job_id)
+    except (ServiceError, OSError) as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0
+    _print_job_line(job)
+    result = job.get("result") or {}
+    if result.get("skipped"):
+        print(f"  resumed from journal; skipped: {', '.join(result['skipped'])}")
+    if result.get("output"):
+        print(f"  output: {result['output']}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -470,6 +744,10 @@ def main(argv: list[str] | None = None) -> int:
         "lint": cmd_lint,
         "scaling": cmd_scaling,
         "report": cmd_report,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
+        "status": cmd_status,
     }
     return handlers[args.command](args)
 

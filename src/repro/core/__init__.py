@@ -25,7 +25,11 @@ from repro.core.bundles import (
     PartitionInfoBundle,
     ReferenceBundle,
 )
-from repro.core.pipeline import Pipeline, CircularDependencyError
+from repro.core.pipeline import (
+    CircularDependencyError,
+    Pipeline,
+    PipelineCancelledError,
+)
 from repro.core.dag import analyze, build_process_graph, critical_path, to_dot
 from repro.core.partitioning import PartitionInfo, PartitionSplitTable
 from repro.core.processes import (
@@ -50,6 +54,7 @@ __all__ = [
     "PartitionInfoBundle",
     "ReferenceBundle",
     "Pipeline",
+    "PipelineCancelledError",
     "CircularDependencyError",
     "analyze",
     "build_process_graph",

@@ -30,6 +30,25 @@ class CircularDependencyError(RuntimeError):
     pass
 
 
+class PipelineCancelledError(RuntimeError):
+    """``run(should_cancel=...)`` observed a cancellation request.
+
+    Raised *between* Processes, never inside one: every finished Process
+    committed its outputs (and, with a journal, its checkpoint), so a
+    cancelled journaled run resumes exactly where it stopped.
+    """
+
+    def __init__(self, pipeline: str, completed: list[str], remaining: list[str]):
+        self.pipeline = pipeline
+        self.completed = completed
+        self.remaining = remaining
+        super().__init__(
+            f"pipeline {pipeline!r} cancelled after "
+            f"{', '.join(completed) or '<nothing>'}; "
+            f"remaining: {', '.join(remaining)}"
+        )
+
+
 class PipelineLintError(RuntimeError):
     """``run(strict=True)`` refused a plan with error-severity diagnostics."""
 
@@ -84,6 +103,7 @@ class Pipeline:
         optimize: bool = True,
         strict: bool = False,
         journal_dir: str | None = None,
+        should_cancel=None,
     ) -> None:
         """Analyze, optimize, and execute every Process.
 
@@ -97,6 +117,12 @@ class Pipeline:
         directory with the same (optimized) plan restores those outputs
         and skips the finished Processes (``self.skipped``) — the crash
         resume path.  A journal written by a different plan is discarded.
+
+        ``should_cancel`` is an optional zero-argument callable polled
+        between Processes; when it returns true, the run stops with
+        :class:`PipelineCancelledError` before the next Process starts
+        (a running Process always commits).  The pipeline service uses
+        this for job cancellation and cooperative deadlines.
         """
         if strict:
             report = self.lint()
@@ -147,6 +173,12 @@ class Pipeline:
                         f"no executable process; circular dependency among {blocked}"
                     )
                 for process in ready:
+                    if should_cancel is not None and should_cancel():
+                        raise PipelineCancelledError(
+                            self.name,
+                            [p.name for p in self.executed + self.skipped],
+                            [p.name for p in unfinished],
+                        )
                     if journal is not None and journal.restore(process, self.ctx):
                         self.skipped.append(process)
                         events.publish("process.skipped", process=process.name)

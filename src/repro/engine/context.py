@@ -107,16 +107,11 @@ class GPFContext:
         self.telemetry = TelemetryRegistry()
         self.events = EventBus()
         self._event_sink: JsonlEventSink | None = None
+        self._trace_dir: str | None = None
         self._started = time.time()
+        self.tracer: Tracer | NoopTracer = NoopTracer()
         if self.config.trace_dir:
-            os.makedirs(self.config.trace_dir, exist_ok=True)
-            self.tracer: Tracer | NoopTracer = Tracer()
-            self._event_sink = JsonlEventSink(
-                os.path.join(self.config.trace_dir, "events.jsonl")
-            )
-            self.events.subscribe(self._event_sink)
-        else:
-            self.tracer = NoopTracer()
+            self._attach_trace(self.config.trace_dir)
         self.executor = make_executor(
             self.config.executor_backend,
             self.config.num_workers,
@@ -225,6 +220,65 @@ class GPFContext:
         return self.block_manager.total_bytes()
 
     # -- observability -----------------------------------------------------
+    def _attach_trace(self, trace_dir: str) -> None:
+        """Arm the collecting tracer and the JSONL event sink."""
+        os.makedirs(trace_dir, exist_ok=True)
+        self._trace_dir = trace_dir
+        self.tracer = Tracer()
+        self._event_sink = JsonlEventSink(os.path.join(trace_dir, "events.jsonl"))
+        self.events.subscribe(self._event_sink)
+
+    def begin_trace(self, trace_dir: str) -> None:
+        """Start a fresh trace segment mid-life (context pooling hook).
+
+        A resident service reuses one warm context across many jobs but
+        wants per-job ``events.jsonl``/``trace.json`` files.  Any segment
+        already open is flushed first; the new segment gets its own
+        ``run.start`` so :meth:`~repro.obs.RunReport.from_events` works on
+        each per-job log in isolation.
+        """
+        if self._closed:
+            raise RuntimeError("context is closed")
+        if self._event_sink is not None:
+            self._flush_observability()
+        self._attach_trace(trace_dir)
+        self._started = time.time()
+        self.events.publish(
+            "run.start",
+            backend=self.config.executor_backend,
+            workers=self.config.num_workers,
+            serializer=str(self.config.serializer),
+        )
+
+    def end_trace(self) -> None:
+        """Flush and close the current trace segment; back to no-op tracing."""
+        self._flush_observability()
+        self.tracer = NoopTracer()
+        self._trace_dir = None
+
+    def reset_for_reuse(self) -> None:
+        """Clear per-run state, keep the heavy machinery warm (pooling hook).
+
+        Drops every cached RDD partition, per-stage metrics, telemetry
+        counters, and quarantined records — everything one job deposited —
+        while the executor pool, shuffle manager, block manager, and GC
+        hook stay up, which is the whole point of a resident service:
+        the next job pays none of the start-up cost.
+        """
+        if self._closed:
+            raise RuntimeError("context is closed")
+        if self._event_sink is not None:
+            self.end_trace()
+        with self._lock:
+            rdd_ids = list(self._rdd_partitions)
+        for rdd_id in rdd_ids:
+            self.block_manager.evict_rdd(rdd_id)
+        # Scheduler and report always read these through the context
+        # attribute, so swapping in fresh registries is safe mid-life.
+        self.metrics = MetricsRegistry()
+        self.telemetry.reset()
+        self.quarantine = QuarantineSink(events=self.events)
+
     def telemetry_snapshot(self) -> dict:
         """Merged view of every subsystem's counters, non-mutating.
 
@@ -268,9 +322,9 @@ class GPFContext:
             return
         self.events.publish("telemetry", **self.telemetry_snapshot())
         self.events.publish("run.end", elapsed=time.time() - self._started)
-        if isinstance(self.tracer, Tracer):
+        if isinstance(self.tracer, Tracer) and self._trace_dir:
             write_chrome_trace(
-                os.path.join(self.config.trace_dir, "trace.json"), self.tracer
+                os.path.join(self._trace_dir, "trace.json"), self.tracer
             )
         self.events.unsubscribe(self._event_sink)
         self._event_sink.close()

@@ -87,6 +87,28 @@ def _safe_name(name: str) -> str:
     return re.sub(r"[^A-Za-z0-9_.-]", "_", name)
 
 
+def job_journal_dir(base_dir: str, job_id: str) -> str:
+    """Per-job journal namespace: ``<base_dir>/<job_id>/``.
+
+    The plan signature hashes the *structure* of a plan, not its inputs,
+    so two jobs running the same pipeline over different samples collide
+    on it.  Anything that shares one journal root across jobs (the serve
+    worker pool, ``gpf run --job-id``) must namespace by job id or one
+    job would happily restore another's checkpoints.  Job ids that
+    sanitize to the same filesystem name get a hash suffix so they can
+    never alias either.
+    """
+    if not job_id:
+        raise ValueError("job_id must be non-empty")
+    safe = _safe_name(job_id)
+    if safe != job_id:
+        tag = hashlib.blake2b(job_id.encode("utf-8"), digest_size=4).hexdigest()
+        safe = f"{safe}-{tag}"
+    path = os.path.join(base_dir, safe)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
 class RunJournal:
     """Append-only JSONL journal of completed Processes for one plan."""
 

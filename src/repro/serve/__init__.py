@@ -1,0 +1,77 @@
+"""repro.serve — the multi-tenant resident pipeline service.
+
+One-shot ``gpf run`` pays its whole start-up cost (context, executor
+pool, reference loading) per sample; Cała et al.'s GATK-Spark study and
+SAGe both identify exactly that fixed setup/IO as the large-scale
+bottleneck.  This package keeps the engine resident and serves pipeline
+runs as *jobs*:
+
+- :mod:`repro.serve.jobs` — the :class:`Job` state machine
+  (``queued → admitted → running → succeeded|failed|cancelled``) and the
+  bounded priority :class:`JobQueue` that is the admission boundary.
+- :mod:`repro.serve.service` — :class:`PipelineService`: N worker
+  threads with warm pooled :class:`~repro.engine.context.GPFContext`\\ s,
+  per-job run journals (crash ⇒ resume, not recompute), per-job trace
+  logs, cooperative cancellation/deadlines, durable job log, graceful
+  drain.
+- :mod:`repro.serve.http` — stdlib JSON API (submit/list/status/cancel,
+  ``/healthz``, ``/metrics``) with typed-error → HTTP-status mapping.
+- :mod:`repro.serve.client` — the urllib client the ``gpf serve`` /
+  ``submit`` / ``jobs`` / ``status`` commands are built on.
+"""
+
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.http import ServiceHTTPServer, start_http_server
+from repro.serve.jobs import (
+    ADMITTED,
+    CANCELLED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    InvalidTransitionError,
+    Job,
+    JobQueue,
+    QueueFullError,
+    ServeError,
+    new_job_id,
+)
+from repro.serve.service import (
+    InvalidSpecError,
+    NotCancellableError,
+    PipelineService,
+    ServiceConfig,
+    ServiceDrainingError,
+    UnknownJobError,
+    run_wgs_job,
+    validate_spec,
+)
+
+__all__ = [
+    "ADMITTED",
+    "CANCELLED",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "TERMINAL_STATES",
+    "InvalidSpecError",
+    "InvalidTransitionError",
+    "Job",
+    "JobQueue",
+    "NotCancellableError",
+    "PipelineService",
+    "QueueFullError",
+    "ServeError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDrainingError",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "UnknownJobError",
+    "new_job_id",
+    "run_wgs_job",
+    "start_http_server",
+    "validate_spec",
+]

@@ -1,0 +1,92 @@
+"""Thin urllib client for the serve HTTP API (no dependencies).
+
+Everything `gpf submit`/`gpf jobs`/`gpf status` does goes through
+:class:`ServiceClient`; an HTTP error status raises
+:class:`ServiceError` carrying the status code and the server's typed
+error payload, so callers can distinguish a full queue (429) from a
+draining service (503) without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve.jobs import TERMINAL_STATES
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service."""
+
+    def __init__(self, status: int, payload: dict):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("detail") or payload.get("error") or "unknown error"
+        super().__init__(f"HTTP {status}: {detail}")
+
+    @property
+    def kind(self) -> str:
+        """The server-side exception type name (e.g. ``QueueFullError``)."""
+        return str(self.payload.get("error", ""))
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8765")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, OSError):
+                payload = {"error": "HTTPError", "detail": str(exc)}
+            raise ServiceError(exc.code, payload) from exc
+
+    # -- API ----------------------------------------------------------------
+    def submit(self, spec: dict, priority: int = 0) -> dict:
+        return self._request("POST", "/jobs", {"spec": spec, "priority": priority})
+
+    def jobs(self, state: str | None = None) -> list[dict]:
+        path = "/jobs" if state is None else f"/jobs?state={state}"
+        return self._request("GET", path)["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state; returns its JSON."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,213 @@
+"""Stdlib JSON API over a :class:`~repro.serve.service.PipelineService`.
+
+Routes::
+
+    POST   /jobs        submit {"spec": {...}, "priority": 0} (or a bare spec)
+    GET    /jobs        all jobs, newest last; ?state= filters
+    GET    /jobs/<id>   job state + telemetry + run report (when finished)
+    DELETE /jobs/<id>   cancel (queued: immediate; running: cooperative)
+    GET    /healthz     liveness + queue occupancy
+    GET    /metrics     service counters + folded worker telemetry
+
+Typed service errors map onto HTTP statuses — the admission contract::
+
+    InvalidSpecError       400    QueueFullError        429
+    UnknownJobError        404    ServiceDrainingError  503
+    NotCancellableError    409
+
+Built on ``http.server.ThreadingHTTPServer`` only: no third-party web
+framework enters the dependency set for the serving layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.jobs import Job, QueueFullError, ServeError
+from repro.serve.service import (
+    InvalidSpecError,
+    NotCancellableError,
+    PipelineService,
+    ServiceDrainingError,
+    UnknownJobError,
+)
+
+_STATUS_BY_ERROR: tuple[tuple[type, int], ...] = (
+    (InvalidSpecError, 400),
+    (UnknownJobError, 404),
+    (NotCancellableError, 409),
+    (QueueFullError, 429),
+    (ServiceDrainingError, 503),
+)
+
+
+def error_status(exc: ServeError) -> int:
+    for err_type, status in _STATUS_BY_ERROR:
+        if isinstance(exc, err_type):
+            return status
+    return 500
+
+
+def job_payload(service: PipelineService, job: Job, report: bool = True) -> dict:
+    """Job JSON plus, once finished, the per-job run report."""
+    payload = job.to_json()
+    if report and job.is_terminal:
+        events_path = os.path.join(service.job_trace_dir(job.id), "events.jsonl")
+        if os.path.exists(events_path):
+            from repro.obs import RunReport, read_events
+
+            events = read_events(events_path)
+            if events:
+                payload["report"] = RunReport.from_events(events).to_json()
+    return payload
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP front end bound to one service instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: PipelineService, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "gpf-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: dict | list) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, exc: ServeError) -> None:
+        self._send(
+            error_status(exc), {"error": type(exc).__name__, "detail": str(exc)}
+        )
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise InvalidSpecError("empty request body")
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise InvalidSpecError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise InvalidSpecError("request body must be a JSON object")
+        return data
+
+    def _job_id(self) -> str | None:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 2 and parts[0] == "jobs":
+            return parts[1]
+        return None
+
+    def _query(self) -> dict[str, str]:
+        if "?" not in self.path:
+            return {}
+        query: dict[str, str] = {}
+        for pair in self.path.split("?", 1)[1].split("&"):
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+                query[key] = value
+        return query
+
+    # -- routes -------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path.split("?")[0] != "/jobs":
+            self._send(404, {"error": "NotFound", "detail": self.path})
+            return
+        try:
+            body = self._read_json()
+            spec = body.get("spec", body)
+            priority = body.get("priority", 0)
+            if not isinstance(priority, int):
+                raise InvalidSpecError("priority must be an integer")
+            job = self.server.service.submit(spec, priority=priority)
+        except ServeError as exc:
+            self._send_error(exc)
+            return
+        self._send(201, job_payload(self.server.service, job, report=False))
+
+    def do_GET(self) -> None:  # noqa: N802
+        service = self.server.service
+        path = self.path.split("?")[0]
+        if path == "/healthz":
+            self._send(200, service.health())
+            return
+        if path == "/metrics":
+            self._send(200, service.metrics())
+            return
+        if path == "/jobs":
+            state = self._query().get("state")
+            self._send(
+                200,
+                {
+                    "jobs": [
+                        job_payload(service, job, report=False)
+                        for job in service.jobs(state)
+                    ]
+                },
+            )
+            return
+        job_id = self._job_id()
+        if job_id is not None:
+            try:
+                job = service.get(job_id)
+            except ServeError as exc:
+                self._send_error(exc)
+                return
+            self._send(200, job_payload(service, job))
+            return
+        self._send(404, {"error": "NotFound", "detail": self.path})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        job_id = self._job_id()
+        if job_id is None:
+            self._send(404, {"error": "NotFound", "detail": self.path})
+            return
+        try:
+            job = self.server.service.cancel(job_id)
+        except ServeError as exc:
+            self._send_error(exc)
+            return
+        self._send(200, job_payload(self.server.service, job, report=False))
+
+
+def start_http_server(
+    service: PipelineService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind, start serving on a daemon thread, return the server.
+
+    ``port=0`` picks a free port (``server.port`` tells you which) —
+    what the tests and the CI smoke job use.
+    """
+    server = ServiceHTTPServer((host, port), service, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever, name="gpf-serve-http", daemon=True
+    )
+    thread.start()
+    return server

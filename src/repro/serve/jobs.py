@@ -1,0 +1,266 @@
+"""Job model and admission queue for the resident pipeline service.
+
+A :class:`Job` is one submitted pipeline run moving through a strict
+state machine::
+
+    queued ──> admitted ──> running ──> succeeded
+       │           │            ├─────> failed
+       └───────────┴────────────┴─────> cancelled
+
+Transitions outside the arrows raise :class:`InvalidTransitionError`;
+the only sanctioned back-edge is :meth:`Job.requeue`, which a restarted
+service uses to put recovered ``admitted``/``running`` jobs back into
+``queued`` (their per-job journal makes the re-run a resume, not a
+recompute).
+
+The :class:`JobQueue` is the admission boundary: bounded depth (pushing
+past it raises :class:`QueueFullError` — the service maps that to HTTP
+429), highest priority first, strict FIFO within a priority, and lazy
+cancellation of queued entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+# -- states -----------------------------------------------------------------
+QUEUED = "queued"
+ADMITTED = "admitted"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, ADMITTED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+TERMINAL_STATES = frozenset((SUCCEEDED, FAILED, CANCELLED))
+
+_TRANSITIONS: dict[str, frozenset[str]] = {
+    QUEUED: frozenset((ADMITTED, CANCELLED)),
+    ADMITTED: frozenset((RUNNING, CANCELLED)),
+    RUNNING: frozenset((SUCCEEDED, FAILED, CANCELLED)),
+    SUCCEEDED: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+#: States a restarted service may requeue (see :meth:`Job.requeue`).
+_REQUEUEABLE = frozenset((QUEUED, ADMITTED, RUNNING))
+
+
+class ServeError(RuntimeError):
+    """Base class for every typed serving-layer error."""
+
+
+class InvalidTransitionError(ServeError):
+    """A state change outside the job state machine."""
+
+
+class QueueFullError(ServeError):
+    """Admission refused: the queue is at its configured depth."""
+
+
+def new_job_id() -> str:
+    """Short, URL-safe, unique job id."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Job:
+    """One submitted pipeline run and everything observable about it."""
+
+    spec: dict
+    id: str = field(default_factory=new_job_id)
+    #: Larger runs first; FIFO among equals.
+    priority: int = 0
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    admitted_at: float | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Times this job entered the queue (1 + recovery requeues).
+    attempts: int = 1
+    #: Worker slot currently (or last) running the job.
+    worker: int | None = None
+    #: Success summary: records written, output path, skipped Processes,
+    #: elapsed seconds, final telemetry snapshot.
+    result: dict | None = None
+    error: str | None = None
+    #: Set once cancellation was requested while running; the pipeline
+    #: notices between Processes.
+    cancel_requested: bool = False
+
+    # -- state machine ------------------------------------------------------
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, new_state: str) -> "Job":
+        """Move to ``new_state``, stamping the matching timestamp."""
+        if new_state not in _TRANSITIONS:
+            raise InvalidTransitionError(f"unknown state {new_state!r}")
+        if new_state not in _TRANSITIONS[self.state]:
+            raise InvalidTransitionError(
+                f"job {self.id}: illegal transition {self.state!r} -> {new_state!r}"
+            )
+        self.state = new_state
+        now = time.time()
+        if new_state == ADMITTED:
+            self.admitted_at = now
+        elif new_state == RUNNING:
+            self.started_at = now
+        elif new_state in TERMINAL_STATES:
+            self.finished_at = now
+        return self
+
+    def requeue(self) -> "Job":
+        """Recovery back-edge: a non-terminal job re-enters the queue.
+
+        Used only when a restarted service replays its job log; a job
+        that was ``running`` when the service died resumes from its
+        per-job journal rather than recomputing from scratch.
+        """
+        if self.state not in _REQUEUEABLE:
+            raise InvalidTransitionError(
+                f"job {self.id}: cannot requeue from {self.state!r}"
+            )
+        if self.state != QUEUED:
+            self.attempts += 1
+        self.state = QUEUED
+        self.admitted_at = None
+        self.started_at = None
+        self.worker = None
+        return self
+
+    # -- persistence --------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "id": self.id,
+            "spec": self.spec,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "admitted_at": self.admitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "result": self.result,
+            "error": self.error,
+            "cancel_requested": self.cancel_requested,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Job":
+        job = cls(spec=dict(data["spec"]), id=data["id"])
+        for name in (
+            "priority",
+            "state",
+            "submitted_at",
+            "admitted_at",
+            "started_at",
+            "finished_at",
+            "attempts",
+            "worker",
+            "result",
+            "error",
+            "cancel_requested",
+        ):
+            if name in data:
+                setattr(job, name, data[name])
+        return job
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue of :class:`Job`.
+
+    Ordering is ``(-priority, arrival)``: higher priority first, strict
+    FIFO within one priority.  Cancellation is lazy — a cancelled entry
+    stays in the heap but is skipped (and dropped) by :meth:`pop`, so
+    cancel is O(1) and never disturbs heap order.
+    """
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self._heap: list[tuple[int, int, Job]] = []
+        self._cancelled: set[str] = set()
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap) - len(self._cancelled)
+
+    def push(self, job: Job, force: bool = False) -> None:
+        """Enqueue; raises :class:`QueueFullError` at depth.
+
+        ``force=True`` bypasses the depth bound — only restart recovery
+        uses it, where the entries were all admitted before the crash.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServeError("queue is closed")
+            live = len(self._heap) - len(self._cancelled)
+            if not force and live >= self.depth:
+                raise QueueFullError(
+                    f"queue full ({live}/{self.depth} jobs queued)"
+                )
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._cond.notify()
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """Highest-priority job, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or once the queue is closed and
+        drained of live entries.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job = self._heap[0]
+                    if job.id in self._cancelled:
+                        heapq.heappop(self._heap)
+                        self._cancelled.discard(job.id)
+                        continue
+                    heapq.heappop(self._heap)
+                    return job
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if not self._heap:
+                            return None
+
+    def cancel(self, job_id: str) -> bool:
+        """Remove a queued job; False when it is not (or no longer) queued."""
+        with self._cond:
+            for _, _, job in self._heap:
+                if job.id == job_id and job_id not in self._cancelled:
+                    self._cancelled.add(job_id)
+                    return True
+            return False
+
+    def snapshot(self) -> list[Job]:
+        """Live queued jobs in pop order."""
+        with self._cond:
+            live = [
+                entry for entry in self._heap if entry[2].id not in self._cancelled
+            ]
+        return [job for _, _, job in sorted(live)]
+
+    def close(self) -> None:
+        """Stop accepting pushes and wake every blocked :meth:`pop`."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

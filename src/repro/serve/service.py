@@ -1,0 +1,512 @@
+"""The resident pipeline service: worker pool, admission, durability.
+
+One :class:`PipelineService` owns N worker threads.  Each worker builds
+its own warm :class:`~repro.engine.context.GPFContext` once and reuses
+it for every job it runs (``reset_for_reuse`` between jobs), which is
+the point of serving instead of one-shot ``gpf run``: reference
+indexes, executor pools, and the GC hook stay up, so a job pays only
+its own compute.
+
+Durability has two layers:
+
+- **Job log** (``<state_dir>/jobs.jsonl``): every state change appends
+  the job's full JSON, fsynced.  A restarted service folds the log,
+  keeps terminal jobs as history, and requeues everything that was
+  ``queued``/``admitted``/``running`` when the process died.
+- **Per-job run journal** (``<state_dir>/journal/<job_id>/``): the
+  existing :mod:`repro.engine.journal` Process checkpoints, namespaced
+  by :func:`~repro.engine.journal.job_journal_dir` so identical plans
+  can never restore each other's outputs.  A requeued mid-run job
+  therefore *resumes* after its last committed Process.
+
+Admission control is a bounded queue: past ``queue_depth`` the submit
+raises :class:`~repro.serve.jobs.QueueFullError` (HTTP 429) without
+touching running jobs; a draining service raises
+:class:`ServiceDrainingError` (HTTP 503).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.pipeline import PipelineCancelledError
+from repro.engine.context import EngineConfig, GPFContext
+from repro.engine.journal import job_journal_dir
+from repro.serve.jobs import (
+    ADMITTED,
+    CANCELLED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+    ServeError,
+)
+
+#: Runner signature: (job, ctx, should_cancel, journal_dir) -> result dict.
+JobRunner = Callable[[Job, GPFContext, Callable[[], bool], str], dict]
+
+
+class ServiceDrainingError(ServeError):
+    """Admission refused: the service is draining or shut down."""
+
+
+class InvalidSpecError(ServeError):
+    """The submitted job spec is missing or malformed."""
+
+
+class UnknownJobError(ServeError):
+    """No job with that id."""
+
+
+class NotCancellableError(ServeError):
+    """The job already reached a terminal state."""
+
+
+REQUIRED_SPEC_KEYS = ("reference", "fastq1", "fastq2")
+
+
+def validate_spec(spec: dict) -> None:
+    """Reject a malformed WGS run spec before it enters the queue."""
+    if not isinstance(spec, dict):
+        raise InvalidSpecError(f"spec must be an object, got {type(spec).__name__}")
+    for key in REQUIRED_SPEC_KEYS:
+        value = spec.get(key)
+        if not isinstance(value, str) or not value:
+            raise InvalidSpecError(f"spec.{key} must be a non-empty path string")
+    for key in ("partitions", "partition_length"):
+        if key in spec and (not isinstance(spec[key], int) or spec[key] < 1):
+            raise InvalidSpecError(f"spec.{key} must be a positive integer")
+    if "priority" in spec and not isinstance(spec["priority"], int):
+        raise InvalidSpecError("spec.priority must be an integer")
+
+
+def run_wgs_job(
+    job: Job,
+    ctx: GPFContext,
+    should_cancel: Callable[[], bool],
+    journal_dir: str,
+) -> dict:
+    """The default runner: one WGS pipeline over the spec's files.
+
+    Mirrors ``gpf run`` (load, build, run, write VCF) but journaled under
+    the job's namespace and polling ``should_cancel`` between Processes.
+    """
+    from repro.engine.files import load_fastq_pair_lazy
+    from repro.formats.fasta import read_fasta
+    from repro.formats.vcf import read_vcf, sort_records, write_vcf
+    from repro.wgs import build_wgs_pipeline
+
+    spec = job.spec
+    malformed = spec.get("malformed", "fail")
+    partitions = spec.get("partitions", ctx.config.default_parallelism)
+    start = time.perf_counter()
+    sink = ctx.quarantine if malformed == "quarantine" else None
+    reference = read_fasta(spec["reference"])
+    known = []
+    if spec.get("known_sites"):
+        _, known = read_vcf(spec["known_sites"], malformed, sink)
+    rdd = load_fastq_pair_lazy(
+        ctx, spec["fastq1"], spec["fastq2"], partitions, malformed=malformed
+    )
+    handles = build_wgs_pipeline(
+        ctx,
+        reference,
+        rdd,
+        known,
+        partition_length=spec.get("partition_length", 5_000),
+        use_gvcf=bool(spec.get("gvcf", False)),
+        name=f"wgs-{job.id}",
+    )
+    handles.pipeline.run(
+        optimize=bool(spec.get("optimize", True)),
+        journal_dir=journal_dir,
+        should_cancel=should_cancel,
+    )
+    calls = handles.vcf.rdd.collect()
+    output = spec.get("output")
+    if output:
+        write_vcf(
+            handles.vcf.header, sort_records(calls, reference.contig_names), output
+        )
+    return {
+        "records": len(calls),
+        "output": output,
+        "elapsed": time.perf_counter() - start,
+        "executed": [p.name for p in handles.pipeline.executed],
+        "skipped": [p.name for p in handles.pipeline.skipped],
+    }
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one service instance."""
+
+    #: Worker threads, each with its own warm ``GPFContext``.
+    workers: int = 2
+    #: Bound of the admission queue (not counting running jobs).
+    queue_depth: int = 8
+    #: Default per-job deadline in seconds (cooperative: enforced between
+    #: pipeline Processes).  ``None`` disables; a spec's ``timeout``
+    #: overrides per job.
+    job_timeout: float | None = None
+    #: Template engine config each worker's context is built from
+    #: (``trace_dir`` is always overridden per job).
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+
+class PipelineService:
+    """Multi-tenant resident runner of GPF pipelines."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        config: ServiceConfig | None = None,
+        runner: JobRunner = run_wgs_job,
+    ):
+        self.config = config or ServiceConfig()
+        self.state_dir = state_dir
+        self.journal_root = os.path.join(state_dir, "journal")
+        self.trace_root = os.path.join(state_dir, "trace")
+        self.results_dir = os.path.join(state_dir, "results")
+        for path in (state_dir, self.journal_root, self.trace_root, self.results_dir):
+            os.makedirs(path, exist_ok=True)
+        self._log_path = os.path.join(state_dir, "jobs.jsonl")
+        self._runner = runner
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._queue = JobQueue(self.config.queue_depth)
+        self._running: dict[int, Job] = {}
+        self._contexts: dict[int, GPFContext] = {}
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._done = threading.Condition(self._lock)
+        self._draining = False
+        self._started = False
+        self._counters: dict[str, int] = {
+            "jobs_submitted": 0,
+            "jobs_rejected": 0,
+            "jobs_recovered": 0,
+            "jobs_succeeded": 0,
+            "jobs_failed": 0,
+            "jobs_cancelled": 0,
+        }
+        self._recover()
+
+    # -- durability ---------------------------------------------------------
+    def _persist(self, job: Job) -> None:
+        """Append the job's full state, fsynced — the durable queue."""
+        line = json.dumps(job.to_json())
+        with self._lock:
+            with open(self._log_path, "a", encoding="utf-8") as fh:
+                fh.write(line)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def _compact_log(self) -> None:
+        """Rewrite the log with one line per job (latest state)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+            tmp = self._log_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for job in jobs:
+                    fh.write(json.dumps(job.to_json()))
+                    fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self._log_path)
+
+    def _recover(self) -> None:
+        """Fold the job log; requeue everything non-terminal.
+
+        A job that was ``running`` when the service died re-enters the
+        queue; its per-job journal turns the re-run into a resume.
+        Undecodable lines (the torn tail of a crash) are skipped — each
+        line is a self-contained snapshot, so nothing else is lost.
+        """
+        if not os.path.exists(self._log_path):
+            return
+        folded: dict[str, Job] = {}
+        with open(self._log_path, "r", encoding="utf-8") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    data = json.loads(raw)
+                    job = Job.from_json(data)
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue
+                folded[job.id] = job
+        for job in folded.values():
+            if job.state not in TERMINAL_STATES:
+                job.requeue()
+                # Recovered entries were all admitted before the crash;
+                # the depth bound applies to new traffic only.
+                self._queue.push(job, force=True)
+                self._counters["jobs_recovered"] += 1
+            self._jobs[job.id] = job
+        self._compact_log()
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "PipelineService":
+        """Spawn the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        for slot in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker, args=(slot,), name=f"gpf-serve-worker-{slot}"
+            )
+            thread.daemon = True
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Graceful shutdown: stop admitting, finish running jobs.
+
+        Queued jobs stay queued — their state is already durable in the
+        job log, so the next service instance over this state dir picks
+        them up.  Worker contexts are stopped and the log compacted.
+        """
+        with self._lock:
+            self._draining = True
+        self._stop.set()
+        self._queue.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        with self._lock:
+            contexts = list(self._contexts.values())
+            self._contexts.clear()
+        for ctx in contexts:
+            ctx.stop()
+        self._compact_log()
+
+    shutdown = drain
+
+    def __enter__(self) -> "PipelineService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.drain()
+
+    # -- admission ----------------------------------------------------------
+    def submit(
+        self, spec: dict, priority: int = 0, job_id: str | None = None
+    ) -> Job:
+        """Validate, enqueue, and persist one job.
+
+        Raises :class:`InvalidSpecError`, :class:`ServiceDrainingError`,
+        or :class:`~repro.serve.jobs.QueueFullError` — each mapped to a
+        distinct HTTP status by the API layer.
+        """
+        with self._lock:
+            if self._draining:
+                self._counters["jobs_rejected"] += 1
+                raise ServiceDrainingError("service is draining; not accepting jobs")
+        validate_spec(spec)
+        job = Job(spec=dict(spec), priority=priority)
+        if job_id is not None:
+            job.id = job_id
+        with self._lock:
+            if job.id in self._jobs:
+                raise InvalidSpecError(f"job id {job.id!r} already exists")
+            try:
+                self._queue.push(job)
+            except ServeError:
+                self._counters["jobs_rejected"] += 1
+                raise
+            self._jobs[job.id] = job
+            self._counters["jobs_submitted"] += 1
+        self._persist(job)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job outright, or flag a running one.
+
+        A running job notices between pipeline Processes (cooperative
+        cancellation); already-terminal jobs raise
+        :class:`NotCancellableError`.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(f"no such job: {job_id}")
+            if job.is_terminal:
+                raise NotCancellableError(
+                    f"job {job_id} already {job.state}"
+                )
+            job.cancel_requested = True
+            if self._queue.cancel(job_id) and job.state == QUEUED:
+                job.transition(CANCELLED)
+                job.error = "cancelled while queued"
+                self._counters["jobs_cancelled"] += 1
+        self._persist(job)
+        return job
+
+    # -- queries ------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"no such job: {job_id}")
+        return job
+
+    def jobs(self, state: str | None = None) -> list[Job]:
+        """All known jobs, oldest first; optionally filtered by state."""
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+        if state is not None:
+            jobs = [j for j in jobs if j.state == state]
+        return jobs
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Job:
+        """Block until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        with self._done:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise UnknownJobError(f"no such job: {job_id}")
+                if job.is_terminal:
+                    return job
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {job.state} after {timeout}s"
+                    )
+                self._done.wait(min(remaining, 0.5))
+
+    def job_trace_dir(self, job_id: str) -> str:
+        return os.path.join(self.trace_root, job_id)
+
+    def health(self) -> dict:
+        with self._lock:
+            return {
+                "status": "draining" if self._draining else "ok",
+                "workers": self.config.workers,
+                "queue_depth": len(self._queue),
+                "queue_capacity": self.config.queue_depth,
+                "running": len(self._running),
+                "jobs": len(self._jobs),
+            }
+
+    def metrics(self) -> dict:
+        """Service counters plus a fold of every live worker's telemetry."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        with self._lock:
+            contexts = list(self._contexts.values())
+            service = dict(self._counters)
+            service.update(
+                queued=len(self._queue),
+                running=len(self._running),
+                draining=self._draining,
+            )
+        for ctx in contexts:
+            snapshot = ctx.telemetry_snapshot()
+            for name, value in snapshot["counters"].items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in snapshot["gauges"].items():
+                gauges[name] = gauges.get(name, 0) + value
+        return {"service": service, "counters": counters, "gauges": gauges}
+
+    # -- the worker loop ----------------------------------------------------
+    def _make_context(self, slot: int) -> GPFContext:
+        engine = self.config.engine
+        overrides: dict = {"trace_dir": None}
+        if engine.spill_dir is not None:
+            overrides["spill_dir"] = os.path.join(engine.spill_dir, f"worker{slot}")
+        if engine.checkpoint_dir is not None:
+            overrides["checkpoint_dir"] = os.path.join(
+                engine.checkpoint_dir, f"worker{slot}"
+            )
+        return GPFContext(dataclasses.replace(engine, **overrides))
+
+    def _worker(self, slot: int) -> None:
+        ctx = self._make_context(slot)
+        with self._lock:
+            self._contexts[slot] = ctx
+        try:
+            while not self._stop.is_set():
+                job = self._queue.pop(timeout=0.1)
+                if job is None:
+                    continue
+                self._run_job(slot, ctx, job)
+        finally:
+            with self._lock:
+                owned = self._contexts.pop(slot, None)
+            if owned is not None:
+                owned.stop()
+
+    def _finish(self, job: Job, state: str, counter: str) -> None:
+        with self._lock:
+            job.transition(state)
+            self._counters[counter] += 1
+            for slot, running in list(self._running.items()):
+                if running.id == job.id:
+                    del self._running[slot]
+            self._done.notify_all()
+        self._persist(job)
+
+    def _run_job(self, slot: int, ctx: GPFContext, job: Job) -> None:
+        with self._lock:
+            if job.is_terminal:  # cancelled between push and pop
+                return
+            job.transition(ADMITTED)
+            job.worker = slot
+            self._running[slot] = job
+        self._persist(job)
+        timeout = job.spec.get("timeout", self.config.job_timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline_hit = False
+
+        def should_cancel() -> bool:
+            nonlocal deadline_hit
+            if job.cancel_requested:
+                return True
+            if deadline is not None and time.monotonic() > deadline:
+                deadline_hit = True
+                return True
+            return False
+
+        ctx.begin_trace(self.job_trace_dir(job.id))
+        with self._lock:
+            job.transition(RUNNING)
+        self._persist(job)
+        try:
+            result = self._runner(
+                job, ctx, should_cancel, job_journal_dir(self.journal_root, job.id)
+            )
+            result = dict(result or {})
+            result["telemetry"] = ctx.telemetry_snapshot()
+            job.result = result
+            self._finish(job, SUCCEEDED, "jobs_succeeded")
+        except PipelineCancelledError as exc:
+            if deadline_hit and not job.cancel_requested:
+                job.error = f"deadline exceeded ({timeout}s): {exc}"
+                self._finish(job, FAILED, "jobs_failed")
+            else:
+                job.error = str(exc)
+                self._finish(job, CANCELLED, "jobs_cancelled")
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            job.error = f"{type(exc).__name__}: {exc}"
+            self._finish(job, FAILED, "jobs_failed")
+        finally:
+            # A BaseException (simulated kill) skips the handlers above:
+            # the job stays `running` in the log and is requeued — and
+            # resumed from its journal — by the next service instance.
+            with self._lock:
+                self._running.pop(slot, None)
+            ctx.reset_for_reuse()

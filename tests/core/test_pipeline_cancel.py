@@ -1,0 +1,68 @@
+"""Pipeline.run(should_cancel=...): cooperative cancellation between Processes."""
+
+import pytest
+
+from repro.core.pipeline import PipelineCancelledError
+from repro.engine.context import EngineConfig, GPFContext
+from repro.wgs import build_wgs_pipeline
+
+
+@pytest.fixture
+def handles(reference, known_sites, read_pairs):
+    ctx = GPFContext(EngineConfig(default_parallelism=2))
+    yield build_wgs_pipeline(
+        ctx,
+        reference,
+        ctx.parallelize(read_pairs[:40], 2),
+        known_sites,
+        partition_length=4_000,
+    )
+    ctx.stop()
+
+
+class TestShouldCancel:
+    def test_cancel_before_first_process(self, handles):
+        with pytest.raises(PipelineCancelledError) as err:
+            handles.pipeline.run(should_cancel=lambda: True)
+        assert err.value.completed == []
+        assert handles.pipeline.executed == []
+        assert "BwaMapping" in err.value.remaining
+
+    def test_cancel_after_n_processes_stops_cleanly(self, handles):
+        calls = {"n": 0}
+
+        def cancel_after_two() -> bool:
+            calls["n"] += 1
+            return calls["n"] > 2
+
+        with pytest.raises(PipelineCancelledError) as err:
+            handles.pipeline.run(should_cancel=cancel_after_two)
+        # exactly the first two Processes committed before the stop
+        assert [p.name for p in handles.pipeline.executed] == [
+            "BwaMapping",
+            "MarkDuplicate",
+        ]
+        assert err.value.completed == ["BwaMapping", "MarkDuplicate"]
+        assert err.value.remaining  # something was still pending
+
+    def test_cancelled_journaled_run_resumes(self, handles, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        calls = {"n": 0}
+
+        def cancel_after_one() -> bool:
+            calls["n"] += 1
+            return calls["n"] > 1
+
+        with pytest.raises(PipelineCancelledError):
+            handles.pipeline.run(
+                journal_dir=journal_dir, should_cancel=cancel_after_one
+            )
+        handles.pipeline.reset()
+        handles.pipeline.run(journal_dir=journal_dir)
+        # the Process finished before cancellation restores, not re-runs
+        assert [p.name for p in handles.pipeline.skipped] == ["BwaMapping"]
+        assert handles.vcf.rdd.collect() is not None
+
+    def test_no_callback_means_no_overhead_path(self, handles):
+        handles.pipeline.run(should_cancel=None)
+        assert len(handles.pipeline.executed) >= 4

@@ -1,0 +1,109 @@
+"""Serve-layer fixtures: a tiny on-disk sample and spec/runner helpers.
+
+The service runner reads *files* (that is what arrives over the API),
+so these fixtures write a deliberately tiny simulated sample once per
+session — small enough that a full WGS job finishes in a couple of
+seconds, which keeps the queueing/restart tests honest but quick.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.pipeline import PipelineCancelledError
+from repro.engine.context import EngineConfig
+from repro.serve import PipelineService, ServiceConfig
+
+
+@pytest.fixture(scope="session")
+def serve_sample(tmp_path_factory):
+    """Reference/FASTQ/known files for a very small sample; returns specs."""
+    from repro.formats.fasta import write_fasta
+    from repro.formats.fastq import write_fastq
+    from repro.formats.vcf import VcfHeader, sort_records, write_vcf
+    from repro.sim import (
+        ReadSimConfig,
+        ReadSimulator,
+        generate_known_sites,
+        generate_reference,
+        plant_variants,
+    )
+
+    out = tmp_path_factory.mktemp("serve_sample")
+    reference = generate_reference([4_000], seed=11)
+    truth = plant_variants(reference, snp_rate=0.002, indel_rate=0.0003, seed=12)
+    known = generate_known_sites(truth, reference, seed=13)
+    pairs = ReadSimulator(
+        truth.donor, ReadSimConfig(coverage=3.0, seed=14)
+    ).simulate()
+    paths = {
+        "reference": str(out / "reference.fa"),
+        "fastq1": str(out / "sample_1.fastq"),
+        "fastq2": str(out / "sample_2.fastq"),
+        "known_sites": str(out / "known_sites.vcf"),
+    }
+    write_fasta(reference, paths["reference"])
+    write_fastq([p.read1 for p in pairs], paths["fastq1"])
+    write_fastq([p.read2 for p in pairs], paths["fastq2"])
+    header = VcfHeader(tuple(reference.contig_lengths()))
+    write_vcf(
+        header, sort_records(known, reference.contig_names), paths["known_sites"]
+    )
+    return paths
+
+
+@pytest.fixture
+def wgs_spec(serve_sample, tmp_path):
+    """A valid WGS job spec writing its VCF under this test's tmp dir."""
+
+    def make(tag: str = "out", **extra) -> dict:
+        spec = dict(serve_sample)
+        spec["output"] = str(tmp_path / f"{tag}.vcf")
+        spec["partitions"] = 2
+        spec.update(extra)
+        return spec
+
+    return make
+
+
+def small_engine(**overrides) -> EngineConfig:
+    return EngineConfig(default_parallelism=2, **overrides)
+
+
+def make_service(state_dir, runner=None, workers=1, depth=4, **cfg) -> PipelineService:
+    config = ServiceConfig(
+        workers=workers, queue_depth=depth, engine=small_engine(), **cfg
+    )
+    kwargs = {} if runner is None else {"runner": runner}
+    return PipelineService(str(state_dir), config, **kwargs)
+
+
+class GatedRunner:
+    """Stub runner that blocks until released; cancellation-aware.
+
+    Lets the queueing tests hold a worker "running" deterministically
+    without paying for a real pipeline.
+    """
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.calls: list[str] = []
+
+    def __call__(self, job, ctx, should_cancel, journal_dir):
+        self.calls.append(job.id)
+        self.started.set()
+        while not self.gate.is_set():
+            if should_cancel():
+                raise PipelineCancelledError("stub", [], ["rest"])
+            time.sleep(0.005)
+        return {"records": 0, "journal_dir": journal_dir}
+
+
+def instant_runner(job, ctx, should_cancel, journal_dir):
+    os.makedirs(journal_dir, exist_ok=True)
+    return {"records": 0, "journal_dir": journal_dir}

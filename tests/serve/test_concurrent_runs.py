@@ -1,0 +1,102 @@
+"""Satellite: concurrent pipelines in one process are safe.
+
+Two :class:`GPFContext`\\ s running full WGS pipelines on parallel
+threads — the serve worker pool's steady state — must produce outputs
+byte-identical to serial runs, and the process-global pieces (the
+refcounted GC-timer hook, each context's own ``MetricsRegistry``) must
+survive the overlap.
+"""
+
+import gc
+import threading
+
+from repro.engine.context import EngineConfig, GPFContext
+from repro.engine.metrics import GC_TIMER
+from repro.formats.vcf import write_vcf
+from repro.wgs import build_wgs_pipeline
+
+
+def _run_wgs(tmp_path, tag, reference, known_sites, pairs, barrier=None):
+    """One full WGS run in its own context; returns (vcf_bytes, stages)."""
+    config = EngineConfig(
+        default_parallelism=3, spill_dir=str(tmp_path / f"spill_{tag}")
+    )
+    with GPFContext(config) as ctx:
+        if barrier is not None:
+            barrier.wait(timeout=30.0)  # maximize overlap
+        handles = build_wgs_pipeline(
+            ctx,
+            reference,
+            ctx.parallelize(pairs, 3),
+            known_sites,
+            partition_length=4_000,
+        )
+        handles.pipeline.run()
+        records = sorted(handles.vcf.rdd.collect(), key=lambda r: r.key())
+        path = str(tmp_path / f"{tag}.vcf")
+        write_vcf(handles.vcf.header, records, path)
+        stage_count = ctx.metrics.job().stage_count
+    with open(path, "rb") as fh:
+        return fh.read(), stage_count
+
+
+class TestConcurrentContexts:
+    def test_parallel_runs_byte_identical_to_serial(
+        self, tmp_path, reference, known_sites, read_pairs
+    ):
+        pairs = read_pairs[:60]
+        serial_a, stages_a = _run_wgs(
+            tmp_path, "serial_a", reference, known_sites, pairs
+        )
+        serial_b, stages_b = _run_wgs(
+            tmp_path, "serial_b", reference, known_sites, pairs
+        )
+        assert serial_a == serial_b  # the pipeline itself is deterministic
+        assert stages_a == stages_b
+
+        refs_before = GC_TIMER._refs
+        barrier = threading.Barrier(2)
+        results: dict[str, tuple[bytes, int]] = {}
+        errors: list[BaseException] = []
+
+        def worker(tag: str) -> None:
+            try:
+                results[tag] = _run_wgs(
+                    tmp_path, tag, reference, known_sites, pairs, barrier
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(tag,))
+            for tag in ("overlap_a", "overlap_b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300.0)
+        assert not errors, errors
+
+        # Byte-identical to the serial reference runs.
+        assert results["overlap_a"][0] == serial_a
+        assert results["overlap_b"][0] == serial_a
+        # Each context's MetricsRegistry saw a complete, uncorrupted run.
+        assert results["overlap_a"][1] == stages_a
+        assert results["overlap_b"][1] == stages_a
+        # The refcounted gc hook balanced: both acquires were released.
+        assert GC_TIMER._refs == refs_before
+        if refs_before == 0:
+            assert GC_TIMER._callback not in gc.callbacks
+
+    def test_gc_timer_hook_survives_overlapping_contexts(self):
+        refs_before = GC_TIMER._refs
+        ctx_a = GPFContext(EngineConfig(default_parallelism=2))
+        ctx_b = GPFContext(EngineConfig(default_parallelism=2))
+        try:
+            assert GC_TIMER._refs == refs_before + 2
+            assert GC_TIMER.installed
+        finally:
+            ctx_a.stop()
+            assert GC_TIMER.installed  # ctx_b still holds a reference
+            ctx_b.stop()
+        assert GC_TIMER._refs == refs_before

@@ -1,0 +1,129 @@
+"""The JSON API end to end: routes, status codes, admission contract."""
+
+import pytest
+
+from repro.serve import (
+    ServiceClient,
+    ServiceError,
+    start_http_server,
+)
+from tests.serve.conftest import GatedRunner, instant_runner, make_service
+
+
+@pytest.fixture
+def stub_stack(tmp_path):
+    """Service (gated stub runner) + HTTP server + client."""
+    runner = GatedRunner()
+    service = make_service(tmp_path / "state", runner=runner, workers=1, depth=2)
+    service.start()
+    server = start_http_server(service)
+    client = ServiceClient(f"http://127.0.0.1:{server.port}")
+    yield service, server, client, runner
+    runner.gate.set()
+    server.shutdown()
+    service.drain()
+
+
+SPEC = {"reference": "r.fa", "fastq1": "a.fq", "fastq2": "b.fq"}
+
+
+class TestRoutes:
+    def test_healthz(self, stub_stack):
+        _, _, client, _ = stub_stack
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["queue_capacity"] == 2
+
+    def test_submit_poll_cancel_flow(self, stub_stack):
+        service, _, client, runner = stub_stack
+        job = client.submit(SPEC, priority=2)
+        assert job["state"] == "queued" and job["priority"] == 2
+        assert runner.started.wait(5.0)
+        listed = client.jobs()
+        assert [j["id"] for j in listed] == [job["id"]]
+        runner.gate.set()
+        done = client.wait(job["id"], timeout=10.0)
+        assert done["state"] == "succeeded"
+        assert client.jobs(state="succeeded")
+        with pytest.raises(ServiceError) as err:
+            client.cancel(job["id"])
+        assert err.value.status == 409
+        assert err.value.kind == "NotCancellableError"
+
+    def test_unknown_job_is_404(self, stub_stack):
+        _, _, client, _ = stub_stack
+        with pytest.raises(ServiceError) as err:
+            client.job("missing")
+        assert err.value.status == 404
+
+    def test_bad_spec_is_400(self, stub_stack):
+        _, _, client, _ = stub_stack
+        with pytest.raises(ServiceError) as err:
+            client.submit({"reference": 42})
+        assert err.value.status == 400
+        assert err.value.kind == "InvalidSpecError"
+
+    def test_unknown_route_is_404(self, stub_stack):
+        _, _, client, _ = stub_stack
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_metrics_shape(self, stub_stack):
+        _, _, client, _ = stub_stack
+        metrics = client.metrics()
+        assert set(metrics) == {"service", "counters", "gauges"}
+        assert "jobs_submitted" in metrics["service"]
+
+
+class TestAdmissionOverHTTP:
+    def test_429_past_queue_depth_without_touching_running_job(self, stub_stack):
+        service, _, client, runner = stub_stack
+        running = client.submit(SPEC)
+        assert runner.started.wait(5.0)
+        client.submit(SPEC)
+        client.submit(SPEC)
+        with pytest.raises(ServiceError) as err:
+            client.submit(SPEC)
+        assert err.value.status == 429
+        assert err.value.kind == "QueueFullError"
+        # the running job is untouched by the rejection
+        assert client.job(running["id"])["state"] == "running"
+        runner.gate.set()
+        assert client.wait(running["id"], timeout=10.0)["state"] == "succeeded"
+
+    def test_503_while_draining(self, tmp_path):
+        service = make_service(tmp_path / "state", runner=instant_runner).start()
+        server = start_http_server(service)
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        try:
+            service.drain()
+            assert client.health()["status"] == "draining"
+            with pytest.raises(ServiceError) as err:
+                client.submit(SPEC)
+            assert err.value.status == 503
+            assert err.value.kind == "ServiceDrainingError"
+        finally:
+            server.shutdown()
+
+
+class TestRealJobOverHTTP:
+    def test_submit_to_report(self, tmp_path, wgs_spec):
+        service = make_service(tmp_path / "state", workers=1).start()
+        server = start_http_server(service)
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        try:
+            job = client.submit(wgs_spec("http"))
+            done = client.wait(job["id"], timeout=120.0)
+            assert done["state"] == "succeeded", done.get("error")
+            assert done["result"]["records"] > 0
+            assert done["result"]["telemetry"]["counters"]
+            # the finished-job document folds in the per-job run report
+            assert "report" in done
+            assert done["report"]["stages"]
+            assert any(
+                row["name"] == "BwaMapping" for row in done["report"]["processes"]
+            )
+        finally:
+            server.shutdown()
+            service.drain()

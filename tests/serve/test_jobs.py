@@ -1,0 +1,157 @@
+"""Unit tests: the Job state machine and the bounded priority queue."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.jobs import (
+    ADMITTED,
+    CANCELLED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    InvalidTransitionError,
+    Job,
+    JobQueue,
+    QueueFullError,
+)
+
+
+class TestJobStateMachine:
+    def test_happy_path_stamps_timestamps(self):
+        job = Job(spec={})
+        assert job.state == QUEUED and job.submitted_at > 0
+        job.transition(ADMITTED)
+        assert job.admitted_at is not None
+        job.transition(RUNNING)
+        assert job.started_at is not None
+        job.transition(SUCCEEDED)
+        assert job.finished_at is not None and job.is_terminal
+
+    @pytest.mark.parametrize(
+        "path,bad",
+        [
+            ((), RUNNING),  # queued cannot jump straight to running
+            ((), SUCCEEDED),
+            ((ADMITTED, RUNNING, SUCCEEDED), RUNNING),  # terminal is final
+            ((ADMITTED, RUNNING, FAILED), QUEUED),
+            ((ADMITTED, RUNNING, CANCELLED), ADMITTED),
+        ],
+    )
+    def test_illegal_transitions_rejected(self, path, bad):
+        job = Job(spec={})
+        for state in path:
+            job.transition(state)
+        with pytest.raises(InvalidTransitionError):
+            job.transition(bad)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(InvalidTransitionError):
+            Job(spec={}).transition("paused")
+
+    def test_requeue_resets_run_stamps_and_counts_attempts(self):
+        job = Job(spec={})
+        job.transition(ADMITTED)
+        job.transition(RUNNING)
+        job.worker = 3
+        job.requeue()
+        assert job.state == QUEUED
+        assert job.attempts == 2
+        assert job.admitted_at is None and job.started_at is None
+        assert job.worker is None
+
+    def test_requeue_from_terminal_rejected(self):
+        job = Job(spec={})
+        job.transition(CANCELLED)
+        with pytest.raises(InvalidTransitionError):
+            job.requeue()
+
+    def test_json_round_trip(self):
+        job = Job(spec={"reference": "r.fa"}, priority=7)
+        job.transition(ADMITTED)
+        job.transition(RUNNING)
+        job.transition(FAILED)
+        job.error = "boom"
+        job.result = {"records": 3}
+        clone = Job.from_json(json.loads(json.dumps(job.to_json())))
+        assert clone.to_json() == job.to_json()
+
+
+class TestJobQueue:
+    def test_priority_then_fifo(self):
+        queue = JobQueue(depth=8)
+        low1 = Job(spec={}, priority=0)
+        low2 = Job(spec={}, priority=0)
+        high = Job(spec={}, priority=5)
+        for job in (low1, low2, high):
+            queue.push(job)
+        order = [queue.pop(0.1).id for _ in range(3)]
+        assert order == [high.id, low1.id, low2.id]
+
+    def test_depth_bound_is_admission_control(self):
+        queue = JobQueue(depth=2)
+        queue.push(Job(spec={}))
+        queue.push(Job(spec={}))
+        with pytest.raises(QueueFullError):
+            queue.push(Job(spec={}))
+        assert len(queue) == 2
+
+    def test_force_push_bypasses_depth_for_recovery(self):
+        queue = JobQueue(depth=1)
+        queue.push(Job(spec={}))
+        queue.push(Job(spec={}), force=True)
+        assert len(queue) == 2
+
+    def test_cancel_removes_queued_entry(self):
+        queue = JobQueue(depth=4)
+        keep = Job(spec={})
+        drop = Job(spec={}, priority=9)
+        queue.push(keep)
+        queue.push(drop)
+        assert queue.cancel(drop.id)
+        assert not queue.cancel(drop.id)  # already cancelled
+        assert not queue.cancel("missing")
+        assert len(queue) == 1
+        assert queue.pop(0.1).id == keep.id
+        assert queue.pop(0.05) is None
+
+    def test_cancelled_entries_free_queue_capacity(self):
+        queue = JobQueue(depth=2)
+        victim = Job(spec={})
+        queue.push(victim)
+        queue.push(Job(spec={}))
+        queue.cancel(victim.id)
+        queue.push(Job(spec={}))  # must not raise
+
+    def test_pop_times_out_empty(self):
+        assert JobQueue(depth=1).pop(timeout=0.05) is None
+
+    def test_pop_blocks_until_push(self):
+        queue = JobQueue(depth=1)
+        results = []
+        thread = threading.Thread(target=lambda: results.append(queue.pop(5.0)))
+        thread.start()
+        job = Job(spec={})
+        queue.push(job)
+        thread.join(timeout=5.0)
+        assert results and results[0].id == job.id
+
+    def test_close_wakes_blocked_pop(self):
+        queue = JobQueue(depth=1)
+        results = []
+        thread = threading.Thread(target=lambda: results.append(queue.pop(None)))
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_snapshot_is_pop_order(self):
+        queue = JobQueue(depth=4)
+        a = Job(spec={}, priority=1)
+        b = Job(spec={}, priority=3)
+        queue.push(a)
+        queue.push(b)
+        assert [j.id for j in queue.snapshot()] == [b.id, a.id]

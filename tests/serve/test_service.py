@@ -1,0 +1,282 @@
+"""PipelineService: admission, cancellation, durability, crash resume."""
+
+import os
+import time
+
+import pytest
+
+from repro.engine.journal import job_journal_dir
+from repro.serve import (
+    CANCELLED,
+    FAILED,
+    QUEUED,
+    SUCCEEDED,
+    InvalidSpecError,
+    PipelineService,
+    QueueFullError,
+    ServiceDrainingError,
+    validate_spec,
+)
+from tests.serve.conftest import GatedRunner, instant_runner, make_service
+
+
+class TestSpecValidation:
+    def test_required_path_keys(self):
+        with pytest.raises(InvalidSpecError):
+            validate_spec({"reference": "r.fa", "fastq1": "a.fq"})
+        with pytest.raises(InvalidSpecError):
+            validate_spec({"reference": 3, "fastq1": "a", "fastq2": "b"})
+        with pytest.raises(InvalidSpecError):
+            validate_spec([1, 2, 3])
+
+    def test_numeric_knobs(self):
+        spec = {"reference": "r", "fastq1": "a", "fastq2": "b"}
+        with pytest.raises(InvalidSpecError):
+            validate_spec(spec | {"partitions": 0})
+        with pytest.raises(InvalidSpecError):
+            validate_spec(spec | {"partition_length": "wide"})
+        validate_spec(spec | {"partitions": 2, "partition_length": 1000})
+
+
+class TestAdmissionControl:
+    def test_queue_full_is_typed_and_running_job_unaffected(self, tmp_path):
+        runner = GatedRunner()
+        with make_service(tmp_path / "s", runner=runner, workers=1, depth=2) as svc:
+            spec = {"reference": "r", "fastq1": "a", "fastq2": "b"}
+            running = svc.submit(spec)
+            assert runner.started.wait(5.0)
+            svc.submit(spec)
+            svc.submit(spec)
+            with pytest.raises(QueueFullError):
+                svc.submit(spec)
+            assert svc.metrics()["service"]["jobs_rejected"] == 1
+            # the running job kept running through the rejection
+            assert svc.get(running.id).state == "running"
+            runner.gate.set()
+            assert svc.wait(running.id, timeout=10.0).state == SUCCEEDED
+
+    def test_draining_rejects_submissions(self, tmp_path):
+        svc = make_service(tmp_path / "s", runner=instant_runner).start()
+        svc.drain()
+        with pytest.raises(ServiceDrainingError):
+            svc.submit({"reference": "r", "fastq1": "a", "fastq2": "b"})
+
+    def test_duplicate_job_id_rejected(self, tmp_path):
+        with make_service(tmp_path / "s", runner=instant_runner) as svc:
+            spec = {"reference": "r", "fastq1": "a", "fastq2": "b"}
+            svc.submit(spec, job_id="same")
+            with pytest.raises(InvalidSpecError):
+                svc.submit(spec, job_id="same")
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_runs(self, tmp_path):
+        runner = GatedRunner()
+        with make_service(tmp_path / "s", runner=runner, workers=1, depth=4) as svc:
+            spec = {"reference": "r", "fastq1": "a", "fastq2": "b"}
+            blocker = svc.submit(spec)
+            assert runner.started.wait(5.0)
+            queued = svc.submit(spec)
+            cancelled = svc.cancel(queued.id)
+            assert cancelled.state == CANCELLED
+            runner.gate.set()
+            svc.wait(blocker.id, timeout=10.0)
+        assert runner.calls == [blocker.id]
+
+    def test_cancel_running_job_is_cooperative(self, tmp_path):
+        runner = GatedRunner()
+        with make_service(tmp_path / "s", runner=runner, workers=1) as svc:
+            job = svc.submit({"reference": "r", "fastq1": "a", "fastq2": "b"})
+            assert runner.started.wait(5.0)
+            svc.cancel(job.id)
+            done = svc.wait(job.id, timeout=10.0)
+            assert done.state == CANCELLED
+
+    def test_job_deadline_fails_the_job(self, tmp_path):
+        runner = GatedRunner()
+        with make_service(tmp_path / "s", runner=runner, workers=1) as svc:
+            job = svc.submit(
+                {"reference": "r", "fastq1": "a", "fastq2": "b", "timeout": 0.1}
+            )
+            done = svc.wait(job.id, timeout=10.0)
+            assert done.state == FAILED
+            assert "deadline" in done.error
+
+
+class TestDurability:
+    def test_restart_requeues_queued_jobs(self, tmp_path):
+        state = tmp_path / "state"
+        # No workers started: both jobs stay durably queued.
+        svc = make_service(state, runner=instant_runner)
+        spec = {"reference": "r", "fastq1": "a", "fastq2": "b"}
+        first = svc.submit(spec, job_id="first")
+        second = svc.submit(spec, job_id="second", priority=3)
+        svc.drain()
+        assert first.state == QUEUED and second.state == QUEUED
+
+        svc2 = make_service(state, runner=instant_runner).start()
+        try:
+            assert svc2.metrics()["service"]["jobs_recovered"] == 2
+            assert svc2.wait("first", timeout=10.0).state == SUCCEEDED
+            assert svc2.wait("second", timeout=10.0).state == SUCCEEDED
+        finally:
+            svc2.drain()
+
+    def test_restart_keeps_terminal_history_without_requeue(self, tmp_path):
+        state = tmp_path / "state"
+        with make_service(state, runner=instant_runner) as svc:
+            spec = {"reference": "r", "fastq1": "a", "fastq2": "b"}
+            done = svc.submit(spec)
+            assert svc.wait(done.id, timeout=10.0).state == SUCCEEDED
+        svc2 = make_service(state, runner=instant_runner)
+        assert svc2.get(done.id).state == SUCCEEDED
+        assert svc2.metrics()["service"]["jobs_recovered"] == 0
+        svc2.drain()
+
+    def test_torn_log_line_is_skipped(self, tmp_path):
+        state = tmp_path / "state"
+        svc = make_service(state, runner=instant_runner)
+        svc.submit({"reference": "r", "fastq1": "a", "fastq2": "b"}, job_id="whole")
+        svc.drain()
+        with open(state / "jobs.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"id": "torn", "spec": {"refer')  # crash artifact
+        svc2 = make_service(state, runner=instant_runner)
+        assert [j.id for j in svc2.jobs()] == ["whole"]
+        svc2.drain()
+
+
+class TestJournalNamespacing:
+    def test_identical_plans_get_disjoint_journals(self, tmp_path):
+        root = str(tmp_path / "journals")
+        a = job_journal_dir(root, "job-a")
+        b = job_journal_dir(root, "job-b")
+        assert a != b and os.path.isdir(a) and os.path.isdir(b)
+
+    def test_sanitized_collisions_get_hash_suffix(self, tmp_path):
+        root = str(tmp_path / "journals")
+        assert job_journal_dir(root, "a/b") != job_journal_dir(root, "a_b")
+        with pytest.raises(ValueError):
+            job_journal_dir(root, "")
+
+    def test_two_identical_jobs_never_cross_restore(self, tmp_path, wgs_spec):
+        # Same plan => same plan signature; only the per-job namespace
+        # keeps job B from restoring job A's checkpoints.
+        with make_service(tmp_path / "state", workers=1, depth=4) as svc:
+            job_a = svc.submit(wgs_spec("a"))
+            job_b = svc.submit(wgs_spec("b"))
+            done_a = svc.wait(job_a.id, timeout=120.0)
+            done_b = svc.wait(job_b.id, timeout=120.0)
+        assert done_a.state == SUCCEEDED and done_b.state == SUCCEEDED
+        # B executed everything itself: nothing restored from A's journal.
+        assert done_b.result["skipped"] == []
+        assert len(done_b.result["executed"]) >= 4
+
+
+class TestRealPipelineJobs:
+    def test_submit_runs_wgs_to_success(self, tmp_path, wgs_spec):
+        with make_service(tmp_path / "state", workers=1) as svc:
+            job = svc.submit(wgs_spec("calls"))
+            done = svc.wait(job.id, timeout=120.0)
+            assert done.state == SUCCEEDED, done.error
+            assert done.result["records"] > 0
+            assert os.path.getsize(done.result["output"]) > 0
+            assert done.result["telemetry"]["counters"]
+            # per-job observability artifacts
+            events = os.path.join(svc.job_trace_dir(job.id), "events.jsonl")
+            assert os.path.exists(events)
+            from repro.obs import read_events, validate_events
+
+            log = read_events(events)
+            assert log and not validate_events(log)
+
+    def test_bad_input_fails_cleanly(self, tmp_path, wgs_spec):
+        spec = wgs_spec("bad", reference=str(tmp_path / "missing.fa"))
+        with make_service(tmp_path / "state", workers=1) as svc:
+            job = svc.submit(spec)
+            done = svc.wait(job.id, timeout=60.0)
+            assert done.state == FAILED
+            assert "FileNotFoundError" in done.error
+            # the worker survives a failed job
+            ok = svc.submit(wgs_spec("good"))
+            assert svc.wait(ok.id, timeout=120.0).state == SUCCEEDED
+
+
+class TestKillAndRestartResume:
+    """The acceptance scenario: a killed service must resume, not recompute."""
+
+    @pytest.mark.filterwarnings(
+        # the simulated kill intentionally dies on a worker thread
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_midrun_job_resumes_from_its_journal(self, tmp_path, wgs_spec):
+        state = tmp_path / "state"
+        spec = wgs_spec("resumed")
+        queued_spec = wgs_spec("queued")
+
+        # Reference output from an undisturbed service.
+        with make_service(tmp_path / "ref", workers=1) as ref_svc:
+            ref_job = ref_svc.submit(wgs_spec("reference"))
+            ref_done = ref_svc.wait(ref_job.id, timeout=120.0)
+            assert ref_done.state == SUCCEEDED
+        with open(ref_done.result["output"], "rb") as fh:
+            expected = fh.read()
+
+        def crashing_runner(job, ctx, should_cancel, journal_dir):
+            # Real pipeline, but the Process after BwaMapping hard-kills
+            # the worker thread (BaseException skips the job-isolation
+            # handler, exactly like a dead service process: the job log
+            # still says `running`).
+            from repro.engine.files import load_fastq_pair_lazy
+            from repro.formats.fasta import read_fasta
+            from repro.formats.vcf import read_vcf
+            from repro.wgs import build_wgs_pipeline
+
+            reference = read_fasta(job.spec["reference"])
+            _, known = read_vcf(job.spec["known_sites"])
+            rdd = load_fastq_pair_lazy(
+                ctx, job.spec["fastq1"], job.spec["fastq2"], 2
+            )
+            handles = build_wgs_pipeline(
+                ctx, reference, rdd, known, name=f"wgs-{job.id}"
+            )
+            victim = handles.pipeline.processes[1]
+            assert victim.name == "MarkDuplicate"
+            victim.execute = lambda run_ctx: (_ for _ in ()).throw(
+                SystemExit("simulated service kill")
+            )
+            handles.pipeline.run(journal_dir=journal_dir)
+            return {}
+
+        svc = make_service(state, runner=crashing_runner, workers=1).start()
+        svc.submit(spec, job_id="midrun")
+        svc.submit(queued_spec, job_id="waiting")
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline and any(
+            t.is_alive() for t in svc._threads
+        ):
+            time.sleep(0.05)
+        assert not any(t.is_alive() for t in svc._threads), "worker should be dead"
+        # The mid-run job died in state `running`; the queued one never ran.
+        assert svc.get("midrun").state == "running"
+        assert svc.get("waiting").state == QUEUED
+        svc.drain(timeout=1.0)
+
+        # Restart over the same state dir with the real runner.
+        svc2 = make_service(state, workers=1).start()
+        try:
+            assert svc2.metrics()["service"]["jobs_recovered"] == 2
+            resumed = svc2.wait("midrun", timeout=120.0)
+            waiting = svc2.wait("waiting", timeout=120.0)
+        finally:
+            svc2.drain()
+
+        assert resumed.state == SUCCEEDED, resumed.error
+        assert resumed.attempts == 2
+        # Resume, not recompute: BwaMapping came back from the journal.
+        assert "BwaMapping" in resumed.result["skipped"]
+        assert all("BwaMapping" != name for name in resumed.result["executed"])
+        with open(resumed.result["output"], "rb") as fh:
+            assert fh.read() == expected
+
+        assert waiting.state == SUCCEEDED
+        assert waiting.result["skipped"] == []

@@ -174,9 +174,11 @@ class TestFaultToleranceFlags:
             "--partition-length",
             "4000",
         ]
-        with pytest.raises(Exception):
-            main(args)
-        capsys.readouterr()
+        # fail policy: one-line error plus the quarantine hint, exit 1
+        assert main(args) == 1
+        err = capsys.readouterr().err
+        assert "run: " in err
+        assert "--malformed quarantine" in err
         rc = main(args + ["--malformed", "quarantine"])
         assert rc == 0
         assert os.path.exists(out)
@@ -237,6 +239,158 @@ class TestLint:
         )
         assert rc == 2
         assert "requires --fastq1/--fastq2" in capsys.readouterr().err
+
+
+class TestRunErrorHandling:
+    def _args(self, reference, tmp_path, *extra):
+        return [
+            "run",
+            "--reference",
+            reference,
+            "--fastq1",
+            "missing_1.fastq",
+            "--fastq2",
+            "missing_2.fastq",
+            "--output",
+            str(tmp_path / "calls.vcf"),
+            *extra,
+        ]
+
+    def test_failure_is_one_line_plus_hints_not_a_traceback(
+        self, tmp_path, capsys
+    ):
+        rc = main(self._args("/no/such/reference.fa", tmp_path))
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "run: FileNotFoundError" in err
+        assert "--journal-dir" in err  # resume hint
+        assert "--malformed quarantine" in err  # bad-input hint
+        assert "Traceback" not in err
+
+    def test_failure_with_journal_dir_hints_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal")
+        rc = main(
+            self._args("/no/such/reference.fa", tmp_path, "--journal-dir", journal)
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "re-run with the same flags to resume" in err
+
+    def test_job_id_requires_journal_dir(self, tmp_path, capsys):
+        rc = main(self._args("/no/such/reference.fa", tmp_path, "--job-id", "a"))
+        assert rc == 2
+        assert "--job-id requires --journal-dir" in capsys.readouterr().err
+
+
+class TestRunJobIdNamespacing:
+    def _run(self, sample_dir, out, journal, job_id):
+        return main(
+            [
+                "run",
+                "--reference",
+                os.path.join(sample_dir, "reference.fa"),
+                "--fastq1",
+                os.path.join(sample_dir, "sample_1.fastq"),
+                "--fastq2",
+                os.path.join(sample_dir, "sample_2.fastq"),
+                "--output",
+                out,
+                "--journal-dir",
+                journal,
+                "--job-id",
+                job_id,
+            ]
+        )
+
+    def test_distinct_job_ids_share_a_root_without_cross_restore(
+        self, sample_dir, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "journal")
+        out = str(tmp_path / "calls.vcf")
+        assert self._run(sample_dir, out, journal, "alpha") == 0
+        first = capsys.readouterr().out
+        assert "resumed from journal" not in first
+
+        # Identical plan, same journal root, different job id: must NOT
+        # restore alpha's checkpoints.
+        assert self._run(sample_dir, out, journal, "beta") == 0
+        second = capsys.readouterr().out
+        assert "resumed from journal" not in second
+
+        # Same job id: resumes.
+        assert self._run(sample_dir, out, journal, "alpha") == 0
+        third = capsys.readouterr().out
+        assert "resumed from journal" in third
+        assert os.path.isdir(os.path.join(journal, "alpha"))
+        assert os.path.isdir(os.path.join(journal, "beta"))
+
+
+class TestServeCli:
+    def test_serve_requires_state_dir(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    @pytest.fixture()
+    def live_service(self, tmp_path):
+        from repro.serve import PipelineService, ServiceConfig, start_http_server
+
+        def instant(job, ctx, should_cancel, journal_dir):
+            return {"records": 4, "output": job.spec.get("output")}
+
+        service = PipelineService(
+            str(tmp_path / "state"),
+            ServiceConfig(workers=1, queue_depth=4),
+            runner=instant,
+        ).start()
+        server = start_http_server(service)
+        yield f"http://127.0.0.1:{server.port}"
+        server.shutdown()
+        service.drain()
+
+    def _submit_args(self, url, *extra):
+        return [
+            "submit",
+            "--url",
+            url,
+            "--reference",
+            "r.fa",
+            "--fastq1",
+            "a.fq",
+            "--fastq2",
+            "b.fq",
+            *extra,
+        ]
+
+    def test_submit_wait_jobs_status_roundtrip(self, live_service, capsys):
+        rc = main(self._submit_args(live_service, "--wait", "--timeout", "30"))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out and "succeeded" in out
+
+        assert main(["jobs", "--url", live_service]) == 0
+        listing = capsys.readouterr().out
+        assert "succeeded" in listing and "4 records" in listing
+        job_id = listing.split()[0]
+
+        assert main(["status", job_id, "--url", live_service]) == 0
+        assert "succeeded" in capsys.readouterr().out
+
+        assert main(["status", job_id, "--url", live_service, "--json"]) == 0
+        assert '"state": "succeeded"' in capsys.readouterr().out
+
+    def test_jobs_metrics_dump(self, live_service, capsys):
+        assert main(["jobs", "--url", live_service, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert '"jobs_submitted"' in out
+
+    def test_status_unknown_job_fails(self, live_service, capsys):
+        assert main(["status", "nope", "--url", live_service]) == 1
+        assert "404" in capsys.readouterr().err
+
+    def test_submit_unreachable_service_fails(self, capsys):
+        rc = main(self._submit_args("http://127.0.0.1:1"))
+        assert rc == 1
+        assert "submit:" in capsys.readouterr().err
 
 
 class TestScaling:
