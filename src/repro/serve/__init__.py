@@ -33,6 +33,7 @@ from repro.serve.jobs import (
     InvalidTransitionError,
     Job,
     JobQueue,
+    QueueClosedError,
     QueueFullError,
     ServeError,
     new_job_id,
@@ -62,6 +63,7 @@ __all__ = [
     "JobQueue",
     "NotCancellableError",
     "PipelineService",
+    "QueueClosedError",
     "QueueFullError",
     "ServeError",
     "ServiceClient",

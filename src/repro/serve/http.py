@@ -103,9 +103,36 @@ class _Handler(BaseHTTPRequestHandler):
             error_status(exc), {"error": type(exc).__name__, "detail": str(exc)}
         )
 
+    def _drain_body(self) -> None:
+        """Consume an unread request body before responding.
+
+        The handler speaks HTTP/1.1 (persistent connections): if a
+        request carried a body nobody read, those bytes would sit in
+        the stream and be misparsed as the next request line on a
+        reused connection.  Bodies we cannot cheaply drain (chunked, or
+        an unparsable length) force the connection closed instead.
+        """
+        if self.headers.get("Transfer-Encoding"):
+            self.close_connection = True
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            return
+        if length > 0:
+            self.rfile.read(length)
+
     def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
+        if self.headers.get("Transfer-Encoding"):
+            self.close_connection = True
+            raise InvalidSpecError("chunked request bodies are not supported")
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            self.close_connection = True
+            raise InvalidSpecError("Content-Length is not an integer") from exc
+        raw = self.rfile.read(length) if length > 0 else b""
         if not raw:
             raise InvalidSpecError("empty request body")
         try:
@@ -135,6 +162,7 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes -------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802
         if self.path.split("?")[0] != "/jobs":
+            self._drain_body()
             self._send(404, {"error": "NotFound", "detail": self.path})
             return
         try:
@@ -150,6 +178,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(201, job_payload(self.server.service, job, report=False))
 
     def do_GET(self) -> None:  # noqa: N802
+        self._drain_body()
         service = self.server.service
         path = self.path.split("?")[0]
         if path == "/healthz":
@@ -182,6 +211,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(404, {"error": "NotFound", "detail": self.path})
 
     def do_DELETE(self) -> None:  # noqa: N802
+        self._drain_body()
         job_id = self._job_id()
         if job_id is None:
             self._send(404, {"error": "NotFound", "detail": self.path})

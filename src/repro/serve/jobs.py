@@ -4,8 +4,11 @@ A :class:`Job` is one submitted pipeline run moving through a strict
 state machine::
 
     queued ──> admitted ──> running ──> succeeded
-       │           │            ├─────> failed
+       │           ├────────────├─────> failed
        └───────────┴────────────┴─────> cancelled
+
+(``admitted -> failed`` covers setup failures — a job that blows up
+before its pipeline starts, e.g. while arming the trace segment.)
 
 Transitions outside the arrows raise :class:`InvalidTransitionError`;
 the only sanctioned back-edge is :meth:`Job.requeue`, which a restarted
@@ -41,7 +44,7 @@ TERMINAL_STATES = frozenset((SUCCEEDED, FAILED, CANCELLED))
 
 _TRANSITIONS: dict[str, frozenset[str]] = {
     QUEUED: frozenset((ADMITTED, CANCELLED)),
-    ADMITTED: frozenset((RUNNING, CANCELLED)),
+    ADMITTED: frozenset((RUNNING, FAILED, CANCELLED)),
     RUNNING: frozenset((SUCCEEDED, FAILED, CANCELLED)),
     SUCCEEDED: frozenset(),
     FAILED: frozenset(),
@@ -62,6 +65,10 @@ class InvalidTransitionError(ServeError):
 
 class QueueFullError(ServeError):
     """Admission refused: the queue is at its configured depth."""
+
+
+class QueueClosedError(ServeError):
+    """The queue no longer accepts pushes (service is draining)."""
 
 
 def new_job_id() -> str:
@@ -206,7 +213,7 @@ class JobQueue:
         """
         with self._cond:
             if self._closed:
-                raise ServeError("queue is closed")
+                raise QueueClosedError("queue is closed")
             live = len(self._heap) - len(self._cancelled)
             if not force and live >= self.depth:
                 raise QueueFullError(
@@ -218,12 +225,16 @@ class JobQueue:
     def pop(self, timeout: float | None = None) -> Job | None:
         """Highest-priority job, blocking up to ``timeout`` seconds.
 
-        Returns ``None`` on timeout or once the queue is closed and
-        drained of live entries.
+        Returns ``None`` on timeout or once the queue is closed — a
+        closed queue never hands out entries, even live ones, so a
+        draining service cannot start a brand-new job; remaining
+        entries stay for the next instance's recovery.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
+                if self._closed:
+                    return None
                 while self._heap:
                     _, _, job = self._heap[0]
                     if job.id in self._cancelled:

@@ -48,6 +48,7 @@ from repro.serve.jobs import (
     TERMINAL_STATES,
     Job,
     JobQueue,
+    QueueClosedError,
     ServeError,
 )
 
@@ -87,6 +88,16 @@ def validate_spec(spec: dict) -> None:
             raise InvalidSpecError(f"spec.{key} must be a positive integer")
     if "priority" in spec and not isinstance(spec["priority"], int):
         raise InvalidSpecError("spec.priority must be an integer")
+    if "timeout" in spec and spec["timeout"] is not None:
+        timeout = spec["timeout"]
+        if (
+            isinstance(timeout, bool)
+            or not isinstance(timeout, (int, float))
+            or timeout <= 0
+        ):
+            raise InvalidSpecError(
+                "spec.timeout must be a positive number of seconds (or null)"
+            )
 
 
 def run_wgs_job(
@@ -324,6 +335,13 @@ class PipelineService:
                 raise InvalidSpecError(f"job id {job.id!r} already exists")
             try:
                 self._queue.push(job)
+            except QueueClosedError:
+                # drain() closed the queue between the draining check
+                # above and this push — same contract, same 503.
+                self._counters["jobs_rejected"] += 1
+                raise ServiceDrainingError(
+                    "service is draining; not accepting jobs"
+                ) from None
             except ServeError:
                 self._counters["jobs_rejected"] += 1
                 raise
@@ -443,12 +461,52 @@ class PipelineService:
                 job = self._queue.pop(timeout=0.1)
                 if job is None:
                     continue
-                self._run_job(slot, ctx, job)
+                try:
+                    self._run_job(slot, ctx, job)
+                except Exception as exc:  # noqa: BLE001 - worker survival
+                    self._fail_job(slot, job, exc)
         finally:
             with self._lock:
                 owned = self._contexts.pop(slot, None)
             if owned is not None:
                 owned.stop()
+
+    def _fail_job(self, slot: int, job: Job, exc: BaseException) -> None:
+        """Last-ditch isolation: ``_run_job`` itself blew up.
+
+        Force the job into ``failed`` — bypassing the state machine,
+        which may not allow the edge from wherever the job got stuck —
+        so one poison job can neither kill a worker thread nor persist
+        in a non-terminal state and be requeued (and re-thrown) by
+        every future service instance over this state dir.
+        """
+        with self._lock:
+            if not job.is_terminal:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = FAILED
+                job.finished_at = time.time()
+                self._counters["jobs_failed"] += 1
+            self._running.pop(slot, None)
+            self._done.notify_all()
+        try:
+            self._persist(job)
+        except Exception:  # noqa: BLE001 - persistence must not kill workers
+            pass
+
+    @staticmethod
+    def _end_trace(ctx: GPFContext) -> None:
+        """Flush the per-job event log *before* the terminal transition.
+
+        ``_finish`` persists the terminal state; a client that observes
+        it and immediately fetches the job must already see the full
+        report, so ``run.end``/``telemetry`` have to be on disk first.
+        Idempotent (``reset_for_reuse`` later is a no-op flush), and a
+        flush failure must not flip a finished job's outcome.
+        """
+        try:
+            ctx.end_trace()
+        except Exception:  # noqa: BLE001
+            pass
 
     def _finish(self, job: Job, state: str, counter: str) -> None:
         with self._lock:
@@ -468,8 +526,8 @@ class PipelineService:
             job.worker = slot
             self._running[slot] = job
         self._persist(job)
-        timeout = job.spec.get("timeout", self.config.job_timeout)
-        deadline = None if timeout is None else time.monotonic() + timeout
+        timeout: float | None = None
+        deadline: float | None = None
         deadline_hit = False
 
         def should_cancel() -> bool:
@@ -481,19 +539,27 @@ class PipelineService:
                 return True
             return False
 
-        ctx.begin_trace(self.job_trace_dir(job.id))
-        with self._lock:
-            job.transition(RUNNING)
-        self._persist(job)
         try:
+            # Everything driven by the user-controlled spec — including
+            # the deadline arithmetic — stays inside the try so a bad
+            # value fails this job instead of the worker thread.
+            raw_timeout = job.spec.get("timeout", self.config.job_timeout)
+            timeout = None if raw_timeout is None else float(raw_timeout)
+            deadline = None if timeout is None else time.monotonic() + timeout
+            ctx.begin_trace(self.job_trace_dir(job.id))
+            with self._lock:
+                job.transition(RUNNING)
+            self._persist(job)
             result = self._runner(
                 job, ctx, should_cancel, job_journal_dir(self.journal_root, job.id)
             )
             result = dict(result or {})
             result["telemetry"] = ctx.telemetry_snapshot()
             job.result = result
+            self._end_trace(ctx)
             self._finish(job, SUCCEEDED, "jobs_succeeded")
         except PipelineCancelledError as exc:
+            self._end_trace(ctx)
             if deadline_hit and not job.cancel_requested:
                 job.error = f"deadline exceeded ({timeout}s): {exc}"
                 self._finish(job, FAILED, "jobs_failed")
@@ -501,6 +567,7 @@ class PipelineService:
                 job.error = str(exc)
                 self._finish(job, CANCELLED, "jobs_cancelled")
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            self._end_trace(ctx)
             job.error = f"{type(exc).__name__}: {exc}"
             self._finish(job, FAILED, "jobs_failed")
         finally:

@@ -1,5 +1,8 @@
 """The JSON API end to end: routes, status codes, admission contract."""
 
+import http.client
+import json
+
 import pytest
 
 from repro.serve import (
@@ -74,6 +77,40 @@ class TestRoutes:
         metrics = client.metrics()
         assert set(metrics) == {"service", "counters", "gauges"}
         assert "jobs_submitted" in metrics["service"]
+
+    def test_terminal_state_implies_complete_report(self, stub_stack):
+        # The per-job event log is flushed *before* the terminal state
+        # is persisted, so the first poll that observes a finished job
+        # already carries the full run report (run.end included).
+        _, _, client, runner = stub_stack
+        runner.gate.set()
+        job = client.submit(SPEC)
+        done = client.wait(job["id"], timeout=10.0)
+        assert done["state"] == "succeeded"
+        assert "report" in done
+
+    def test_unread_body_does_not_poison_persistent_connection(self, stub_stack):
+        # HTTP/1.1 keep-alive: a rejected POST whose body was never read
+        # must not leave body bytes in the stream to be misparsed as the
+        # next request line on the same socket.
+        _, server, _, _ = stub_stack
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10.0)
+        try:
+            body = json.dumps({"spec": SPEC}).encode("utf-8")
+            conn.request(
+                "POST", "/nope", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            first = conn.getresponse()
+            assert first.status == 404
+            first.read()
+            # the very same socket must parse the next request cleanly
+            conn.request("GET", "/healthz")
+            second = conn.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read())["status"] == "ok"
+        finally:
+            conn.close()
 
 
 class TestAdmissionOverHTTP:

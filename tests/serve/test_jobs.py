@@ -15,6 +15,7 @@ from repro.serve.jobs import (
     InvalidTransitionError,
     Job,
     JobQueue,
+    QueueClosedError,
     QueueFullError,
 )
 
@@ -46,6 +47,12 @@ class TestJobStateMachine:
             job.transition(state)
         with pytest.raises(InvalidTransitionError):
             job.transition(bad)
+
+    def test_setup_failure_edge_admitted_to_failed(self):
+        job = Job(spec={})
+        job.transition(ADMITTED)
+        job.transition(FAILED)  # setup blew up before the pipeline started
+        assert job.is_terminal and job.finished_at is not None
 
     def test_unknown_state_rejected(self):
         with pytest.raises(InvalidTransitionError):
@@ -137,6 +144,21 @@ class TestJobQueue:
         queue.push(job)
         thread.join(timeout=5.0)
         assert results and results[0].id == job.id
+
+    def test_closed_queue_refuses_push_with_typed_error(self):
+        queue = JobQueue(depth=2)
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.push(Job(spec={}))
+
+    def test_closed_queue_never_hands_out_entries(self):
+        # drain() contract: queued jobs stay queued for the next
+        # instance's recovery; a closed queue must not start new work.
+        queue = JobQueue(depth=2)
+        queue.push(Job(spec={}))
+        queue.close()
+        assert queue.pop(timeout=0.05) is None
+        assert len(queue) == 1
 
     def test_close_wakes_blocked_pop(self):
         queue = JobQueue(depth=1)

@@ -1,6 +1,8 @@
 """PipelineService: admission, cancellation, durability, crash resume."""
 
+import json
 import os
+import threading
 import time
 
 import pytest
@@ -12,6 +14,7 @@ from repro.serve import (
     QUEUED,
     SUCCEEDED,
     InvalidSpecError,
+    Job,
     PipelineService,
     QueueFullError,
     ServiceDrainingError,
@@ -37,6 +40,15 @@ class TestSpecValidation:
             validate_spec(spec | {"partition_length": "wide"})
         validate_spec(spec | {"partitions": 2, "partition_length": 1000})
 
+    def test_timeout_knob(self):
+        spec = {"reference": "r", "fastq1": "a", "fastq2": "b"}
+        for bad in ("soon", -1, 0, True, [5]):
+            with pytest.raises(InvalidSpecError):
+                validate_spec(spec | {"timeout": bad})
+        validate_spec(spec | {"timeout": 1.5})
+        validate_spec(spec | {"timeout": 30})
+        validate_spec(spec | {"timeout": None})  # explicit "no deadline"
+
 
 class TestAdmissionControl:
     def test_queue_full_is_typed_and_running_job_unaffected(self, tmp_path):
@@ -60,6 +72,37 @@ class TestAdmissionControl:
         svc.drain()
         with pytest.raises(ServiceDrainingError):
             svc.submit({"reference": "r", "fastq1": "a", "fastq2": "b"})
+
+    def test_submit_losing_race_with_drain_maps_to_draining(self, tmp_path):
+        # drain() can close the queue between submit()'s draining check
+        # and its push; that window must still surface as the documented
+        # 503-shaped error, not a bare ServeError (HTTP 500).
+        svc = make_service(tmp_path / "s", runner=instant_runner)
+        svc._queue.close()
+        with pytest.raises(ServiceDrainingError):
+            svc.submit({"reference": "r", "fastq1": "a", "fastq2": "b"})
+
+    def test_drain_leaves_queued_jobs_for_next_instance(self, tmp_path):
+        # A worker woken by drain()'s queue close must not start a
+        # brand-new job: running jobs finish, queued jobs stay queued.
+        runner = GatedRunner()
+        svc = make_service(tmp_path / "s", runner=runner, workers=1, depth=4).start()
+        spec = {"reference": "r", "fastq1": "a", "fastq2": "b"}
+        blocker = svc.submit(spec)
+        assert runner.started.wait(5.0)
+        queued = svc.submit(spec)
+        drainer = threading.Thread(target=svc.drain)
+        drainer.start()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not svc._queue._closed:
+            time.sleep(0.005)
+        assert svc._queue._closed
+        runner.gate.set()
+        drainer.join(timeout=10.0)
+        assert not drainer.is_alive()
+        assert svc.get(blocker.id).state == SUCCEEDED
+        assert svc.get(queued.id).state == QUEUED
+        assert runner.calls == [blocker.id]
 
     def test_duplicate_job_id_rejected(self, tmp_path):
         with make_service(tmp_path / "s", runner=instant_runner) as svc:
@@ -101,6 +144,49 @@ class TestCancellation:
             done = svc.wait(job.id, timeout=10.0)
             assert done.state == FAILED
             assert "deadline" in done.error
+
+
+class TestWorkerIsolation:
+    def test_recovered_poison_timeout_fails_job_not_worker(self, tmp_path):
+        # The review scenario: a job log carries a spec with a
+        # non-numeric timeout (validate_spec never saw it — recovery
+        # requeues blindly).  It must fail that one job, not kill the
+        # worker thread and persist as a restart-surviving poison pill.
+        state = tmp_path / "state"
+        os.makedirs(state)
+        poison = Job(
+            spec={"reference": "r", "fastq1": "a", "fastq2": "b", "timeout": "soon"},
+            id="poison",
+        )
+        with open(state / "jobs.jsonl", "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(poison.to_json()) + "\n")
+        with make_service(state, runner=instant_runner, workers=1) as svc:
+            assert svc.metrics()["service"]["jobs_recovered"] == 1
+            done = svc.wait("poison", timeout=10.0)
+            assert done.state == FAILED
+            assert "ValueError" in done.error
+            # every worker survived and the service still serves
+            assert all(t.is_alive() for t in svc._threads)
+            ok = svc.submit({"reference": "r", "fastq1": "a", "fastq2": "b"})
+            assert svc.wait(ok.id, timeout=10.0).state == SUCCEEDED
+
+    def test_worker_survives_exception_escaping_run_job(self, tmp_path):
+        # An exception that blows through _run_job's own handlers (here:
+        # formatting the job error raises again) reaches the worker
+        # loop's guard, which force-fails the job instead of dying.
+        class Unprintable(Exception):
+            def __str__(self):
+                raise RuntimeError("cannot even format this failure")
+
+        def bad_runner(job, ctx, should_cancel, journal_dir):
+            raise Unprintable()
+
+        with make_service(tmp_path / "s", runner=bad_runner, workers=1) as svc:
+            job = svc.submit({"reference": "r", "fastq1": "a", "fastq2": "b"})
+            done = svc.wait(job.id, timeout=10.0)
+            assert done.state == FAILED
+            assert "cannot even format this failure" in done.error
+            assert all(t.is_alive() for t in svc._threads)
 
 
 class TestDurability:
