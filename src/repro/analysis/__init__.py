@@ -15,6 +15,12 @@ Entry points::
         print(report.render())
 
 or ``Pipeline.lint()`` / ``Pipeline.run(strict=True)`` / ``gpf lint``.
+
+The GPF3xx family turns the linter on the framework itself
+(``gpf lint --self``): :mod:`repro.analysis.concurrency` statically
+checks the lock discipline, durability protocols, and clock usage of
+``engine/``/``serve/``/``obs/``, and :mod:`repro.analysis.lockwatch`
+verifies the lock ordering at runtime while the test suite executes.
 """
 
 from repro.analysis.closures import (
@@ -22,10 +28,17 @@ from repro.analysis.closures import (
     check_rdd_lineage,
     iter_lineage_functions,
 )
+from repro.analysis.concurrency import analyze_concurrency, parse_suppressions
 from repro.analysis.diagnostics import CODES, Diagnostic, LintReport, Severity
 from repro.analysis.linter import LintOptions, lint_pipeline, lint_plan
 from repro.analysis.optimizer_check import run_optimizer_checks
 from repro.analysis.plan_rules import run_plan_rules
+from repro.analysis.selfcheck import (
+    compare_to_baseline,
+    load_baseline,
+    self_lint,
+    write_baseline,
+)
 from repro.analysis.source_scan import scan_directory, scan_source
 
 __all__ = [
@@ -35,12 +48,18 @@ __all__ = [
     "LintReport",
     "Severity",
     "analyze_closure",
+    "analyze_concurrency",
     "check_rdd_lineage",
+    "compare_to_baseline",
     "iter_lineage_functions",
     "lint_pipeline",
     "lint_plan",
+    "load_baseline",
+    "parse_suppressions",
     "run_optimizer_checks",
     "run_plan_rules",
     "scan_directory",
     "scan_source",
+    "self_lint",
+    "write_baseline",
 ]

@@ -1,0 +1,896 @@
+"""GPF3xx: concurrency & resource-safety analysis of the framework itself.
+
+PRs 3–5 made this reproduction genuinely multi-threaded: ~20 lock-guarded
+classes across ``engine/``, ``serve/`` and ``obs/``, fsync+rename
+durability protocols, and deadline arithmetic on two different clocks.
+Review has already caught one-off instances of every hazard class this
+module detects (the BlockManager eviction publish-under-lock, the serve
+drain race); this pass makes those catches permanent.  Same architecture
+as :mod:`repro.analysis.plan_rules` / :mod:`repro.analysis.closures`:
+stdlib ``ast`` only, no imports of the analyzed code, stable ``GPF***``
+diagnostics.
+
+The five rules:
+
+- **GPF301 — unlocked access to a lock-guarded attribute.**  For every
+  class that creates a ``threading.Lock/RLock/Condition``, the guarded
+  attribute set is *inferred*: any ``self.X`` written at least once inside
+  a ``with self._lock:`` body (directly, or in a helper method only ever
+  called with the lock held) is guarded by that lock.  Reads or writes of
+  a guarded attribute outside every guarding-lock context are flagged.
+  ``__init__``/``__del__`` are exempt (no sharing yet / anymore), and an
+  inline ``# gpf: unlocked-ok(reason)`` suppresses a deliberate
+  benign-race fast path.
+- **GPF302 — lock-order cycle.**  The cross-class lock-acquisition graph
+  is built from nested ``with`` blocks and from method calls made while a
+  lock is held (``self.method()`` and ``self.attr.method()`` where the
+  attribute's class is known from ``self.attr = ClassName(...)``).  A
+  cycle means two threads can block on each other forever.
+- **GPF303 — blocking call under a lock.**  File I/O (``open``,
+  ``os.fsync``, ``os.replace``, ``os.unlink``, the block-file helpers),
+  ``subprocess``, ``time.sleep``, ``EventBus.publish`` fan-out, and
+  ``Condition.wait`` on a condition *other than* the held lock (or an
+  untimed wait on a foreign condition) all stall every thread contending
+  for that lock.  ``# gpf: lock-io-ok(reason)`` / ``lock-wait-ok``
+  suppress deliberate cases.
+- **GPF304 — broken durability protocol.**  ``os.replace``/``os.rename``
+  of a file the same function wrote, without an ``os.fsync`` of the tmp
+  file before the rename *and* a directory fsync after it — the crash
+  window the journal / BlockManager / ``jobs.jsonl`` contract closes.
+  ``# gpf: durability-ok(reason)`` suppresses.
+- **GPF305 — wall-clock deadline arithmetic.**  ``time.time()`` composed
+  with a deadline/timeout/elapsed-style identifier: NTP steps make such
+  deadlines fire early, late, or never; ``time.monotonic()`` is the
+  correct clock.  ``# gpf: wallclock-ok(reason)`` marks intentional
+  persisted wall-clock timestamps.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+# -- what counts as a lock ----------------------------------------------------
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+#: call roots/tails that block the calling thread (GPF303).
+BLOCKING_ROOTS = frozenset({"subprocess", "shutil", "socket"})
+BLOCKING_OS_TAILS = frozenset({"fsync", "replace", "rename", "unlink", "remove"})
+BLOCKING_NAMES = frozenset({"open", "write_block_file", "read_block_file"})
+BLOCKING_TIME_TAILS = frozenset({"sleep"})
+#: attribute-call tails treated as fan-out/publish (subscribers run inline).
+PUBLISH_TAILS = frozenset({"publish"})
+
+#: helper names that satisfy GPF304's directory-fsync requirement.
+DIR_FSYNC_NAMES = frozenset({"fsync_directory", "fsync_dir", "_fsync_dir"})
+
+#: identifiers that mark deadline/duration arithmetic (GPF305).
+DEADLINE_RE = re.compile(
+    r"deadline|timeout|expires|expiry|remaining|elapsed|duration", re.IGNORECASE
+)
+
+#: in-place mutators — a call of one of these on ``self.X`` is a write.
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault", "pop",
+        "popitem", "remove", "discard", "clear", "sort", "reverse",
+        "appendleft", "popleft", "move_to_end", "notify", "notify_all",
+    }
+)
+
+#: ``# gpf: <tag>-ok(reason)`` suppression tags -> the code they silence.
+SUPPRESS_TAGS = {
+    "unlocked": "GPF301",
+    "lock-order": "GPF302",
+    "lock-io": "GPF303",
+    "lock-wait": "GPF303",
+    "durability": "GPF304",
+    "wallclock": "GPF305",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*gpf:\s*([a-z][a-z-]*)-ok\(([^)]*)\)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """{line -> set of suppressed GPF codes} from inline comments."""
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "gpf:" not in text:
+            continue
+        for match in _SUPPRESS_RE.finditer(text):
+            code = SUPPRESS_TAGS.get(match.group(1))
+            if code:
+                out.setdefault(lineno, set()).add(code)
+    return out
+
+
+# -- per-method facts ---------------------------------------------------------
+@dataclass
+class Access:
+    """One ``self.X`` touch inside a method."""
+
+    attr: str
+    line: int
+    is_write: bool
+    held: frozenset[str]  # canonical lock attrs held at this point
+
+
+@dataclass
+class CallFact:
+    """One call made inside a method, with the locks held around it."""
+
+    kind: str  # "self" | "attr" | "other"
+    receiver: str | None  # self-attr name for kind == "attr"
+    method: str
+    line: int
+    held: frozenset[str]
+
+
+@dataclass
+class BlockingFact:
+    desc: str
+    line: int
+    held: frozenset[str]
+
+
+@dataclass
+class MethodScan:
+    name: str
+    node: ast.AST
+    accesses: list[Access] = field(default_factory=list)
+    calls: list[CallFact] = field(default_factory=list)
+    blocking: list[BlockingFact] = field(default_factory=list)
+    #: locks this method acquires itself (via ``with self.L``).
+    acquires: set[str] = field(default_factory=set)
+    #: (outer lock, inner lock, line) nesting observed in this body.
+    nestings: list[tuple[str, str, int]] = field(default_factory=list)
+
+
+@dataclass
+class ClassScan:
+    name: str
+    module: str  # repo-relative path
+    #: canonical lock attribute names.
+    locks: set[str] = field(default_factory=set)
+    #: Condition-wrapping aliases: alias attr -> canonical lock attr.
+    lock_alias: dict[str, str] = field(default_factory=dict)
+    #: self attr -> simple class name (``self.x = ClassName(...)``).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    methods: dict[str, MethodScan] = field(default_factory=dict)
+    #: method -> locks guaranteed held by every intra-class call site.
+    held_on_entry: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def canonical(self, attr: str) -> str:
+        seen = set()
+        while attr in self.lock_alias and attr not in seen:
+            seen.add(attr)
+            attr = self.lock_alias[attr]
+        return attr
+
+
+def _call_chain(node: ast.AST) -> list[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``X`` (one level only)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _self_attr_base(node: ast.AST) -> str | None:
+    """Root self-attribute of ``self.X.y[z]`` chains -> ``X``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        base = _self_attr(node)
+        if base is not None:
+            return base
+        node = node.value
+    return None
+
+
+def _module_lock_bindings(tree: ast.Module) -> tuple[set[str], dict[str, str]]:
+    """Local names that reach the lock factories in this module.
+
+    Returns ``(roots, names)``: *roots* are names bound to the
+    ``threading``/``multiprocessing`` modules themselves (including
+    ``import threading as _t`` aliases), *names* maps a locally bound
+    factory name to its canonical one (``from threading import Lock as
+    _L`` -> ``{"_L": "Lock"}``).
+    """
+    roots = {"threading", "multiprocessing"}
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("threading", "multiprocessing"):
+                    roots.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module in ("threading", "multiprocessing"):
+                for alias in node.names:
+                    if alias.name in LOCK_FACTORIES:
+                        names[alias.asname or alias.name] = alias.name
+    return roots, names
+
+
+# -- pass 1: collect lock attrs & attr types ---------------------------------
+def _collect_class_shape(
+    cls: ClassScan,
+    node: ast.ClassDef,
+    known_classes: set[str],
+    lock_roots: set[str],
+    lock_names: dict[str, str],
+) -> None:
+    for item in ast.walk(node):
+        if not isinstance(item, ast.Assign) or not isinstance(item.value, ast.Call):
+            continue
+        chain = _call_chain(item.value.func)
+        factory = None
+        if chain:
+            if chain[-1] in LOCK_FACTORIES and (
+                len(chain) == 1 or chain[0] in lock_roots
+            ):
+                factory = chain[-1]
+            elif len(chain) == 1 and chain[0] in lock_names:
+                factory = lock_names[chain[0]]
+        for target in item.targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            if factory is not None:
+                # Condition(self._other) aliases the wrapped lock.
+                wrapped = None
+                if factory == "Condition" and item.value.args:
+                    wrapped = _self_attr(item.value.args[0])
+                if wrapped:
+                    cls.lock_alias[attr] = wrapped
+                    cls.locks.add(wrapped)
+                else:
+                    cls.locks.add(attr)
+            elif chain and chain[-1] in known_classes and len(chain) <= 2:
+                cls.attr_types[attr] = chain[-1]
+
+
+# -- pass 2: walk method bodies with a held-lock stack -----------------------
+class _MethodWalker:
+    """Records accesses/calls/acquisitions in one method body.
+
+    Nested function/class bodies are skipped: a closure defined under a
+    lock does not *run* under it.
+    """
+
+    def __init__(self, cls: ClassScan, scan: MethodScan):
+        self.cls = cls
+        self.scan = scan
+
+    def walk(self, body: list[ast.stmt], held: tuple[str, ...]) -> None:
+        for stmt in body:
+            self._stmt(stmt, held)
+
+    def _stmt(self, node: ast.stmt, held: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            new_locks: list[str] = []
+            for item in node.items:
+                self._expr(item.context_expr, held)
+                attr = _self_attr(item.context_expr)
+                if attr is not None:
+                    canon = self.cls.canonical(attr)
+                    if canon in self.cls.locks:
+                        if held and held[-1] != canon:
+                            self.scan.nestings.append(
+                                (held[-1], canon, node.lineno)
+                            )
+                        if canon not in held:
+                            new_locks.append(canon)
+                            self.scan.acquires.add(canon)
+            self.walk(node.body, held + tuple(new_locks))
+            return
+        # Generic statement: record expressions, then recurse into child
+        # statement blocks with the same held set.
+        for fname, value in ast.iter_fields(node):
+            if isinstance(value, ast.expr):
+                self._expr(value, held)
+            elif isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    self.walk(value, held)
+                else:
+                    for sub in value:
+                        if isinstance(sub, ast.expr):
+                            self._expr(sub, held)
+                        elif isinstance(sub, ast.excepthandler):
+                            self.walk(sub.body, held)
+                        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+                            self._stmt(sub, held)
+
+    def _expr(self, node: ast.expr | None, held: tuple[str, ...]) -> None:
+        if node is None:
+            return
+        frozen = frozenset(held)
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # closure body: not executed here
+            if isinstance(sub, ast.Attribute):
+                attr = _self_attr(sub)
+                if attr is not None and attr not in self.cls.locks and (
+                    self.cls.canonical(attr) not in self.cls.locks
+                ):
+                    is_write = isinstance(sub.ctx, (ast.Store, ast.Del))
+                    self.scan.accesses.append(
+                        Access(attr, sub.lineno, is_write, frozen)
+                    )
+            elif isinstance(sub, ast.Subscript):
+                # self.X[k] = v  /  del self.X[k]: a write to X's referent.
+                if isinstance(sub.ctx, (ast.Store, ast.Del)):
+                    base = _self_attr_base(sub)
+                    if base is not None and base not in self.cls.locks:
+                        self.scan.accesses.append(
+                            Access(base, sub.lineno, True, frozen)
+                        )
+            elif isinstance(sub, ast.Call):
+                self._call(sub, frozen)
+
+    def _call(self, node: ast.Call, held: frozenset[str]) -> None:
+        chain = _call_chain(node.func)
+        line = node.lineno
+        # self.method(...) / self.attr.method(...)
+        if isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            method = node.func.attr
+            recv_attr = _self_attr(receiver)
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                self.scan.calls.append(CallFact("self", None, method, line, held))
+                if method in MUTATING_METHODS:
+                    pass  # self.method() mutators don't name an attribute
+            elif recv_attr is not None:
+                self.scan.calls.append(CallFact("attr", recv_attr, method, line, held))
+                if method in MUTATING_METHODS and recv_attr not in self.cls.locks:
+                    self.scan.accesses.append(Access(recv_attr, line, True, held))
+            else:
+                base = _self_attr_base(receiver)
+                if base is not None and method in MUTATING_METHODS and (
+                    base not in self.cls.locks
+                ):
+                    self.scan.accesses.append(Access(base, line, True, held))
+        # blocking-call classification
+        desc = self._blocking_desc(node, chain, held)
+        if desc is not None:
+            self.scan.blocking.append(BlockingFact(desc, line, held))
+
+    def _blocking_desc(
+        self, node: ast.Call, chain: list[str], held: frozenset[str]
+    ) -> str | None:
+        if not chain:
+            return None
+        dotted = ".".join(chain)
+        root, tail = chain[0], chain[-1]
+        if len(chain) == 1 and tail in BLOCKING_NAMES:
+            return f"{dotted}()"
+        if root == "os" and tail in BLOCKING_OS_TAILS:
+            return f"{dotted}()"
+        if root in BLOCKING_ROOTS and len(chain) >= 2:
+            return f"{dotted}()"
+        if root == "time" and tail in BLOCKING_TIME_TAILS:
+            return f"{dotted}()"
+        if tail in BLOCKING_NAMES and len(chain) == 1:
+            return f"{dotted}()"
+        if tail in PUBLISH_TAILS and len(chain) >= 2:
+            return f"{dotted}() subscriber fan-out"
+        if tail == "wait" and isinstance(node.func, ast.Attribute):
+            recv = _self_attr(node.func.value)
+            if recv is not None:
+                canon = self.cls.canonical(recv)
+                if canon in self.cls.locks and canon in held:
+                    return None  # waiting on the condition you hold: fine
+            if not node.args and not node.keywords:
+                return f"{dotted}() without a timeout"
+            return f"{dotted}() on a foreign condition"
+        return None
+
+
+# -- pass 3: lock-held propagation over intra-class calls --------------------
+def _propagate_held(cls: ClassScan) -> None:
+    """Fixpoint: a helper only ever called with lock L held runs under L."""
+    held: dict[str, frozenset[str] | None] = {name: None for name in cls.methods}
+    for _ in range(len(cls.methods) + 2):
+        changed = False
+        sites: dict[str, list[frozenset[str]]] = {n: [] for n in cls.methods}
+        for caller, scan in cls.methods.items():
+            entry = held.get(caller) or frozenset()
+            for call in scan.calls:
+                if call.kind == "self" and call.method in cls.methods:
+                    sites[call.method].append(call.held | entry)
+        for name in cls.methods:
+            if name in ("__init__", "__new__", "__post_init__"):
+                continue
+            callsites = sites[name]
+            if not callsites:
+                new: frozenset[str] = frozenset()
+            else:
+                new = frozenset.intersection(*callsites)
+            if held[name] != new:
+                held[name] = new
+                changed = True
+        if not changed:
+            break
+    cls.held_on_entry = {n: (h or frozenset()) for n, h in held.items()}
+
+
+def _effective(cls: ClassScan, method: str, held: frozenset[str]) -> frozenset[str]:
+    return held | cls.held_on_entry.get(method, frozenset())
+
+
+# -- lock-acquisition closure (which locks can a call end up taking?) --------
+def _acquires_closure(classes: dict[str, ClassScan]) -> dict[tuple[str, str], set[str]]:
+    """(class, method) -> set of "Class.lock" nodes it may acquire."""
+    acq: dict[tuple[str, str], set[str]] = {}
+    for cname, cls in classes.items():
+        for mname, scan in cls.methods.items():
+            acq[(cname, mname)] = {f"{cname}.{l}" for l in scan.acquires}
+    for _ in range(4):  # bounded transitive propagation
+        changed = False
+        for cname, cls in classes.items():
+            for mname, scan in cls.methods.items():
+                mine = acq[(cname, mname)]
+                before = len(mine)
+                for call in scan.calls:
+                    if call.kind == "self":
+                        key = (cname, call.method)
+                    elif call.kind == "attr":
+                        target = cls.attr_types.get(call.receiver or "")
+                        if target is None:
+                            continue
+                        key = (target, call.method)
+                    else:
+                        continue
+                    mine |= acq.get(key, set())
+                if len(mine) != before:
+                    changed = True
+        if not changed:
+            break
+    return acq
+
+
+# -- the module-set analyzer --------------------------------------------------
+@dataclass
+class _Module:
+    path: Path
+    rel: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]]
+
+
+def _suppressed(mod: _Module, code: str, line: int) -> bool:
+    for where in (line, line - 1):
+        if code in mod.suppressions.get(where, set()):
+            return True
+    return False
+
+
+def _diag(
+    mod: _Module,
+    code: str,
+    severity: Severity,
+    message: str,
+    line: int,
+    scope: str,
+    symbol: str,
+    fix_hint: str | None = None,
+) -> Diagnostic | None:
+    if _suppressed(mod, code, line):
+        return None
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        fix_hint=fix_hint,
+        file=mod.rel,
+        line=line,
+        resource=scope,
+        fingerprint=f"{code}|{mod.rel}|{scope}|{symbol}",
+    )
+
+
+def analyze_concurrency(
+    paths: list[Path] | list[str], root: Path | str | None = None
+) -> list[Diagnostic]:
+    """Run GPF301–305 over a set of framework source files."""
+    root = Path(root) if root is not None else None
+    modules: list[_Module] = []
+    out: list[Diagnostic] = []
+    for raw in paths:
+        path = Path(raw)
+        rel = str(path.relative_to(root)) if root else str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError) as exc:
+            out.append(
+                Diagnostic(
+                    code="GPF301",
+                    severity=Severity.ERROR,
+                    message=f"cannot parse {rel}: {exc}",
+                    file=rel,
+                    fingerprint=f"parse|{rel}",
+                )
+            )
+            continue
+        modules.append(_Module(path, rel, tree, parse_suppressions(source)))
+
+    # pass 1: class shapes (lock attrs, attr types) across the whole set.
+    known_classes: set[str] = set()
+    class_nodes: list[tuple[_Module, ast.ClassDef]] = []
+    for mod in modules:
+        for node in mod.tree.body:
+            if isinstance(node, ast.ClassDef):
+                known_classes.add(node.name)
+                class_nodes.append((mod, node))
+
+    classes: dict[str, ClassScan] = {}
+    class_mod: dict[str, _Module] = {}
+    bindings = {id(mod): _module_lock_bindings(mod.tree) for mod in modules}
+    for mod, node in class_nodes:
+        cls = ClassScan(node.name, mod.rel)
+        lock_roots, lock_names = bindings[id(mod)]
+        _collect_class_shape(cls, node, known_classes, lock_roots, lock_names)
+        if node.name not in classes:  # first definition wins on collision
+            classes[node.name] = cls
+            class_mod[node.name] = mod
+
+    # pass 2: method walks for lock-owning classes.
+    for mod, node in class_nodes:
+        cls = classes.get(node.name)
+        if cls is None or cls.module != mod.rel:
+            continue
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan = MethodScan(item.name, item)
+                _MethodWalker(cls, scan).walk(item.body, ())
+                cls.methods[item.name] = scan
+        _propagate_held(cls)
+
+    # pass 3: GPF301 + GPF303 per class.
+    for name, cls in classes.items():
+        if not cls.locks:
+            continue
+        mod = class_mod[name]
+        out.extend(_check_class(mod, cls))
+
+    # pass 4: GPF302 over the global lock graph.
+    out.extend(_check_lock_order(classes, class_mod))
+
+    # pass 5: GPF304/GPF305 over every function and method.
+    for mod in modules:
+        out.extend(_check_durability_and_clock(mod))
+
+    return out
+
+
+# -- GPF301 + GPF303 ----------------------------------------------------------
+def _check_class(mod: _Module, cls: ClassScan) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    # Infer the guarded set: attr -> locks it was written under.
+    guarded: dict[str, set[str]] = {}
+    for mname, scan in cls.methods.items():
+        if mname in ("__init__", "__new__", "__post_init__", "__del__"):
+            continue
+        for acc in scan.accesses:
+            held = _effective(cls, mname, acc.held)
+            if acc.is_write and held:
+                guarded.setdefault(acc.attr, set()).update(held)
+
+    scope_base = cls.name
+    for mname, scan in cls.methods.items():
+        if mname in ("__init__", "__new__", "__post_init__", "__del__"):
+            continue
+        scope = f"{scope_base}.{mname}"
+        seen_lines: set[tuple[str, int]] = set()
+        for acc in scan.accesses:
+            locks = guarded.get(acc.attr)
+            if not locks:
+                continue
+            held = _effective(cls, mname, acc.held)
+            if held & locks:
+                continue
+            key = (acc.attr, acc.line)
+            if key in seen_lines:
+                continue
+            seen_lines.add(key)
+            verb = "written" if acc.is_write else "read"
+            lock_names = ", ".join(sorted(f"self.{l}" for l in locks))
+            diag = _diag(
+                mod,
+                "GPF301",
+                Severity.WARNING,
+                f"{scope}: self.{acc.attr} is {verb} without holding "
+                f"{lock_names}, but it is written under that lock elsewhere "
+                f"in {cls.name}",
+                acc.line,
+                scope,
+                acc.attr,
+                fix_hint="take the lock around this access, or annotate a "
+                "deliberate benign race with `# gpf: unlocked-ok(reason)`",
+            )
+            if diag:
+                out.append(diag)
+        for blk in scan.blocking:
+            held = _effective(cls, mname, blk.held)
+            if not held:
+                continue
+            lock_names = ", ".join(sorted(f"self.{l}" for l in held))
+            diag = _diag(
+                mod,
+                "GPF303",
+                Severity.WARNING,
+                f"{scope}: blocking {blk.desc} while holding {lock_names}; "
+                "every thread contending for the lock stalls behind this "
+                "I/O",
+                blk.line,
+                scope,
+                blk.desc.split("(")[0],
+                fix_hint="move the blocking work outside the critical "
+                "section (collect under the lock, act after release), or "
+                "annotate with `# gpf: lock-io-ok(reason)`",
+            )
+            if diag:
+                out.append(diag)
+    return out
+
+
+# -- GPF302 -------------------------------------------------------------------
+def _check_lock_order(
+    classes: dict[str, ClassScan], class_mod: dict[str, _Module]
+) -> list[Diagnostic]:
+    acq = _acquires_closure(classes)
+    edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+
+    def add_edge(a: str, b: str, mod_rel: str, line: int, via: str) -> None:
+        if a != b and (a, b) not in edges:
+            edges[(a, b)] = (mod_rel, line, via)
+
+    for cname, cls in classes.items():
+        for mname, scan in cls.methods.items():
+            entry = cls.held_on_entry.get(mname, frozenset())
+            for outer, inner, line in scan.nestings:
+                add_edge(
+                    f"{cname}.{outer}", f"{cname}.{inner}", cls.module, line,
+                    f"{cname}.{mname}",
+                )
+            for held_lock in entry:
+                for acquired in scan.acquires:
+                    if acquired != held_lock:
+                        add_edge(
+                            f"{cname}.{held_lock}", f"{cname}.{acquired}",
+                            cls.module, scan.node.lineno, f"{cname}.{mname}",
+                        )
+            for call in scan.calls:
+                held = call.held | entry
+                if not held:
+                    continue
+                if call.kind == "self":
+                    key = (cname, call.method)
+                elif call.kind == "attr":
+                    target = cls.attr_types.get(call.receiver or "")
+                    if target is None:
+                        continue
+                    key = (target, call.method)
+                else:
+                    continue
+                for node in acq.get(key, set()):
+                    for h in held:
+                        add_edge(
+                            f"{cname}.{h}", node, cls.module, call.line,
+                            f"{cname}.{mname} -> {key[0]}.{key[1]}",
+                        )
+
+    # cycle detection: DFS over the edge set.
+    graph: dict[str, list[str]] = {}
+    for (a, b) in edges:
+        graph.setdefault(a, []).append(b)
+    out: list[Diagnostic] = []
+    reported: set[frozenset[str]] = set()
+
+    def dfs(start: str) -> None:
+        stack: list[tuple[str, list[str]]] = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            for nxt in graph.get(node, ()):
+                if nxt == start:
+                    cycle = frozenset(path)
+                    if cycle in reported:
+                        continue
+                    reported.add(cycle)
+                    first = edges[(path[0], path[1] if len(path) > 1 else start)]
+                    mod_rel, line, via = first
+                    cycle_text = " -> ".join(path + [start])
+                    out.append(
+                        Diagnostic(
+                            code="GPF302",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"lock-order cycle: {cycle_text} (first edge "
+                                f"via {via}); two threads taking these locks "
+                                "in opposite order deadlock"
+                            ),
+                            file=mod_rel,
+                            line=line,
+                            resource=via,
+                            fingerprint="GPF302|" + "|".join(sorted(cycle)),
+                            fix_hint="pick one global order for these locks "
+                            "and release before calling across classes",
+                        )
+                    )
+                elif nxt not in path:
+                    stack.append((nxt, path + [nxt]))
+
+    for node in list(graph):
+        dfs(node)
+    return out
+
+
+# -- GPF304 + GPF305 ----------------------------------------------------------
+def _functions(tree: ast.Module):
+    """(qualified name, node) for every function/method in the module."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{item.name}", item
+
+
+def _check_durability_and_clock(mod: _Module) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for scope, func in _functions(mod.tree):
+        renames: list[tuple[int, str]] = []
+        fsync_lines: list[int] = []
+        dir_fsync = False
+        writes_file = False
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _call_chain(node.func)
+            if not chain:
+                continue
+            dotted = ".".join(chain)
+            tail = chain[-1]
+            if chain[0] == "os" and tail in ("replace", "rename"):
+                renames.append((node.lineno, dotted))
+            elif dotted == "os.fsync":
+                fsync_lines.append(node.lineno)
+            elif tail in DIR_FSYNC_NAMES:
+                dir_fsync = True
+            elif len(chain) == 1 and tail == "open":
+                for arg in list(node.args)[1:2] + [
+                    kw.value for kw in node.keywords if kw.arg == "mode"
+                ]:
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        if "w" in arg.value or "a" in arg.value or "x" in arg.value:
+                            writes_file = True
+        for line, dotted in renames:
+            if not writes_file:
+                continue  # pure move of an existing file: not this contract
+            missing = []
+            if not any(l < line for l in fsync_lines):
+                missing.append("no os.fsync of the written tmp file before it")
+            if not dir_fsync:
+                missing.append("no fsync of the containing directory after it")
+            if not missing:
+                continue
+            diag = _diag(
+                mod,
+                "GPF304",
+                Severity.WARNING,
+                f"{scope}: {dotted}() publishes a freshly written file but "
+                + " and ".join(missing)
+                + "; a crash can surface an empty or torn file",
+                line,
+                scope,
+                dotted,
+                fix_hint="fsync the tmp file before the rename and the "
+                "directory after (fsync_directory), or annotate with "
+                "`# gpf: durability-ok(reason)`",
+            )
+            if diag:
+                out.append(diag)
+        out.extend(_check_wall_clock(mod, scope, func))
+    return out
+
+
+def _is_time_time(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _call_chain(node.func) in (["time", "time"],)
+    )
+
+
+def _check_wall_clock(mod: _Module, scope: str, func: ast.AST) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    seen: set[int] = set()
+
+    def identifiers(node: ast.AST):
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+            elif isinstance(sub, ast.Attribute):
+                yield sub.attr
+            elif isinstance(sub, ast.keyword) and sub.arg:
+                yield sub.arg
+
+    def contains_wall_clock(node: ast.AST) -> int | None:
+        for sub in ast.walk(node):
+            if _is_time_time(sub):
+                return sub.lineno
+        return None
+
+    for node in ast.walk(func):
+        names: list[str] = []
+        expr: ast.AST | None = None
+        if isinstance(node, (ast.BinOp, ast.Compare)):
+            expr = node
+            names = list(identifiers(node))
+        elif isinstance(node, ast.Assign) and isinstance(
+            node.value, (ast.BinOp, ast.Compare)
+        ):
+            expr = node.value
+            names = list(identifiers(node.value))
+            for target in node.targets:
+                names.extend(identifiers(target))
+        elif isinstance(node, ast.keyword) and node.arg and isinstance(
+            node.value, (ast.BinOp, ast.Compare)
+        ):
+            expr = node.value
+            names = [node.arg, *identifiers(node.value)]
+        if expr is None:
+            continue
+        line = contains_wall_clock(expr)
+        if line is None or line in seen:
+            continue
+        if not any(DEADLINE_RE.search(n) for n in names):
+            continue
+        seen.add(line)
+        diag = _diag(
+            mod,
+            "GPF305",
+            Severity.WARNING,
+            f"{scope}: time.time() used in deadline/duration arithmetic "
+            f"with {sorted({n for n in names if DEADLINE_RE.search(n)})}; "
+            "an NTP clock step makes this fire early, late, or never",
+            line,
+            scope,
+            "time.time",
+            fix_hint="use time.monotonic() for deadlines and durations; "
+            "keep time.time() only for persisted timestamps "
+            "(`# gpf: wallclock-ok(reason)`)",
+        )
+        if diag:
+            out.append(diag)
+    return out
+
+
+def scan_concurrency_source(source: str, filename: str = "<memory>") -> list[Diagnostic]:
+    """Analyze one source string (fixture tests use this)."""
+    import tempfile
+    import os
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / (Path(filename).name or "mod.py")
+        path.write_text(source, encoding="utf-8")
+        diags = analyze_concurrency([path], root=tmp)
+    return diags

@@ -6,7 +6,9 @@ code instead of the message text.  Codes are grouped by layer:
 
 - ``GPF0xx`` — plan rules over the Process DAG,
 - ``GPF1xx`` — optimizer cross-checks (Fig. 7 redundancy accounting),
-- ``GPF2xx`` — closure analysis of functions shipped to RDD tasks.
+- ``GPF2xx`` — closure analysis of functions shipped to RDD tasks,
+- ``GPF3xx`` — concurrency & resource-safety rules over the framework's
+  *own* source (``gpf lint --self``).
 """
 
 from __future__ import annotations
@@ -48,6 +50,12 @@ CODES: dict[str, str] = {
     "GPF202": "RDD closure mutates captured driver-side state",
     "GPF203": "RDD closure captures a large object; broadcast it",
     "GPF204": "RDD closure captures an unseeded RNG or reads the wall clock",
+    # -- framework self-analysis (GPF3xx) ------------------------------------
+    "GPF301": "lock-guarded attribute accessed outside any lock context",
+    "GPF302": "lock-acquisition cycle (potential deadlock)",
+    "GPF303": "blocking call while holding a lock",
+    "GPF304": "rename of a written file without fsync of file and directory",
+    "GPF305": "wall-clock time.time() in deadline/duration arithmetic",
 }
 
 
@@ -64,6 +72,13 @@ class Diagnostic:
     resource: str | None = None
     #: A short, actionable suggestion.
     fix_hint: str | None = None
+    #: Source file the finding is anchored to (GPF3xx / source scans).
+    file: str | None = None
+    #: 1-based source line within :attr:`file`.
+    line: int | None = None
+    #: Stable identity for baseline matching: survives line-number drift
+    #: (``code|file|scope|symbol``); ``None`` for plan/closure findings.
+    fingerprint: str | None = None
 
     def __post_init__(self) -> None:
         if self.code not in CODES:
@@ -78,7 +93,24 @@ class Diagnostic:
             where.append(f"resource={self.resource}")
         location = f" [{', '.join(where)}]" if where else ""
         hint = f"  (fix: {self.fix_hint})" if self.fix_hint else ""
-        return f"{self.severity} {self.code}{location}: {self.message}{hint}"
+        prefix = ""
+        if self.file:
+            prefix = f"{self.file}:{self.line}: " if self.line else f"{self.file}: "
+        return f"{prefix}{self.severity} {self.code}{location}: {self.message}{hint}"
+
+    def to_json(self) -> dict:
+        """Flat JSON document (the ``gpf lint --json`` record shape)."""
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "process": self.process,
+            "resource": self.resource,
+            "fix_hint": self.fix_hint,
+            "file": self.file,
+            "line": self.line,
+            "fingerprint": self.fingerprint,
+        }
 
 
 @dataclass

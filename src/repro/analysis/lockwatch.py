@@ -1,0 +1,326 @@
+"""Runtime lock-order watchdog: the dynamic half of ``gpf lint --self``.
+
+The static GPF302 rule proves the *absence* of lock-order cycles the
+AST can see; this module verifies the same property on the locks the
+test suite actually takes.  While installed, every lock created through
+``threading.Lock()`` / ``threading.RLock()`` is wrapped in a watched
+proxy.  Each acquisition records an edge from every lock the acquiring
+thread already holds to the new one, keyed by the lock's *creation
+site* (``file:line``) so all instances of one class's ``self._lock``
+collapse into a single graph node.  A cycle in that graph is a
+witnessed order inversion: two threads that interleave badly can
+deadlock, even if the test run happened not to.
+
+Installation is reference-counted, modeled on the ``_GcTimer`` hook in
+:mod:`repro.engine.metrics`: the patch to the ``threading`` factories is
+process-global, so each watcher scope takes a reference and the
+factories are restored when the last reference drops.  Locks created
+while watched keep working after ``uninstall()`` — only the bookkeeping
+stops.
+
+Usage::
+
+    from repro.analysis import lockwatch
+
+    lockwatch.install()
+    try:
+        run_concurrency_suite()
+    finally:
+        report = lockwatch.report()
+        lockwatch.uninstall()
+    assert report["cycles"] == []
+
+Internal bookkeeping uses raw ``_thread.allocate_lock()`` locks, which
+the patched factories never touch — the watchdog must not watch itself.
+"""
+
+from __future__ import annotations
+
+import _thread
+import json
+import sys
+import threading
+from typing import Any
+
+__all__ = [
+    "install",
+    "uninstall",
+    "installed",
+    "reset",
+    "report",
+    "dump_report",
+    "watching",
+]
+
+#: Files whose frames never become a lock label: this module and the
+#: stdlib threading module (Condition/Semaphore create locks internally;
+#: the interesting site is their caller).
+_SKIP_LABEL_FILES = frozenset({__file__, threading.__file__})
+
+
+def _creation_site() -> str:
+    """``file:line`` of the first caller frame outside the watchdog."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename not in _SKIP_LABEL_FILES:
+            return f"{filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class _WatchedLock:
+    """Proxy around a real lock that reports acquisitions to the watch.
+
+    Everything not intercepted is delegated via ``__getattr__`` — and
+    *only* via ``__getattr__``: ``threading.Condition`` probes for
+    ``_release_save``/``_acquire_restore``/``_is_owned`` with try/except
+    AttributeError to distinguish RLocks from plain locks, so a plain
+    Lock proxy must genuinely raise, while an RLock proxy delegates.
+    """
+
+    def __init__(self, inner: Any, label: str, watch: "_LockWatch"):
+        # Avoid __setattr__ recursion by writing through object.
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "_label", label)
+        object.__setattr__(self, "_watch", watch)
+
+    # -- the watched operations ------------------------------------------
+    def acquire(self, *args: Any, **kwargs: Any) -> Any:
+        got = self._inner.acquire(*args, **kwargs)
+        if got:
+            self._watch._note_acquire(self)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._watch._note_release(self)
+
+    def __enter__(self) -> Any:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> Any:
+        self.release()
+        return False
+
+    def __getattr__(self, name: str) -> Any:
+        inner = object.__getattribute__(self, "_inner")
+        attr = getattr(inner, name)  # plain Lock raises here — by design
+        # RLock-style internals used by Condition.wait(): wrap them so
+        # the watch sees the hidden release/reacquire.  They must NOT be
+        # real methods on this class: Condition probes for them with
+        # try/except AttributeError to tell RLocks from plain locks, and
+        # a real method would make a plain-Lock proxy claim to be an
+        # RLock.
+        if name == "_release_save":
+            watch = object.__getattribute__(self, "_watch")
+
+            def _release_save() -> Any:
+                state = attr()
+                watch._note_release(self)
+                return state
+
+            return _release_save
+        if name == "_acquire_restore":
+            watch = object.__getattribute__(self, "_watch")
+
+            def _acquire_restore(state: Any) -> None:
+                attr(state)
+                watch._note_acquire(self)
+
+            return _acquire_restore
+        return attr
+
+    def __repr__(self) -> str:
+        return f"<watched {self._inner!r} from {self._label}>"
+
+
+class _LockWatch:
+    """The process-global acquisition recorder (module singleton)."""
+
+    def __init__(self) -> None:
+        self._meta = _thread.allocate_lock()  # raw: never watched
+        self._refs = 0
+        self._installed = False
+        self._orig_lock = None
+        self._orig_rlock = None
+        self._tls = threading.local()
+        #: (from_label, to_label) -> times witnessed.
+        self._edges: dict[tuple[str, str], int] = {}
+        #: label -> times two *instances* of it nested (not a cycle).
+        self._self_edges: dict[str, int] = {}
+        #: label -> acquisition count.
+        self._acquires: dict[str, int] = {}
+
+    # -- install / uninstall ---------------------------------------------
+    def install(self) -> None:
+        """Take a reference; patch the factories on the first one."""
+        with self._meta:
+            self._refs += 1
+            if self._installed:
+                return
+            self._orig_lock = threading.Lock
+            self._orig_rlock = threading.RLock
+            watch = self
+
+            def make_lock() -> _WatchedLock:
+                return _WatchedLock(watch._orig_lock(), _creation_site(), watch)
+
+            def make_rlock() -> _WatchedLock:
+                return _WatchedLock(watch._orig_rlock(), _creation_site(), watch)
+
+            threading.Lock = make_lock  # type: ignore[assignment]
+            threading.RLock = make_rlock  # type: ignore[assignment]
+            self._installed = True
+
+    def uninstall(self) -> None:
+        """Drop a reference; restore the factories on the last one."""
+        with self._meta:
+            self._refs = max(0, self._refs - 1)
+            if self._refs or not self._installed:
+                return
+            threading.Lock = self._orig_lock  # type: ignore[assignment]
+            threading.RLock = self._orig_rlock  # type: ignore[assignment]
+            self._orig_lock = None
+            self._orig_rlock = None
+            self._installed = False
+
+    @property
+    def installed(self) -> bool:
+        with self._meta:
+            return self._installed
+
+    def reset(self) -> None:
+        with self._meta:
+            self._edges.clear()
+            self._self_edges.clear()
+            self._acquires.clear()
+
+    # -- per-acquisition bookkeeping -------------------------------------
+    def _held(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _note_acquire(self, lock: _WatchedLock) -> None:
+        stack = self._held()
+        label = lock._label
+        reentrant = any(h is lock for h in stack)
+        if not reentrant:
+            with self._meta:
+                self._acquires[label] = self._acquires.get(label, 0) + 1
+                for held in stack:
+                    if held is lock:
+                        continue
+                    if held._label == label:
+                        # Two instances sharing a creation site (e.g. two
+                        # BlockManagers): a hierarchy question, not a
+                        # provable inversion — reported separately.
+                        self._self_edges[label] = (
+                            self._self_edges.get(label, 0) + 1
+                        )
+                    else:
+                        key = (held._label, label)
+                        self._edges[key] = self._edges.get(key, 0) + 1
+        stack.append(lock)
+
+    def _note_release(self, lock: _WatchedLock) -> None:
+        stack = self._held()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                return
+
+    # -- reporting --------------------------------------------------------
+    def find_cycles(self) -> list[list[str]]:
+        """Distinct label cycles in the witnessed acquisition graph."""
+        with self._meta:
+            edges = set(self._edges)
+        graph: dict[str, list[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, []).append(b)
+        cycles: list[list[str]] = []
+        seen: set[frozenset[str]] = set()
+        for start in sorted(graph):
+            stack = [(start, [start])]
+            while stack:
+                node, path = stack.pop()
+                for nxt in graph.get(node, ()):
+                    if nxt == start:
+                        key = frozenset(path)
+                        if key not in seen:
+                            seen.add(key)
+                            cycles.append(path + [start])
+                    elif nxt not in path:
+                        stack.append((nxt, path + [nxt]))
+        return cycles
+
+    def report(self) -> dict:
+        """JSON-ready summary of everything witnessed so far."""
+        with self._meta:
+            edges = dict(self._edges)
+            self_edges = dict(self._self_edges)
+            acquires = dict(self._acquires)
+        return {
+            "locks": [
+                {"label": label, "acquires": count}
+                for label, count in sorted(acquires.items())
+            ],
+            "edges": [
+                {"from": a, "to": b, "count": count}
+                for (a, b), count in sorted(edges.items())
+            ],
+            "self_edges": [
+                {"label": label, "count": count}
+                for label, count in sorted(self_edges.items())
+            ],
+            "cycles": self.find_cycles(),
+        }
+
+
+_watch = _LockWatch()
+
+
+def install() -> None:
+    """Start watching lock creation (refcounted; pairs with uninstall)."""
+    _watch.install()
+
+
+def uninstall() -> None:
+    """Drop one watcher reference; restores factories at zero."""
+    _watch.uninstall()
+
+
+def installed() -> bool:
+    return _watch.installed
+
+
+def reset() -> None:
+    """Forget every recorded edge (keeps the factories patched)."""
+    _watch.reset()
+
+
+def report() -> dict:
+    return _watch.report()
+
+
+def dump_report(path: str) -> dict:
+    """Write the report as JSON and return it."""
+    data = _watch.report()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return data
+
+
+class watching:
+    """``with lockwatch.watching() as w:`` scope; ``w.report()`` inside."""
+
+    def __enter__(self) -> "_LockWatch":
+        install()
+        return _watch
+
+    def __exit__(self, *exc: Any) -> bool:
+        uninstall()
+        return False

@@ -1,0 +1,99 @@
+"""``gpf lint --self``: run the GPF3xx rules over this very package.
+
+The analyzer in :mod:`repro.analysis.concurrency` is generic over any
+set of Python files; this module points it at the installed ``repro``
+package and manages the *baseline* — the committed set of grandfathered
+finding fingerprints in ``self_baseline.json``.  CI fails only on
+findings that are **not** in the baseline, so the gate catches new
+concurrency hazards without demanding an instant fix for every
+pre-existing one; shrinking the baseline over time is tracked work, not
+an emergency.
+
+Fingerprints (``code|file|scope|symbol``) are compared as a multiset:
+two unlocked reads of the same attribute in the same method share a
+fingerprint, and fixing one of them must not hide the other.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.concurrency import analyze_concurrency
+from repro.analysis.diagnostics import Diagnostic, LintReport
+
+#: The package root the self-lint walks (…/src/repro).
+SELF_ROOT = Path(__file__).resolve().parents[1]
+
+#: The committed grandfather list, next to this module.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "self_baseline.json"
+
+
+def framework_sources(root: Path | None = None) -> list[Path]:
+    """Every framework source file, deterministic order."""
+    root = root or SELF_ROOT
+    return sorted(p for p in root.rglob("*.py") if "__pycache__" not in p.parts)
+
+
+def self_lint(root: Path | None = None) -> LintReport:
+    """Run GPF301–305 over the framework; paths relative to ``src/``."""
+    root = root or SELF_ROOT
+    report = LintReport()
+    # Anchor relative paths at src/ so fingerprints read "repro/…" and
+    # survive both editable installs and checkouts at any directory.
+    report.extend(analyze_concurrency(framework_sources(root), root=root.parent))
+    return report
+
+
+# -- baseline ----------------------------------------------------------------
+def load_baseline(path: Path | str | None = None) -> Counter:
+    """Fingerprint multiset from the baseline file; empty if missing."""
+    path = Path(path) if path is not None else DEFAULT_BASELINE
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return Counter(data.get("fingerprints", []))
+
+
+def write_baseline(report: LintReport, path: Path | str | None = None) -> Path:
+    """Persist the current findings as the new grandfather list."""
+    path = Path(path) if path is not None else DEFAULT_BASELINE
+    fingerprints = sorted(
+        d.fingerprint for d in report.diagnostics if d.fingerprint
+    )
+    payload = {
+        "comment": (
+            "Grandfathered gpf lint --self findings. CI fails only on "
+            "findings not in this list; regenerate with "
+            "`gpf lint --self --update-baseline` after fixing or "
+            "deliberately accepting findings."
+        ),
+        "fingerprints": fingerprints,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def compare_to_baseline(
+    report: LintReport, baseline: Counter
+) -> tuple[list[Diagnostic], list[str]]:
+    """Split the run against the grandfather list.
+
+    Returns ``(new, fixed)``: diagnostics whose fingerprint exceeds its
+    baselined count (these fail CI), and baselined fingerprints that no
+    longer occur at all (candidates for pruning from the file).
+    """
+    remaining = Counter(baseline)
+    new: list[Diagnostic] = []
+    for diag in report.diagnostics:
+        fp = diag.fingerprint
+        if fp and remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+        else:
+            new.append(diag)
+    current = Counter(d.fingerprint for d in report.diagnostics if d.fingerprint)
+    fixed = sorted(fp for fp in baseline if current.get(fp, 0) == 0)
+    return new, fixed

@@ -163,7 +163,33 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--examples",
         metavar="DIR",
-        help="also source-scan every *.py plan in DIR",
+        action="append",
+        help="also source-scan every *.py plan in DIR (repeatable)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON (stable interface for CI/hooks)",
+    )
+    lint.add_argument(
+        "--self",
+        dest="self_lint",
+        action="store_true",
+        help=(
+            "lint the framework's own source instead of a pipeline: "
+            "GPF3xx concurrency & resource-safety rules against the "
+            "committed baseline"
+        ),
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file for --self (default: the committed one)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --self: rewrite the baseline from this run's findings",
     )
 
     sc = sub.add_parser("scaling", help="print the Fig. 10 scaling table")
@@ -467,11 +493,65 @@ def cmd_report(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_lint_self(args: argparse.Namespace) -> int:
+    """lint --self: GPF3xx concurrency rules over the framework source."""
+    import json as _json
+
+    from repro.analysis import (
+        compare_to_baseline,
+        load_baseline,
+        self_lint,
+        write_baseline,
+    )
+    from repro.analysis.selfcheck import DEFAULT_BASELINE
+
+    report = self_lint()
+    baseline_path = args.baseline or DEFAULT_BASELINE
+
+    if args.update_baseline:
+        path = write_baseline(report, baseline_path)
+        print(f"gpfcheck --self: baseline written to {path} "
+              f"({len(report)} finding(s) grandfathered)")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, fixed = compare_to_baseline(report, baseline)
+
+    if args.json:
+        print(_json.dumps(
+            {
+                "mode": "self",
+                "findings": [d.to_json() for d in report.sorted()],
+                "new": [d.to_json() for d in new],
+                "fixed_fingerprints": fixed,
+                "baseline": str(baseline_path),
+                "baseline_size": sum(baseline.values()),
+            },
+            indent=2,
+        ))
+    else:
+        print(f"gpfcheck --self: {len(report)} finding(s), "
+              f"{sum(baseline.values())} baselined, {len(new)} new")
+        for diag in new or []:
+            print(diag.render())
+        if fixed:
+            print(
+                f"note: {len(fixed)} baselined finding(s) no longer occur; "
+                "prune them with --update-baseline"
+            )
+    return 1 if new else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """lint: build the WGS plan and statically validate it (no execution)."""
+    import json as _json
+
     from repro.analysis import LintOptions, Severity, lint_pipeline, scan_directory
     from repro.engine import EngineConfig, GPFContext
     from repro.wgs import build_wgs_pipeline
+
+    if args.self_lint:
+        return cmd_lint_self(args)
 
     if args.reference:
         from repro.engine.files import load_fastq_pair_lazy
@@ -521,24 +601,44 @@ def cmd_lint(args: argparse.Namespace) -> int:
             partition_length=args.partition_length,
         )
         report = lint_pipeline(handles.pipeline, options=options)
-        print(f"gpfcheck: plan {handles.pipeline.name!r} "
-              f"({len(handles.pipeline.processes)} processes)")
-        print(report.render(min_severity=Severity.INFO))
+        if not args.json:
+            print(f"gpfcheck: plan {handles.pipeline.name!r} "
+                  f"({len(handles.pipeline.processes)} processes)")
+            print(report.render(min_severity=Severity.INFO))
         if report.has_errors or (args.warnings_as_errors and report.warnings):
             exit_code = 1
 
-    if args.examples:
-        if not os.path.isdir(args.examples):
-            print(f"lint: no such directory: {args.examples}", file=sys.stderr)
+    scan_results: dict[str, list] = {}
+    for directory in args.examples or []:
+        if not os.path.isdir(directory):
+            print(f"lint: no such directory: {directory}", file=sys.stderr)
             return 2
-        print(f"\ngpfcheck: source scan over {args.examples}/*.py")
-        for name, diags in scan_directory(args.examples).items():
+        if not args.json:
+            print(f"\ngpfcheck: source scan over {directory}/*.py")
+        for name, diags in scan_directory(directory).items():
+            scan_results[os.path.join(directory, name)] = diags
             for diag in diags:
-                print(f"  {name}: {diag.render()}")
+                if not args.json:
+                    print(f"  {name}: {diag.render()}")
                 if diag.severity >= Severity.ERROR or args.warnings_as_errors:
                     exit_code = 1
-            if not diags:
+            if not diags and not args.json:
                 print(f"  {name}: clean")
+
+    if args.json:
+        print(_json.dumps(
+            {
+                "mode": "pipeline",
+                "plan": handles.pipeline.name,
+                "findings": [d.to_json() for d in report.sorted()],
+                "source_scan": {
+                    path: [d.to_json() for d in diags]
+                    for path, diags in scan_results.items()
+                },
+                "exit_code": exit_code,
+            },
+            indent=2,
+        ))
     return exit_code
 
 
@@ -635,7 +735,10 @@ def _client(args):
 
 def _print_job_line(job: dict) -> None:
     took = ""
-    if job.get("finished_at") and job.get("started_at"):
+    if job.get("run_seconds") is not None:
+        took = f"  {job['run_seconds']:.1f}s"
+    elif job.get("finished_at") and job.get("started_at"):
+        # Jobs from an older service: wall-clock difference is all we have.
         took = f"  {job['finished_at'] - job['started_at']:.1f}s"
     error = f"  {job['error']}" if job.get("error") else ""
     records = ""

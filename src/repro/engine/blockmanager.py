@@ -53,14 +53,36 @@ def unframe_block(data: bytes, where: str = "") -> bytes:
     return blob
 
 
+def fsync_directory(path: str) -> None:
+    """fsync a directory so a just-renamed entry survives a crash.
+
+    POSIX only persists the rename itself once the *directory* is
+    synced; fsyncing the file alone leaves a window where the entry
+    vanishes on power loss.  Best-effort on platforms whose directory
+    handles reject fsync.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def write_block_file(path: str, blob: bytes) -> None:
-    """Atomically write a framed block file (tmp + rename)."""
+    """Atomically and durably write a framed block file (tmp + fsync +
+    rename + directory fsync)."""
     tmp = path + ".tmp"
     with open(tmp, "wb") as fh:
         fh.write(frame_block(blob))
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    fsync_directory(os.path.dirname(path) or ".")
 
 
 def read_block_file(path: str) -> bytes:
@@ -114,6 +136,10 @@ class BlockManager:
         self._memory: "OrderedDict[tuple[int, int], bytes]" = OrderedDict()
         self._memory_bytes = 0
         self._on_disk: set[tuple[int, int]] = set()
+        #: Blocks chosen for eviction whose spill write is in flight.
+        #: Reads serve these from memory; evict_rdd cancels them by
+        #: removing the entry (the writer then discards its stale file).
+        self._spilling: dict[tuple[int, int], bytes] = {}
         self.stats = BlockStats()
 
     # -- public ------------------------------------------------------------
@@ -123,8 +149,29 @@ class BlockManager:
                 self._memory_bytes -= len(self._memory.pop(key))
             self._memory[key] = blob
             self._memory_bytes += len(blob)
-            evicted = self._evict_if_needed()
+            victims = self._select_victims()
             self._refresh_stats()
+        # Spill writes happen *outside* the lock: a slow disk must not
+        # stall every other cache operation (this mirrors the PR-4 fix
+        # that moved the eviction publish out of the critical section).
+        evicted: list[tuple[int, int]] = []
+        for vkey, vblob in victims:
+            path = self._block_path(vkey)
+            write_block_file(path, vblob)
+            with self._lock:
+                cancelled = self._spilling.pop(vkey, None) is None
+                if not cancelled:
+                    self._on_disk.add(vkey)
+                    self.stats.evictions += 1
+                    evicted.append(vkey)
+                    self._refresh_stats()
+            if cancelled:
+                # evict_rdd() cancelled this spill mid-write; the file
+                # we just produced is already garbage.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
         if self._events is not None:
             for rdd_id, partition in evicted:
                 self._events.publish("block.evict", rdd_id=rdd_id, partition=partition)
@@ -136,22 +183,35 @@ class BlockManager:
                 self._memory.move_to_end(key)
                 self.stats.hits += 1
                 return blob
-            if key in self._on_disk:
-                try:
-                    blob = read_block_file(self._block_path(key))
-                except (BlockCorruptionError, OSError):
-                    # A corrupt spill file is a miss, not a crash: the
-                    # caller recomputes the partition from lineage.
-                    self.stats.corrupt_reads += 1
-                    self.stats.misses += 1
-                    self._on_disk.discard(key)
-                    self._publish_corrupt(self._block_path(key))
-                    return None
+            blob = self._spilling.get(key)
+            if blob is not None:
+                # Mid-spill: the blob is still authoritative in memory.
                 self.stats.hits += 1
-                self.stats.disk_reads += 1
                 return blob
-            self.stats.misses += 1
+            on_disk = key in self._on_disk
+            if not on_disk:
+                self.stats.misses += 1
+                return None
+            path = self._block_path(key)
+        # Disk read outside the lock: other threads keep hitting the
+        # memory tier while this one waits on I/O.
+        try:
+            blob = read_block_file(path)
+        except (BlockCorruptionError, OSError):
+            # A corrupt spill file is a miss, not a crash: the caller
+            # recomputes the partition from lineage.  (A concurrent
+            # evict_rdd unlinking the file lands here too — that is a
+            # plain miss, counted as corrupt only if the frame was bad.)
+            with self._lock:
+                self.stats.corrupt_reads += 1
+                self.stats.misses += 1
+                self._on_disk.discard(key)
+            self._publish_corrupt(path)
             return None
+        with self._lock:
+            self.stats.hits += 1
+            self.stats.disk_reads += 1
+        return blob
 
     def _publish_corrupt(self, where: str) -> None:
         if self._events is not None:
@@ -159,25 +219,38 @@ class BlockManager:
 
     def contains(self, key: tuple[int, int]) -> bool:
         with self._lock:
-            return key in self._memory or key in self._on_disk
+            return (
+                key in self._memory
+                or key in self._spilling
+                or key in self._on_disk
+            )
 
     def evict_rdd(self, rdd_id: int) -> None:
         """Drop every block of one RDD (unpersist)."""
+        doomed: list[str] = []
         with self._lock:
             for key in [k for k in self._memory if k[0] == rdd_id]:
                 self._memory_bytes -= len(self._memory.pop(key))
+            for key in [k for k in self._spilling if k[0] == rdd_id]:
+                # Cancel the in-flight spill; the writer unlinks its file.
+                del self._spilling[key]
             for key in [k for k in self._on_disk if k[0] == rdd_id]:
                 self._on_disk.discard(key)
-                try:
-                    os.unlink(self._block_path(key))
-                except FileNotFoundError:
-                    pass
+                doomed.append(self._block_path(key))
             self._refresh_stats()
+        # Unlink outside the lock: directory I/O must not block readers.
+        for path in doomed:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
 
     def total_bytes(self) -> int:
         with self._lock:
-            return self._memory_bytes + sum(
-                self._disk_payload_bytes(k) for k in self._on_disk
+            return (
+                self._memory_bytes
+                + sum(len(b) for b in self._spilling.values())
+                + sum(self._disk_payload_bytes(k) for k in self._on_disk)
             )
 
     # -- checkpoint store ----------------------------------------------------
@@ -216,24 +289,27 @@ class BlockManager:
             self._memory.clear()
             self._memory_bytes = 0
             self._on_disk.clear()
+            self._spilling.clear()
         shutil.rmtree(self._dir, ignore_errors=True)
         if self._owns_ckpt:
             shutil.rmtree(self._ckpt_dir, ignore_errors=True)
 
     # -- internals ------------------------------------------------------------
-    def _evict_if_needed(self) -> list[tuple[int, int]]:
-        """Spill LRU blocks past the limit; returns the evicted keys."""
-        evicted: list[tuple[int, int]] = []
+    def _select_victims(self) -> list[tuple[tuple[int, int], bytes]]:
+        """Pop LRU blocks past the limit into the in-flight spill set.
+
+        Called under the lock; the actual file writes happen in
+        :meth:`put` after release.
+        """
+        victims: list[tuple[tuple[int, int], bytes]] = []
         if self._limit is None:
-            return evicted
+            return victims
         while self._memory_bytes > self._limit and len(self._memory) > 1:
             key, blob = self._memory.popitem(last=False)  # LRU
             self._memory_bytes -= len(blob)
-            write_block_file(self._block_path(key), blob)
-            self._on_disk.add(key)
-            self.stats.evictions += 1
-            evicted.append(key)
-        return evicted
+            self._spilling[key] = blob
+            victims.append((key, blob))
+        return victims
 
     def _refresh_stats(self) -> None:
         self.stats.memory_blocks = len(self._memory)

@@ -108,7 +108,8 @@ class GPFContext:
         self.events = EventBus()
         self._event_sink: JsonlEventSink | None = None
         self._trace_dir: str | None = None
-        self._started = time.time()
+        self._started = time.time()  # gpf: wallclock-ok(run.start timestamp shown in reports)
+        self._started_mono = time.monotonic()
         self.tracer: Tracer | NoopTracer = NoopTracer()
         if self.config.trace_dir:
             self._attach_trace(self.config.trace_dir)
@@ -242,7 +243,8 @@ class GPFContext:
         if self._event_sink is not None:
             self._flush_observability()
         self._attach_trace(trace_dir)
-        self._started = time.time()
+        self._started = time.time()  # gpf: wallclock-ok(run.start timestamp shown in reports)
+        self._started_mono = time.monotonic()
         self.events.publish(
             "run.start",
             backend=self.config.executor_backend,
@@ -321,7 +323,9 @@ class GPFContext:
         if self._event_sink is None:
             return
         self.events.publish("telemetry", **self.telemetry_snapshot())
-        self.events.publish("run.end", elapsed=time.time() - self._started)
+        # elapsed comes from the monotonic clock: an NTP step mid-run
+        # must not produce a negative (or inflated) run duration.
+        self.events.publish("run.end", elapsed=time.monotonic() - self._started_mono)
         if isinstance(self.tracer, Tracer) and self._trace_dir:
             write_chrome_trace(
                 os.path.join(self._trace_dir, "trace.json"), self.tracer

@@ -74,7 +74,8 @@ class RandomFaults:
 
     @property
     def injected(self) -> int:
-        return self._injected
+        with self._lock:
+            return self._injected
 
     # Locks do not pickle; drop the lock so the injector can ship to a
     # process-backend worker (each worker gets an independent lock).

@@ -79,10 +79,14 @@ class ShuffleManager:
         return shuffle_id
 
     def info(self, shuffle_id: int) -> ShuffleWriteInfo:
-        return self._shuffles[shuffle_id]
+        with self._lock:
+            return self._shuffles[shuffle_id]
 
     def is_complete(self, shuffle_id: int) -> bool:
-        return shuffle_id in self._shuffles and self._shuffles[shuffle_id].complete
+        with self._lock:
+            return (
+                shuffle_id in self._shuffles and self._shuffles[shuffle_id].complete
+            )
 
     # -- map side ----------------------------------------------------------
     def write(
@@ -95,8 +99,10 @@ class ShuffleManager:
         task: TaskMetrics,
     ) -> None:
         """Bucket key-value pairs and spill each bucket to disk."""
-        info = self._shuffles[shuffle_id]
-        buckets: list[list] = [[] for _ in range(info.num_reduce_partitions)]
+        with self._lock:
+            info = self._shuffles[shuffle_id]
+            num_reduce = info.num_reduce_partitions
+        buckets: list[list] = [[] for _ in range(num_reduce)]
         for kv in elements:
             buckets[partition_func(kv[0])].append(kv)
         total = 0
@@ -129,15 +135,18 @@ class ShuffleManager:
         task: TaskMetrics,
     ) -> list[tuple]:
         """Read every map output's bucket for this reduce partition."""
-        info = self._shuffles[shuffle_id]
-        if not info.complete:
-            missing = set(range(info.num_map_partitions)) - info.map_done
+        with self._lock:
+            info = self._shuffles[shuffle_id]
+            num_map = info.num_map_partitions
+            map_done = set(info.map_done)
+        if len(map_done) != num_map:
+            missing = set(range(num_map)) - map_done
             raise RuntimeError(
                 f"shuffle {shuffle_id} map side incomplete; missing maps {sorted(missing)}"
             )
         out: list[tuple] = []
         total = 0
-        for map_partition in range(info.num_map_partitions):
+        for map_partition in range(num_map):
             path = self._block_path(shuffle_id, map_partition, reduce_partition)
             with timed(task, "disk_blocked"):
                 with open(path, "rb") as fh:
@@ -152,8 +161,8 @@ class ShuffleManager:
         if self._telemetry is not None:
             self._telemetry.inc("shuffle.bytes_read", total)
             self._telemetry.inc("shuffle.records_read", len(out))
-        if self._network_bandwidth and info.num_map_partitions > 1:
-            remote_fraction = (info.num_map_partitions - 1) / info.num_map_partitions
+        if self._network_bandwidth and num_map > 1:
+            remote_fraction = (num_map - 1) / num_map
             task.network_blocked += total * remote_fraction / self._network_bandwidth
         return out
 

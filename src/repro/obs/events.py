@@ -93,7 +93,10 @@ class EventBus:
     @property
     def active(self) -> bool:
         """True when at least one subscriber would see a publish."""
-        return bool(self._subs)
+        # Unsynchronized peek: list length is read atomically under the
+        # GIL and a stale answer only mis-predicts whether the *next*
+        # publish is observed — same race a locked read would have.
+        return bool(self._subs)  # gpf: unlocked-ok(atomic len peek; staleness is inherent)
 
     def subscribe(self, fn: Callable[[dict], None]) -> None:
         with self._lock:
@@ -107,7 +110,10 @@ class EventBus:
 
     def publish(self, kind: str, **fields) -> None:
         """Timestamp and deliver one event; free when nobody listens."""
-        if not self._subs:
+        # Fast path: skip event construction when idle.  A subscriber
+        # racing in here misses at most this one event, which the
+        # subscribe() contract already allows.
+        if not self._subs:  # gpf: unlocked-ok(idle fast path; subscribe races lose one event by contract)
             return
         event = {"kind": kind, "ts": self._clock(), **fields}
         with self._lock:

@@ -85,10 +85,18 @@ class Job:
     #: Larger runs first; FIFO among equals.
     priority: int = 0
     state: str = QUEUED
-    submitted_at: float = field(default_factory=time.time)
+    #: Wall-clock timestamps: persisted and shown to clients, never used
+    #: for arithmetic.  Durations come from the monotonic marks below.
+    submitted_at: float = field(default_factory=time.time)  # gpf: wallclock-ok(persisted timestamp)
     admitted_at: float | None = None
     started_at: float | None = None
     finished_at: float | None = None
+    #: Monotonic durations, stamped at the terminal transition: time
+    #: spent queued (submit/requeue -> admitted) and running (started ->
+    #: finished).  Clock steps cannot make these negative, unlike
+    #: ``finished_at - started_at``.
+    queue_seconds: float | None = None
+    run_seconds: float | None = None
     #: Times this job entered the queue (1 + recovery requeues).
     attempts: int = 1
     #: Worker slot currently (or last) running the job.
@@ -100,6 +108,11 @@ class Job:
     #: Set once cancellation was requested while running; the pipeline
     #: notices between Processes.
     cancel_requested: bool = False
+
+    def __post_init__(self) -> None:
+        # Monotonic marks live outside the dataclass fields: they are
+        # process-local (meaningless across a restart) and never persisted.
+        self._mono: dict[str, float] = {"submitted": time.monotonic()}
 
     # -- state machine ------------------------------------------------------
     @property
@@ -115,13 +128,22 @@ class Job:
                 f"job {self.id}: illegal transition {self.state!r} -> {new_state!r}"
             )
         self.state = new_state
-        now = time.time()
+        now = time.time()  # gpf: wallclock-ok(persisted timestamp)
+        mono = time.monotonic()
         if new_state == ADMITTED:
             self.admitted_at = now
+            self._mono["admitted"] = mono
+            submitted = self._mono.get("submitted")
+            if submitted is not None:
+                self.queue_seconds = mono - submitted
         elif new_state == RUNNING:
             self.started_at = now
+            self._mono["started"] = mono
         elif new_state in TERMINAL_STATES:
             self.finished_at = now
+            started = self._mono.get("started")
+            if started is not None:
+                self.run_seconds = mono - started
         return self
 
     def requeue(self) -> "Job":
@@ -141,6 +163,11 @@ class Job:
         self.admitted_at = None
         self.started_at = None
         self.worker = None
+        # The queue wait restarts now; marks from the previous process
+        # (restored jobs have none at all) would be nonsense here.
+        self._mono = {"submitted": time.monotonic()}
+        self.queue_seconds = None
+        self.run_seconds = None
         return self
 
     # -- persistence --------------------------------------------------------
@@ -154,6 +181,8 @@ class Job:
             "admitted_at": self.admitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
             "attempts": self.attempts,
             "worker": self.worker,
             "result": self.result,
@@ -171,6 +200,8 @@ class Job:
             "admitted_at",
             "started_at",
             "finished_at",
+            "queue_seconds",
+            "run_seconds",
             "attempts",
             "worker",
             "result",

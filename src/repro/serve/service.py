@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.pipeline import PipelineCancelledError
+from repro.engine.blockmanager import fsync_directory
 from repro.engine.context import EngineConfig, GPFContext
 from repro.engine.journal import job_journal_dir
 from repro.serve.jobs import (
@@ -210,31 +211,50 @@ class PipelineService:
             "jobs_failed": 0,
             "jobs_cancelled": 0,
         }
+        #: Monotonic duration totals (seconds); clock steps cannot drive
+        #: these negative the way wall-clock timestamp subtraction can.
+        self._durations: dict[str, float] = {
+            "jobs_queue_seconds": 0.0,
+            "jobs_run_seconds": 0.0,
+        }
         self._recover()
 
     # -- durability ---------------------------------------------------------
     def _persist(self, job: Job) -> None:
-        """Append the job's full state, fsynced — the durable queue."""
+        """Append the job's full state, fsynced — the durable queue.
+
+        The append deliberately happens *under* the service lock: log
+        order must match state-transition order, or a crash could
+        replay an older state over a newer one.  The cost is bounded
+        (one line + fsync) and only state changes pay it.
+        """
         line = json.dumps(job.to_json())
         with self._lock:
-            with open(self._log_path, "a", encoding="utf-8") as fh:
+            with open(self._log_path, "a", encoding="utf-8") as fh:  # gpf: lock-io-ok(append order must match transition order)
                 fh.write(line)
                 fh.write("\n")
                 fh.flush()
-                os.fsync(fh.fileno())
+                os.fsync(fh.fileno())  # gpf: lock-io-ok(append order must match transition order)
 
     def _compact_log(self) -> None:
-        """Rewrite the log with one line per job (latest state)."""
+        """Rewrite the log with one line per job (latest state).
+
+        Holds the lock across the whole rewrite: a ``_persist`` append
+        interleaved between snapshot and rename would be silently
+        dropped by the rename.  Compaction runs once per recovery, so
+        the stall is paid at startup, not in steady state.
+        """
         with self._lock:
             jobs = list(self._jobs.values())
             tmp = self._log_path + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as fh:
+            with open(tmp, "w", encoding="utf-8") as fh:  # gpf: lock-io-ok(rewrite must be atomic wrt concurrent appends)
                 for job in jobs:
                     fh.write(json.dumps(job.to_json()))
                     fh.write("\n")
                 fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self._log_path)
+                os.fsync(fh.fileno())  # gpf: lock-io-ok(rewrite must be atomic wrt concurrent appends)
+            os.replace(tmp, self._log_path)  # gpf: lock-io-ok(rewrite must be atomic wrt concurrent appends)
+            fsync_directory(self.state_dir)  # gpf: lock-io-ok(rewrite must be atomic wrt concurrent appends)
 
     def _recover(self) -> None:
         """Fold the job log; requeue everything non-terminal.
@@ -258,15 +278,19 @@ class PipelineService:
                 except (json.JSONDecodeError, KeyError, TypeError):
                     continue
                 folded[job.id] = job
-        for job in folded.values():
-            if job.state not in TERMINAL_STATES:
-                job.requeue()
-                # Recovered entries were all admitted before the crash;
-                # the depth bound applies to new traffic only.
-                self._queue.push(job, force=True)
-                self._counters["jobs_recovered"] += 1
-            self._jobs[job.id] = job
-        self._compact_log()
+        # Recovery runs before the worker pool exists, but it mutates the
+        # same state the pool will share; taking the (reentrant) lock
+        # keeps every write to _jobs/_counters inside one discipline.
+        with self._lock:
+            for job in folded.values():
+                if job.state not in TERMINAL_STATES:
+                    job.requeue()
+                    # Recovered entries were all admitted before the crash;
+                    # the depth bound applies to new traffic only.
+                    self._queue.push(job, force=True)
+                    self._counters["jobs_recovered"] += 1
+                self._jobs[job.id] = job
+            self._compact_log()
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "PipelineService":
@@ -427,6 +451,7 @@ class PipelineService:
         with self._lock:
             contexts = list(self._contexts.values())
             service = dict(self._counters)
+            service.update(self._durations)
             service.update(
                 queued=len(self._queue),
                 running=len(self._running),
@@ -484,8 +509,12 @@ class PipelineService:
             if not job.is_terminal:
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.state = FAILED
-                job.finished_at = time.time()
+                job.finished_at = time.time()  # gpf: wallclock-ok(persisted timestamp)
+                started = job._mono.get("started")
+                if started is not None and job.run_seconds is None:
+                    job.run_seconds = time.monotonic() - started
                 self._counters["jobs_failed"] += 1
+                self._note_durations(job)
             self._running.pop(slot, None)
             self._done.notify_all()
         try:
@@ -508,10 +537,21 @@ class PipelineService:
         except Exception:  # noqa: BLE001
             pass
 
+    def _note_durations(self, job: Job) -> None:
+        """Fold one finished job's monotonic durations into the totals.
+
+        Called with the lock held.
+        """
+        if job.queue_seconds is not None:
+            self._durations["jobs_queue_seconds"] += job.queue_seconds
+        if job.run_seconds is not None:
+            self._durations["jobs_run_seconds"] += job.run_seconds
+
     def _finish(self, job: Job, state: str, counter: str) -> None:
         with self._lock:
             job.transition(state)
             self._counters[counter] += 1
+            self._note_durations(job)
             for slot, running in list(self._running.items()):
                 if running.id == job.id:
                     del self._running[slot]

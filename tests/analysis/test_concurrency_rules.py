@@ -1,0 +1,444 @@
+"""Seeded-bug fixtures for the GPF3xx self-analysis rules.
+
+Each rule gets a *bad* fixture that must fire (true positive) and a
+*correct twin* that must stay quiet (no false positive), plus the
+suppression-comment escape hatch where the rule supports one.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.concurrency import (
+    parse_suppressions,
+    scan_concurrency_source,
+)
+from repro.analysis.diagnostics import Severity
+
+
+def codes(source: str) -> list[str]:
+    return [d.code for d in scan_concurrency_source(textwrap.dedent(source))]
+
+
+# -- GPF301: unlocked access to a guarded attribute --------------------------
+GPF301_BAD = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._n = 0
+
+        def inc(self):
+            with self._lock:
+                self._n += 1
+
+        def peek(self):
+            return self._n
+"""
+
+GPF301_GOOD = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._n = 0
+
+        def inc(self):
+            with self._lock:
+                self._n += 1
+
+        def peek(self):
+            with self._lock:
+                return self._n
+"""
+
+
+class TestGPF301:
+    def test_unlocked_read_fires(self):
+        assert "GPF301" in codes(GPF301_BAD)
+
+    def test_locked_twin_is_quiet(self):
+        assert codes(GPF301_GOOD) == []
+
+    def test_suppression_comment(self):
+        suppressed = GPF301_BAD.replace(
+            "return self._n",
+            "return self._n  # gpf: unlocked-ok(racy peek is fine)",
+        )
+        assert codes(suppressed) == []
+
+    def test_message_names_attribute_and_lock(self):
+        diags = scan_concurrency_source(textwrap.dedent(GPF301_BAD))
+        (diag,) = diags
+        assert "self._n" in diag.message and "self._lock" in diag.message
+        assert diag.line and diag.fingerprint
+        assert diag.severity is Severity.WARNING
+
+    def test_module_alias_import_still_counts_as_lock(self):
+        aliased = GPF301_BAD.replace(
+            "import threading", "import threading as _t"
+        ).replace("threading.Lock()", "_t.Lock()")
+        assert "GPF301" in codes(aliased)
+
+    def test_from_import_alias_still_counts_as_lock(self):
+        aliased = GPF301_BAD.replace(
+            "import threading", "from threading import Lock as _L"
+        ).replace("threading.Lock()", "_L()")
+        assert "GPF301" in codes(aliased)
+
+    def test_helper_called_under_lock_not_flagged(self):
+        # _bump touches _n with no `with` of its own, but its only call
+        # site holds the lock — the fixpoint must see that.
+        source = """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def inc(self):
+                    with self._lock:
+                        self._bump()
+
+                def _bump(self):
+                    self._n += 1
+        """
+        assert codes(source) == []
+
+    def test_init_writes_exempt(self):
+        # __init__ publishing the object is the handoff point; writes
+        # there are pre-sharing and must not fire.
+        assert "GPF301" not in codes(GPF301_GOOD)
+
+    def test_condition_aliases_wrapped_lock(self):
+        # Condition(self._lock) IS self._lock; accesses under the
+        # condition are accesses under the lock.
+        source = """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._done = threading.Condition(self._lock)
+                    self._value = None
+
+                def set(self, v):
+                    with self._lock:
+                        self._value = v
+
+                def get(self):
+                    with self._done:
+                        return self._value
+        """
+        assert codes(source) == []
+
+
+# -- GPF302: lock-order cycles ------------------------------------------------
+GPF302_BAD = """
+    import threading
+
+    class Pair:
+        def __init__(self):
+            self.x = threading.Lock()
+            self.y = threading.Lock()
+
+        def forward(self):
+            with self.x:
+                with self.y:
+                    pass
+
+        def backward(self):
+            with self.y:
+                with self.x:
+                    pass
+"""
+
+GPF302_GOOD = """
+    import threading
+
+    class Pair:
+        def __init__(self):
+            self.x = threading.Lock()
+            self.y = threading.Lock()
+
+        def forward(self):
+            with self.x:
+                with self.y:
+                    pass
+
+        def also_forward(self):
+            with self.x:
+                with self.y:
+                    pass
+"""
+
+
+class TestGPF302:
+    def test_inverted_nesting_fires(self):
+        found = codes(GPF302_BAD)
+        assert "GPF302" in found
+
+    def test_consistent_order_is_quiet(self):
+        assert codes(GPF302_GOOD) == []
+
+    def test_cycle_is_error_severity(self):
+        diags = scan_concurrency_source(textwrap.dedent(GPF302_BAD))
+        cycle = [d for d in diags if d.code == "GPF302"]
+        assert cycle and all(d.severity is Severity.ERROR for d in cycle)
+
+    def test_cross_class_cycle_via_method_call(self):
+        # A holds A.l and calls into B (which takes B.k); B holds B.k
+        # and calls back into A (which takes A.l): a deadlock two
+        # single-class analyses would each miss.
+        source = """
+            import threading
+
+            class A:
+                def __init__(self):
+                    self.l = threading.Lock()
+                    self.b = B()
+
+                def m(self):
+                    with self.l:
+                        self.b.n()
+
+                def locked(self):
+                    with self.l:
+                        pass
+
+            class B:
+                def __init__(self):
+                    self.k = threading.Lock()
+                    self.a = A()
+
+                def n(self):
+                    with self.k:
+                        pass
+
+                def back(self):
+                    with self.k:
+                        self.a.locked()
+        """
+        assert "GPF302" in codes(source)
+
+
+# -- GPF303: blocking call under a lock ---------------------------------------
+GPF303_BAD = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._data = {}
+
+        def save(self, path, value):
+            with self._lock:
+                self._data[path] = value
+                with open(path, "w") as fh:
+                    fh.write(str(value))
+"""
+
+GPF303_GOOD = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._data = {}
+
+        def save(self, path, value):
+            with self._lock:
+                self._data[path] = value
+            with open(path, "w") as fh:
+                fh.write(str(value))
+"""
+
+
+class TestGPF303:
+    def test_io_under_lock_fires(self):
+        assert "GPF303" in codes(GPF303_BAD)
+
+    def test_io_after_release_is_quiet(self):
+        assert codes(GPF303_GOOD) == []
+
+    def test_suppression_comment(self):
+        suppressed = GPF303_BAD.replace(
+            'with open(path, "w") as fh:',
+            'with open(path, "w") as fh:  # gpf: lock-io-ok(ordering beats latency here)',
+        )
+        assert codes(suppressed) == []
+
+    def test_wait_on_held_condition_is_quiet(self):
+        # The JobQueue idiom: Condition.wait() releases the lock it
+        # wraps, so waiting on the condition you hold never stalls
+        # other threads — it must not fire.
+        source = """
+            import threading
+
+            class Q:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._items = []
+
+                def push(self, item):
+                    with self._cond:
+                        self._items.append(item)
+                        self._cond.notify()
+
+                def pop(self):
+                    with self._cond:
+                        while not self._items:
+                            self._cond.wait()
+                        return self._items.pop()
+        """
+        assert codes(source) == []
+
+    def test_publish_under_lock_fires(self):
+        source = """
+            import threading
+
+            class Noisy:
+                def __init__(self, bus):
+                    self._lock = threading.Lock()
+                    self._bus = bus
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+                        self._bus.publish("bump", n=self._count)
+        """
+        assert "GPF303" in codes(source)
+
+
+# -- GPF304: durability protocol ----------------------------------------------
+GPF304_BAD = """
+    import os
+
+    def publish(path, data):
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+"""
+
+GPF304_GOOD = """
+    import os
+
+    def fsync_directory(path):
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def publish(path, data):
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        fsync_directory(os.path.dirname(path))
+"""
+
+
+class TestGPF304:
+    def test_unsynced_rename_fires(self):
+        assert "GPF304" in codes(GPF304_BAD)
+
+    def test_full_protocol_is_quiet(self):
+        assert codes(GPF304_GOOD) == []
+
+    def test_suppression_comment(self):
+        suppressed = GPF304_BAD.replace(
+            "os.replace(tmp, path)",
+            "os.replace(tmp, path)  # gpf: durability-ok(scratch file)",
+        )
+        assert codes(suppressed) == []
+
+    def test_pure_move_of_existing_file_is_quiet(self):
+        # Renaming a file this function never wrote is not the
+        # tmp-write-publish protocol; no fsync obligation here.
+        source = """
+            import os
+
+            def archive(path, dest):
+                os.replace(path, dest)
+        """
+        assert codes(source) == []
+
+
+# -- GPF305: wall-clock deadlines ---------------------------------------------
+GPF305_BAD = """
+    import time
+
+    def wait_until(timeout):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            pass
+"""
+
+GPF305_GOOD = """
+    import time
+
+    def wait_until(timeout):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            pass
+"""
+
+
+class TestGPF305:
+    def test_wall_clock_deadline_fires(self):
+        assert "GPF305" in codes(GPF305_BAD)
+
+    def test_monotonic_twin_is_quiet(self):
+        assert codes(GPF305_GOOD) == []
+
+    def test_suppression_comment(self):
+        suppressed = GPF305_BAD.replace(
+            "deadline = time.time() + timeout",
+            "deadline = time.time() + timeout  # gpf: wallclock-ok(test)",
+        ).replace(
+            "while time.time() < deadline:",
+            "while time.time() < deadline:  # gpf: wallclock-ok(test)",
+        )
+        assert codes(suppressed) == []
+
+    def test_bare_timestamp_is_quiet(self):
+        # time.time() as a plain timestamp (no deadline arithmetic) is
+        # exactly what wall clocks are for.
+        source = """
+            import time
+
+            def stamp(record):
+                record["created_at"] = time.time()
+                return record
+        """
+        assert codes(source) == []
+
+
+# -- suppression parsing -------------------------------------------------------
+class TestSuppressions:
+    def test_parse_tags_to_codes(self):
+        source = (
+            "x = 1  # gpf: unlocked-ok(reason one)\n"
+            "y = 2  # gpf: wallclock-ok(reason two)\n"
+            "z = 3  # not a suppression\n"
+        )
+        got = parse_suppressions(source)
+        assert got == {1: {"GPF301"}, 2: {"GPF305"}}
+
+    def test_unknown_tag_ignored(self):
+        assert parse_suppressions("x = 1  # gpf: bogus-ok(nope)\n") == {}
+
+    def test_previous_line_suppresses(self):
+        suppressed = GPF301_BAD.replace(
+            "def peek(self):",
+            "def peek(self):\n            # gpf: unlocked-ok(peek races by design)",
+        )
+        assert codes(suppressed) == []

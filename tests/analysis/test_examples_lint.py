@@ -1,5 +1,6 @@
-"""Lint gate over the shipped plans: every examples/*.py source-scans
-clean, and the plans the examples build pass gpfcheck with zero errors."""
+"""Lint gate over the shipped plans: every examples/*.py AND
+benchmarks/*.py source-scans clean, and the plans the examples build
+pass gpfcheck with zero errors."""
 
 from pathlib import Path
 
@@ -9,6 +10,8 @@ from repro.analysis import Severity, scan_directory, scan_source
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+BENCHMARK_FILES = sorted(BENCHMARKS_DIR.glob("*.py"))
 
 
 class TestSourceScan:
@@ -26,6 +29,24 @@ class TestSourceScan:
     def test_scan_directory_covers_every_example(self):
         results = scan_directory(EXAMPLES_DIR)
         assert set(results) == {p.name for p in EXAMPLE_FILES}
+
+    def test_benchmarks_directory_found(self):
+        assert BENCHMARK_FILES, f"no benchmarks under {BENCHMARKS_DIR}"
+
+    @pytest.mark.parametrize(
+        "path", BENCHMARK_FILES, ids=[p.name for p in BENCHMARK_FILES]
+    )
+    def test_benchmark_scans_clean(self, path):
+        # Benchmarks ship closures to RDD tasks just like examples do;
+        # an unseeded RNG or wall-clock read inside one would make the
+        # published numbers non-reproducible (GPF201/GPF204).
+        diags = scan_source(path)
+        rendered = "\n".join(d.render() for d in diags)
+        assert not diags, f"{path.name} has closure findings:\n{rendered}"
+
+    def test_scan_directory_covers_every_benchmark(self):
+        results = scan_directory(BENCHMARKS_DIR)
+        assert set(results) == {p.name for p in BENCHMARK_FILES}
 
     def test_scan_catches_planted_nondeterminism(self, tmp_path):
         bad = tmp_path / "bad_plan.py"

@@ -1,0 +1,182 @@
+"""The runtime lock-order watchdog: proxies, refcounts, cycles."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis import lockwatch
+
+
+@pytest.fixture
+def watch():
+    """Installed, empty watch; always uninstalled afterwards."""
+    lockwatch.reset()
+    lockwatch.install()
+    try:
+        yield lockwatch
+    finally:
+        lockwatch.uninstall()
+        lockwatch.reset()
+
+
+class Holder:
+    def __init__(self):
+        self.lock = threading.Lock()
+
+
+class RHolder:
+    def __init__(self):
+        self.lock = threading.RLock()
+
+
+class TestProxyBehavior:
+    def test_lock_still_locks(self, watch):
+        h = Holder()
+        with h.lock:
+            assert h.lock.locked()
+        assert not h.lock.locked()
+
+    def test_rlock_is_reentrant(self, watch):
+        h = RHolder()
+        with h.lock:
+            with h.lock:
+                pass  # would deadlock if the proxy broke reentrancy
+
+    def test_condition_over_watched_plain_lock(self, watch):
+        cond = threading.Condition(threading.Lock())
+        with cond:
+            assert not cond.wait(0.01)
+
+    def test_condition_over_watched_rlock(self, watch):
+        cond = threading.Condition(threading.RLock())
+        with cond:
+            assert not cond.wait(0.01)
+
+    def test_acquire_release_counted(self, watch):
+        h = Holder()
+        for _ in range(3):
+            with h.lock:
+                pass
+        (entry,) = watch.report()["locks"]
+        assert entry["acquires"] == 3
+
+    def test_uninstall_restores_factories(self):
+        before = threading.Lock
+        lockwatch.install()
+        assert threading.Lock is not before
+        lockwatch.uninstall()
+        assert threading.Lock is before
+
+    def test_watched_lock_survives_uninstall(self):
+        lockwatch.install()
+        h = Holder()
+        lockwatch.uninstall()
+        with h.lock:  # proxy still works, just no longer required
+            pass
+
+
+class TestRefcount:
+    def test_nested_install_keeps_patch(self):
+        original = threading.Lock
+        lockwatch.install()
+        lockwatch.install()
+        lockwatch.uninstall()
+        assert threading.Lock is not original  # one ref still live
+        lockwatch.uninstall()
+        assert threading.Lock is original
+
+    def test_extra_uninstall_is_harmless(self):
+        lockwatch.uninstall()
+        assert not lockwatch.installed()
+
+    def test_watching_context_manager(self):
+        assert not lockwatch.installed()
+        with lockwatch.watching():
+            assert lockwatch.installed()
+        assert not lockwatch.installed()
+
+
+class TestGraph:
+    def test_inverted_order_records_cycle(self, watch):
+        a, b = Holder(), RHolder()
+
+        def forward():
+            for _ in range(20):
+                with a.lock:
+                    with b.lock:
+                        pass
+
+        def backward():
+            for _ in range(20):
+                with b.lock:
+                    with a.lock:
+                        pass
+
+        # Sequential on purpose: the *order* is wrong even when the
+        # threads happen not to interleave — that is the watchdog's
+        # whole advantage over an actual deadlock repro.
+        t1 = threading.Thread(target=forward)
+        t1.start()
+        t1.join()
+        t2 = threading.Thread(target=backward)
+        t2.start()
+        t2.join()
+
+        report = watch.report()
+        assert report["cycles"], report
+        assert len(report["edges"]) == 2
+
+    def test_consistent_order_has_no_cycle(self, watch):
+        a, b = Holder(), RHolder()
+        for _ in range(20):
+            with a.lock:
+                with b.lock:
+                    pass
+        report = watch.report()
+        assert report["cycles"] == []
+        assert len(report["edges"]) == 1
+
+    def test_two_instances_same_site_are_self_edge_not_cycle(self, watch):
+        outer, inner = Holder(), Holder()  # identical creation site class
+        with outer.lock:
+            with inner.lock:
+                pass
+        report = watch.report()
+        assert report["cycles"] == []
+        assert report["self_edges"], report
+
+    def test_reentrant_rlock_records_nothing(self, watch):
+        h = RHolder()
+        with h.lock:
+            with h.lock:
+                pass
+        report = watch.report()
+        assert report["edges"] == [] and report["self_edges"] == []
+
+    def test_reset_clears_graph(self, watch):
+        a, b = Holder(), RHolder()
+        with a.lock:
+            with b.lock:
+                pass
+        assert watch.report()["edges"]
+        watch.reset()
+        assert watch.report() == {
+            "locks": [],
+            "edges": [],
+            "self_edges": [],
+            "cycles": [],
+        }
+
+    def test_dump_report_writes_json(self, watch, tmp_path):
+        a, b = Holder(), RHolder()
+        with a.lock:
+            with b.lock:
+                pass
+        path = tmp_path / "lock_graph.json"
+        data = lockwatch.dump_report(str(path))
+        on_disk = json.loads(path.read_text())
+        assert on_disk == data
+        assert on_disk["edges"] and on_disk["cycles"] == []

@@ -177,3 +177,48 @@ class TestJobQueue:
         queue.push(a)
         queue.push(b)
         assert [j.id for j in queue.snapshot()] == [b.id, a.id]
+
+
+class TestMonotonicDurations:
+    """queue_seconds/run_seconds come from time.monotonic(), so a wall
+    clock stepping backwards mid-job can never make them negative."""
+
+    def test_happy_path_stamps_durations(self):
+        job = Job(spec={})
+        assert job.queue_seconds is None and job.run_seconds is None
+        job.transition(ADMITTED)
+        assert job.queue_seconds is not None and job.queue_seconds >= 0
+        job.transition(RUNNING)
+        assert job.run_seconds is None  # still running
+        job.transition(SUCCEEDED)
+        assert job.run_seconds is not None and job.run_seconds >= 0
+
+    def test_durations_survive_json_round_trip(self):
+        job = Job(spec={"x": 1})
+        job.transition(ADMITTED)
+        job.transition(RUNNING)
+        job.transition(SUCCEEDED)
+        clone = Job.from_json(json.loads(json.dumps(job.to_json())))
+        assert clone.queue_seconds == job.queue_seconds
+        assert clone.run_seconds == job.run_seconds
+
+    def test_requeue_resets_durations(self):
+        job = Job(spec={})
+        job.transition(ADMITTED)
+        job.transition(RUNNING)
+        job.requeue()
+        assert job.queue_seconds is None and job.run_seconds is None
+        # The queue wait restarts from the requeue, not the original
+        # submission — a recovered job isn't "queued" across the crash.
+        job.transition(ADMITTED)
+        assert job.queue_seconds is not None and job.queue_seconds >= 0
+
+    def test_recovered_job_without_marks_is_robust(self):
+        # from_json builds a Job whose monotonic marks belong to *this*
+        # process; terminal transitions must not blow up or fabricate a
+        # run duration when the job never ran here.
+        data = Job(spec={}).to_json()
+        data["state"] = ADMITTED
+        recovered = Job.from_json(data)
+        recovered.transition(FAILED)
+        assert recovered.run_seconds is None

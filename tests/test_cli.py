@@ -404,3 +404,68 @@ class TestScaling:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestLintSelf:
+    """gpf lint --self: the GPF3xx framework self-analysis gate."""
+
+    def test_self_lint_clean_against_committed_baseline(self, capsys):
+        rc = main(["lint", "--self"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gpfcheck --self" in out and "0 new" in out
+
+    def test_self_lint_json_shape(self, capsys):
+        import json
+
+        rc = main(["lint", "--self", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["mode"] == "self"
+        assert data["new"] == []
+        assert isinstance(data["findings"], list)
+
+    def test_update_baseline_writes_file(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = main(["lint", "--self", "--update-baseline", "--baseline", str(baseline)])
+        assert rc == 0
+        import json
+
+        data = json.loads(baseline.read_text())
+        assert "fingerprints" in data
+
+    def test_new_finding_fails_against_empty_baseline(self, tmp_path, capsys, monkeypatch):
+        # Point the self-lint at a source tree with a seeded bug and an
+        # empty baseline: the run must exit nonzero and name the finding.
+        import repro.analysis.selfcheck as selfcheck
+
+        bad_root = tmp_path / "repro"
+        bad_root.mkdir()
+        (bad_root / "racy.py").write_text(
+            "import threading\n"
+            "class Racy:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._n = 0\n"
+            "    def inc(self):\n"
+            "        with self._lock:\n"
+            "            self._n += 1\n"
+            "    def peek(self):\n"
+            "        return self._n\n"
+        )
+        monkeypatch.setattr(selfcheck, "SELF_ROOT", bad_root)
+        baseline = tmp_path / "empty.json"
+        rc = main(["lint", "--self", "--baseline", str(baseline)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "GPF301" in out and "1 new" in out
+
+    def test_pipeline_lint_json(self, capsys):
+        import json
+
+        rc = main(["lint", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["mode"] == "pipeline" and data["plan"] == "wgs"
+        codes = {f["code"] for f in data["findings"]}
+        assert "GPF103" in codes  # the fusion-info finding is stable
