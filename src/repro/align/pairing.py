@@ -58,7 +58,40 @@ class PairedEndAligner:
         cands1, cands2 = self.single.candidates_batch(
             [pair.read1.sequence, pair.read2.sequence]
         )
+        return self._finish_pair(pair, cands1, cands2)
 
+    def align_pairs(
+        self, pairs: list[FastqPair]
+    ) -> list[tuple[SamRecord, SamRecord]]:
+        """Align a batch of pairs through one candidate pass.
+
+        All ``2N`` mate sequences of the batch extend through a single
+        ``sw_batch`` dispatch inside :meth:`BwaMemAligner.candidates_batch`,
+        so lazily-decoded partitions can feed the kernel chunk by chunk
+        without a per-pair kernel launch (or an intermediate whole-partition
+        record list).  Identical output to mapping :meth:`align_pair` over
+        the batch.
+        """
+        pairs = pairs if isinstance(pairs, list) else list(pairs)
+        if not pairs:
+            return []
+        sequences: list[str] = []
+        for pair in pairs:
+            sequences.append(pair.read1.sequence)
+            sequences.append(pair.read2.sequence)
+        cands = self.single.candidates_batch(sequences)
+        return [
+            self._finish_pair(pair, cands[2 * i], cands[2 * i + 1])
+            for i, pair in enumerate(pairs)
+        ]
+
+    def _finish_pair(
+        self,
+        pair: FastqPair,
+        cands1: list[AlignmentCandidate],
+        cands2: list[AlignmentCandidate],
+    ) -> tuple[SamRecord, SamRecord]:
+        """Rescue, joint selection, and record assembly for one pair."""
         if not cands1 and cands2:
             rescued = self._rescue(pair.read1, cands2[0])
             if rescued is not None:

@@ -40,6 +40,9 @@ class ColumnarBatch:
 
     @classmethod
     def from_records(cls, records: list[SamRecord]) -> "ColumnarBatch":
+        # One materialization up front: lazily-decoded partitions would
+        # otherwise re-decode once per column below.
+        records = records if isinstance(records, list) else list(records)
         return cls(
             qnames=[r.qname for r in records],
             flags=[r.flag for r in records],
@@ -74,7 +77,7 @@ class ColumnarBatch:
 
 def _to_columnar(split: int, records: list) -> list:
     """Row -> column conversion pass (runs per partition)."""
-    return [ColumnarBatch.from_records(list(records))] if records else []
+    return [ColumnarBatch.from_records(records)] if records else []
 
 
 def _to_rows(split: int, batches: list) -> list:

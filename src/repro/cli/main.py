@@ -7,6 +7,26 @@ import os
 import sys
 import time
 
+_SIZE_SUFFIXES = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+
+
+def parse_size(text: str) -> int:
+    """``64M`` / ``2G`` / ``512K`` / ``1.5G`` / plain bytes -> bytes."""
+    value = text.strip().upper()
+    if value.endswith("B") and len(value) > 1 and value[-2] in _SIZE_SUFFIXES:
+        value = value[:-1]
+    multiplier = 1
+    if value and value[-1] in _SIZE_SUFFIXES:
+        multiplier = _SIZE_SUFFIXES[value[-1]]
+        value = value[:-1]
+    try:
+        result = int(float(value) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid size {text!r}") from None
+    if result < 0:
+        raise argparse.ArgumentTypeError(f"negative size {text!r}")
+    return result
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The gpf argument parser with all four subcommands."""
@@ -94,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-attempt task deadline in seconds (hung tasks are retried)",
+    )
+    run.add_argument(
+        "--memory-budget",
+        metavar="SIZE",
+        type=parse_size,
+        default=None,
+        help=(
+            "block-manager memory budget for cached partitions, accounted "
+            "in *compressed* bytes (e.g. 64M, 2G, or plain bytes); blocks "
+            "past the budget spill to disk in codec form"
+        ),
     )
     run.add_argument(
         "--trace-out",
@@ -354,6 +385,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         num_workers=max(1, workers),
         task_timeout=args.task_timeout,
         trace_dir=args.trace_out,
+        memory_budget=args.memory_budget,
     )
     start = time.perf_counter()
     try:
@@ -796,7 +828,25 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     client = _client(args)
     try:
         if args.metrics:
-            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+            metrics = client.metrics()
+            gauges = metrics.get("gauges", {})
+            counters = metrics.get("counters", {})
+            compressed = gauges.get("blockmanager.compressed_bytes", 0)
+            # Pre-digested memory view over the raw gauge fold: resident
+            # (compressed) vs decoded footprint of cached blocks fleet-wide.
+            metrics["memory"] = {
+                "compressed_bytes": compressed,
+                "logical_bytes": gauges.get("blockmanager.logical_bytes", 0),
+                "compression_ratio": (
+                    gauges.get("blockmanager.logical_bytes", 0) / compressed
+                    if compressed
+                    else 0.0
+                ),
+                "decode_seconds": counters.get(
+                    "blockmanager.decode_seconds", 0.0
+                ),
+            }
+            print(json.dumps(metrics, indent=2, sort_keys=True))
             return 0
         jobs = client.jobs(state=args.state)
     except (ServiceError, OSError) as exc:

@@ -26,9 +26,13 @@ from repro.compression.twobit import (
 from repro.compression.delta import delta_encode, delta_decode
 from repro.compression.huffman import HuffmanCodec, EOF_SYMBOL
 from repro.compression.records import (
+    CodecUnsupportedError,
     FastqCodec,
     SamCodec,
     compressed_size,
+    logical_size,
+    ratio,
+    roundtrip_safe,
 )
 from repro.compression.stats import (
     quality_histogram,
@@ -45,9 +49,13 @@ __all__ = [
     "delta_decode",
     "HuffmanCodec",
     "EOF_SYMBOL",
+    "CodecUnsupportedError",
     "FastqCodec",
     "SamCodec",
     "compressed_size",
+    "logical_size",
+    "ratio",
+    "roundtrip_safe",
     "quality_histogram",
     "delta_histogram",
     "field_fraction",

@@ -24,16 +24,104 @@ Binary layout of a batch::
 from __future__ import annotations
 
 import struct
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.compression.delta import delta_decode, delta_encode
 from repro.compression.huffman import HuffmanCodec
-from repro.compression.twobit import compress_sequence, decompress_sequence
+from repro.compression.twobit import (
+    MASK_QUAL_CHAR,
+    _ENCODE_LUT,
+    compress_sequence,
+    decompress_sequence,
+)
 from repro.formats.cigar import Cigar
 from repro.formats.fastq import FastqRecord
 from repro.formats.sam import SamRecord, format_tag, parse_tag
+
+#: Default record-batch size for the lazy ``iter_decode`` generators —
+#: large enough to amortize the Huffman table setup, small enough that a
+#: consumer never holds more than a sliver of the partition decoded.
+DECODE_BATCH_SIZE = 512
+
+
+class CodecUnsupportedError(ValueError):
+    """A record cannot round-trip byte-identically through the §4.1 codec.
+
+    Raised by ``encode(..., strict=True)`` for records the 2-bit + mask
+    transform would alter: lowercase or IUPAC ambiguity codes (decoded as
+    ``N``), an ``N`` whose quality is not already the Phred-0 marker (its
+    real quality would be clobbered), or a real ACGT base carrying the
+    reserved Phred-0 score (the mask would be ambiguous).  The serializer
+    layer catches this and falls back to pickle for the whole block.
+    """
+
+
+def roundtrip_safe(sequence: str, quality: str) -> bool:
+    """True when (sequence, quality) survive the codec byte-identically.
+
+    Exactly the records the mask transform leaves untouched: every base
+    is ACGT (quality anything but the reserved ``!``) or an ``N`` whose
+    quality is *already* the Phred-0 marker.
+    """
+    if len(sequence) != len(quality):
+        return False
+    if not sequence:
+        return True
+    try:
+        seq = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+        qual = np.frombuffer(quality.encode("ascii"), dtype=np.uint8)
+    except UnicodeEncodeError:
+        return False
+    special = _ENCODE_LUT[seq] == 255
+    mask = ord(MASK_QUAL_CHAR)
+    # A special base must be exactly N-with-marker; a regular base must
+    # not use the reserved marker score.
+    bad_special = special & ~((seq == ord("N")) & (qual == mask))
+    collision = (~special) & (qual == mask)
+    return not (bool(bad_special.any()) or bool(collision.any()))
+
+
+def _check_strict(name: str, sequence: str, quality: str) -> None:
+    try:
+        name.encode("ascii")
+    except UnicodeEncodeError as exc:
+        raise CodecUnsupportedError(f"non-ascii record name {name!r}") from exc
+    if not roundtrip_safe(sequence, quality):
+        raise CodecUnsupportedError(
+            f"record {name!r} would not round-trip byte-identically "
+            "(ambiguity code, lowercase base, or N with a real quality)"
+        )
+
+
+def _check_sam_strict(rec: SamRecord) -> None:
+    """Strict-mode gate for one SAM record: name, payload, extra fields.
+
+    The extra fields are framed as one tab-joined ascii line, so a tag
+    value carrying a tab/newline (or any non-ascii byte) would re-split
+    into the wrong fields on decode — those records must take the pickle
+    fallback.
+    """
+    if rec.seq:
+        _check_strict(rec.qname, rec.seq, rec.qual)
+    else:
+        try:
+            rec.qname.encode("ascii")
+        except UnicodeEncodeError as exc:
+            raise CodecUnsupportedError(
+                f"non-ascii record name {rec.qname!r}"
+            ) from exc
+    try:
+        extra = _sam_extra_fields(rec)
+    except (UnicodeEncodeError, ValueError, TypeError) as exc:
+        raise CodecUnsupportedError(
+            f"SAM extra fields of {rec.qname!r} are not ascii-framable"
+        ) from exc
+    if extra.count(b"\t") != 7 + len(rec.tags) or b"\n" in extra:
+        raise CodecUnsupportedError(
+            f"SAM tag of {rec.qname!r} contains a framing byte (tab/newline)"
+        )
 
 
 def _serialize_table(lengths: dict[int, int]) -> bytes:
@@ -110,13 +198,20 @@ class FastqCodec:
     """Batch codec for FASTQ records."""
 
     @staticmethod
-    def encode(records: Sequence[FastqRecord]) -> bytes:
-        """Serialize a record batch to one byte blob (see module layout)."""
+    def encode(records: Sequence[FastqRecord], strict: bool = False) -> bytes:
+        """Serialize a record batch to one byte blob (see module layout).
+
+        With ``strict=True`` every record must round-trip byte-identically
+        or :class:`CodecUnsupportedError` is raised before any output is
+        produced (the serializer layer then falls back to pickle).
+        """
         writer = _BatchWriter()
         writer.u32(len(records))
         seq_blobs: list[bytes] = []
         masked_quals: list[str] = []
         for rec in records:
+            if strict:
+                _check_strict(rec.name, rec.sequence, rec.quality)
             blob, masked = compress_sequence(rec.sequence, rec.quality)
             seq_blobs.append(blob)
             masked_quals.append(masked)
@@ -129,12 +224,19 @@ class FastqCodec:
         return writer.getvalue()
 
     @staticmethod
-    def decode(blob: bytes) -> list[FastqRecord]:
-        """Inverse of :meth:`encode`."""
+    def record_count(blob: bytes) -> int:
+        """Record count from the batch header, without decoding."""
+        return _BatchReader(blob).u32()
+
+    @staticmethod
+    def iter_decode(
+        blob: bytes, batch_size: int = DECODE_BATCH_SIZE
+    ) -> Iterator[list[FastqRecord]]:
+        """Lazily decode the batch, yielding record chunks of ``batch_size``."""
         reader = _BatchReader(blob)
         count = reader.u32()
         codec = HuffmanCodec(_deserialize_table(reader.blob()))
-        records: list[FastqRecord] = []
+        batch: list[FastqRecord] = []
         for _ in range(count):
             name = reader.blob(width="u16").decode("ascii")
             seq_blob = reader.blob()
@@ -145,8 +247,20 @@ class FastqCodec:
             # positions correspond to N bases whose original quality the
             # sequencer reported as low anyway -- the Deorowicz transform
             # is lossy exactly there, replacing the N's quality with 0).
-            records.append(FastqRecord(name=name, sequence=seq, quality=masked_qual))
-        return records
+            batch.append(FastqRecord(name=name, sequence=seq, quality=masked_qual))
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    @staticmethod
+    def decode(blob: bytes) -> list[FastqRecord]:
+        """Inverse of :meth:`encode`."""
+        out: list[FastqRecord] = []
+        for batch in FastqCodec.iter_decode(blob):
+            out.extend(batch)
+        return out
 
 
 def _sam_extra_fields(rec: SamRecord) -> bytes:
@@ -191,13 +305,19 @@ class SamCodec:
     """Batch codec for SAM records: seq/qual compressed, other fields framed."""
 
     @staticmethod
-    def encode(records: Sequence[SamRecord]) -> bytes:
-        """Serialize a record batch to one byte blob (see module layout)."""
+    def encode(records: Sequence[SamRecord], strict: bool = False) -> bytes:
+        """Serialize a record batch to one byte blob (see module layout).
+
+        ``strict=True`` raises :class:`CodecUnsupportedError` for records
+        that would not round-trip byte-identically (see FastqCodec).
+        """
         writer = _BatchWriter()
         writer.u32(len(records))
         seq_blobs: list[bytes] = []
         masked_quals: list[str] = []
         for rec in records:
+            if strict:
+                _check_sam_strict(rec)
             if rec.seq:
                 blob, masked = compress_sequence(rec.seq, rec.qual)
             else:
@@ -214,26 +334,91 @@ class SamCodec:
         return writer.getvalue()
 
     @staticmethod
-    def decode(blob: bytes) -> list[SamRecord]:
-        """Inverse of :meth:`encode`."""
+    def record_count(blob: bytes) -> int:
+        """Record count from the batch header, without decoding."""
+        return _BatchReader(blob).u32()
+
+    @staticmethod
+    def iter_decode(
+        blob: bytes, batch_size: int = DECODE_BATCH_SIZE
+    ) -> Iterator[list[SamRecord]]:
+        """Lazily decode the batch, yielding record chunks of ``batch_size``."""
         reader = _BatchReader(blob)
         count = reader.u32()
         codec = HuffmanCodec(_deserialize_table(reader.blob()))
-        records: list[SamRecord] = []
+        batch: list[SamRecord] = []
         for _ in range(count):
             name = reader.blob(width="u16").decode("ascii")
             seq_blob = reader.blob()
             masked_qual = delta_decode(codec.decode(reader.blob()))
             extra = reader.blob()
             seq = decompress_sequence(seq_blob, masked_qual) if seq_blob else ""
-            records.append(_sam_from_extra(name, seq, masked_qual, extra))
-        return records
+            batch.append(_sam_from_extra(name, seq, masked_qual, extra))
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    @staticmethod
+    def decode(blob: bytes) -> list[SamRecord]:
+        """Inverse of :meth:`encode`."""
+        out: list[SamRecord] = []
+        for batch in SamCodec.iter_decode(blob):
+            out.extend(batch)
+        return out
 
 
-def compressed_size(records: Sequence[FastqRecord] | Sequence[SamRecord]) -> int:
-    """Size in bytes of the GPF-compressed batch."""
+def logical_size(records: Sequence[FastqRecord] | Sequence[SamRecord]) -> int:
+    """Decoded in-memory footprint estimate of a record batch (bytes).
+
+    Counts the string payload plus a fixed per-object overhead; this is
+    the "logical bytes" side of the compression-ratio telemetry.
+    """
+    total = 0
+    for rec in records:
+        if isinstance(rec, FastqRecord):
+            total += len(rec.name) + len(rec.sequence) + len(rec.quality) + 96
+        else:
+            total += (
+                len(rec.qname)
+                + len(rec.seq)
+                + len(rec.qual)
+                + len(rec.rname)
+                + len(rec.rnext)
+                + 160
+            )
+    return total
+
+
+def compressed_size(
+    records: Sequence[FastqRecord] | Sequence[SamRecord],
+    encoded: bytes | None = None,
+) -> int:
+    """Size in bytes of the GPF-compressed batch.
+
+    Callers that already hold the encoded blob pass it via ``encoded`` so
+    the batch is not re-encoded just to be measured.
+    """
+    if encoded is not None:
+        return len(encoded)
     if not records:
         return 0
     if isinstance(records[0], FastqRecord):
         return len(FastqCodec.encode(records))  # type: ignore[arg-type]
     return len(SamCodec.encode(records))  # type: ignore[arg-type]
+
+
+def ratio(
+    records: Sequence[FastqRecord] | Sequence[SamRecord],
+    encoded: bytes | None = None,
+) -> float:
+    """Compression ratio logical/compressed of one batch (>1 is a win).
+
+    Reuses ``encoded`` when provided — a single encode pass serves both
+    the stored blob and the ratio telemetry.
+    """
+    compressed = compressed_size(records, encoded)
+    if compressed == 0:
+        return 1.0
+    return logical_size(records) / compressed

@@ -8,6 +8,7 @@ from repro.align.bwamem import AlignerConfig
 from repro.align.pairing import PairedEndAligner, PairingConfig
 from repro.core.bundles import FASTQPairBundle, SAMBundle
 from repro.core.process import Process
+from repro.engine.bundle import iter_record_batches
 from repro.formats.fasta import Reference
 from repro.formats.sam import SamHeader
 
@@ -62,14 +63,17 @@ class BwaMemProcess(Process):
             self.reference, self.aligner_config, self.pairing_config
         )
         shared = ctx.broadcast(aligner)
+        batch_size = ctx.config.decode_batch_size
 
         def align_partition(pairs: list) -> list:
+            # Lazily-decoded partitions stream codec chunks straight into
+            # the batched kernel — no whole-partition pair list in between.
             pe = shared.value
             out = []
-            for pair in pairs:
-                r1, r2 = pe.align_pair(pair)
-                out.append(r1)
-                out.append(r2)
+            for batch in iter_record_batches(pairs, batch_size):
+                for r1, r2 in pe.align_pairs(batch):
+                    out.append(r1)
+                    out.append(r2)
             return out
 
         aligned = self.input_bundle.rdd.map_partitions(align_partition).set_name(

@@ -124,7 +124,7 @@ class VariantFiltrationProcess(Process):
         keep_failing = self.keep_failing
 
         def run(records: list) -> list:
-            out = apply_hard_filters(list(records), reference, config)
+            out = apply_hard_filters(records, reference, config)
             if not keep_failing:
                 out = [r for r in out if r.filter_ in ("PASS", ".")]
             return out

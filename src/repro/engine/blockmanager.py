@@ -106,6 +106,11 @@ class BlockStats:
     #: Checkpoint partitions written/read back.
     checkpoint_writes: int = 0
     checkpoint_reads: int = 0
+    #: Decoded (logical) size of the memory-resident blocks — what the
+    #: same partitions would occupy as Python record lists.  Together
+    #: with ``memory_bytes`` (the compressed resident size) this is the
+    #: working-set-reduction gauge pair.
+    logical_bytes: int = 0
 
 
 class BlockManager:
@@ -135,6 +140,8 @@ class BlockManager:
         #: key -> blob, most-recently-used last.
         self._memory: "OrderedDict[tuple[int, int], bytes]" = OrderedDict()
         self._memory_bytes = 0
+        #: key -> decoded (logical) byte estimate, for the ratio gauges.
+        self._logical: dict[tuple[int, int], int] = {}
         self._on_disk: set[tuple[int, int]] = set()
         #: Blocks chosen for eviction whose spill write is in flight.
         #: Reads serve these from memory; evict_rdd cancels them by
@@ -143,12 +150,23 @@ class BlockManager:
         self.stats = BlockStats()
 
     # -- public ------------------------------------------------------------
-    def put(self, key: tuple[int, int], blob: bytes) -> None:
+    def put(
+        self, key: tuple[int, int], blob: bytes, logical_bytes: int | None = None
+    ) -> None:
+        """Cache one serialized (compressed) partition blob.
+
+        ``logical_bytes`` is the decoded-footprint estimate used by the
+        memory-pressure gauges; the eviction limit itself is enforced on
+        ``len(blob)`` — compressed bytes are what occupy RAM.
+        """
         with self._lock:
             if key in self._memory:
                 self._memory_bytes -= len(self._memory.pop(key))
             self._memory[key] = blob
             self._memory_bytes += len(blob)
+            self._logical[key] = (
+                logical_bytes if logical_bytes is not None else len(blob)
+            )
             victims = self._select_victims()
             self._refresh_stats()
         # Spill writes happen *outside* the lock: a slow disk must not
@@ -237,6 +255,8 @@ class BlockManager:
             for key in [k for k in self._on_disk if k[0] == rdd_id]:
                 self._on_disk.discard(key)
                 doomed.append(self._block_path(key))
+            for key in [k for k in self._logical if k[0] == rdd_id]:
+                del self._logical[key]
             self._refresh_stats()
         # Unlink outside the lock: directory I/O must not block readers.
         for path in doomed:
@@ -288,6 +308,7 @@ class BlockManager:
         with self._lock:
             self._memory.clear()
             self._memory_bytes = 0
+            self._logical.clear()
             self._on_disk.clear()
             self._spilling.clear()
         shutil.rmtree(self._dir, ignore_errors=True)
@@ -318,6 +339,9 @@ class BlockManager:
         self.stats.disk_bytes = sum(
             self._disk_payload_bytes(k) for k in self._on_disk
         )
+        self.stats.logical_bytes = sum(
+            self._logical.get(k, 0) for k in self._memory
+        ) + sum(self._logical.get(k, 0) for k in self._spilling)
 
     def _disk_payload_bytes(self, key: tuple[int, int]) -> int:
         """Cached payload bytes of a spilled block (frame header excluded,

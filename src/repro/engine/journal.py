@@ -31,6 +31,7 @@ import re
 from typing import Sequence, TYPE_CHECKING
 
 from repro.engine.blockmanager import read_block_file, write_block_file
+from repro.engine.bundle import decode_partition, encode_partition
 from repro.engine.metrics import TaskMetrics
 from repro.engine.rdd import RDD
 
@@ -80,7 +81,14 @@ class CheckpointFileRDD(RDD):
         self._paths = list(paths)
 
     def compute(self, split: int, task: TaskMetrics) -> list:
-        return self.ctx.serializer.loads(read_block_file(self._paths[split]))
+        # Checkpoints are stored as v2 compressed bundles; hand back the
+        # lazy view so a restored partition stays compressed until pulled.
+        return decode_partition(
+            read_block_file(self._paths[split]),
+            self.ctx.serializer,
+            telemetry=self.ctx.telemetry,
+            batch_size=self.ctx.config.decode_batch_size,
+        )
 
 
 def _safe_name(name: str) -> str:
@@ -184,7 +192,8 @@ class RunJournal:
                 paths = []
                 for split, part in enumerate(ctx.run_job(value)):
                     path = os.path.join(self.data_dir, f"{stem}__p{split}.ckpt")
-                    write_block_file(path, ctx.serializer.dumps(part))
+                    body, _ = encode_partition(part, ctx.serializer)
+                    write_block_file(path, body)
                     paths.append(path)
                 spec["type"] = "rdd"
                 spec["paths"] = paths
@@ -235,8 +244,11 @@ class RunJournal:
                     blobs = [read_block_file(p) for p in spec["paths"]]
                     # Deserialize eagerly too: a blob that passes crc32 but
                     # does not decode must also downgrade to re-execution.
+                    # Draining the lazy view walks every record; legacy v1
+                    # blobs come back as plain lists and verify the same way.
                     for blob in blobs:
-                        ctx.serializer.loads(blob)
+                        for _ in decode_partition(blob, ctx.serializer):
+                            pass
                     value: object = CheckpointFileRDD(ctx, spec["paths"])
                 else:
                     value = pickle.loads(read_block_file(spec["path"]))

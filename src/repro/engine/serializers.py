@@ -21,10 +21,15 @@ from __future__ import annotations
 import pickle
 import struct
 import zlib
-from typing import Protocol, Sequence
+from typing import Iterator, Protocol, Sequence
 
-from repro.compression.records import FastqCodec, SamCodec
-from repro.formats.fastq import FastqRecord
+from repro.compression.records import (
+    DECODE_BATCH_SIZE,
+    CodecUnsupportedError,
+    FastqCodec,
+    SamCodec,
+)
+from repro.formats.fastq import FastqPair, FastqRecord
 from repro.formats.sam import SamRecord
 
 
@@ -88,17 +93,25 @@ class CompactSerializer:
 #: Frame tags for the gpf serializer's per-partition dispatch.
 _TAG_FASTQ = b"Q"
 _TAG_SAM = b"S"
+_TAG_PAIR = b"P"
+_TAG_KEYED_SAM = b"K"
 _TAG_FALLBACK = b"F"
+
+#: Tags whose payloads the §4.1 batch codecs produced (vs. pickle frames).
+CODEC_TAGS = frozenset({b"Q", b"S", b"P", b"K", b"R", b"k"})
 
 
 class GpfSerializer:
     """The paper's genomic codec, applied per homogeneous partition.
 
-    A partition of :class:`FastqRecord` or :class:`SamRecord` is encoded
-    with the matching batch codec; mixed or non-genomic partitions fall
-    back to the compact serializer.  Key-value partitions whose values are
-    genomic records (``(key, record)`` pairs, ubiquitous after ``key_by``)
-    are unzipped so the records still hit the codec.
+    A partition of :class:`FastqRecord`, :class:`SamRecord` or
+    :class:`FastqPair` is encoded with the matching batch codec; mixed or
+    non-genomic partitions fall back to the compact serializer, as does
+    any partition containing a record the codec cannot round-trip
+    byte-identically (:class:`CodecUnsupportedError` — ambiguity codes,
+    lowercase bases, N with a real quality).  Key-value partitions whose
+    values are genomic records (``(key, record)`` pairs, ubiquitous after
+    ``key_by``) are unzipped so the records still hit the codec.
     """
 
     name = "gpf"
@@ -108,36 +121,67 @@ class GpfSerializer:
 
     def dumps(self, elements: Sequence[object]) -> bytes:
         elements = list(elements)
-        if elements and all(isinstance(e, FastqRecord) for e in elements):
-            return _TAG_FASTQ + FastqCodec.encode(elements)  # type: ignore[arg-type]
-        if elements and all(isinstance(e, SamRecord) for e in elements):
-            return _TAG_SAM + SamCodec.encode(elements)  # type: ignore[arg-type]
-        if (
-            elements
-            and all(
-                isinstance(e, tuple) and len(e) == 2 and isinstance(e[1], SamRecord)
-                for e in elements
-            )
-        ):
-            keys = pickle.dumps([e[0] for e in elements], protocol=pickle.HIGHEST_PROTOCOL)
-            body = SamCodec.encode([e[1] for e in elements])  # type: ignore[misc]
-            return b"K" + struct.pack("<I", len(keys)) + keys + body
+        try:
+            if elements and all(isinstance(e, FastqRecord) for e in elements):
+                return _TAG_FASTQ + FastqCodec.encode(elements, strict=True)  # type: ignore[arg-type]
+            if elements and all(isinstance(e, SamRecord) for e in elements):
+                return _TAG_SAM + SamCodec.encode(elements, strict=True)  # type: ignore[arg-type]
+            if elements and all(isinstance(e, FastqPair) for e in elements):
+                interleaved = [read for pair in elements for read in pair]  # type: ignore[union-attr]
+                return _TAG_PAIR + FastqCodec.encode(interleaved, strict=True)
+            if (
+                elements
+                and all(
+                    isinstance(e, tuple) and len(e) == 2 and isinstance(e[1], SamRecord)
+                    for e in elements
+                )
+            ):
+                keys = pickle.dumps(
+                    [e[0] for e in elements], protocol=pickle.HIGHEST_PROTOCOL
+                )
+                body = SamCodec.encode([e[1] for e in elements], strict=True)  # type: ignore[misc]
+                return _TAG_KEYED_SAM + struct.pack("<I", len(keys)) + keys + body
+        except CodecUnsupportedError:
+            pass  # per-block fallback: the whole partition goes to pickle
         return _TAG_FALLBACK + self._fallback.dumps(elements)
 
     def loads(self, blob: bytes) -> list[object]:
+        out: list[object] = []
+        for batch in self.iter_loads(blob, batch_size=1 << 30):
+            out.extend(batch)
+        return out
+
+    def iter_loads(
+        self, blob: bytes, batch_size: int = DECODE_BATCH_SIZE
+    ) -> Iterator[list[object]]:
+        """Decode the partition in record chunks of ``batch_size``.
+
+        Codec-tagged payloads decode truly lazily (one Huffman walk per
+        chunk); pickle fallbacks yield the whole list at once, since
+        pickle has no incremental decode.
+        """
         tag, body = blob[:1], blob[1:]
         if tag == _TAG_FASTQ:
-            return list(FastqCodec.decode(body))
-        if tag == _TAG_SAM:
-            return list(SamCodec.decode(body))
-        if tag == b"K":
+            yield from FastqCodec.iter_decode(body, batch_size)
+        elif tag == _TAG_SAM:
+            yield from SamCodec.iter_decode(body, batch_size)
+        elif tag == _TAG_PAIR:
+            # Interleaved mates: an even chunk size keeps pairs intact.
+            pair_chunk = max(2, batch_size - batch_size % 2)
+            for batch in FastqCodec.iter_decode(body, pair_chunk):
+                reads = iter(batch)
+                yield [FastqPair(r1, r2) for r1, r2 in zip(reads, reads)]
+        elif tag == _TAG_KEYED_SAM:
             (key_len,) = struct.unpack_from("<I", body, 0)
             keys = pickle.loads(body[4 : 4 + key_len])
-            records = SamCodec.decode(body[4 + key_len :])
-            return list(zip(keys, records))
-        if tag == _TAG_FALLBACK:
-            return self._fallback.loads(body)
-        raise ValueError(f"unknown gpf serializer frame tag {tag!r}")
+            offset = 0
+            for batch in SamCodec.iter_decode(body[4 + key_len :], batch_size):
+                yield list(zip(keys[offset : offset + len(batch)], batch))
+                offset += len(batch)
+        elif tag == _TAG_FALLBACK:
+            yield self._fallback.loads(body)
+        else:
+            raise ValueError(f"unknown gpf serializer frame tag {tag!r}")
 
 
 class GpfRefSerializer(GpfSerializer):
@@ -185,6 +229,19 @@ class GpfRefSerializer(GpfSerializer):
             records = self._sam_codec.decode(body[4 + key_len :])
             return list(zip(keys, records))
         return super().loads(blob)
+
+    def iter_loads(
+        self, blob: bytes, batch_size: int = DECODE_BATCH_SIZE
+    ) -> Iterator[list[object]]:
+        # The reference-based codec has no incremental decode; chunk the
+        # materialized list so consumers see one uniform batch interface.
+        tag = blob[:1]
+        if tag in (b"R", b"k"):
+            records = self.loads(blob)
+            for start in range(0, len(records), batch_size):
+                yield records[start : start + batch_size]
+            return
+        yield from super().iter_loads(blob, batch_size)
 
 
 _REGISTRY: dict[str, type] = {

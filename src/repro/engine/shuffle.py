@@ -23,6 +23,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.engine.blockmanager import frame_block, unframe_block
+from repro.engine.bundle import PartitionChain, decode_partition, encode_partition
 from repro.engine.metrics import TaskMetrics, timed
 from repro.engine.serializers import Serializer
 
@@ -103,11 +105,17 @@ class ShuffleManager:
             info = self._shuffles[shuffle_id]
             num_reduce = info.num_reduce_partitions
         buckets: list[list] = [[] for _ in range(num_reduce)]
+        records = 0
         for kv in elements:
             buckets[partition_func(kv[0])].append(kv)
+            records += 1
         total = 0
         for reduce_partition, bucket in enumerate(buckets):
-            blob = serializer.dumps(bucket)
+            # Spill the compressed block form (crc32-framed v2 bundle):
+            # spill I/O shrinks by the codec's compression ratio and a
+            # torn file is detected on read instead of feeding garbage.
+            body, _ = encode_partition(bucket, serializer)
+            blob = frame_block(body)
             if self._compress:
                 blob = b"z" + zlib.compress(blob, 1)
             else:
@@ -118,10 +126,10 @@ class ShuffleManager:
                 with open(path, "wb") as fh:
                     fh.write(blob)
         task.shuffle_bytes_written += total
-        task.records_written += len(elements)
+        task.records_written += records
         if self._telemetry is not None:
             self._telemetry.inc("shuffle.bytes_written", total)
-            self._telemetry.inc("shuffle.records_written", len(elements))
+            self._telemetry.inc("shuffle.records_written", records)
         with self._lock:
             info.bytes_written += total
             info.map_done.add(map_partition)
@@ -133,8 +141,13 @@ class ShuffleManager:
         reduce_partition: int,
         serializer: Serializer,
         task: TaskMetrics,
-    ) -> list[tuple]:
-        """Read every map output's bucket for this reduce partition."""
+    ) -> PartitionChain:
+        """Read every map output's bucket for this reduce partition.
+
+        Returns a re-iterable :class:`PartitionChain` over the fetched
+        blocks in compressed form — the reduce task decodes lazily and
+        never holds the whole fetched input as one record list.
+        """
         with self._lock:
             info = self._shuffles[shuffle_id]
             num_map = info.num_map_partitions
@@ -144,7 +157,7 @@ class ShuffleManager:
             raise RuntimeError(
                 f"shuffle {shuffle_id} map side incomplete; missing maps {sorted(missing)}"
             )
-        out: list[tuple] = []
+        parts: list = []
         total = 0
         for map_partition in range(num_map):
             path = self._block_path(shuffle_id, map_partition, reduce_partition)
@@ -155,16 +168,21 @@ class ShuffleManager:
             tag, body = blob[:1], blob[1:]
             if tag == b"z":
                 body = zlib.decompress(body)
-            out.extend(serializer.loads(body))
+            # crc check catches torn/corrupt spill files before decode.
+            part = decode_partition(unframe_block(body), serializer)
+            if part:
+                parts.append(part)
+        chain = PartitionChain(parts)
+        records = len(chain)  # from block headers — no decode needed
         task.shuffle_bytes_read += total
-        task.records_read += len(out)
+        task.records_read += records
         if self._telemetry is not None:
             self._telemetry.inc("shuffle.bytes_read", total)
-            self._telemetry.inc("shuffle.records_read", len(out))
+            self._telemetry.inc("shuffle.records_read", records)
         if self._network_bandwidth and num_map > 1:
             remote_fraction = (num_map - 1) / num_map
             task.network_blocked += total * remote_fraction / self._network_bandwidth
-        return out
+        return chain
 
     # -- cleanup ---------------------------------------------------------
     def total_bytes_written(self) -> int:

@@ -81,6 +81,29 @@ class RunReport:
     def task_count(self) -> int:
         return sum(s.tasks for s in self.stages)
 
+    def memory_summary(self) -> dict[str, float]:
+        """Compressed-residency gauges, plus derived ratio and decode share.
+
+        ``compressed_bytes``/``logical_bytes`` come from the block manager
+        (resident vs. decoded footprint of cached blocks); the ratio is
+        recomputed from the two byte gauges so summed multi-worker
+        snapshots (the serve ``/metrics`` fold) stay meaningful.
+        """
+        compressed = self.gauges.get("blockmanager.compressed_bytes", 0.0)
+        logical = self.gauges.get("blockmanager.logical_bytes", 0.0)
+        decode = self.counters.get("blockmanager.decode_seconds", 0.0)
+        core = self.core_seconds
+        return {
+            "compressed_bytes": compressed,
+            "logical_bytes": logical,
+            "compression_ratio": (logical / compressed) if compressed else 0.0,
+            "decode_seconds": decode,
+            "decode_share": (decode / core) if core else 0.0,
+            "decoded_records": self.counters.get(
+                "blockmanager.decoded_records", 0.0
+            ),
+        }
+
     def blocked_fractions(self) -> tuple[float, float]:
         """(disk, network) blocked time over total task time — Fig. 12."""
         total = self.core_seconds
@@ -247,6 +270,27 @@ class RunReport:
         lines.append(f"  network-blocked: {net * 100:>6.2f}% of task time")
         lines.append("")
 
+        memory = self.memory_summary()
+        lines.append("Memory (compressed-resident blocks)")
+        if memory["compressed_bytes"] or memory["decode_seconds"]:
+            lines.append(
+                f"  resident (compressed): {int(memory['compressed_bytes'])} B"
+            )
+            lines.append(
+                f"  logical (decoded):     {int(memory['logical_bytes'])} B"
+            )
+            lines.append(
+                f"  compression ratio:     {memory['compression_ratio']:.2f}x"
+            )
+            lines.append(
+                f"  decode time:           {memory['decode_seconds']:.3f}s "
+                f"({memory['decode_share'] * 100:.2f}% of task time, "
+                f"{int(memory['decoded_records'])} record(s))"
+            )
+        else:
+            lines.append("  (no cached blocks)")
+        lines.append("")
+
         lines.append("Failures & retries")
         if self.failures:
             by_key: dict[tuple[str, int, str], int] = {}
@@ -287,6 +331,7 @@ class RunReport:
                 "shuffle_bytes": self.shuffle_bytes,
             },
             "blocked_fractions": {"disk": disk, "network": net},
+            "memory": self.memory_summary(),
             "failures": [
                 {"stage_kind": k, "partition": p, "error_type": e}
                 for k, p, e in self.failures

@@ -463,6 +463,14 @@ class PipelineService:
                 counters[name] = counters.get(name, 0) + value
             for name, value in snapshot["gauges"].items():
                 gauges[name] = gauges.get(name, 0) + value
+        # Byte gauges fold additively across workers; a ratio does not.
+        # Recompute it from the summed bytes so the fleet-wide number is
+        # the actual fleet-wide compression ratio.
+        compressed = gauges.get("blockmanager.compressed_bytes", 0)
+        if compressed:
+            gauges["blockmanager.compression_ratio"] = (
+                gauges.get("blockmanager.logical_bytes", 0) / compressed
+            )
         return {"service": service, "counters": counters, "gauges": gauges}
 
     # -- the worker loop ----------------------------------------------------

@@ -250,3 +250,33 @@ class TestAlternativeHits:
         seq = repeat_ref.contigs[0].fetch(600, 700)
         rec = aligner.align_read(FastqRecord("rep", seq, "I" * 100))
         assert "XA" not in rec.tags
+
+class TestAlignPairsBatch:
+    """align_pairs must be record-for-record identical to align_pair."""
+
+    def _pairs(self, ref, n=6):
+        contig = ref.contigs[0]
+        pairs = []
+        for i in range(n):
+            start = 500 + i * 900
+            r1 = read_at(ref, start, name=f"b{i}/1")
+            r2_seq = reverse_complement(contig.fetch(start + 300, start + 400))
+            pairs.append(
+                FastqPair(r1, FastqRecord(f"b{i}/2", r2_seq, "I" * 100))
+            )
+        return pairs
+
+    def test_batch_matches_scalar(self, ref):
+        pairs = self._pairs(ref)
+        pe = PairedEndAligner(ref)
+        batched = pe.align_pairs(pairs)
+        scalar = [pe.align_pair(p) for p in pairs]
+        assert batched == scalar
+
+    def test_empty_batch(self, ref):
+        assert PairedEndAligner(ref).align_pairs([]) == []
+
+    def test_iterator_input(self, ref):
+        pairs = self._pairs(ref, 3)
+        pe = PairedEndAligner(ref)
+        assert pe.align_pairs(iter(pairs)) == [pe.align_pair(p) for p in pairs]

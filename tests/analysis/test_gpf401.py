@@ -1,0 +1,141 @@
+"""GPF401: task closures that materialize lazily-decoded partitions."""
+
+import ast
+
+from repro.analysis.closures import (
+    analyze_closure,
+    find_partition_materializations,
+)
+
+
+def _func_node(source: str) -> ast.AST:
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            return node
+    raise AssertionError("no function in source")
+
+
+class TestAstCheck:
+    def test_list_of_partition_param_flagged(self):
+        node = _func_node(
+            "def run(split, part):\n"
+            "    records = list(part)\n"
+            "    return records\n"
+        )
+        hits = find_partition_materializations(node)
+        assert [desc for desc, _ in hits] == ["list(part)"]
+
+    def test_tuple_of_partition_param_flagged(self):
+        node = _func_node("def run(part):\n    return tuple(part)\n")
+        assert find_partition_materializations(node)
+
+    def test_materialize_call_flagged(self):
+        node = _func_node(
+            "def run(split, part):\n    return part.materialize()\n"
+        )
+        hits = find_partition_materializations(node)
+        assert [desc for desc, _ in hits] == ["part.materialize()"]
+
+    def test_lambda_flagged(self):
+        node = _func_node("f = lambda part: list(part)\n")
+        assert find_partition_materializations(node)
+
+    def test_iterating_is_clean(self):
+        node = _func_node(
+            "def run(split, part):\n"
+            "    return [x for x in part if x]\n"
+        )
+        assert find_partition_materializations(node) == []
+
+    def test_list_of_local_is_clean(self):
+        node = _func_node(
+            "def run(split, part):\n"
+            "    out = (x for x in part)\n"
+            "    return list(out)\n"
+        )
+        assert find_partition_materializations(node) == []
+
+    def test_list_of_method_result_is_clean(self):
+        node = _func_node(
+            "def run(split, acc):\n    return list(acc.items())\n"
+        )
+        assert find_partition_materializations(node) == []
+
+    def test_nested_function_scope_not_confused(self):
+        # The nested def's parameter is its own; materializing it is
+        # still a hit (it is a .materialize-free list(param) in a nested
+        # scope whose params the outer walk does not track).
+        node = _func_node(
+            "def run(split, part):\n"
+            "    def inner(x):\n"
+            "        return x\n"
+            "    return [inner(r) for r in part]\n"
+        )
+        assert find_partition_materializations(node) == []
+
+
+class TestAnalyzeClosure:
+    def test_live_closure_flagged(self):
+        def run(split, part):
+            return list(part)
+
+        diags = analyze_closure(run, where="stage:run")
+        assert [d.code for d in diags] == ["GPF401"]
+        assert "list(part)" in diags[0].message
+
+    def test_materialize_flagged(self):
+        def run(split, part):
+            return part.materialize()
+
+        assert [d.code for d in analyze_closure(run)] == ["GPF401"]
+
+    def test_streaming_closure_clean(self):
+        def run(split, part):
+            out = []
+            for record in part:
+                out.append(record)
+            return out
+
+        assert analyze_closure(run) == []
+
+
+class TestSourceScan:
+    def test_scan_source_flags_materializing_closure(self, tmp_path):
+        bad = tmp_path / "bad_plan.py"
+        bad.write_text(
+            "def build(ctx):\n"
+            "    def run(split, part):\n"
+            "        return list(part)\n"
+            "    return ctx.parallelize(range(10), 2)"
+            ".map_partitions_with_index(run)\n"
+        )
+        from repro.analysis import scan_source
+
+        diags = scan_source(bad)
+        assert [d.code for d in diags] == ["GPF401"]
+        assert "list(part)" in diags[0].message
+
+    def test_scan_source_clean_streaming_closure(self, tmp_path):
+        good = tmp_path / "good_plan.py"
+        good.write_text(
+            "def build(ctx):\n"
+            "    return ctx.parallelize(range(10), 2)"
+            ".map_partitions(lambda part: [x for x in part])\n"
+        )
+        from repro.analysis import scan_source
+
+        assert scan_source(good) == []
+
+
+class TestPipelineBaselineStaysEmpty:
+    def test_wgs_lineage_has_no_gpf401(self, ctx, reference, known_sites, read_pairs):
+        from repro.wgs import build_wgs_pipeline
+
+        handles = build_wgs_pipeline(
+            ctx, reference, ctx.parallelize(read_pairs[:4], 2), known_sites
+        )
+        report = handles.pipeline.lint()
+        assert not any(d.code == "GPF401" for d in report.diagnostics), (
+            report.render()
+        )

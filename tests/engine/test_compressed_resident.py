@@ -1,0 +1,192 @@
+"""Compressed-resident partitions end to end: cache, budget eviction,
+spill, checkpoint, journal compatibility, and the telemetry gauges."""
+
+import zlib
+
+import pytest
+
+from repro.engine.blockmanager import unframe_block
+from repro.engine.bundle import BUNDLE_MAGIC, LazyPartition
+from repro.engine.context import EngineConfig, GPFContext
+from repro.formats.fastq import FastqPair, FastqRecord
+
+
+def make_pairs(n: int) -> list[FastqPair]:
+    bases = "ACGT"
+    pairs = []
+    for i in range(n):
+        seq = "".join(bases[(i + j) % 4] for j in range(80))
+        pairs.append(
+            FastqPair(
+                FastqRecord(f"frag{i}/1", seq, "I" * 80),
+                FastqRecord(f"frag{i}/2", seq[::-1], "H" * 80),
+            )
+        )
+    return pairs
+
+
+@pytest.fixture()
+def gpf_ctx(tmp_path):
+    context = GPFContext(
+        EngineConfig(
+            default_parallelism=3,
+            serializer="gpf",
+            spill_dir=str(tmp_path / "spill"),
+        )
+    )
+    yield context
+    context.stop()
+
+
+class TestCachedBlocksStayCompressed:
+    def test_cache_get_returns_lazy_partition(self, gpf_ctx):
+        pairs = make_pairs(30)
+        rdd = gpf_ctx.parallelize(pairs, 3).persist()
+        assert rdd.collect() == pairs  # populates the cache
+        cached = gpf_ctx._cache_get(rdd, 0)
+        assert isinstance(cached, LazyPartition)
+        assert cached.bundle.codec == b"P"
+
+    def test_collect_from_cache_round_trips(self, gpf_ctx):
+        pairs = make_pairs(24)
+        rdd = gpf_ctx.parallelize(pairs, 3).persist()
+        first = rdd.collect()
+        second = rdd.collect()  # cache hit path
+        assert first == second == pairs
+        assert gpf_ctx.block_manager.stats.hits > 0
+
+    def test_telemetry_gauges_present(self, gpf_ctx):
+        pairs = make_pairs(40)
+        rdd = gpf_ctx.parallelize(pairs, 2).persist()
+        rdd.collect()
+        rdd.collect()
+        snapshot = gpf_ctx.telemetry_snapshot()
+        gauges = snapshot["gauges"]
+        assert gauges["blockmanager.compressed_bytes"] > 0
+        assert gauges["blockmanager.logical_bytes"] > gauges[
+            "blockmanager.compressed_bytes"
+        ]
+        assert gauges["blockmanager.compression_ratio"] > 1.0
+        counters = snapshot["counters"]
+        assert counters["blockmanager.decode_seconds"] > 0
+        assert counters["blockmanager.decoded_records"] > 0
+
+    def test_memory_accounting_uses_compressed_bytes(self, gpf_ctx):
+        pairs = make_pairs(40)
+        rdd = gpf_ctx.parallelize(pairs, 2).persist()
+        rdd.collect()
+        stats = gpf_ctx.block_manager.stats
+        # The resident footprint must be well under the decoded one.
+        assert stats.memory_bytes < stats.logical_bytes / 2
+
+
+class TestMemoryBudget:
+    def test_budget_forces_spill_results_unchanged(self, tmp_path):
+        pairs = make_pairs(60)
+        context = GPFContext(
+            EngineConfig(
+                default_parallelism=4,
+                serializer="gpf",
+                spill_dir=str(tmp_path / "spill"),
+                memory_budget=512,  # far below the compressed working set
+            )
+        )
+        try:
+            rdd = context.parallelize(pairs, 4).persist()
+            assert rdd.collect() == pairs
+            assert rdd.collect() == pairs  # spilled blocks read back
+            stats = context.block_manager.stats
+            assert stats.evictions > 0
+            assert stats.disk_blocks > 0
+        finally:
+            context.stop()
+
+    def test_budget_takes_precedence_over_cache_limit(self, tmp_path):
+        config = EngineConfig(
+            spill_dir=str(tmp_path / "s"),
+            cache_memory_limit=1,
+            memory_budget=1 << 30,
+        )
+        context = GPFContext(config)
+        try:
+            rdd = context.parallelize(make_pairs(20), 2).persist()
+            rdd.collect()
+            assert context.block_manager.stats.evictions == 0
+        finally:
+            context.stop()
+
+
+class TestCheckpointCompressed:
+    def test_checkpoint_round_trips(self, gpf_ctx):
+        pairs = make_pairs(18)
+        rdd = gpf_ctx.parallelize(pairs, 3).checkpoint()
+        assert rdd.collect() == pairs
+        assert rdd.collect() == pairs
+
+    def test_checkpoint_files_are_v2_bundles(self, gpf_ctx, tmp_path):
+        pairs = make_pairs(12)
+        rdd = gpf_ctx.parallelize(pairs, 2).checkpoint()
+        rdd.collect()
+        ckpt_dir = gpf_ctx.block_manager._ckpt_dir
+        import glob
+        import os
+
+        files = glob.glob(os.path.join(ckpt_dir, "**", "*"), recursive=True)
+        blobs = [f for f in files if os.path.isfile(f)]
+        assert blobs
+        with open(blobs[0], "rb") as fh:
+            body = unframe_block(fh.read())
+        assert body.startswith(BUNDLE_MAGIC)
+
+
+class TestShuffleSpillCompressed:
+    def test_group_by_key_round_trips(self, gpf_ctx):
+        pairs = make_pairs(20)
+        keyed = gpf_ctx.parallelize(
+            [(i % 4, p) for i, p in enumerate(pairs)], 2
+        )
+        grouped = dict(keyed.group_by_key(2).collect())
+        assert set(grouped) == {0, 1, 2, 3}
+        assert sorted(
+            p.name for vs in grouped.values() for p in vs
+        ) == sorted(p.name for p in pairs)
+
+    def test_spill_files_are_framed_bundles(self, tmp_path):
+        context = GPFContext(
+            EngineConfig(
+                default_parallelism=2,
+                serializer="gpf",
+                spill_dir=str(tmp_path / "spill"),
+            )
+        )
+        try:
+            keyed = context.parallelize([(i % 2, i) for i in range(10)], 2)
+            keyed.group_by_key(2).collect()
+            import glob
+
+            spill_files = glob.glob(
+                str(tmp_path / "spill" / "shuffle_*" / "*.bin")
+            )
+            assert spill_files
+            with open(spill_files[0], "rb") as fh:
+                blob = fh.read()
+            tag, body = blob[:1], blob[1:]
+            if tag == b"z":
+                body = zlib.decompress(body)
+            assert unframe_block(body).startswith(BUNDLE_MAGIC)
+        finally:
+            context.stop()
+
+
+class TestLegacyBlobCompat:
+    def test_v1_checkpoint_file_still_restores(self, gpf_ctx, tmp_path):
+        # A checkpoint written by the old code path: raw serializer bytes
+        # inside the crc frame, no GPB2 header.
+        from repro.engine.blockmanager import write_block_file
+        from repro.engine.journal import CheckpointFileRDD
+
+        records = [FastqRecord(f"r{i}", "ACGT" * 10, "I" * 40) for i in range(8)]
+        path = str(tmp_path / "legacy__out__p0.ckpt")
+        write_block_file(path, gpf_ctx.serializer.dumps(records))
+        rdd = CheckpointFileRDD(gpf_ctx, [path])
+        assert rdd.collect() == records
