@@ -141,6 +141,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print the full run report (Table 4 stages, blocked time, telemetry)",
     )
+    run.add_argument(
+        "--chaos",
+        metavar="PLAN",
+        help=(
+            "chaos plan JSON (see `gpf chaos`): inject the plan's seeded "
+            "faults into this run's block manager, shuffle, journal, and "
+            "scheduler"
+        ),
+    )
 
     ev = sub.add_parser("evaluate", help="score a VCF against a truth VCF")
     ev.add_argument("--calls", required=True)
@@ -263,6 +272,43 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--access-log", action="store_true", help="log every HTTP request to stderr"
     )
+    srv.add_argument(
+        "--chaos",
+        metavar="PLAN",
+        help=(
+            "chaos plan JSON: serve.* rules fault the service layer, "
+            "engine rules fault every worker context"
+        ),
+    )
+
+    cha = sub.add_parser(
+        "chaos",
+        help="run the seeded chaos scenario suite",
+        description=(
+            "Run seeded fault-injection scenarios against the full WGS "
+            "pipeline and the serve layer.  Every scenario must end in "
+            "byte-identical output or a typed failure — never a hang — "
+            "and identically-seeded runs must inject the identical fault "
+            "sequence.  Exit code 1 if any scenario fails."
+        ),
+    )
+    cha.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="scenario to run (repeatable; default: all)",
+    )
+    cha.add_argument("--seed", type=int, default=0, help="chaos plan seed")
+    cha.add_argument(
+        "--out", metavar="DIR", help="write per-run chaos event logs here"
+    )
+    cha.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    cha.add_argument(
+        "--json", action="store_true", help="emit outcomes as JSON lines"
+    )
 
     smt = sub.add_parser("submit", help="submit a WGS run to a gpf serve instance")
     smt.add_argument("--url", default="http://127.0.0.1:8765")
@@ -378,6 +424,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     backend = args.backend or ("threads" if args.threads > 0 else "serial")
     workers = args.workers or args.threads or 4
+    chaos_plan = None
+    if getattr(args, "chaos", None):
+        from repro.chaos import ChaosPlan
+
+        chaos_plan = ChaosPlan.load(args.chaos)
     config = EngineConfig(
         default_parallelism=args.partitions,
         serializer=args.serializer,
@@ -386,6 +437,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         trace_dir=args.trace_out,
         memory_budget=args.memory_budget,
+        chaos=chaos_plan,
     )
     start = time.perf_counter()
     try:
@@ -723,6 +775,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine import EngineConfig
     from repro.serve import PipelineService, ServiceConfig, start_http_server
 
+    chaos_plan = None
+    if getattr(args, "chaos", None):
+        from repro.chaos import ChaosPlan
+
+        chaos_plan = ChaosPlan.load(args.chaos)
     config = ServiceConfig(
         workers=max(1, args.workers),
         queue_depth=max(1, args.queue_depth),
@@ -730,7 +787,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine=EngineConfig(
             default_parallelism=args.partitions,
             executor_backend=args.backend,
+            chaos=chaos_plan,
         ),
+        chaos=chaos_plan,
     )
     service = PipelineService(args.state_dir, config).start()
     server = start_http_server(
@@ -757,6 +816,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service.drain()
     print("gpf serve: drained cleanly")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """chaos: run the seeded fault-injection scenario suite."""
+    import json
+
+    from repro.chaos import SCENARIOS, run_suite
+
+    if args.list:
+        width = max(len(name) for name in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            print(f"{name:<{width}}  {SCENARIOS[name][1]}")
+        return 0
+    names = args.scenarios or sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"chaos: unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    outcomes = run_suite(names, seed=args.seed, out_dir=args.out)
+    failed = 0
+    for outcome in outcomes:
+        if args.json:
+            print(json.dumps(outcome.to_json()))
+        else:
+            mark = "PASS" if outcome.passed else "FAIL"
+            extra = f"  ({outcome.detail})" if outcome.detail else ""
+            print(
+                f"{mark}  {outcome.name:<16} seed={outcome.seed} "
+                f"outcome={outcome.outcome} injected={outcome.injected} "
+                f"replay={'ok' if outcome.replay_ok else outcome.replay_ok} "
+                f"{outcome.elapsed:.1f}s{extra}"
+            )
+        failed += 0 if outcome.passed else 1
+    if args.out:
+        with open(os.path.join(args.out, "outcomes.json"), "w") as fh:
+            json.dump([o.to_json() for o in outcomes], fh, indent=2)
+    if not args.json:
+        print(
+            f"chaos: {len(outcomes) - failed}/{len(outcomes)} scenario(s) "
+            f"passed (seed {args.seed})"
+        )
+    return 1 if failed else 0
 
 
 def _client(args):
@@ -898,6 +1001,7 @@ def main(argv: list[str] | None = None) -> int:
         "scaling": cmd_scaling,
         "report": cmd_report,
         "serve": cmd_serve,
+        "chaos": cmd_chaos,
         "submit": cmd_submit,
         "jobs": cmd_jobs,
         "status": cmd_status,

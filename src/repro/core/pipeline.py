@@ -138,10 +138,20 @@ class Pipeline:
         if journal_dir is not None:
             from repro.engine.journal import RunJournal, plan_signature
 
-            journal = RunJournal(journal_dir)
-            journal.open(plan_signature(plan))
-            if journal.discarded_stale:
-                events.publish("journal.stale")
+            try:
+                journal = RunJournal(journal_dir)
+                journal.open(plan_signature(plan))
+            except OSError as exc:
+                # The journal directory is unusable (disk full, revoked
+                # mount): degrade to journal-less execution.  The run
+                # still produces its outputs; it just can't be resumed.
+                journal = None
+                events.publish(
+                    "journal.disabled", reason=f"{type(exc).__name__}: {exc}"
+                )
+            else:
+                if journal.discarded_stale:
+                    events.publish("journal.stale")
 
         unfinished: list[Process] = list(plan)
         resource_pool: set[int] = set()
@@ -186,7 +196,18 @@ class Pipeline:
                         process.run(self.ctx)
                         self.executed.append(process)
                         if journal is not None:
-                            journal.record(process, self.ctx)
+                            try:
+                                journal.record(process, self.ctx)
+                            except OSError as exc:
+                                # Mid-run journal failure: fall back to
+                                # journal-less execution for the rest of
+                                # the run rather than failing a pipeline
+                                # whose actual work just succeeded.
+                                journal = None
+                                events.publish(
+                                    "journal.disabled",
+                                    reason=f"{type(exc).__name__}: {exc}",
+                                )
                     unfinished.remove(process)
                     for resource in process.outputs:
                         resource_pool.add(id(resource))

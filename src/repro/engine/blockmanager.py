@@ -73,22 +73,44 @@ def fsync_directory(path: str) -> None:
         os.close(fd)
 
 
-def write_block_file(path: str, blob: bytes) -> None:
+def write_block_file(path: str, blob: bytes, chaos=None, site: str = "block.write") -> None:
     """Atomically and durably write a framed block file (tmp + fsync +
-    rename + directory fsync)."""
+    rename + directory fsync).
+
+    ``chaos`` is an optional :class:`repro.chaos.ChaosInjector`: the
+    ``site`` hit models ENOSPC/EIO on open/write, ``site`` mangle rules
+    model torn/short and bit-flipped writes (damaging the *framed*
+    bytes, so the crc read path catches them), and ``site + ".fsync"``
+    models fsync failure.
+    """
+    framed = frame_block(blob)
+    if chaos is not None:
+        chaos.hit(site, path=os.path.basename(path))
+        framed = chaos.mangle(site, framed, path=os.path.basename(path))
     tmp = path + ".tmp"
     with open(tmp, "wb") as fh:
-        fh.write(frame_block(blob))
+        fh.write(framed)
         fh.flush()
+        if chaos is not None:
+            chaos.hit(site + ".fsync", path=os.path.basename(path))
         os.fsync(fh.fileno())
     os.replace(tmp, path)
     fsync_directory(os.path.dirname(path) or ".")
 
 
-def read_block_file(path: str) -> bytes:
-    """Read and verify a framed block file."""
+def read_block_file(path: str, chaos=None, site: str = "block.read") -> bytes:
+    """Read and verify a framed block file.
+
+    Chaos ``site`` rules model read-side faults: a hit raises EIO, a
+    mangle flips bytes of the framed data *before* crc verification —
+    exercising exactly the corruption-detection path real bit rot would.
+    """
     with open(path, "rb") as fh:
-        return unframe_block(fh.read(), where=path)
+        data = fh.read()
+    if chaos is not None:
+        chaos.hit(site, path=os.path.basename(path))
+        data = chaos.mangle(site, data, path=os.path.basename(path))
+    return unframe_block(data, where=path)
 
 
 @dataclass
@@ -103,6 +125,9 @@ class BlockStats:
     misses: int = 0
     #: Disk blocks (spill or checkpoint) that failed crc32 verification.
     corrupt_reads: int = 0
+    #: Spill writes that failed (disk full / I/O error); the block is
+    #: dropped instead — eager eviction, recompute-on-demand.
+    spill_errors: int = 0
     #: Checkpoint partitions written/read back.
     checkpoint_writes: int = 0
     checkpoint_reads: int = 0
@@ -123,11 +148,14 @@ class BlockManager:
         memory_limit: int | None = None,
         checkpoint_dir: str | None = None,
         events=None,
+        chaos=None,
     ):
         #: Optional EventBus: evictions and corruption detections are rare
         #: and diagnostic, so they are published as events (counters stay
         #: in BlockStats and are folded into the telemetry snapshot).
         self._events = events
+        #: Optional ChaosInjector threaded into every disk touch.
+        self._chaos = chaos
         self._dir = os.path.join(spill_dir, "blocks")
         os.makedirs(self._dir, exist_ok=True)
         # A caller-supplied checkpoint dir outlives the context (it backs
@@ -173,9 +201,26 @@ class BlockManager:
         # stall every other cache operation (this mirrors the PR-4 fix
         # that moved the eviction publish out of the critical section).
         evicted: list[tuple[int, int]] = []
+        degraded: list[tuple[tuple[int, int], str]] = []
         for vkey, vblob in victims:
             path = self._block_path(vkey)
-            write_block_file(path, vblob)
+            try:
+                write_block_file(path, vblob, self._chaos, site="block.spill")
+            except OSError as exc:
+                # Disk full (or dying): degrade spill to eager eviction.
+                # The block is dropped entirely — a later get() misses and
+                # the partition recomputes from lineage, instead of the
+                # whole run crashing on a cache write.
+                with self._lock:
+                    self._spilling.pop(vkey, None)
+                    self.stats.spill_errors += 1
+                    self._refresh_stats()
+                degraded.append((vkey, f"{type(exc).__name__}: {exc}"))
+                try:
+                    os.unlink(path + ".tmp")
+                except OSError:
+                    pass
+                continue
             with self._lock:
                 cancelled = self._spilling.pop(vkey, None) is None
                 if not cancelled:
@@ -193,6 +238,13 @@ class BlockManager:
         if self._events is not None:
             for rdd_id, partition in evicted:
                 self._events.publish("block.evict", rdd_id=rdd_id, partition=partition)
+            for (rdd_id, partition), reason in degraded:
+                self._events.publish(
+                    "block.spill_degraded",
+                    reason=reason,
+                    rdd_id=rdd_id,
+                    partition=partition,
+                )
 
     def get(self, key: tuple[int, int]) -> bytes | None:
         with self._lock:
@@ -214,7 +266,7 @@ class BlockManager:
         # Disk read outside the lock: other threads keep hitting the
         # memory tier while this one waits on I/O.
         try:
-            blob = read_block_file(path)
+            blob = read_block_file(path, self._chaos, site="block.read")
         except (BlockCorruptionError, OSError):
             # A corrupt spill file is a miss, not a crash: the caller
             # recomputes the partition from lineage.  (A concurrent
@@ -277,7 +329,7 @@ class BlockManager:
     def put_checkpoint(self, key: tuple[int, int], blob: bytes) -> str:
         """Durably write one checkpointed partition; returns the file path."""
         path = self._checkpoint_path(key)
-        write_block_file(path, blob)
+        write_block_file(path, blob, self._chaos, site="checkpoint.write")
         with self._lock:
             self.stats.checkpoint_writes += 1
         return path
@@ -289,7 +341,7 @@ class BlockManager:
         if not os.path.exists(path):
             return None
         try:
-            blob = read_block_file(path)
+            blob = read_block_file(path, self._chaos, site="checkpoint.read")
         except (BlockCorruptionError, OSError):
             with self._lock:
                 self.stats.corrupt_reads += 1
@@ -301,6 +353,19 @@ class BlockManager:
 
     def has_checkpoint(self, key: tuple[int, int]) -> bool:
         return os.path.exists(self._checkpoint_path(key))
+
+    def discard_checkpoint(self, key: tuple[int, int]) -> None:
+        """Drop a checkpoint whose payload failed post-crc decode
+        verification (counted as a corrupt read); the caller recomputes
+        and rewrites it from lineage."""
+        path = self._checkpoint_path(key)
+        with self._lock:
+            self.stats.corrupt_reads += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self._publish_corrupt(path)
 
     # -- lifecycle ------------------------------------------------------------
     def cleanup(self) -> None:

@@ -105,6 +105,17 @@ class EngineConfig:
     #: (Chrome-trace/Perfetto) on ``stop()``.  None (the default) keeps
     #: the no-op tracer and an inert event bus: zero overhead.
     trace_dir: str | None = None
+    #: Chaos configuration: a :class:`repro.chaos.ChaosPlan` (or an
+    #: already-built injector).  When set, a seeded ChaosInjector is
+    #: wired into the block manager, shuffle manager, journal, and the
+    #: scheduler's task-attempt hook.  None = no injection, no overhead.
+    chaos: object | None = None
+    #: Consolidated per-job retry budget: total task failures tolerated
+    #: across the whole run before the job fails with
+    #: :class:`~repro.engine.faults.RetryBudgetExhaustedError`, so a
+    #: retry storm can't wedge a worker re-attempting forever.  None
+    #: leaves only the per-task ``max_task_attempts`` cap.
+    retry_budget: int | None = None
     #: Extra key-value settings (reserved for experiments).
     extra: dict = field(default_factory=dict)
 
@@ -135,6 +146,22 @@ class GPFContext:
         self.tracer: Tracer | NoopTracer = NoopTracer()
         if self.config.trace_dir:
             self._attach_trace(self.config.trace_dir)
+        # -- chaos plane (repro.chaos) -----------------------------------
+        # EngineConfig.chaos accepts a ChaosPlan (the usual case) or a
+        # pre-built injector; the injector is threaded through every
+        # subsystem that touches disk or runs tasks, and publishes each
+        # injection as a chaos.inject event on this context's bus.
+        chaos_cfg = self.config.chaos
+        if chaos_cfg is None:
+            self.chaos = None
+        elif hasattr(chaos_cfg, "hit"):
+            self.chaos = chaos_cfg
+            if getattr(chaos_cfg, "events", None) is None:
+                chaos_cfg.events = self.events
+        else:
+            from repro.chaos.injector import ChaosInjector
+
+            self.chaos = ChaosInjector(chaos_cfg, events=self.events)
         self.executor = make_executor(
             self.config.executor_backend,
             self.config.num_workers,
@@ -150,6 +177,7 @@ class GPFContext:
             network_bandwidth=self.config.network_bandwidth,
             compress=self.config.shuffle_compression,
             telemetry=self.telemetry,
+            chaos=self.chaos,
         )
         self.metrics = MetricsRegistry()
         self._scheduler = DAGScheduler(self)
@@ -170,14 +198,18 @@ class GPFContext:
             memory_limit=budget,
             checkpoint_dir=self.config.checkpoint_dir,
             events=self.events,
+            chaos=self.chaos,
         )
         self._rdd_partitions: dict[int, int] = {}
         self._closed = False
-        #: Fault injectors consulted at every task attempt (tests only).
+        #: Fault injectors consulted at every task attempt (chaos plane
+        #: and resilience tests).
         self.fault_injectors: list = []
+        if self.chaos is not None and callable(self.chaos):
+            self.fault_injectors.append(self.chaos)
         #: Context-wide sink for malformed input records routed by the
         #: ``malformed="quarantine"`` loader policy.
-        self.quarantine = QuarantineSink(events=self.events)
+        self.quarantine = QuarantineSink(events=self.events, chaos=self.chaos)
         # The gc.callbacks hook is refcounted per live context and removed
         # when the last context stops (no global callback left behind).
         GC_TIMER.acquire()
@@ -257,12 +289,26 @@ class GPFContext:
         blob = self.block_manager.get_checkpoint((rdd.id, split))
         if blob is None:
             return None
-        return decode_partition(
-            blob,
-            self.serializer,
-            telemetry=self.telemetry,
-            batch_size=self.config.decode_batch_size,
-        )
+        # crc32 catches bit flips, but a crc-valid blob can still be
+        # undecodable (bad codec tag, short v2 header): the lazy view
+        # would surface those mid-task, far from the checkpoint store.
+        # Verify by draining a throwaway decode and downgrade failures
+        # to a recompute-and-rewrite — checkpoint reads are rare enough
+        # (resume paths) that the extra decode pass is cheap insurance.
+        try:
+            part = decode_partition(
+                blob,
+                self.serializer,
+                telemetry=self.telemetry,
+                batch_size=self.config.decode_batch_size,
+            )
+            if hasattr(part, "batches"):
+                for _ in part.batches():
+                    pass
+        except Exception:  # noqa: BLE001 - any decode failure => recompute
+            self.block_manager.discard_checkpoint((rdd.id, split))
+            return None
+        return part
 
     def cached_bytes(self) -> int:
         """Total size of the serialized block cache (Table 3 measurements)."""
@@ -327,7 +373,7 @@ class GPFContext:
         # attribute, so swapping in fresh registries is safe mid-life.
         self.metrics = MetricsRegistry()
         self.telemetry.reset()
-        self.quarantine = QuarantineSink(events=self.events)
+        self.quarantine = QuarantineSink(events=self.events, chaos=self.chaos)
 
     def telemetry_snapshot(self) -> dict:
         """Merged view of every subsystem's counters, non-mutating.
@@ -348,6 +394,7 @@ class GPFContext:
             ("block.evictions", stats.evictions),
             ("block.disk_reads", stats.disk_reads),
             ("block.corrupt_reads", stats.corrupt_reads),
+            ("block.spill_errors", stats.spill_errors),
             ("checkpoint.writes", stats.checkpoint_writes),
             ("checkpoint.reads", stats.checkpoint_reads),
         ):
@@ -372,6 +419,12 @@ class GPFContext:
         failures = len(self.metrics.failures)
         if failures:
             counters["task.failures"] = counters.get("task.failures", 0) + failures
+        if self.chaos is not None:
+            injected = getattr(self.chaos, "injected", 0)
+            if injected:
+                counters["chaos.injected"] = (
+                    counters.get("chaos.injected", 0) + injected
+                )
         return {"counters": counters, "gauges": gauges}
 
     def _flush_observability(self) -> None:

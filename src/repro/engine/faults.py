@@ -114,6 +114,31 @@ class TaskFailedError(RuntimeError):
         )
 
 
+class RetryBudgetExhaustedError(RuntimeError):
+    """The run spent its consolidated retry budget.
+
+    ``EngineConfig.retry_budget`` caps *total* failed attempts across a
+    whole job (all stages, all partitions), so a systemic fault — a full
+    disk, a dead dependency — fails the job promptly instead of grinding
+    through ``max_task_attempts`` retries on every single task and
+    wedging a service worker for minutes.
+    """
+
+    def __init__(self, budget: int, failures: int, cause: Exception | None = None):
+        super().__init__(
+            f"retry budget exhausted: {failures} failed attempts >= "
+            f"budget of {budget}"
+        )
+        self.budget = budget
+        self.failures = failures
+        self.cause = cause
+        if cause is not None:
+            self.__cause__ = cause
+
+    def __reduce__(self):
+        return (type(self), (self.budget, self.failures, self.cause))
+
+
 class TaskTimeoutError(RuntimeError):
     """A task attempt overran its deadline (``EngineConfig.task_timeout``)."""
 

@@ -183,6 +183,7 @@ class RunJournal:
         All files are written (atomically, fsynced) before the journal
         line is appended: the line is the commit point.
         """
+        chaos = getattr(ctx, "chaos", None)
         outputs: list[dict] = []
         for resource in process.outputs:
             value = resource.value
@@ -193,14 +194,17 @@ class RunJournal:
                 for split, part in enumerate(ctx.run_job(value)):
                     path = os.path.join(self.data_dir, f"{stem}__p{split}.ckpt")
                     body, _ = encode_partition(part, ctx.serializer)
-                    write_block_file(path, body)
+                    write_block_file(path, body, chaos, site="journal.data.write")
                     paths.append(path)
                 spec["type"] = "rdd"
                 spec["paths"] = paths
             else:
                 path = os.path.join(self.data_dir, f"{stem}.val")
                 write_block_file(
-                    path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                    path,
+                    pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+                    chaos,
+                    site="journal.data.write",
                 )
                 spec["type"] = "value"
                 spec["path"] = path
@@ -213,6 +217,11 @@ class RunJournal:
                 ).hex()
             outputs.append(spec)
         entry = {"kind": "process", "process": process.name, "outputs": outputs}
+        if chaos is not None:
+            # The append is the commit point; an injected ENOSPC/EIO here
+            # surfaces as an OSError the pipeline degrades on (journal-less
+            # execution) rather than a torn journal.
+            chaos.hit("journal.append", process=process.name)
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(entry))
             fh.write("\n")
@@ -237,11 +246,15 @@ class RunJournal:
         by_name = {r.name: r for r in process.outputs}
         if set(s["name"] for s in specs) != set(by_name):
             return False
+        chaos = getattr(ctx, "chaos", None)
         restored: list[tuple] = []
         try:
             for spec in specs:
                 if spec["type"] == "rdd":
-                    blobs = [read_block_file(p) for p in spec["paths"]]
+                    blobs = [
+                        read_block_file(p, chaos, site="journal.data.read")
+                        for p in spec["paths"]
+                    ]
                     # Deserialize eagerly too: a blob that passes crc32 but
                     # does not decode must also downgrade to re-execution.
                     # Draining the lazy view walks every record; legacy v1
@@ -251,7 +264,9 @@ class RunJournal:
                             pass
                     value: object = CheckpointFileRDD(ctx, spec["paths"])
                 else:
-                    value = pickle.loads(read_block_file(spec["path"]))
+                    value = pickle.loads(
+                        read_block_file(spec["path"], chaos, site="journal.data.read")
+                    )
                 header = (
                     pickle.loads(bytes.fromhex(spec["header"]))
                     if "header" in spec

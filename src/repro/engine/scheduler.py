@@ -36,7 +36,11 @@ import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence, TYPE_CHECKING
 
-from repro.engine.faults import TaskFailedError, TaskTimeoutError
+from repro.engine.faults import (
+    RetryBudgetExhaustedError,
+    TaskFailedError,
+    TaskTimeoutError,
+)
 from repro.engine.metrics import GC_TIMER, TaskMetrics
 
 if TYPE_CHECKING:
@@ -219,6 +223,10 @@ class DAGScheduler:
                         records_written=task.records_written,
                     )
                 return value
+            except RetryBudgetExhaustedError:
+                # Raised below on a previous task of this job; a budget
+                # breach is terminal for the whole run, never retried.
+                raise
             except Exception as exc:  # noqa: BLE001 - retry semantics
                 last_error = exc
                 if isinstance(exc, (TaskTimeoutError, BrokenProcessPool)):
@@ -250,6 +258,17 @@ class DAGScheduler:
                     message=str(exc)[:200],
                     backoff=delay,
                 )
+                # Consolidated per-job retry budget: total failed
+                # attempts across the run, not per task.  A systemic
+                # fault fails the job promptly instead of burning
+                # max_task_attempts on every partition in turn.
+                budget = self.ctx.config.retry_budget
+                if budget is not None:
+                    spent = len(self.ctx.metrics.failures)
+                    if spent >= budget:
+                        raise RetryBudgetExhaustedError(
+                            budget, spent, exc
+                        ) from exc
                 if delay:
                     time.sleep(delay)
         assert last_error is not None

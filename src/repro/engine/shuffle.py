@@ -53,9 +53,13 @@ class ShuffleManager:
         network_bandwidth: float | None = 1.25e9,
         compress: bool = False,
         telemetry=None,
+        chaos=None,
     ):
         self._spill_dir = spill_dir
         self._network_bandwidth = network_bandwidth
+        #: Optional ChaosInjector: shuffle.write faults surface as task
+        #: OSErrors (retried), shuffle.fetch mangles exercise the crc path.
+        self._chaos = chaos
         #: Optional TelemetryRegistry mirroring shuffle traffic as named
         #: whole-run counters (the context wires its own registry in).
         self._telemetry = telemetry
@@ -122,6 +126,13 @@ class ShuffleManager:
                 blob = b"r" + blob
             total += len(blob)
             path = self._block_path(shuffle_id, map_partition, reduce_partition)
+            if self._chaos is not None:
+                # An injected ENOSPC/EIO here kills the map attempt; the
+                # scheduler retries it and the rewrite overwrites any
+                # partial spill file from the failed attempt.
+                self._chaos.hit(
+                    "shuffle.write", shuffle=shuffle_id, map=map_partition
+                )
             with timed(task, "disk_blocked"):
                 with open(path, "wb") as fh:
                     fh.write(blob)
@@ -164,6 +175,17 @@ class ShuffleManager:
             with timed(task, "disk_blocked"):
                 with open(path, "rb") as fh:
                     blob = fh.read()
+            if self._chaos is not None:
+                # Fetch faults: a hit raises (connection-reset-class
+                # failure), a mangle damages only this in-memory copy —
+                # the crc check below fails the attempt, and the retry
+                # re-reads the intact spill file.
+                self._chaos.hit(
+                    "shuffle.fetch", shuffle=shuffle_id, map=map_partition
+                )
+                blob = self._chaos.mangle(
+                    "shuffle.fetch", blob, shuffle=shuffle_id, map=map_partition
+                )
             total += len(blob)
             tag, body = blob[:1], blob[1:]
             if tag == b"z":

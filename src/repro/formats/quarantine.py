@@ -47,10 +47,19 @@ class QuarantinedRecord:
 
 
 class QuarantineSink:
-    """Counted, bounded-sample collector of malformed input records."""
+    """Counted, bounded-sample collector of malformed input records.
 
-    def __init__(self, max_samples: int = 100, events=None):
+    A failure while *retaining* a record (the sample/persistence path —
+    e.g. a disk-full event log, or an injected ``quarantine.sink``
+    chaos fault) must never propagate back into the parser and kill the
+    run it was protecting: the sink degrades to counting-only, publishes
+    one ``quarantine.degraded`` event, and keeps counting.
+    """
+
+    def __init__(self, max_samples: int = 100, events=None, chaos=None):
         self.max_samples = max_samples
+        #: True once sample retention failed; counts keep accumulating.
+        self.degraded = False
         self._lock = threading.Lock()
         self._counts: dict[str, int] = {}
         self._samples: list[QuarantinedRecord] = []
@@ -58,15 +67,30 @@ class QuarantineSink:
         #: "quarantine.record" event (driver-side sinks only — the
         #: reference is dropped when a per-task sink is pickled).
         self._events = events
+        #: Optional ChaosInjector exercising the retention-failure path.
+        self._chaos = chaos
 
     def add(self, kind: str, raw: str, reason: str) -> None:
         with self._lock:
             self._counts[kind] = self._counts.get(kind, 0) + 1
-            if len(self._samples) < self.max_samples:
-                self._samples.append(
-                    QuarantinedRecord(kind, reason, raw[:MAX_RAW_CHARS])
-                )
+        became_degraded = False
+        degrade_reason = ""
+        try:
+            if self._chaos is not None:
+                self._chaos.hit("quarantine.sink", format=kind)
+            with self._lock:
+                if not self.degraded and len(self._samples) < self.max_samples:
+                    self._samples.append(
+                        QuarantinedRecord(kind, reason, raw[:MAX_RAW_CHARS])
+                    )
+        except OSError as exc:
+            with self._lock:
+                became_degraded = not self.degraded
+                self.degraded = True
+            degrade_reason = f"{type(exc).__name__}: {exc}"
         if self._events is not None:
+            if became_degraded:
+                self._events.publish("quarantine.degraded", reason=degrade_reason)
             self._events.publish("quarantine.record", format=kind, reason=reason)
 
     # -- queries -----------------------------------------------------------
@@ -104,12 +128,27 @@ class QuarantineSink:
         return f"quarantine: {sum(counts.values())} record(s) ({parts})"
 
     def write_report(self, path: str) -> None:
-        """Dump every retained sample as a human-readable report file."""
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.summary() + "\n")
-            for record in self.samples:
-                fh.write(f"\n--- {record.kind}: {record.reason}\n")
-                fh.write(record.raw + "\n")
+        """Dump every retained sample as a human-readable report file.
+
+        Best-effort: a write failure (disk full) degrades the sink and
+        is swallowed — the report is diagnostics, not output.
+        """
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(self.summary() + "\n")
+                for record in self.samples:
+                    fh.write(f"\n--- {record.kind}: {record.reason}\n")
+                    fh.write(record.raw + "\n")
+        except OSError as exc:
+            became_degraded = False
+            with self._lock:
+                became_degraded = not self.degraded
+                self.degraded = True
+            if self._events is not None and became_degraded:
+                self._events.publish(
+                    "quarantine.degraded",
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
 
     # A sink never pickles its lock or its event bus (process-backend
     # task closures); a deserialized sink counts silently and its records

@@ -72,7 +72,13 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "journal.record": ("process",),
     "journal.restore": ("process",),
     "journal.stale": (),
+    "journal.disabled": ("reason",),
     "quarantine.record": ("format", "reason"),
+    "quarantine.degraded": ("reason",),
+    "chaos.inject": ("site", "fault", "hit"),
+    "block.spill_degraded": ("reason",),
+    "health.transition": ("from", "to", "reason"),
+    "job.shed": ("job_id", "priority", "retry_after"),
     "cache.stats": ("cache", "hits", "misses", "evictions", "entries"),
     "telemetry": ("counters", "gauges"),
 }
@@ -135,26 +141,38 @@ class MemorySink:
 
 
 class JsonlEventSink:
-    """Appends one JSON line per event; thread-safe, close()-able."""
+    """Appends one JSON line per event; thread-safe, close()-able.
+
+    A write error (disk full, revoked mount) degrades the sink to a
+    no-op instead of propagating into the publishing thread — losing
+    the event log must never kill the run it observes.
+    """
 
     def __init__(self, path: str):
         self.path = path
+        self.degraded = False
         self._lock = threading.Lock()
         self._fh = open(path, "a", encoding="utf-8")
 
     def __call__(self, event: dict) -> None:
         line = json.dumps(event, default=_jsonable)
         with self._lock:
-            if self._fh is None:
+            if self._fh is None or self.degraded:
                 return
-            self._fh.write(line)
-            self._fh.write("\n")
+            try:
+                self._fh.write(line)
+                self._fh.write("\n")
+            except OSError:
+                self.degraded = True
 
     def close(self) -> None:
         with self._lock:
             if self._fh is not None:
-                self._fh.flush()
-                self._fh.close()
+                try:
+                    self._fh.flush()
+                    self._fh.close()
+                except OSError:
+                    self.degraded = True
                 self._fh = None
 
     def __enter__(self) -> "JsonlEventSink":

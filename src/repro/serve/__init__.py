@@ -21,6 +21,14 @@ runs as *jobs*:
 """
 
 from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.health import (
+    DEGRADED,
+    HEALTH_STATES,
+    HEALTHY,
+    SHEDDING,
+    HealthConfig,
+    ServiceHealth,
+)
 from repro.serve.http import ServiceHTTPServer, start_http_server
 from repro.serve.jobs import (
     ADMITTED,
@@ -44,6 +52,7 @@ from repro.serve.service import (
     PipelineService,
     ServiceConfig,
     ServiceDrainingError,
+    ServiceOverloadedError,
     UnknownJobError,
     run_wgs_job,
     validate_spec,
@@ -52,11 +61,16 @@ from repro.serve.service import (
 __all__ = [
     "ADMITTED",
     "CANCELLED",
+    "DEGRADED",
     "FAILED",
+    "HEALTH_STATES",
+    "HEALTHY",
     "QUEUED",
     "RUNNING",
+    "SHEDDING",
     "SUCCEEDED",
     "TERMINAL_STATES",
+    "HealthConfig",
     "InvalidSpecError",
     "InvalidTransitionError",
     "Job",
@@ -71,6 +85,8 @@ __all__ = [
     "ServiceDrainingError",
     "ServiceError",
     "ServiceHTTPServer",
+    "ServiceHealth",
+    "ServiceOverloadedError",
     "UnknownJobError",
     "new_job_id",
     "run_wgs_job",

@@ -10,19 +10,26 @@ draining service (503) without string matching.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 
 from repro.serve.jobs import TERMINAL_STATES
 
+#: Statuses worth retrying from ``wait()``: the service said "later",
+#: not "no".
+_TRANSIENT_STATUSES = frozenset((429, 503))
+
 
 class ServiceError(RuntimeError):
     """An HTTP error response from the service."""
 
-    def __init__(self, status: int, payload: dict):
+    def __init__(self, status: int, payload: dict, retry_after: float | None = None):
         self.status = status
         self.payload = payload
+        #: Server's Retry-After hint in seconds, when the response had one.
+        self.retry_after = retry_after
         detail = payload.get("detail") or payload.get("error") or "unknown error"
         super().__init__(f"HTTP {status}: {detail}")
 
@@ -56,7 +63,11 @@ class ServiceClient:
                 payload = json.loads(exc.read().decode("utf-8"))
             except (ValueError, OSError):
                 payload = {"error": "HTTPError", "detail": str(exc)}
-            raise ServiceError(exc.code, payload) from exc
+            try:
+                retry_after = float(exc.headers.get("Retry-After"))
+            except (TypeError, ValueError):
+                retry_after = None
+            raise ServiceError(exc.code, payload, retry_after=retry_after) from exc
 
     # -- API ----------------------------------------------------------------
     def submit(self, spec: dict, priority: int = 0) -> dict:
@@ -78,15 +89,48 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
-    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.2) -> dict:
-        """Poll until the job reaches a terminal state; returns its JSON."""
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.2,
+        max_poll: float = 5.0,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its JSON.
+
+        Polls with bounded exponential backoff (``poll`` doubling up to
+        ``max_poll``) plus jitter, so a fleet of waiting clients doesn't
+        hammer a busy service in lockstep.  Transient trouble — 429/503
+        responses and connection errors while the service restarts or
+        sheds — is retried until ``timeout``, honoring the server's
+        Retry-After hint when it sends one.
+        """
         deadline = time.monotonic() + timeout
+        delay = poll
+        # Seeded per-wait so backoff is reproducible in tests; distinct
+        # job ids still spread their poll phases apart.
+        rng = random.Random(job_id)
         while True:
-            job = self.job(job_id)
-            if job["state"] in TERMINAL_STATES:
-                return job
+            retry_after = None
+            try:
+                job = self.job(job_id)
+            except ServiceError as exc:
+                if exc.status not in _TRANSIENT_STATUSES:
+                    raise
+                retry_after = exc.retry_after
+                job = None
+            except (urllib.error.URLError, ConnectionError, TimeoutError):
+                job = None
+            if job is not None:
+                if job["state"] in TERMINAL_STATES:
+                    return job
+                state = job["state"]
+            else:
+                state = "unreachable"
             if time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"job {job_id} still {job['state']} after {timeout}s"
-                )
-            time.sleep(poll)
+                raise TimeoutError(f"job {job_id} still {state} after {timeout}s")
+            sleep_for = delay * (0.5 + rng.random())
+            if retry_after is not None:
+                sleep_for = max(sleep_for, retry_after)
+            time.sleep(min(sleep_for, max(0.0, deadline - time.monotonic())))
+            delay = min(delay * 2.0, max_poll)

@@ -1,0 +1,187 @@
+"""Service health state machine: healthy → degraded → shedding.
+
+The admission queue protects the service from *volume*; this module
+protects it from *decay* — a disk going bad, a poisoned input class, a
+runaway retry storm.  :class:`ServiceHealth` watches two sliding
+windows (job outcomes and queue waits, both on the monotonic clock) and
+derives one of three states:
+
+``healthy``
+    Normal admission.
+``degraded``
+    Failure rate or queue latency crossed the soft threshold.  Still
+    admitting everything (and ``/healthz`` still returns 200 so
+    orchestrators don't restart a service that is coping), but the
+    state is visible to operators and the event log.
+``shedding``
+    The hard threshold: low-priority submissions are refused with
+    503 + Retry-After *before* the queue saturates, keeping capacity
+    for the high-priority traffic already committed.
+
+States are recomputed from the windows on every query, so recovery is
+automatic: once bad samples age out of the window, the service walks
+back to ``healthy`` on its own.  Every state change publishes a
+``health.transition`` event.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+SHEDDING = "shedding"
+
+HEALTH_STATES = (HEALTHY, DEGRADED, SHEDDING)
+
+
+@dataclass
+class HealthConfig:
+    """Thresholds of the health state machine."""
+
+    #: Sliding-window length (seconds) for outcomes and queue waits.
+    window_seconds: float = 30.0
+    #: Outcomes required before the failure rate is trusted at all — a
+    #: single failed job on an idle service is not an incident.
+    min_samples: int = 4
+    #: Failure-rate soft/hard thresholds (fraction of window outcomes).
+    degraded_failure_rate: float = 0.3
+    shedding_failure_rate: float = 0.6
+    #: Mean queue-wait soft/hard thresholds (seconds).
+    degraded_queue_wait: float = 2.0
+    shedding_queue_wait: float = 5.0
+    #: Retry-After handed to shed submissions (seconds).
+    retry_after: float = 2.0
+    #: Submissions with priority >= this floor are admitted even while
+    #: shedding (the capacity being protected is theirs).
+    shed_priority_floor: int = 1
+
+
+class ServiceHealth:
+    """Sliding-window health monitor; thread-safe."""
+
+    def __init__(
+        self,
+        config: HealthConfig | None = None,
+        events=None,
+        clock=time.monotonic,
+    ):
+        self.config = config or HealthConfig()
+        self.events = events
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (monotonic ts, ok) for each finished job.
+        self._outcomes: deque[tuple[float, bool]] = deque()
+        #: (monotonic ts, seconds) queue wait of each admitted job.
+        self._waits: deque[tuple[float, float]] = deque()
+        self._state = HEALTHY
+        self._shed_total = 0
+
+    # -- feeding the windows ---------------------------------------------
+    def record_outcome(self, ok: bool) -> None:
+        """One finished job (cancellations should not be recorded)."""
+        now = self._clock()
+        with self._lock:
+            self._outcomes.append((now, ok))
+        self._refresh()
+
+    def record_queue_wait(self, seconds: float) -> None:
+        """Queue wait of one just-admitted job."""
+        now = self._clock()
+        with self._lock:
+            self._waits.append((now, max(0.0, seconds)))
+        self._refresh()
+
+    def note_shed(self) -> None:
+        with self._lock:
+            self._shed_total += 1
+
+    # -- deriving state ---------------------------------------------------
+    def _prune(self, now: float) -> None:
+        """Drop window entries older than ``window_seconds`` (lock held)."""
+        horizon = now - self.config.window_seconds
+        while self._outcomes and self._outcomes[0][0] < horizon:
+            self._outcomes.popleft()
+        while self._waits and self._waits[0][0] < horizon:
+            self._waits.popleft()
+
+    def _derive(self) -> tuple[str, str]:
+        """(state, reason) from the current windows (lock held)."""
+        cfg = self.config
+        samples = len(self._outcomes)
+        failure_rate = 0.0
+        if samples >= cfg.min_samples:
+            failures = sum(1 for _, ok in self._outcomes if not ok)
+            failure_rate = failures / samples
+        mean_wait = 0.0
+        if self._waits:
+            mean_wait = sum(w for _, w in self._waits) / len(self._waits)
+        reason = (
+            f"failure_rate={failure_rate:.2f}/{samples} "
+            f"queue_wait={mean_wait:.2f}s"
+        )
+        if (
+            failure_rate >= cfg.shedding_failure_rate
+            or mean_wait >= cfg.shedding_queue_wait
+        ):
+            return SHEDDING, reason
+        if (
+            failure_rate >= cfg.degraded_failure_rate
+            or mean_wait >= cfg.degraded_queue_wait
+        ):
+            return DEGRADED, reason
+        return HEALTHY, reason
+
+    def _refresh(self) -> None:
+        """Recompute state; publish the transition if it changed."""
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            new_state, reason = self._derive()
+            old_state = self._state
+            self._state = new_state
+        if new_state != old_state and self.events is not None:
+            self.events.publish(
+                "health.transition",
+                **{"from": old_state, "to": new_state, "reason": reason},
+            )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def state(self) -> str:
+        self._refresh()
+        with self._lock:
+            return self._state
+
+    def should_shed(self, priority: int) -> float | None:
+        """Retry-After seconds when this submission must be shed, else None."""
+        if priority >= self.config.shed_priority_floor:
+            return None
+        if self.state != SHEDDING:
+            return None
+        return self.config.retry_after
+
+    def snapshot(self) -> dict:
+        """Window statistics for ``/healthz`` and ``/metrics``."""
+        self._refresh()
+        with self._lock:
+            samples = len(self._outcomes)
+            failures = sum(1 for _, ok in self._outcomes if not ok)
+            mean_wait = (
+                sum(w for _, w in self._waits) / len(self._waits)
+                if self._waits
+                else 0.0
+            )
+            return {
+                "state": self._state,
+                "window_seconds": self.config.window_seconds,
+                "outcomes": samples,
+                "failures": failures,
+                "failure_rate": failures / samples if samples else 0.0,
+                "mean_queue_wait": mean_wait,
+                "shed_total": self._shed_total,
+                "retry_after": self.config.retry_after,
+            }

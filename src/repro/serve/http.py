@@ -11,9 +11,15 @@ Routes::
 
 Typed service errors map onto HTTP statuses — the admission contract::
 
-    InvalidSpecError       400    QueueFullError        429
-    UnknownJobError        404    ServiceDrainingError  503
-    NotCancellableError    409
+    InvalidSpecError       400    QueueFullError           429
+    UnknownJobError        404    ServiceOverloadedError   503
+    NotCancellableError    409    ServiceDrainingError     503
+
+429/503 responses carry a ``Retry-After`` header (the error's own hint
+when it has one).  ``GET /healthz`` folds the service health state: it
+returns 200 while ``healthy`` or ``degraded`` (a coping service must
+not be restart-looped by its orchestrator) and 503 only while
+``shedding`` or draining.
 
 Built on ``http.server.ThreadingHTTPServer`` only: no third-party web
 framework enters the dependency set for the serving layer.
@@ -32,6 +38,7 @@ from repro.serve.service import (
     NotCancellableError,
     PipelineService,
     ServiceDrainingError,
+    ServiceOverloadedError,
     UnknownJobError,
 )
 
@@ -40,8 +47,14 @@ _STATUS_BY_ERROR: tuple[tuple[type, int], ...] = (
     (UnknownJobError, 404),
     (NotCancellableError, 409),
     (QueueFullError, 429),
+    (ServiceOverloadedError, 503),
     (ServiceDrainingError, 503),
 )
+
+#: Statuses that tell the client to come back later; they always carry a
+#: Retry-After header (the error's own hint, or this default).
+_RETRYABLE_STATUSES = frozenset((429, 503))
+_DEFAULT_RETRY_AFTER = 1.0
 
 
 def error_status(exc: ServeError) -> int:
@@ -90,17 +103,35 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _send(self, status: int, payload: dict | list) -> None:
+    def _send(
+        self, status: int, payload: dict | list, retry_after: float | None = None
+    ) -> None:
+        chaos = getattr(self.server.service, "chaos", None)
+        if chaos is not None:
+            try:
+                chaos.hit("serve.http.response", path=self.path, status=status)
+            except ConnectionResetError:
+                # Injected mid-response reset: drop the connection with no
+                # bytes written, the way a dying peer or proxy would.
+                self.close_connection = True
+                return
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if status in _RETRYABLE_STATUSES:
+            seconds = retry_after if retry_after is not None else _DEFAULT_RETRY_AFTER
+            # Retry-After is delta-seconds per RFC 9110; round sub-second
+            # hints up so the header never says "now".
+            self.send_header("Retry-After", str(max(1, int(seconds + 0.999))))
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error(self, exc: ServeError) -> None:
         self._send(
-            error_status(exc), {"error": type(exc).__name__, "detail": str(exc)}
+            error_status(exc),
+            {"error": type(exc).__name__, "detail": str(exc)},
+            retry_after=getattr(exc, "retry_after", None),
         )
 
     def _drain_body(self) -> None:
@@ -182,7 +213,12 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         path = self.path.split("?")[0]
         if path == "/healthz":
-            self._send(200, service.health())
+            health = service.health()
+            shedding = health.get("status") in ("shedding", "draining")
+            retry_after = (
+                health.get("health", {}).get("retry_after") if shedding else None
+            )
+            self._send(503 if shedding else 200, health, retry_after=retry_after)
             return
         if path == "/metrics":
             self._send(200, service.metrics())

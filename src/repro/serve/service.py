@@ -39,6 +39,8 @@ from repro.core.pipeline import PipelineCancelledError
 from repro.engine.blockmanager import fsync_directory
 from repro.engine.context import EngineConfig, GPFContext
 from repro.engine.journal import job_journal_dir
+from repro.obs import EventBus, JsonlEventSink
+from repro.serve.health import HealthConfig, ServiceHealth
 from repro.serve.jobs import (
     ADMITTED,
     CANCELLED,
@@ -59,6 +61,18 @@ JobRunner = Callable[[Job, GPFContext, Callable[[], bool], str], dict]
 
 class ServiceDrainingError(ServeError):
     """Admission refused: the service is draining or shut down."""
+
+
+class ServiceOverloadedError(ServeError):
+    """Admission refused: the service is shedding low-priority load.
+
+    Carries the Retry-After hint (seconds) the HTTP layer forwards, so
+    well-behaved clients back off instead of hammering a sick service.
+    """
+
+    def __init__(self, message: str, retry_after: float = 2.0):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class InvalidSpecError(ServeError):
@@ -173,6 +187,13 @@ class ServiceConfig:
     #: Template engine config each worker's context is built from
     #: (``trace_dir`` is always overridden per job).
     engine: EngineConfig = field(default_factory=EngineConfig)
+    #: Health state machine thresholds (degraded/shedding windows).
+    health: HealthConfig = field(default_factory=HealthConfig)
+    #: Service-level chaos: a :class:`repro.chaos.ChaosPlan` (or built
+    #: injector) driving the serve-layer sites — worker death mid-job,
+    #: HTTP connection resets, clock skew on persisted timestamps.
+    #: Engine-level chaos goes in ``engine.chaos`` instead.
+    chaos: object | None = None
 
 
 class PipelineService:
@@ -206,11 +227,32 @@ class PipelineService:
         self._counters: dict[str, int] = {
             "jobs_submitted": 0,
             "jobs_rejected": 0,
+            "jobs_shed": 0,
             "jobs_recovered": 0,
             "jobs_succeeded": 0,
             "jobs_failed": 0,
             "jobs_cancelled": 0,
         }
+        # -- service-level observability + health + chaos ---------------
+        # Health transitions, shed submissions, and injected serve-layer
+        # faults all land in <state_dir>/service_events.jsonl; the sink
+        # self-degrades on write errors, so a full disk loses the log,
+        # never the service.
+        self.events = EventBus()
+        self._event_sink = JsonlEventSink(
+            os.path.join(state_dir, "service_events.jsonl")
+        )
+        self.events.subscribe(self._event_sink)
+        self.healthmon = ServiceHealth(self.config.health, events=self.events)
+        chaos_cfg = self.config.chaos
+        if chaos_cfg is None or hasattr(chaos_cfg, "hit"):
+            self.chaos = chaos_cfg
+            if chaos_cfg is not None and getattr(chaos_cfg, "events", None) is None:
+                chaos_cfg.events = self.events
+        else:
+            from repro.chaos.injector import ChaosInjector
+
+            self.chaos = ChaosInjector(chaos_cfg, events=self.events)
         #: Monotonic duration totals (seconds); clock steps cannot drive
         #: these negative the way wall-clock timestamp subtraction can.
         self._durations: dict[str, float] = {
@@ -228,7 +270,19 @@ class PipelineService:
         replay an older state over a newer one.  The cost is bounded
         (one line + fsync) and only state changes pay it.
         """
-        line = json.dumps(job.to_json())
+        payload = job.to_json()
+        if self.chaos is not None:
+            # Clock-skew chaos shifts only the *persisted* wall-clock
+            # timestamps — proving that recovery and duration accounting
+            # (both monotonic-based) survive an NTP step between writes.
+            offset = self.chaos.skew("serve.persist.clock", job=job.id)
+            if offset:
+                for key in (
+                    "submitted_at", "admitted_at", "started_at", "finished_at",
+                ):
+                    if payload.get(key) is not None:
+                        payload[key] += offset
+        line = json.dumps(payload)
         with self._lock:
             with open(self._log_path, "a", encoding="utf-8") as fh:  # gpf: lock-io-ok(append order must match transition order)
                 fh.write(line)
@@ -327,6 +381,8 @@ class PipelineService:
         for ctx in contexts:
             ctx.stop()
         self._compact_log()
+        self.events.unsubscribe(self._event_sink)
+        self._event_sink.close()
 
     shutdown = drain
 
@@ -351,6 +407,26 @@ class PipelineService:
                 self._counters["jobs_rejected"] += 1
                 raise ServiceDrainingError("service is draining; not accepting jobs")
         validate_spec(spec)
+        # Load shedding: while unhealthy, refuse low-priority work with a
+        # Retry-After *before* it occupies queue depth — capacity is kept
+        # for the high-priority traffic already committed.
+        retry_after = self.healthmon.should_shed(priority)
+        if retry_after is not None:
+            with self._lock:
+                self._counters["jobs_rejected"] += 1
+                self._counters["jobs_shed"] += 1
+            self.healthmon.note_shed()
+            self.events.publish(
+                "job.shed",
+                job_id=job_id or "",
+                priority=priority,
+                retry_after=retry_after,
+            )
+            raise ServiceOverloadedError(
+                "service is shedding low-priority load "
+                f"(health={self.healthmon.state}); retry in {retry_after:g}s",
+                retry_after=retry_after,
+            )
         job = Job(spec=dict(spec), priority=priority)
         if job_id is not None:
             job.id = job_id
@@ -434,15 +510,28 @@ class PipelineService:
         return os.path.join(self.trace_root, job_id)
 
     def health(self) -> dict:
+        """Liveness + the ServiceHealth state machine, for ``/healthz``.
+
+        ``status`` is ``draining`` while shutting down, otherwise the
+        health state (``healthy``/``degraded``/``shedding``).  The HTTP
+        layer returns 200 for ``healthy``/``degraded`` and 503 only for
+        ``shedding``/``draining`` — a degraded-but-coping service must
+        not be restart-looped by its orchestrator.
+        """
+        health = self.healthmon.snapshot()
         with self._lock:
-            return {
-                "status": "draining" if self._draining else "ok",
+            workers_alive = sum(1 for t in self._threads if t.is_alive())
+            payload = {
+                "status": "draining" if self._draining else health["state"],
                 "workers": self.config.workers,
+                "workers_alive": workers_alive,
                 "queue_depth": len(self._queue),
                 "queue_capacity": self.config.queue_depth,
                 "running": len(self._running),
                 "jobs": len(self._jobs),
             }
+        payload["health"] = health
+        return payload
 
     def metrics(self) -> dict:
         """Service counters plus a fold of every live worker's telemetry."""
@@ -471,7 +560,12 @@ class PipelineService:
             gauges["blockmanager.compression_ratio"] = (
                 gauges.get("blockmanager.logical_bytes", 0) / compressed
             )
-        return {"service": service, "counters": counters, "gauges": gauges}
+        return {
+            "service": service,
+            "health": self.healthmon.snapshot(),
+            "counters": counters,
+            "gauges": gauges,
+        }
 
     # -- the worker loop ----------------------------------------------------
     def _make_context(self, slot: int) -> GPFContext:
@@ -513,6 +607,7 @@ class PipelineService:
         in a non-terminal state and be requeued (and re-thrown) by
         every future service instance over this state dir.
         """
+        failed_here = False
         with self._lock:
             if not job.is_terminal:
                 job.error = f"{type(exc).__name__}: {exc}"
@@ -523,8 +618,11 @@ class PipelineService:
                     job.run_seconds = time.monotonic() - started
                 self._counters["jobs_failed"] += 1
                 self._note_durations(job)
+                failed_here = True
             self._running.pop(slot, None)
             self._done.notify_all()
+        if failed_here:
+            self.healthmon.record_outcome(False)
         try:
             self._persist(job)
         except Exception:  # noqa: BLE001 - persistence must not kill workers
@@ -564,6 +662,12 @@ class PipelineService:
                 if running.id == job.id:
                     del self._running[slot]
             self._done.notify_all()
+        # Cancellations say nothing about service health; successes and
+        # failures feed the failure-rate window.
+        if state == SUCCEEDED:
+            self.healthmon.record_outcome(True)
+        elif state == FAILED:
+            self.healthmon.record_outcome(False)
         self._persist(job)
 
     def _run_job(self, slot: int, ctx: GPFContext, job: Job) -> None:
@@ -573,6 +677,8 @@ class PipelineService:
             job.transition(ADMITTED)
             job.worker = slot
             self._running[slot] = job
+        if job.queue_seconds is not None:
+            self.healthmon.record_queue_wait(job.queue_seconds)
         self._persist(job)
         timeout: float | None = None
         deadline: float | None = None
@@ -598,6 +704,13 @@ class PipelineService:
             with self._lock:
                 job.transition(RUNNING)
             self._persist(job)
+            if self.chaos is not None:
+                # serve.worker.run faults: "die" fails this job cleanly
+                # (the worker survives); "exit" raises SystemExit, which
+                # escapes the Exception handlers below and kills the
+                # worker thread mid-job — the job stays `running` in the
+                # log and the next instance's recovery requeues it.
+                self.chaos.hit("serve.worker.run", job=job.id, worker=slot)
             result = self._runner(
                 job, ctx, should_cancel, job_journal_dir(self.journal_root, job.id)
             )

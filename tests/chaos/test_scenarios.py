@@ -1,0 +1,53 @@
+"""The chaos scenario suite: fast scenarios end-to-end.
+
+The full suite runs in the CI chaos-smoke job (``gpf chaos``); here we
+pin the cheapest pipeline scenario, the expected-failure scenario, and
+the serve overload/recovery cycle so a regression in the contract
+(byte-identical-or-typed-failure, replayable sequences, schema-valid
+events) fails the unit suite too.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.chaos import SCENARIOS, run_scenario
+
+
+class TestScenarioContract:
+    def test_journal_enospc_identical_output(self, tmp_path):
+        outcome = run_scenario("journal-enospc", seed=7, out_dir=str(tmp_path))
+        assert outcome.passed, outcome.detail
+        assert outcome.outcome == "identical"
+        assert outcome.replay_ok and outcome.events_ok
+        assert outcome.injected == [1, 1]
+        # The event logs landed as artifacts.
+        log = tmp_path / "journal-enospc" / "run0.events.jsonl"
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        assert any(e["kind"] == "journal.disabled" for e in events)
+        assert any(e["kind"] == "chaos.inject" for e in events)
+
+    def test_retry_budget_typed_failure(self):
+        outcome = run_scenario("retry-budget", seed=7)
+        assert outcome.passed, outcome.detail
+        assert outcome.outcome == "typed_failure"
+        assert outcome.replay_ok
+
+    def test_serve_overload_sheds_and_recovers(self):
+        outcome = run_scenario("serve-overload", seed=7)
+        assert outcome.passed, outcome.detail
+        assert outcome.outcome == "recovered"
+        assert outcome.replay_ok
+
+
+class TestRegistry:
+    def test_every_scenario_has_a_description(self):
+        for name, (fn, description) in SCENARIOS.items():
+            assert callable(fn), name
+            assert description, name
+
+    def test_unknown_scenario_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError, match="unknown chaos scenario"):
+            run_scenario("meteor-strike")

@@ -205,3 +205,58 @@ class TestLoaderIntegration:
         assert [p.name for p in pairs] == ["a/1", "c/1"]
         assert ctx.quarantine.total >= 1
         assert "fastq" in ctx.quarantine.counts
+
+
+class TestQuarantineDegradation:
+    """Sink write failures degrade to counting-only — never kill the run."""
+
+    def make_degrading_sink(self, after: int = 1):
+        from repro.chaos import ChaosInjector, ChaosPlan, ChaosRule
+        from repro.obs.events import EventBus
+
+        bus = EventBus()
+        seen: list[dict] = []
+        bus.subscribe(seen.append)
+        injector = ChaosInjector(
+            ChaosPlan(
+                seed=1,
+                rules=[
+                    ChaosRule(site="quarantine.sink", fault="enospc", nth=after)
+                ],
+            ),
+            events=bus,
+        )
+        return QuarantineSink(events=bus, chaos=injector), seen
+
+    def test_degrades_to_counting_only_and_publishes_once(self):
+        sink, seen = self.make_degrading_sink(after=2)
+        sink.add("fastq", "@ok", "separator")
+        assert not sink.degraded and len(sink.samples) == 1
+        # Second add hits the injected ENOSPC on the retention path.
+        sink.add("fastq", "@boom", "separator")
+        assert sink.degraded
+        assert len(sink.samples) == 1  # the failed sample was not kept
+        sink.add("vcf", "bad-line", "column count")
+        # Counting never stops; samples stay frozen.
+        assert sink.counts == {"fastq": 2, "vcf": 1}
+        assert len(sink.samples) == 1
+        degraded_events = [e for e in seen if e["kind"] == "quarantine.degraded"]
+        assert len(degraded_events) == 1
+        assert "chaos enospc" in degraded_events[0]["reason"]
+        # Every record still published its quarantine.record event.
+        assert sum(1 for e in seen if e["kind"] == "quarantine.record") == 3
+
+    def test_write_report_failure_degrades(self, tmp_path):
+        from repro.obs.events import EventBus
+
+        bus = EventBus()
+        seen: list[dict] = []
+        bus.subscribe(seen.append)
+        sink = QuarantineSink(events=bus)
+        sink.add("sam", "bad\trecord", "field count")
+        sink.write_report(str(tmp_path / "no_such_dir" / "report.txt"))
+        assert sink.degraded
+        assert any(e["kind"] == "quarantine.degraded" for e in seen)
+        # Counting continues after the failed report.
+        sink.add("sam", "another", "field count")
+        assert sink.counts == {"sam": 2}

@@ -1,0 +1,278 @@
+"""ServiceHealth state machine, load shedding, and client backoff."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.chaos import ChaosPlan, ChaosRule
+from repro.obs.events import EventBus
+from repro.serve import (
+    DEGRADED,
+    HEALTHY,
+    SHEDDING,
+    HealthConfig,
+    ServiceClient,
+    ServiceError,
+    ServiceHealth,
+    ServiceOverloadedError,
+    start_http_server,
+)
+from repro.serve.service import PipelineService, ServiceConfig
+from tests.serve.conftest import instant_runner, make_service
+
+SPEC = {"reference": "r.fa", "fastq1": "a.fq", "fastq2": "b.fq"}
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def monitor(clock, **overrides) -> ServiceHealth:
+    overrides.setdefault("window_seconds", 30.0)
+    overrides.setdefault("min_samples", 4)
+    return ServiceHealth(HealthConfig(**overrides), clock=clock)
+
+
+class TestStateMachine:
+    def test_starts_healthy_and_needs_min_samples(self):
+        clock = FakeClock()
+        health = monitor(clock)
+        assert health.state == HEALTHY
+        # Three straight failures are below min_samples: not an incident.
+        for _ in range(3):
+            health.record_outcome(False)
+        assert health.state == HEALTHY
+
+    def test_failure_rate_walks_degraded_then_shedding(self):
+        clock = FakeClock()
+        health = monitor(clock)
+        for ok in (True, True, True, True, True, False, False, False):
+            health.record_outcome(ok)
+        assert health.state == DEGRADED  # 3/8 = 0.375 >= 0.3
+        for _ in range(5):
+            health.record_outcome(False)
+        assert health.state == SHEDDING  # 8/13 = 0.615 >= 0.6
+
+    def test_queue_wait_thresholds(self):
+        clock = FakeClock()
+        health = monitor(clock)
+        health.record_queue_wait(3.0)
+        assert health.state == DEGRADED
+        health.record_queue_wait(30.0)
+        assert health.state == SHEDDING
+
+    def test_recovers_as_window_ages_out(self):
+        clock = FakeClock()
+        health = monitor(clock)
+        for _ in range(6):
+            health.record_outcome(False)
+        assert health.state == SHEDDING
+        clock.advance(31.0)
+        assert health.state == HEALTHY
+
+    def test_transitions_publish_events(self):
+        clock = FakeClock()
+        bus = EventBus()
+        seen: list[dict] = []
+        bus.subscribe(seen.append)
+        health = ServiceHealth(
+            HealthConfig(window_seconds=30.0, min_samples=2), events=bus, clock=clock
+        )
+        for _ in range(4):
+            health.record_outcome(False)
+        clock.advance(31.0)
+        assert health.state == HEALTHY
+        transitions = [
+            (e["from"], e["to"]) for e in seen if e["kind"] == "health.transition"
+        ]
+        assert (HEALTHY, SHEDDING) in transitions
+        assert (SHEDDING, HEALTHY) in transitions
+
+    def test_should_shed_honors_priority_floor(self):
+        clock = FakeClock()
+        health = monitor(clock, min_samples=2, shed_priority_floor=1)
+        for _ in range(4):
+            health.record_outcome(False)
+        assert health.state == SHEDDING
+        assert health.should_shed(priority=0) == pytest.approx(2.0)
+        assert health.should_shed(priority=1) is None
+
+    def test_snapshot_fields(self):
+        clock = FakeClock()
+        health = monitor(clock)
+        health.record_outcome(True)
+        health.record_queue_wait(1.0)
+        snap = health.snapshot()
+        assert snap["state"] == HEALTHY
+        assert snap["outcomes"] == 1 and snap["failures"] == 0
+        assert snap["mean_queue_wait"] == pytest.approx(1.0)
+        assert snap["retry_after"] > 0
+
+
+class TestServiceShedding:
+    def failing_stack(self, tmp_path, failures=4):
+        """Service whose first N jobs die from serve-layer chaos."""
+        plan = ChaosPlan(
+            seed=3,
+            rules=[
+                ChaosRule(site="serve.worker.run", fault="die",
+                          probability=1.0, max_faults=failures)
+            ],
+        )
+        return make_service(
+            tmp_path / "state",
+            runner=instant_runner,
+            workers=1,
+            depth=8,
+            health=HealthConfig(window_seconds=60.0, min_samples=2),
+            chaos=plan,
+        ).start()
+
+    def test_shedding_rejects_low_priority_with_retry_after(self, tmp_path):
+        service = self.failing_stack(tmp_path)
+        try:
+            done = threading.Event()
+            jobs = [service.submit(SPEC, priority=1) for _ in range(4)]
+            deadline_guard = 0
+            while any(not service.get(j.id).is_terminal for j in jobs):
+                deadline_guard += 1
+                assert deadline_guard < 2000, "jobs never finished"
+                done.wait(0.01)
+            assert service.healthmon.state == SHEDDING
+            with pytest.raises(ServiceOverloadedError) as err:
+                service.submit(SPEC, priority=0)
+            assert err.value.retry_after > 0
+            assert service.metrics()["service"]["jobs_shed"] == 1
+            # High priority is still admitted while shedding.
+            high = service.submit(SPEC, priority=1)
+            while not service.get(high.id).is_terminal:
+                done.wait(0.01)
+            assert service.get(high.id).state == "succeeded"
+        finally:
+            service.drain()
+
+    def test_healthz_is_503_while_shedding_then_recovers(self, tmp_path):
+        service = self.failing_stack(tmp_path)
+        server = start_http_server(service)
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        try:
+            for _ in range(4):
+                job = client.submit(SPEC, priority=1)
+                assert client.wait(job["id"], timeout=10.0)["state"] == "failed"
+            with pytest.raises(ServiceError) as err:
+                client.health()
+            assert err.value.status == 503
+            assert err.value.payload["status"] == "shedding"
+            assert err.value.retry_after is not None
+            # Shed submission carries Retry-After over HTTP too.
+            with pytest.raises(ServiceError) as shed:
+                client.submit(SPEC, priority=0)
+            assert shed.value.status == 503
+            assert shed.value.kind == "ServiceOverloadedError"
+            assert shed.value.retry_after is not None
+            # Chaos budget is spent: successes dilute the window back.
+            for _ in range(12):
+                job = client.submit(SPEC, priority=1)
+                assert client.wait(job["id"], timeout=10.0)["state"] == "succeeded"
+            health = client.health()
+            assert health["status"] == "healthy"
+            assert health["workers_alive"] == 1
+        finally:
+            server.shutdown()
+            service.drain()
+
+
+class TestClientBackoff:
+    class Flaky(ServiceClient):
+        """job() raises transient errors before yielding a terminal job."""
+
+        def __init__(self, failures: int):
+            super().__init__("http://127.0.0.1:1")
+            self.remaining = failures
+            self.calls = 0
+
+        def job(self, job_id: str) -> dict:
+            self.calls += 1
+            if self.remaining > 0:
+                self.remaining -= 1
+                raise ServiceError(503, {"error": "ServiceOverloadedError"},
+                                   retry_after=0.5)
+            return {"id": job_id, "state": "succeeded"}
+
+    def test_wait_retries_transient_503(self, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda s: sleeps.append(s)
+        )
+        client = self.Flaky(failures=3)
+        job = client.wait("j-1", timeout=60.0, poll=0.1, max_poll=1.0)
+        assert job["state"] == "succeeded"
+        assert client.calls == 4
+        # Every backoff sleep honored the server's Retry-After floor.
+        assert len(sleeps) == 3
+        assert all(s >= 0.5 for s in sleeps)
+
+    def test_wait_backoff_grows_and_caps(self, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda s: sleeps.append(s)
+        )
+
+        class Pending(ServiceClient):
+            def __init__(self, polls: int):
+                super().__init__("http://127.0.0.1:1")
+                self.polls = polls
+
+            def job(self, job_id: str) -> dict:
+                self.polls -= 1
+                state = "succeeded" if self.polls <= 0 else "running"
+                return {"id": job_id, "state": state}
+
+        client = Pending(polls=8)
+        client.wait("j-2", timeout=600.0, poll=0.1, max_poll=0.8)
+        assert len(sleeps) == 7
+        # Jitter is in [0.5, 1.5) of the nominal delay: bounded both ways.
+        assert sleeps[0] < 0.2
+        assert max(sleeps) <= 0.8 * 1.5
+        assert sleeps[-1] >= 0.8 * 0.5
+
+    def test_wait_raises_non_transient_immediately(self):
+        class Gone(ServiceClient):
+            def job(self, job_id: str) -> dict:
+                raise ServiceError(404, {"error": "UnknownJobError"})
+
+        client = Gone("http://127.0.0.1:1")
+        with pytest.raises(ServiceError) as err:
+            client.wait("j-3", timeout=1.0)
+        assert err.value.status == 404
+
+    def test_wait_deterministic_per_job_id(self, monkeypatch):
+        schedules = []
+        for _ in range(2):
+            sleeps: list[float] = []
+            monkeypatch.setattr(
+                "repro.serve.client.time.sleep", lambda s: sleeps.append(s)
+            )
+
+            class Pending(ServiceClient):
+                def __init__(self):
+                    super().__init__("http://127.0.0.1:1")
+                    self.polls = 5
+
+                def job(self, job_id: str) -> dict:
+                    self.polls -= 1
+                    state = "succeeded" if self.polls <= 0 else "running"
+                    return {"id": job_id, "state": state}
+
+            Pending().wait("j-same", timeout=600.0, poll=0.1)
+            schedules.append(tuple(sleeps))
+        assert schedules[0] == schedules[1]

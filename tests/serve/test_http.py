@@ -34,7 +34,8 @@ class TestRoutes:
     def test_healthz(self, stub_stack):
         _, _, client, _ = stub_stack
         health = client.health()
-        assert health["status"] == "ok"
+        assert health["status"] == "healthy"
+        assert health["workers_alive"] == 1
         assert health["queue_capacity"] == 2
 
     def test_submit_poll_cancel_flow(self, stub_stack):
@@ -75,8 +76,9 @@ class TestRoutes:
     def test_metrics_shape(self, stub_stack):
         _, _, client, _ = stub_stack
         metrics = client.metrics()
-        assert set(metrics) == {"service", "counters", "gauges"}
+        assert set(metrics) == {"service", "counters", "gauges", "health"}
         assert "jobs_submitted" in metrics["service"]
+        assert metrics["health"]["state"] == "healthy"
 
     def test_terminal_state_implies_complete_report(self, stub_stack):
         # The per-job event log is flushed *before* the terminal state
@@ -108,7 +110,7 @@ class TestRoutes:
             conn.request("GET", "/healthz")
             second = conn.getresponse()
             assert second.status == 200
-            assert json.loads(second.read())["status"] == "ok"
+            assert json.loads(second.read())["status"] == "healthy"
         finally:
             conn.close()
 
@@ -135,7 +137,12 @@ class TestAdmissionOverHTTP:
         client = ServiceClient(f"http://127.0.0.1:{server.port}")
         try:
             service.drain()
-            assert client.health()["status"] == "draining"
+            # /healthz flips to 503 while draining so orchestrators
+            # stop routing to this instance.
+            with pytest.raises(ServiceError) as health_err:
+                client.health()
+            assert health_err.value.status == 503
+            assert health_err.value.payload["status"] == "draining"
             with pytest.raises(ServiceError) as err:
                 client.submit(SPEC)
             assert err.value.status == 503
