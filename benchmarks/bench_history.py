@@ -1,0 +1,131 @@
+"""Benchmark trajectory: keep BENCH_*.json results over time.
+
+A committed benchmark JSON is a single point; regressions only show up
+against a *trajectory*.  :func:`append_history` folds the freshly
+measured summary into the file's ``history`` list (UTC-timestamped,
+bounded), so the committed artifact carries both the latest numbers and
+how they moved.  :func:`check_kernel_regression` is the CI guard: it
+compares a fresh ``BENCH_kernels.json`` against the committed baseline
+and fails when any kernel's measured speedup dropped by more than the
+tolerance.
+
+Also a tiny CLI (what the CI perf guard invokes)::
+
+    python benchmarks/bench_history.py check-kernels BASELINE FRESH
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+from datetime import datetime, timezone
+
+#: History entries kept per benchmark file; old entries age out so the
+#: committed JSON never grows unboundedly.
+DEFAULT_KEEP = 50
+
+#: CI guard: fail when a kernel speedup drops more than this fraction
+#: below the committed baseline.
+DEFAULT_TOLERANCE = 0.30
+
+
+def _utc_now_iso() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def append_history(path: str, summary: dict, keep: int = DEFAULT_KEEP) -> dict:
+    """Write ``summary`` plus an updated ``history`` list to ``path``.
+
+    The existing file's history (if any) is carried forward and the new
+    entry appended, newest last; the write is atomic (tmp + replace) so
+    an interrupted benchmark never truncates the committed artifact.
+    Returns the document written.
+    """
+    history: list[dict] = []
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                history = json.load(fh).get("history") or []
+        except (ValueError, OSError):
+            history = []
+    entry = {"at": _utc_now_iso()}
+    entry.update(summary)
+    history.append(entry)
+    document = dict(summary)
+    document["history"] = history[-max(1, keep) :]
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return document
+
+
+def _speedups(doc: dict) -> dict[str, float]:
+    """kernel name -> measured speedup, skipping history/other keys."""
+    out: dict[str, float] = {}
+    for name, section in doc.items():
+        if isinstance(section, dict) and "speedup" in section:
+            out[name] = float(section["speedup"])
+    return out
+
+
+def check_kernel_regression(
+    baseline: dict, fresh: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Problems list (empty = pass) comparing kernel speedups.
+
+    A kernel regresses when its fresh speedup is more than ``tolerance``
+    (fractionally) below the committed baseline.  Kernels only present
+    on one side are reported too — a silently dropped benchmark must
+    not look like a pass.
+    """
+    problems: list[str] = []
+    base = _speedups(baseline)
+    new = _speedups(fresh)
+    for name, old_speedup in sorted(base.items()):
+        if name not in new:
+            problems.append(f"{name}: missing from fresh results")
+            continue
+        floor = old_speedup * (1.0 - tolerance)
+        if new[name] < floor:
+            problems.append(
+                f"{name}: speedup {new[name]:.2f}x fell below "
+                f"{floor:.2f}x (baseline {old_speedup:.2f}x - {tolerance:.0%})"
+            )
+    for name in sorted(set(new) - set(base)):
+        problems.append(f"{name}: not in baseline (update the committed file)")
+    return problems
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 3 or argv[0] != "check-kernels":
+        print(
+            "usage: bench_history.py check-kernels BASELINE.json FRESH.json",
+            file=sys.stderr,
+        )
+        return 2
+    problems = check_kernel_regression(_load(argv[1]), _load(argv[2]))
+    for problem in problems:
+        print(f"perf regression: {problem}", file=sys.stderr)
+    if not problems:
+        print("kernel speedups within tolerance of baseline")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -202,12 +202,15 @@ def main():
             "results_identical": sw_identical,
         },
     }
+    try:
+        from benchmarks.bench_history import append_history
+    except ImportError:  # run as a script: benchmarks/ itself is on sys.path
+        from bench_history import append_history
+
     out = "BENCH_kernels.json"
-    with open(out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    append_history(out, report)
     print(json.dumps(report, indent=2))
-    print(f"wrote {out}")
+    print(f"wrote {out} (history appended)")
 
 
 if __name__ == "__main__":

@@ -255,12 +255,15 @@ def main():
         runs = run_matrix(reference, known_sites, pairs, root)
     summary = summarize(runs)
     _report(summary)
+    try:
+        from benchmarks.bench_history import append_history
+    except ImportError:  # run as a script: benchmarks/ itself is on sys.path
+        from bench_history import append_history
+
     out = "BENCH_pipeline.json"
-    with open(out, "w") as fh:
-        json.dump(summary, fh, indent=2)
-        fh.write("\n")
+    append_history(out, summary)
     print(json.dumps(summary, indent=2))
-    print(f"wrote {out}")
+    print(f"wrote {out} (history appended)")
 
 
 if __name__ == "__main__":

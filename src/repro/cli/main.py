@@ -136,6 +136,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--profile",
+        metavar="INTERVAL",
+        nargs="?",
+        const=0.005,
+        type=float,
+        default=None,
+        help=(
+            "enable the sampling profiler (optional sampling interval in "
+            "seconds, default 0.005); prints the hottest functions, and "
+            "with --trace-out also writes DIR/profile.folded (flamegraph "
+            "input) plus sample events in the Chrome trace"
+        ),
+    )
+    run.add_argument(
         "--report",
         choices=("text", "json"),
         default=None,
@@ -172,6 +186,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate",
         action="store_true",
         help="check every event against the schema; exit nonzero on problems",
+    )
+    rep.add_argument(
+        "--flame",
+        action="store_true",
+        help=(
+            "print the folded flamegraph (collapsed stacks from the run's "
+            "profile.sample events) instead of the report; pipe into "
+            "flamegraph.pl or load into speedscope"
+        ),
     )
 
     lint = sub.add_parser(
@@ -279,6 +302,44 @@ def build_parser() -> argparse.ArgumentParser:
             "chaos plan JSON: serve.* rules fault the service layer, "
             "engine rules fault every worker context"
         ),
+    )
+    srv.add_argument(
+        "--profile",
+        metavar="INTERVAL",
+        nargs="?",
+        const=0.005,
+        type=float,
+        default=None,
+        help=(
+            "profile every worker context (sampling interval in seconds, "
+            "default 0.005); hot functions stream into each job's "
+            "/jobs/<id>/progress document"
+        ),
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live view of a gpf serve instance (jobs, progress, hot functions)",
+        description=(
+            "Poll a serve instance and render a terminal dashboard: health "
+            "and queue state, per-job stage progress with ETAs, latency "
+            "percentiles from /metrics histograms, and the hottest "
+            "functions when the service runs with --profile.  Refreshes "
+            "in place until interrupted."
+        ),
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8765")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N frames (0 = until interrupted)",
     )
 
     cha = sub.add_parser(
@@ -435,6 +496,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         executor_backend=backend,
         num_workers=max(1, workers),
         task_timeout=args.task_timeout,
+        profile_interval=args.profile,
         trace_dir=args.trace_out,
         memory_budget=args.memory_budget,
         chaos=chaos_plan,
@@ -531,6 +593,20 @@ def _run_pipeline(args, config, journal_dir: str | None, start: float) -> int:
                 publish(ctx)
         report = RunReport.from_context(ctx, handles.pipeline, elapsed=elapsed)
         print(report.summary_line(), file=sys.stderr)
+        if ctx.profiler is not None:
+            total = ctx.profiler.samples
+            print(
+                f"profile: {total} sample(s) at {ctx.profiler.interval * 1e3:.1f}ms",
+                file=sys.stderr,
+            )
+            for name, count in ctx.profiler.top_functions(8):
+                share = 100.0 * count / total if total else 0.0
+                print(f"  {share:5.1f}%  {name}", file=sys.stderr)
+            if args.trace_out:
+                print(
+                    f"  folded stacks: {os.path.join(args.trace_out, 'profile.folded')}",
+                    file=sys.stderr,
+                )
         if args.trace_out:
             print(
                 f"trace: {os.path.join(args.trace_out, 'events.jsonl')} "
@@ -560,6 +636,24 @@ def cmd_report(args: argparse.Namespace) -> int:
     if not events:
         print(f"report: no events found in {args.events}", file=sys.stderr)
         return 2
+    if args.flame:
+        from repro.obs import fold_folded_text
+
+        stacks = [
+            event.get("stacks")
+            for event in events
+            if event.get("kind") == "profile.sample"
+            and isinstance(event.get("stacks"), dict)
+        ]
+        if not stacks:
+            print(
+                f"report: no profile.sample events in {args.events} "
+                "(was the run profiled? see `gpf run --profile`)",
+                file=sys.stderr,
+            )
+            return 2
+        print(fold_folded_text(stacks), end="")
+        return 0
     exit_code = 0
     if args.validate:
         problems = validate_events(events)
@@ -787,6 +881,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine=EngineConfig(
             default_parallelism=args.partitions,
             executor_backend=args.backend,
+            profile_interval=args.profile,
             chaos=chaos_plan,
         ),
         chaos=chaos_plan,
@@ -990,6 +1085,118 @@ def cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fmt_eta(seconds) -> str:
+    if seconds is None:
+        return "--"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+
+
+def _top_frame(client) -> list[str]:
+    """One rendered `gpf top` frame as lines (separated for testability)."""
+    from repro.obs import Histogram
+    from repro.serve import ServiceError
+
+    try:
+        health = client.health()
+    except ServiceError as exc:
+        # /healthz answers 503 while shedding/draining but still carries
+        # the full health document — top should show that, not die.
+        if exc.status != 503:
+            raise
+        health = exc.payload
+    state = health.get("status", "?")
+    lines = [
+        f"gpf top — {client.base_url}  [{state}]  "
+        f"queued {health.get('queued', 0)}  running {health.get('running', 0)}"
+    ]
+    metrics = client.metrics()
+    hists = metrics.get("histograms") or {}
+    if hists:
+        lines.append("")
+        lines.append(
+            f"{'latency':<32}{'count':>8}{'p50':>12}{'p95':>12}{'p99':>12}"
+        )
+        for name in sorted(hists):
+            hist = Histogram.from_snapshot(hists[name])
+            pct = hist.percentiles()
+            lines.append(
+                f"{name:<32}{hist.count:>8}"
+                f"{pct['p50'] * 1e3:>10.1f}ms"
+                f"{pct['p95'] * 1e3:>10.1f}ms"
+                f"{pct['p99'] * 1e3:>10.1f}ms"
+            )
+    jobs = client.jobs()
+    active = [j for j in jobs if j["state"] in ("queued", "admitted", "running")]
+    finished = [j for j in jobs if j not in active]
+    lines.append("")
+    if not jobs:
+        lines.append("no jobs")
+    for job in active:
+        lines.append(f"{job['id']}  {job['state']:<9}  prio {job['priority']}")
+        if job["state"] != "running":
+            continue
+        try:
+            prog = client.progress(job["id"])
+        except (ServiceError, OSError):
+            continue
+        total = prog.get("tasks_total") or 0
+        done = prog.get("tasks_done") or 0
+        share = done / total if total else 0.0
+        width = 24
+        bar = "#" * int(width * share) + "-" * (width - int(width * share))
+        lines.append(
+            f"  [{bar}] {100 * share:5.1f}%  tasks {done}/{total}  "
+            f"process {prog.get('current_process') or '--'}  "
+            f"eta {_fmt_eta(prog.get('eta_seconds'))}"
+        )
+        hot = prog.get("hot_functions") or []
+        samples = prog.get("samples") or 0
+        if hot and samples:
+            lines.append(
+                "  hot: "
+                + ", ".join(
+                    f"{f['function']} {100 * f['samples'] / samples:.0f}%"
+                    for f in hot[:3]
+                )
+            )
+    for job in finished[-5:]:
+        took = ""
+        if job.get("run_seconds") is not None:
+            took = f"  {job['run_seconds']:.1f}s"
+        lines.append(f"{job['id']}  {job['state']:<9}{took}")
+    return lines
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """top: live terminal dashboard over a serve instance."""
+    from repro.serve import ServiceError
+
+    client = _client(args)
+    frames = 0
+    try:
+        while True:
+            try:
+                lines = _top_frame(client)
+            except (ServiceError, OSError) as exc:
+                print(f"top: {exc}", file=sys.stderr)
+                return 1
+            frames += 1
+            if args.once or args.iterations:
+                # Bounded runs print plainly — capturable in scripts/CI.
+                print("\n".join(lines))
+            else:
+                sys.stdout.write("\x1b[H\x1b[2J" + "\n".join(lines) + "\n")
+                sys.stdout.flush()
+            if args.once or (args.iterations and frames >= args.iterations):
+                return 0
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1005,6 +1212,7 @@ def main(argv: list[str] | None = None) -> int:
         "submit": cmd_submit,
         "jobs": cmd_jobs,
         "status": cmd_status,
+        "top": cmd_top,
     }
     return handlers[args.command](args)
 

@@ -187,6 +187,9 @@ class LazyPartition:
                 elapsed = time.perf_counter() - started
                 if self._telemetry is not None and elapsed > 0:
                     self._telemetry.inc("blockmanager.decode_seconds", elapsed)
+                    observe = getattr(self._telemetry, "observe", None)
+                    if observe is not None:
+                        observe("blockmanager.decode_batch_seconds", elapsed)
             if self._telemetry is not None:
                 self._telemetry.inc("blockmanager.decoded_records", len(chunk))
             yield chunk

@@ -99,6 +99,14 @@ class EngineConfig:
     blacklist_after: int = 3
     #: Directory for durable RDD checkpoints; defaults inside the spill dir.
     checkpoint_dir: str | None = None
+    #: Sampling-profiler interval in seconds.  When set, the context runs
+    #: a :class:`~repro.obs.SamplingProfiler` that attributes collapsed
+    #: stacks to live spans, publishes ``profile.sample`` events, and
+    #: writes ``<trace_dir>/profile.folded`` at flush.  Process-backend
+    #: workers run their own child profiler and ship folded stacks home
+    #: with the task results.  None (the default) = no sampler thread,
+    #: zero overhead.
+    profile_interval: float | None = None
     #: Trace output directory.  When set, the context runs a real
     #: :class:`~repro.obs.Tracer`, streams every event to
     #: ``<trace_dir>/events.jsonl``, and writes ``<trace_dir>/trace.json``
@@ -146,6 +154,19 @@ class GPFContext:
         self.tracer: Tracer | NoopTracer = NoopTracer()
         if self.config.trace_dir:
             self._attach_trace(self.config.trace_dir)
+        # Sampling profiler: the provider closure re-reads self.tracer on
+        # every sample because begin_trace()/end_trace() swap the tracer
+        # object per job segment.
+        self.profiler = None
+        if self.config.profile_interval is not None:
+            from repro.obs import SamplingProfiler
+
+            self.profiler = SamplingProfiler(
+                interval=self.config.profile_interval,
+                tracer_provider=lambda: self.tracer,
+                events=self.events,
+            )
+            self.profiler.start()
         # -- chaos plane (repro.chaos) -----------------------------------
         # EngineConfig.chaos accepts a ChaosPlan (the usual case) or a
         # pre-built injector; the injector is threaded through every
@@ -168,6 +189,12 @@ class GPFContext:
             blacklist_after=self.config.blacklist_after,
         )
         self.executor.events = self.events
+        if self.profiler is not None:
+            # Process-pool batches run a worker-side profiler at the same
+            # interval; folded child stacks come home with the results
+            # and fold into the driver profile here.
+            self.executor.profile_interval = self.config.profile_interval
+            self.executor.profile_sink = self.profiler.merge_counts
         spill = self.config.spill_dir or tempfile.mkdtemp(prefix="gpf_spill_")
         os.makedirs(spill, exist_ok=True)
         self._owns_spill = self.config.spill_dir is None
@@ -336,6 +363,10 @@ class GPFContext:
             raise RuntimeError("context is closed")
         if self._event_sink is not None:
             self._flush_observability()
+        if self.profiler is not None:
+            # Per-job isolation: the new segment's profile must not carry
+            # the previous job's samples.
+            self.profiler.reset()
         self._attach_trace(trace_dir)
         self._started = time.time()  # gpf: wallclock-ok(run.start timestamp shown in reports)
         self._started_mono = time.monotonic()
@@ -425,20 +456,40 @@ class GPFContext:
                 counters["chaos.injected"] = (
                     counters.get("chaos.injected", 0) + injected
                 )
-        return {"counters": counters, "gauges": gauges}
+        if self.profiler is not None:
+            samples = self.profiler.samples
+            if samples:
+                counters["profiler.samples"] = (
+                    counters.get("profiler.samples", 0) + samples
+                )
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": snapshot["histograms"],
+        }
 
     def _flush_observability(self) -> None:
         """Final telemetry event, Chrome-trace file, sink close (stop())."""
         if self._event_sink is None:
             return
+        if self.profiler is not None:
+            # Drain the pending sample delta into the event log first so
+            # the folded profile replays fully from events.jsonl.
+            self.profiler.flush()
         self.events.publish("telemetry", **self.telemetry_snapshot())
         # elapsed comes from the monotonic clock: an NTP step mid-run
         # must not produce a negative (or inflated) run duration.
         self.events.publish("run.end", elapsed=time.monotonic() - self._started_mono)
         if isinstance(self.tracer, Tracer) and self._trace_dir:
             write_chrome_trace(
-                os.path.join(self._trace_dir, "trace.json"), self.tracer
+                os.path.join(self._trace_dir, "trace.json"),
+                self.tracer,
+                self.profiler,
             )
+            if self.profiler is not None:
+                self.profiler.write_folded(
+                    os.path.join(self._trace_dir, "profile.folded")
+                )
         self.events.unsubscribe(self._event_sink)
         self._event_sink.close()
         self._event_sink = None
@@ -454,6 +505,8 @@ class GPFContext:
     def stop(self) -> None:
         if not self._closed:
             self._flush_observability()
+            if self.profiler is not None:
+                self.profiler.stop()
             GC_TIMER.release()
             self.executor.shutdown()
             if self._owns_spill:

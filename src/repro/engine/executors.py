@@ -29,6 +29,11 @@ class Executor:
     #: Optional EventBus the owning context attaches; backends publish
     #: executor-level incidents (thread fallbacks, broken pools) to it.
     events = None
+    #: Sampling-profiler wiring (process backend only): with an interval
+    #: set, each worker-side chunk runs under a child profiler and the
+    #: folded stacks are handed to ``profile_sink`` on the driver.
+    profile_interval = None
+    profile_sink = None
 
     def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         raise NotImplementedError
@@ -86,6 +91,34 @@ def _run_pickled_chunk(blob: bytes) -> bytes:
     """
     tasks = pickle.loads(blob)
     return pickle.dumps([task() for task in tasks])
+
+
+def _run_pickled_chunk_profiled(blob: bytes, interval: float) -> bytes:
+    """Worker-side body with a child sampling profiler.
+
+    The driver's profiler cannot see into pool workers, so each chunk
+    runs under its own :class:`~repro.obs.SamplingProfiler` (no tracer —
+    there are no spans in the worker) and the folded stacks travel home
+    *with the results* through the existing pickle path.  Stacks are
+    rooted at ``worker:<pid>`` so driver and worker samples stay
+    distinguishable in the merged flamegraph.
+    """
+    import os
+
+    from repro.obs.profiler import SamplingProfiler
+
+    tasks = pickle.loads(blob)
+    profiler = SamplingProfiler(interval=interval)
+    profiler.start()
+    try:
+        results = [task() for task in tasks]
+    finally:
+        profiler.stop()
+    prefix = f"worker:{os.getpid()}"
+    folded = {
+        f"{prefix};{stack}": count for stack, count in profiler.folded().items()
+    }
+    return pickle.dumps((results, folded))
 
 
 class ProcessExecutor(Executor):
@@ -163,7 +196,21 @@ class ProcessExecutor(Executor):
             self._pool = ProcessPoolExecutor(
                 max_workers=self.num_workers, mp_context=self._mp_context
             )
-        futures = [self._pool.submit(_run_pickled_chunk, blob) for blob in blobs]
+        # The thread fallback needs no profiled variant: its tasks run in
+        # the driver process, where the context's own profiler already
+        # samples every thread.
+        profiled = self.profile_interval is not None
+        if profiled:
+            futures = [
+                self._pool.submit(
+                    _run_pickled_chunk_profiled, blob, self.profile_interval
+                )
+                for blob in blobs
+            ]
+        else:
+            futures = [
+                self._pool.submit(_run_pickled_chunk, blob) for blob in blobs
+            ]
         try:
             result_blobs = _drain_in_order(futures)
         except BrokenProcessPool:
@@ -178,7 +225,14 @@ class ProcessExecutor(Executor):
             return self._fallback.run_all(tasks)
         out: list[T] = []
         for result_blob in result_blobs:
-            out.extend(pickle.loads(result_blob))
+            payload = pickle.loads(result_blob)
+            if profiled:
+                results, folded = payload
+                if folded and self.profile_sink is not None:
+                    self.profile_sink(folded)
+                out.extend(results)
+            else:
+                out.extend(payload)
         return out
 
     def _chunks(

@@ -48,6 +48,67 @@ if TYPE_CHECKING:
     from repro.engine.rdd import RDD, ShuffleDependency
 
 
+class _StageProgress:
+    """Live progress publisher for one running stage.
+
+    Publishes schema-validated ``progress.stage`` events as tasks
+    complete: tasks done/total, bytes moved, and an ETA from an EWMA of
+    completion *intervals* (wall time between successive completions on
+    any executor slot — which already reflects parallelism, so
+    ``ewma * remaining`` is the stage ETA, not a per-task sum).
+
+    Payloads are computed under the lock; the publish happens outside it
+    (sinks do I/O).  Consumers must tolerate out-of-order delivery —
+    the serve layer's ``JobProgress`` keeps a monotonic guard.
+    """
+
+    _ALPHA = 0.3
+
+    def __init__(self, events, stage_id: int, name: str, total: int):
+        self._events = events
+        self._lock = threading.Lock()
+        self.stage_id = stage_id
+        self.name = name
+        self.total = total
+        self._done = 0
+        self._bytes = 0
+        self._last = time.monotonic()
+        self._ewma: float | None = None
+
+    def _payload(self) -> dict:
+        remaining = max(0, self.total - self._done)
+        eta = self._ewma * remaining if self._ewma is not None else None
+        return {
+            "stage_id": self.stage_id,
+            "name": self.name,
+            "tasks_done": self._done,
+            "tasks_total": self.total,
+            "bytes": self._bytes,
+            "eta_seconds": eta,
+        }
+
+    def start(self) -> None:
+        with self._lock:
+            payload = self._payload()
+        self._events.publish("progress.stage", **payload)
+
+    def task_done(self, task: TaskMetrics) -> None:
+        with self._lock:
+            now = time.monotonic()
+            interval = now - self._last
+            self._last = now
+            self._done += 1
+            self._bytes += task.shuffle_bytes_read + task.shuffle_bytes_written
+            if self._ewma is None:
+                self._ewma = interval
+            else:
+                self._ewma = (
+                    self._ALPHA * interval + (1 - self._ALPHA) * self._ewma
+                )
+            payload = self._payload()
+        self._events.publish("progress.stage", **payload)
+
+
 class DAGScheduler:
     def __init__(self, ctx: "GPFContext"):
         self.ctx = ctx
@@ -193,6 +254,7 @@ class DAGScheduler:
         body: Callable[[TaskMetrics], object],
         record: Callable[[TaskMetrics], None],
         parent_span=None,
+        progress: "_StageProgress | None" = None,
     ) -> object:
         """Run one task body with fault injection + retry; returns its value."""
         max_attempts = max(1, self.ctx.config.max_task_attempts)
@@ -205,6 +267,9 @@ class DAGScheduler:
                     stage_kind, split, attempt, body, timeout, parent_span
                 )
                 record(task)
+                self.ctx.telemetry.observe("task.seconds", task.run_time)
+                if progress is not None:
+                    progress.task_done(task)
                 if events.active:
                     events.publish(
                         "task.end",
@@ -304,6 +369,12 @@ class DAGScheduler:
         self.ctx.events.publish(
             "stage.start", stage_id=stage.stage_id, name=stage.name
         )
+        progress = None
+        if self.ctx.events.active:
+            progress = _StageProgress(
+                self.ctx.events, stage.stage_id, stage.name, parent.num_partitions
+            )
+            progress.start()
 
         def make_task(split: int, stage_span):
             def body(task: TaskMetrics) -> None:
@@ -326,6 +397,7 @@ class DAGScheduler:
                     body,
                     lambda task: self.ctx.metrics.add_task(stage, task),
                     parent_span=stage_span,
+                    progress=progress,
                 )
 
             return run
@@ -352,6 +424,12 @@ class DAGScheduler:
         self.ctx.events.publish(
             "stage.start", stage_id=stage.stage_id, name=stage.name
         )
+        progress = None
+        if self.ctx.events.active:
+            progress = _StageProgress(
+                self.ctx.events, stage.stage_id, stage.name, len(splits)
+            )
+            progress.start()
 
         def make_task(split: int, stage_span):
             def run() -> list:
@@ -361,6 +439,7 @@ class DAGScheduler:
                     lambda task: rdd.iterator(split, task),
                     lambda task: self.ctx.metrics.add_task(stage, task),
                     parent_span=stage_span,
+                    progress=progress,
                 )
 
             return run

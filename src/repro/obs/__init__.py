@@ -10,8 +10,16 @@ run inspectable:
   timestamps and process-safe IDs; a no-op tracer by default.
 - :mod:`repro.obs.events` — the :class:`EventBus` every subsystem
   publishes to, its JSONL sink, and the event-schema validator.
-- :mod:`repro.obs.telemetry` — named counters/gauges replacing the
-  subsystems' private tallies; composes with ``MetricsRegistry``.
+- :mod:`repro.obs.telemetry` — named counters/gauges/histograms
+  replacing the subsystems' private tallies, plus the gauge fold-policy
+  machinery the serve layer uses to merge worker snapshots.
+- :mod:`repro.obs.histogram` — the fixed-bucket log-spaced latency
+  histogram (mergeable bucket-wise; p50/p95/p99 estimation).
+- :mod:`repro.obs.profiler` — the sampling profiler: collapsed stacks
+  attributed to live spans, folded flamegraph text, ``profile.sample``
+  events.
+- :mod:`repro.obs.prometheus` — Prometheus text-format 0.0.4 rendering
+  and the line-format validator CI runs against live output.
 - :mod:`repro.obs.chrome_trace` — Chrome-trace/Perfetto JSON export.
 - :mod:`repro.obs.report` — the Table-4 / Fig.-12 style run report,
   renderable from a live context or a saved ``events.jsonl``.
@@ -31,28 +39,51 @@ from repro.obs.events import (
     validate_event,
     validate_events,
 )
+from repro.obs.histogram import DEFAULT_BUCKETS, Histogram, merge_histogram_snapshots
+from repro.obs.profiler import (
+    SamplingProfiler,
+    fold_folded_text,
+    top_functions_from_stacks,
+)
+from repro.obs.prometheus import render_prometheus, validate_prometheus
 from repro.obs.report import ProcessRow, RunReport, StageRow
-from repro.obs.telemetry import TelemetryRegistry
+from repro.obs.telemetry import (
+    TelemetryRegistry,
+    fold_gauges,
+    fold_histograms,
+    register_gauge_fold,
+)
 from repro.obs.tracer import NOOP_SPAN, NoopTracer, Span, Tracer, new_span_id
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "EVENT_SCHEMA",
     "EventBus",
+    "Histogram",
     "JsonlEventSink",
     "MemorySink",
     "NoopTracer",
     "NOOP_SPAN",
     "ProcessRow",
     "RunReport",
+    "SamplingProfiler",
     "Span",
     "StageRow",
     "TelemetryRegistry",
     "Tracer",
     "chrome_trace_dict",
+    "fold_folded_text",
+    "fold_gauges",
+    "fold_histograms",
+    "merge_histogram_snapshots",
     "new_span_id",
     "read_events",
+    "register_gauge_fold",
+    "render_prometheus",
+    "top_functions_from_stacks",
     "validate_chrome_trace",
     "validate_event",
     "validate_events",
+    "validate_prometheus",
     "write_chrome_trace",
 ]

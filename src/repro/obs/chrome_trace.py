@@ -18,11 +18,20 @@ import json
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from repro.obs.profiler import SamplingProfiler
     from repro.obs.tracer import Tracer
 
 
-def chrome_trace_dict(tracer: "Tracer") -> dict:
-    """The run as a Trace Event Format JSON object."""
+def chrome_trace_dict(
+    tracer: "Tracer", profiler: "SamplingProfiler | None" = None
+) -> dict:
+    """The run as a Trace Event Format JSON object.
+
+    With a profiler attached, its bounded ring of raw samples becomes
+    ``ph: "P"`` sample events on the same timeline — the leaf frame as
+    the name, the full folded stack in ``args`` — so Perfetto shows
+    where inside each span the samples landed.
+    """
     events: list[dict] = []
     pids = set()
     tids = set()
@@ -44,6 +53,23 @@ def chrome_trace_dict(tracer: "Tracer") -> dict:
                 "args": dict(span.attrs, span_id=span.span_id, parent_id=span.parent_id),
             }
         )
+    if profiler is not None:
+        import os
+
+        pid = os.getpid()
+        for mono_ts, tid, folded in profiler.raw_samples():
+            pids.add(pid)
+            events.append(
+                {
+                    "name": folded.rsplit(";", 1)[-1],
+                    "cat": "sample",
+                    "ph": "P",
+                    "ts": (mono_ts - tracer.origin_mono) * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"stack": folded},
+                }
+            )
     metadata = [
         {
             "name": "process_name",
@@ -64,10 +90,12 @@ def chrome_trace_dict(tracer: "Tracer") -> dict:
     }
 
 
-def write_chrome_trace(path: str, tracer: "Tracer") -> None:
+def write_chrome_trace(
+    path: str, tracer: "Tracer", profiler: "SamplingProfiler | None" = None
+) -> None:
     """Write the trace JSON file (open it in chrome://tracing / Perfetto)."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(chrome_trace_dict(tracer), fh)
+        json.dump(chrome_trace_dict(tracer, profiler), fh)
 
 
 def validate_chrome_trace(trace: dict) -> list[str]:

@@ -80,6 +80,8 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "health.transition": ("from", "to", "reason"),
     "job.shed": ("job_id", "priority", "retry_after"),
     "cache.stats": ("cache", "hits", "misses", "evictions", "entries"),
+    "profile.sample": ("stacks", "samples"),
+    "progress.stage": ("stage_id", "name", "tasks_done", "tasks_total"),
     "telemetry": ("counters", "gauges"),
 }
 

@@ -1,0 +1,267 @@
+"""Sampling profiler: collapsed stacks attributed to live spans.
+
+Post-hoc span timing says *which stage* was slow; it cannot say *which
+function inside the stage* burned the time.  The
+:class:`SamplingProfiler` fills that gap without instrumenting any
+kernel code: a daemon thread wakes every ``interval`` seconds, snapshots
+every thread's Python stack via :func:`sys._current_frames`, and folds
+each stack into a counter keyed by the semicolon-joined frame list —
+the classic *collapsed stack* format every flamegraph tool reads.
+
+Attribution, not just aggregation: each sampled thread's stack is
+prefixed with that thread's open span ancestry
+(``job:x;stage:y;task:z``) looked up through
+:meth:`Tracer.path_for_thread`, so the flamegraph nests hot functions
+under the stage and task that ran them.  Threads with no open span fall
+back to a ``thread:<name>`` root (the profiler's own thread is skipped).
+
+Outputs, all derived from the same counters:
+
+- ``folded_text()`` — ``stack count`` lines for ``flamegraph.pl`` /
+  speedscope (``gpf report --flame``).
+- ``profile.sample`` events — periodic flushes publish the *delta*
+  since the previous flush, so ``events.jsonl`` replays reconstruct the
+  full profile and ``RunReport.from_events`` needs no live process.
+- Chrome-trace ``ph:"P"`` sample events from a bounded ring of raw
+  samples (enough for the timeline view without unbounded memory).
+
+Child-process profiles ship home through the existing pickle path:
+``executors._run_pickled_chunk_profiled`` runs a worker-side profiler
+(no tracer there) and returns its folded counters alongside the task
+results; the driver folds them in via :meth:`merge_counts` under a
+``worker:<pid>`` root.
+
+Overhead budget: a 5 ms default interval costs well under 5% wall on
+real workloads (CI asserts this) because each sample is one C-level
+frame walk plus dict increments; the sampler holds no lock while the
+sampled threads run.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+
+__all__ = ["SamplingProfiler", "fold_folded_text", "top_functions_from_stacks"]
+
+#: Modules whose frames are noise in every profile (the profiler's own
+#: machinery and the interpreter's threading scaffolding).
+_SKIP_MODULES = ("repro.obs.profiler",)
+
+
+def _frame_name(frame) -> str:
+    """``module.qualname`` for one frame; never contains ``;``."""
+    code = frame.f_code
+    qualname = getattr(code, "co_qualname", None) or code.co_name
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}.{qualname}".replace(";", ",")
+
+
+class SamplingProfiler:
+    """Background statistical profiler with span attribution.
+
+    ``tracer_provider`` is a zero-arg callable returning the *current*
+    tracer (the engine swaps tracer objects per trace segment); it may
+    return a :class:`~repro.obs.tracer.NoopTracer`, whose
+    ``path_for_thread`` returns ``None``.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        tracer_provider=None,
+        events=None,
+        max_depth: int = 48,
+        flush_interval: float = 2.0,
+        max_raw_samples: int = 2000,
+    ):
+        self.interval = max(0.0005, float(interval))
+        self.flush_interval = flush_interval
+        self.max_depth = max_depth
+        self._tracer_provider = tracer_provider
+        self._events = events
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._delta: dict[str, int] = {}
+        #: Bounded ring of (monotonic_ts, tid, folded_stack) raw samples
+        #: feeding Chrome-trace ``ph:"P"`` events.
+        self._raw: deque = deque(maxlen=max_raw_samples)
+        self._samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="gpf-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling and flush the remaining delta."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+            self._thread = None
+        self.flush()
+
+    def _loop(self) -> None:
+        next_flush = time.monotonic() + self.flush_interval
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+            now = time.monotonic()
+            if now >= next_flush:
+                self.flush()
+                next_flush = now + self.flush_interval
+
+    # -- sampling -----------------------------------------------------------
+    def sample_once(self) -> None:
+        """Take one sample of every thread's stack (callable directly in
+        tests; the background loop calls it on its cadence)."""
+        own_tid = threading.get_ident()
+        tracer = self._tracer_provider() if self._tracer_provider else None
+        now = time.perf_counter()
+        names_by_tid = None
+        frames = sys._current_frames()
+        try:
+            stacks: list[tuple[int, str]] = []
+            for tid, frame in frames.items():
+                if tid == own_tid:
+                    continue
+                parts: list[str] = []
+                depth = 0
+                while frame is not None and depth < self.max_depth:
+                    name = _frame_name(frame)
+                    if not name.startswith(_SKIP_MODULES):
+                        parts.append(name)
+                    frame = frame.f_back
+                    depth += 1
+                if not parts:
+                    continue
+                parts.reverse()
+                prefix = None
+                if tracer is not None:
+                    prefix = tracer.path_for_thread(tid)
+                if prefix is None:
+                    if names_by_tid is None:
+                        names_by_tid = {
+                            t.ident: t.name
+                            for t in threading.enumerate()
+                            if t.ident is not None
+                        }
+                    label = names_by_tid.get(tid, str(tid)).replace(";", ",")
+                    prefix = [f"thread:{label}"]
+                stacks.append((tid, ";".join(prefix + parts)))
+        finally:
+            del frames
+        if not stacks:
+            return
+        with self._lock:
+            for tid, folded in stacks:
+                self._counts[folded] = self._counts.get(folded, 0) + 1
+                self._delta[folded] = self._delta.get(folded, 0) + 1
+                self._raw.append((now, tid, folded))
+            self._samples += len(stacks)
+
+    # -- export -------------------------------------------------------------
+    def flush(self) -> dict[str, int]:
+        """Publish the delta since the last flush as a ``profile.sample``
+        event; returns the flushed stacks."""
+        with self._lock:
+            if not self._delta:
+                return {}
+            delta, self._delta = self._delta, {}
+        # Publish outside the lock: sinks do I/O.
+        if self._events is not None and self._events.active:
+            self._events.publish(
+                "profile.sample",
+                stacks=delta,
+                samples=sum(delta.values()),
+            )
+        return delta
+
+    def merge_counts(self, stacks: dict[str, int]) -> None:
+        """Fold externally collected stacks in (child-process profiles
+        arriving through the executor's serializer path)."""
+        if not stacks:
+            return
+        with self._lock:
+            for folded, n in stacks.items():
+                self._counts[folded] = self._counts.get(folded, 0) + n
+                self._delta[folded] = self._delta.get(folded, 0) + n
+            self._samples += sum(stacks.values())
+
+    def folded(self) -> dict[str, int]:
+        """Cumulative collapsed-stack counters, ``{folded_stack: n}``."""
+        with self._lock:
+            return dict(self._counts)
+
+    def folded_text(self) -> str:
+        """``stack count`` lines, sorted by count descending."""
+        counts = self.folded()
+        lines = [
+            f"{stack} {n}"
+            for stack, n in sorted(counts.items(), key=lambda kv: -kv[1])
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_folded(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.folded_text())
+
+    def raw_samples(self) -> list[tuple[float, int, str]]:
+        """The bounded ring of raw ``(mono_ts, tid, stack)`` samples."""
+        with self._lock:
+            return list(self._raw)
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def top_functions(self, n: int = 10) -> list[tuple[str, int]]:
+        """Hottest leaf frames (self samples), descending."""
+        return top_functions_from_stacks(self.folded(), n)
+
+    def reset(self) -> None:
+        """Drop all collected state (per-job trace segment isolation)."""
+        with self._lock:
+            self._counts.clear()
+            self._delta.clear()
+            self._raw.clear()
+            self._samples = 0
+
+
+def top_functions_from_stacks(
+    stacks: dict[str, int], n: int = 10
+) -> list[tuple[str, int]]:
+    """Aggregate ``{folded_stack: count}`` by leaf frame."""
+    leaves: dict[str, int] = {}
+    for folded, count in stacks.items():
+        leaf = folded.rsplit(";", 1)[-1]
+        leaves[leaf] = leaves.get(leaf, 0) + count
+    return sorted(leaves.items(), key=lambda kv: -kv[1])[:n]
+
+
+def fold_folded_text(stack_maps: list[dict]) -> str:
+    """Merge several ``{folded_stack: count}`` maps (e.g. every
+    ``profile.sample`` event in a log) into one folded-text document."""
+    merged: dict[str, int] = {}
+    for stacks in stack_maps:
+        for folded, n in stacks.items():
+            merged[folded] = merged.get(folded, 0) + int(n)
+    lines = [
+        f"{stack} {n}"
+        for stack, n in sorted(merged.items(), key=lambda kv: -kv[1])
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -65,6 +65,9 @@ class RunReport:
     failures: list[tuple[str, int, str]] = field(default_factory=list)
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
+    #: name -> Histogram.snapshot() — latency distributions (task
+    #: duration, queue wait, decode batches), same from either source.
+    histograms: dict[str, dict] = field(default_factory=dict)
     elapsed: float | None = None
     pipeline_name: str | None = None
 
@@ -170,6 +173,7 @@ class RunReport:
         snapshot = ctx.telemetry_snapshot()
         report.counters = snapshot["counters"]
         report.gauges = snapshot["gauges"]
+        report.histograms = snapshot.get("histograms", {})
         return report
 
     @classmethod
@@ -212,6 +216,7 @@ class RunReport:
             elif kind == "telemetry":
                 report.counters = dict(event["counters"])
                 report.gauges = dict(event["gauges"])
+                report.histograms = dict(event.get("histograms") or {})
         report.stages.sort(key=lambda s: s.stage_id)
         return report
 
@@ -303,6 +308,27 @@ class RunReport:
             lines.append("  none")
         lines.append("")
 
+        lines.append("Latency distributions")
+        if self.histograms:
+            width = max(len(name) for name in self.histograms)
+            lines.append(
+                f"  {'name':<{width}} {'count':>7} {'mean':>9} "
+                f"{'p50':>9} {'p95':>9} {'p99':>9}"
+            )
+            for name in sorted(self.histograms):
+                snap = self.histograms[name]
+                count = snap.get("count", 0)
+                mean = (snap.get("sum", 0.0) / count) if count else 0.0
+                lines.append(
+                    f"  {name:<{width}} {count:>7} {mean:>9.4f} "
+                    f"{snap.get('p50', 0.0):>9.4f} "
+                    f"{snap.get('p95', 0.0):>9.4f} "
+                    f"{snap.get('p99', 0.0):>9.4f}"
+                )
+        else:
+            lines.append("  (no histograms recorded)")
+        lines.append("")
+
         lines.append("Telemetry")
         if self.counters or self.gauges:
             for name in sorted(self.counters):
@@ -338,6 +364,7 @@ class RunReport:
             ],
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "histograms": dict(self.histograms),
         }
 
 

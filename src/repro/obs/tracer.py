@@ -55,6 +55,7 @@ class Span:
         "attrs",
         "pid",
         "tid",
+        "ident",
     )
 
     def __init__(self, name: str, kind: str = "span", parent_id: str | None = None):
@@ -67,6 +68,10 @@ class Span:
         self.attrs: dict = {}
         self.pid = os.getpid()
         self.tid = threading.get_native_id()
+        #: ``threading.get_ident()`` of the opening thread — the key
+        #: ``sys._current_frames()`` uses, which is how the sampling
+        #: profiler attributes a sampled stack back to this span.
+        self.ident = threading.get_ident()
 
     def set_attribute(self, key: str, value) -> None:
         self.attrs[key] = value
@@ -131,6 +136,9 @@ class NoopTracer:
     def finished_spans(self) -> list:
         return []
 
+    def path_for_thread(self, tid: int) -> None:
+        return None
+
 
 class Tracer:
     """Collects nested spans; thread-safe."""
@@ -141,6 +149,14 @@ class Tracer:
         self._lock = threading.Lock()
         self._finished: list[Span] = []
         self._local = threading.local()
+        #: Open spans by ID — lets the sampling profiler walk parent
+        #: chains from any thread, since stage/job ancestors stay open
+        #: while their tasks run.
+        self._open: dict[str, Span] = {}
+        #: Innermost open span per thread ident (``get_ident()``, the
+        #: ``sys._current_frames()`` key); the profiler maps a sampled
+        #: thread's stack to its span ancestry through this.
+        self._active_by_tid: dict[int, Span] = {}
         #: Anchors for converting monotonic timestamps to wall clock
         #: (Chrome trace wants absolute-ish microseconds).
         self.origin_mono = time.perf_counter()
@@ -175,6 +191,9 @@ class Tracer:
         if attrs:
             span.attrs.update(attrs)
         self._stack().append(span)
+        with self._lock:
+            self._open[span.span_id] = span
+            self._active_by_tid[span.ident] = span
         return span
 
     def finish(self, span: Span) -> None:
@@ -191,6 +210,36 @@ class Tracer:
                 stack.pop()
         with self._lock:
             self._finished.append(span)
+            self._open.pop(span.span_id, None)
+            if self._active_by_tid.get(span.ident) is span:
+                parent = (
+                    self._open.get(span.parent_id) if span.parent_id else None
+                )
+                # Reattribute the thread to the enclosing span only when
+                # the parent lives on the same thread (executor threads
+                # inherit a driver-side parent they don't run on).
+                if parent is not None and parent.ident == span.ident:
+                    self._active_by_tid[span.ident] = parent
+                else:
+                    del self._active_by_tid[span.ident]
+
+    def path_for_thread(self, tid: int) -> list[str] | None:
+        """Span ancestry for one thread ident (a ``sys._current_frames``
+        key), root-first, as ``kind:name`` frames — the profiler prefixes
+        sampled stacks with this so every sample lands under its
+        job/stage/task in the flamegraph."""
+        with self._lock:
+            span = self._active_by_tid.get(tid)
+            if span is None:
+                return None
+            path: list[str] = []
+            depth = 0
+            while span is not None and depth < 16:
+                path.append(f"{span.kind}:{span.name}")
+                span = self._open.get(span.parent_id) if span.parent_id else None
+                depth += 1
+        path.reverse()
+        return path
 
     @contextmanager
     def span(

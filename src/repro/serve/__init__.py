@@ -15,7 +15,10 @@ runs as *jobs*:
   logs, cooperative cancellation/deadlines, durable job log, graceful
   drain.
 - :mod:`repro.serve.http` — stdlib JSON API (submit/list/status/cancel,
-  ``/healthz``, ``/metrics``) with typed-error → HTTP-status mapping.
+  ``/healthz``, ``/metrics`` with a Prometheus text format,
+  ``/jobs/<id>/progress``) with typed-error → HTTP-status mapping.
+- :mod:`repro.serve.progress` — :class:`JobProgress`, the per-job event
+  subscriber behind the live progress endpoint and ``gpf top``.
 - :mod:`repro.serve.client` — the urllib client the ``gpf serve`` /
   ``submit`` / ``jobs`` / ``status`` commands are built on.
 """
@@ -46,6 +49,7 @@ from repro.serve.jobs import (
     ServeError,
     new_job_id,
 )
+from repro.serve.progress import JobProgress
 from repro.serve.service import (
     InvalidSpecError,
     NotCancellableError,
@@ -74,6 +78,7 @@ __all__ = [
     "InvalidSpecError",
     "InvalidTransitionError",
     "Job",
+    "JobProgress",
     "JobQueue",
     "NotCancellableError",
     "PipelineService",

@@ -89,12 +89,17 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
+    def progress(self, job_id: str) -> dict:
+        """Live progress snapshot: stages, ETA, hot functions."""
+        return self._request("GET", f"/jobs/{job_id}/progress")
+
     def wait(
         self,
         job_id: str,
         timeout: float = 300.0,
         poll: float = 0.2,
         max_poll: float = 5.0,
+        on_progress=None,
     ) -> dict:
         """Poll until the job reaches a terminal state; returns its JSON.
 
@@ -104,6 +109,11 @@ class ServiceClient:
         responses and connection errors while the service restarts or
         sheds — is retried until ``timeout``, honoring the server's
         Retry-After hint when it sends one.
+
+        With ``on_progress`` set, each poll of a still-running job also
+        fetches ``/jobs/<id>/progress`` and hands the snapshot to the
+        callback — progress is cosmetic, so any error fetching it is
+        swallowed and the wait carries on.
         """
         deadline = time.monotonic() + timeout
         delay = poll
@@ -125,6 +135,17 @@ class ServiceClient:
                 if job["state"] in TERMINAL_STATES:
                     return job
                 state = job["state"]
+                if on_progress is not None:
+                    try:
+                        on_progress(self.progress(job_id))
+                    except ServiceError:
+                        pass
+                    except (
+                        urllib.error.URLError,
+                        ConnectionError,
+                        TimeoutError,
+                    ):
+                        pass
             else:
                 state = "unreachable"
             if time.monotonic() > deadline:

@@ -170,11 +170,11 @@ class ServiceHealth:
         with self._lock:
             samples = len(self._outcomes)
             failures = sum(1 for _, ok in self._outcomes if not ok)
-            mean_wait = (
-                sum(w for _, w in self._waits) / len(self._waits)
-                if self._waits
-                else 0.0
-            )
+            waits = sorted(w for _, w in self._waits)
+            mean_wait = sum(waits) / len(waits) if waits else 0.0
+            # Nearest-rank p95 over the window: the tail the mean hides
+            # is exactly what pushes a service into shedding.
+            p95_wait = waits[min(len(waits) - 1, int(0.95 * len(waits)))] if waits else 0.0
             return {
                 "state": self._state,
                 "window_seconds": self.config.window_seconds,
@@ -182,6 +182,7 @@ class ServiceHealth:
                 "failures": failures,
                 "failure_rate": failures / samples if samples else 0.0,
                 "mean_queue_wait": mean_wait,
+                "p95_queue_wait": p95_wait,
                 "shed_total": self._shed_total,
                 "retry_after": self.config.retry_after,
             }

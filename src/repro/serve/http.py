@@ -2,12 +2,14 @@
 
 Routes::
 
-    POST   /jobs        submit {"spec": {...}, "priority": 0} (or a bare spec)
-    GET    /jobs        all jobs, newest last; ?state= filters
-    GET    /jobs/<id>   job state + telemetry + run report (when finished)
-    DELETE /jobs/<id>   cancel (queued: immediate; running: cooperative)
-    GET    /healthz     liveness + queue occupancy
-    GET    /metrics     service counters + folded worker telemetry
+    POST   /jobs                 submit {"spec": {...}, "priority": 0} (or a bare spec)
+    GET    /jobs                 all jobs, newest last; ?state= filters
+    GET    /jobs/<id>            job state + telemetry + run report (when finished)
+    GET    /jobs/<id>/progress   live stage progress + hot functions
+    DELETE /jobs/<id>            cancel (queued: immediate; running: cooperative)
+    GET    /healthz              liveness + queue occupancy
+    GET    /metrics              service counters + folded worker telemetry
+                                 (?format=prometheus for text format 0.0.4)
 
 Typed service errors map onto HTTP statuses — the admission contract::
 
@@ -30,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serve.jobs import Job, QueueFullError, ServeError
@@ -127,6 +130,27 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        """Non-JSON response path (Prometheus exposition)."""
+        chaos = getattr(self.server.service, "chaos", None)
+        if chaos is not None:
+            try:
+                chaos.hit("serve.http.response", path=self.path, status=status)
+            except ConnectionResetError:
+                self.close_connection = True
+                return
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_error(self, exc: ServeError) -> None:
         self._send(
             error_status(exc),
@@ -180,6 +204,13 @@ class _Handler(BaseHTTPRequestHandler):
             return parts[1]
         return None
 
+    def _job_subresource(self) -> tuple[str, str] | None:
+        """``/jobs/<id>/<sub>`` -> (id, sub), else None."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 3 and parts[0] == "jobs":
+            return parts[1], parts[2]
+        return None
+
     def _query(self) -> dict[str, str]:
         if "?" not in self.path:
             return {}
@@ -191,7 +222,29 @@ class _Handler(BaseHTTPRequestHandler):
         return query
 
     # -- routes -------------------------------------------------------------
+    def _observed(self, handler) -> None:
+        """Charge one request's wall time to the service's latency
+        histogram (every verb routes through here)."""
+        started = time.perf_counter()
+        try:
+            handler()
+        finally:
+            telemetry = getattr(self.server.service, "telemetry", None)
+            if telemetry is not None:
+                telemetry.observe(
+                    "http.request_seconds", time.perf_counter() - started
+                )
+
     def do_POST(self) -> None:  # noqa: N802
+        self._observed(self._handle_post)
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._observed(self._handle_get)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._observed(self._handle_delete)
+
+    def _handle_post(self) -> None:
         if self.path.split("?")[0] != "/jobs":
             self._drain_body()
             self._send(404, {"error": "NotFound", "detail": self.path})
@@ -208,7 +261,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send(201, job_payload(self.server.service, job, report=False))
 
-    def do_GET(self) -> None:  # noqa: N802
+    def _handle_get(self) -> None:
         self._drain_body()
         service = self.server.service
         path = self.path.split("?")[0]
@@ -221,7 +274,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(503 if shedding else 200, health, retry_after=retry_after)
             return
         if path == "/metrics":
-            self._send(200, service.metrics())
+            if self._query().get("format") == "prometheus":
+                from repro.obs import render_prometheus
+
+                self._send_text(200, render_prometheus(service.metrics()))
+            else:
+                self._send(200, service.metrics())
             return
         if path == "/jobs":
             state = self._query().get("state")
@@ -235,6 +293,13 @@ class _Handler(BaseHTTPRequestHandler):
                 },
             )
             return
+        sub = self._job_subresource()
+        if sub is not None and sub[1] == "progress":
+            try:
+                self._send(200, service.progress(sub[0]))
+            except ServeError as exc:
+                self._send_error(exc)
+            return
         job_id = self._job_id()
         if job_id is not None:
             try:
@@ -246,7 +311,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send(404, {"error": "NotFound", "detail": self.path})
 
-    def do_DELETE(self) -> None:  # noqa: N802
+    def _handle_delete(self) -> None:
         self._drain_body()
         job_id = self._job_id()
         if job_id is None:

@@ -1,0 +1,144 @@
+"""Live per-job progress: an event subscriber the service can serve.
+
+While a job runs, its worker context's EventBus carries everything a
+client needs to render progress — ``pipeline.start`` names the process
+list, ``process.start``/``process.end`` walk it, ``progress.stage``
+events stream tasks done/total with an ETA, and ``profile.sample``
+events carry collapsed stacks.  :class:`JobProgress` is the subscriber
+that folds those into one snapshot ``GET /jobs/<id>/progress`` returns.
+
+Two delivery realities shape it:
+
+- **Out-of-order events.**  Tasks complete on many executor threads and
+  the publisher releases its lock before delivering, so a
+  ``tasks_done=3`` event can arrive after ``tasks_done=4``.  Per-stage
+  state keeps a monotonic guard: completion counts never go backwards,
+  which is the contract the acceptance test pins.
+- **The tracker outlives the subscription.**  The service unsubscribes
+  it when the job ends but keeps the tracker around, so a client
+  polling a just-finished job still sees the final 100% snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.profiler import top_functions_from_stacks
+
+
+class JobProgress:
+    """Folds one job's run events into a live progress snapshot."""
+
+    def __init__(self, job_id: str, hot_functions: int = 10):
+        self.job_id = job_id
+        self._hot_n = hot_functions
+        self._lock = threading.Lock()
+        self._pipeline: str | None = None
+        self._processes: list[str] = []
+        self._process: str | None = None
+        self._processes_done = 0
+        #: stage_id -> {"name", "tasks_done", "tasks_total", "bytes",
+        #: "eta_seconds", "finished"} in first-seen order (dicts are
+        #: insertion-ordered, and stage IDs increase within a job).
+        self._stages: dict[int, dict] = {}
+        self._leaf_counts: dict[str, int] = {}
+        self._samples = 0
+
+    # -- event subscriber ---------------------------------------------------
+    def __call__(self, event: dict) -> None:
+        kind = event.get("kind")
+        if kind == "progress.stage":
+            self._on_stage_progress(event)
+        elif kind == "profile.sample":
+            self._on_profile_sample(event)
+        elif kind == "pipeline.start":
+            with self._lock:
+                self._pipeline = event.get("pipeline")
+                self._processes = list(event.get("processes") or [])
+        elif kind == "process.start":
+            with self._lock:
+                self._process = event.get("process")
+        elif kind in ("process.end", "process.skipped"):
+            with self._lock:
+                self._processes_done += 1
+                if self._process == event.get("process"):
+                    self._process = None
+        elif kind == "stage.end":
+            with self._lock:
+                stage = self._stages.get(event.get("stage_id"))
+                if stage is not None:
+                    stage["finished"] = True
+                    stage["eta_seconds"] = 0.0
+
+    def _on_stage_progress(self, event: dict) -> None:
+        stage_id = event.get("stage_id")
+        done = event.get("tasks_done", 0)
+        with self._lock:
+            stage = self._stages.get(stage_id)
+            if stage is None:
+                stage = self._stages[stage_id] = {
+                    "stage_id": stage_id,
+                    "name": event.get("name"),
+                    "tasks_done": 0,
+                    "tasks_total": event.get("tasks_total", 0),
+                    "bytes": 0,
+                    "eta_seconds": None,
+                    "finished": False,
+                }
+            # Monotonic guard: publishes can arrive out of order, but
+            # completion never goes backwards.
+            if done >= stage["tasks_done"]:
+                stage["tasks_done"] = done
+                stage["tasks_total"] = event.get(
+                    "tasks_total", stage["tasks_total"]
+                )
+                stage["bytes"] = event.get("bytes", stage["bytes"])
+                stage["eta_seconds"] = event.get("eta_seconds")
+
+    def _on_profile_sample(self, event: dict) -> None:
+        stacks = event.get("stacks")
+        if not isinstance(stacks, dict):
+            return
+        with self._lock:
+            for folded, count in stacks.items():
+                leaf = str(folded).rsplit(";", 1)[-1]
+                self._leaf_counts[leaf] = self._leaf_counts.get(leaf, 0) + int(
+                    count
+                )
+                self._samples += int(count)
+
+    # -- snapshot -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready progress view (what the endpoint returns)."""
+        with self._lock:
+            stages = [dict(s) for s in self._stages.values()]
+            active = [
+                s for s in stages if not s["finished"] and s["tasks_total"]
+            ]
+            eta = None
+            if active:
+                etas = [
+                    s["eta_seconds"]
+                    for s in active
+                    if s["eta_seconds"] is not None
+                ]
+                eta = sum(etas) if etas else None
+            hot = [
+                {"function": name, "samples": count}
+                for name, count in top_functions_from_stacks(
+                    self._leaf_counts, self._hot_n
+                )
+            ]
+            return {
+                "job_id": self.job_id,
+                "pipeline": self._pipeline,
+                "processes": list(self._processes),
+                "processes_done": self._processes_done,
+                "current_process": self._process,
+                "stages": stages,
+                "tasks_done": sum(s["tasks_done"] for s in stages),
+                "tasks_total": sum(s["tasks_total"] for s in stages),
+                "eta_seconds": eta,
+                "hot_functions": hot,
+                "samples": self._samples,
+            }

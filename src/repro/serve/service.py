@@ -39,8 +39,15 @@ from repro.core.pipeline import PipelineCancelledError
 from repro.engine.blockmanager import fsync_directory
 from repro.engine.context import EngineConfig, GPFContext
 from repro.engine.journal import job_journal_dir
-from repro.obs import EventBus, JsonlEventSink
+from repro.obs import (
+    EventBus,
+    JsonlEventSink,
+    TelemetryRegistry,
+    fold_gauges,
+    fold_histograms,
+)
 from repro.serve.health import HealthConfig, ServiceHealth
+from repro.serve.progress import JobProgress
 from repro.serve.jobs import (
     ADMITTED,
     CANCELLED,
@@ -259,6 +266,14 @@ class PipelineService:
             "jobs_queue_seconds": 0.0,
             "jobs_run_seconds": 0.0,
         }
+        #: Service-level latency histograms (queue wait, job run time,
+        #: HTTP request latency); folded into ``metrics()`` alongside the
+        #: per-worker engine histograms.
+        self.telemetry = TelemetryRegistry()
+        #: Live progress trackers by job id.  A tracker subscribes to the
+        #: running job's context bus and stays after the job ends so a
+        #: trailing poll still sees the final snapshot.
+        self._progress: dict[str, JobProgress] = {}
         self._recover()
 
     # -- durability ---------------------------------------------------------
@@ -534,9 +549,15 @@ class PipelineService:
         return payload
 
     def metrics(self) -> dict:
-        """Service counters plus a fold of every live worker's telemetry."""
+        """Service counters plus a fold of every live worker's telemetry.
+
+        Counters sum; gauges fold by their registered policy
+        (:func:`repro.obs.fold_gauges` — point-in-time gauges are never
+        naively summed, and derived gauges like the compression ratio
+        are recomputed from the folded byte gauges); histograms merge
+        bucket-wise, which is exact.
+        """
         counters: dict[str, float] = {}
-        gauges: dict[str, float] = {}
         with self._lock:
             contexts = list(self._contexts.values())
             service = dict(self._counters)
@@ -546,26 +567,39 @@ class PipelineService:
                 running=len(self._running),
                 draining=self._draining,
             )
-        for ctx in contexts:
-            snapshot = ctx.telemetry_snapshot()
+        snapshots = [ctx.telemetry_snapshot() for ctx in contexts]
+        for snapshot in snapshots:
             for name, value in snapshot["counters"].items():
                 counters[name] = counters.get(name, 0) + value
-            for name, value in snapshot["gauges"].items():
-                gauges[name] = gauges.get(name, 0) + value
-        # Byte gauges fold additively across workers; a ratio does not.
-        # Recompute it from the summed bytes so the fleet-wide number is
-        # the actual fleet-wide compression ratio.
-        compressed = gauges.get("blockmanager.compressed_bytes", 0)
-        if compressed:
-            gauges["blockmanager.compression_ratio"] = (
-                gauges.get("blockmanager.logical_bytes", 0) / compressed
-            )
+        gauges = fold_gauges(s["gauges"] for s in snapshots)
+        histogram_maps = [s.get("histograms", {}) for s in snapshots]
+        histogram_maps.append(self.telemetry.histograms())
         return {
             "service": service,
             "health": self.healthmon.snapshot(),
             "counters": counters,
             "gauges": gauges,
+            "histograms": fold_histograms(histogram_maps),
         }
+
+    def progress(self, job_id: str) -> dict:
+        """Live progress snapshot for one job (``GET /jobs/<id>/progress``).
+
+        Known jobs always answer: a still-queued job reports zero
+        progress, a running job streams its tracker, and a finished job
+        returns the tracker's final snapshot (kept after unsubscribe).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            tracker = self._progress.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"no such job: {job_id}")
+        if tracker is None:
+            payload = JobProgress(job_id).snapshot()
+        else:
+            payload = tracker.snapshot()
+        payload["state"] = job.state
+        return payload
 
     # -- the worker loop ----------------------------------------------------
     def _make_context(self, slot: int) -> GPFContext:
@@ -668,6 +702,8 @@ class PipelineService:
             self.healthmon.record_outcome(True)
         elif state == FAILED:
             self.healthmon.record_outcome(False)
+        if job.run_seconds is not None:
+            self.telemetry.observe("jobs.run_seconds", job.run_seconds)
         self._persist(job)
 
     def _run_job(self, slot: int, ctx: GPFContext, job: Job) -> None:
@@ -679,7 +715,12 @@ class PipelineService:
             self._running[slot] = job
         if job.queue_seconds is not None:
             self.healthmon.record_queue_wait(job.queue_seconds)
+            self.telemetry.observe("jobs.queue_seconds", job.queue_seconds)
         self._persist(job)
+        tracker = JobProgress(job.id)
+        with self._lock:
+            self._progress[job.id] = tracker
+        ctx.events.subscribe(tracker)
         timeout: float | None = None
         deadline: float | None = None
         deadline_hit = False
@@ -735,6 +776,9 @@ class PipelineService:
             # A BaseException (simulated kill) skips the handlers above:
             # the job stays `running` in the log and is requeued — and
             # resumed from its journal — by the next service instance.
+            # The tracker is unsubscribed but kept in _progress: clients
+            # polling a just-finished job still see the final snapshot.
+            ctx.events.unsubscribe(tracker)
             with self._lock:
                 self._running.pop(slot, None)
             ctx.reset_for_reuse()

@@ -128,7 +128,7 @@ class TestTelemetryRegistry:
         assert reg.counter("nope") == 0
         assert reg.gauge("g") == 7
         snap = reg.snapshot()
-        assert snap == {"counters": {"a": 5}, "gauges": {"g": 7}}
+        assert snap == {"counters": {"a": 5}, "gauges": {"g": 7}, "histograms": {}}
         # Snapshot is a copy — mutating it does not touch the registry.
         snap["counters"]["a"] = 0
         assert reg.counter("a") == 5

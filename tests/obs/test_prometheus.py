@@ -1,0 +1,103 @@
+import pytest
+
+from repro.obs import Histogram, render_prometheus, validate_prometheus
+
+
+def _metrics() -> dict:
+    h = Histogram()
+    for v in (0.001, 0.02, 0.5, 7.0):
+        h.observe(v)
+    return {
+        "service": {
+            "jobs_submitted": 5,
+            "jobs_succeeded": 3,
+            "queued": 1,
+            "running": 1,
+            "draining": False,
+        },
+        "counters": {"blockmanager.decode_calls": 12},
+        "gauges": {
+            "blockmanager.compressed_bytes": 1000,
+            "compression_ratio": 2.0,
+        },
+        "histograms": {"jobs.run_seconds": h.snapshot()},
+        "health": {"state": "healthy", "failure_rate": 0.0, "outcomes": 4},
+    }
+
+
+class TestRender:
+    def test_output_validates(self):
+        text = render_prometheus(_metrics())
+        assert validate_prometheus(text) == []
+
+    def test_counter_and_gauge_naming(self):
+        text = render_prometheus(_metrics())
+        assert "gpf_service_jobs_submitted_total 5" in text
+        assert "gpf_service_queued 1" in text
+        assert "gpf_blockmanager_decode_calls_total 12" in text
+        assert "gpf_compression_ratio 2" in text
+
+    def test_health_state_label(self):
+        text = render_prometheus(_metrics())
+        assert 'gpf_health_state{state="healthy"} 1' in text
+
+    def test_histogram_triplet(self):
+        text = render_prometheus(_metrics())
+        assert 'gpf_jobs_run_seconds_bucket{le="+Inf"} 4' in text
+        assert "gpf_jobs_run_seconds_count 4" in text
+        assert "gpf_jobs_run_seconds_sum" in text
+
+    def test_bucket_counts_cumulative(self):
+        text = render_prometheus(_metrics())
+        counts = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("gpf_jobs_run_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_empty_metrics_render_and_validate(self):
+        assert validate_prometheus(render_prometheus({})) == []
+
+
+class TestValidator:
+    def test_sample_before_type_flagged(self):
+        text = "gpf_x_total 1\n# TYPE gpf_x_total counter\n"
+        assert validate_prometheus(text)
+
+    def test_non_cumulative_buckets_flagged(self):
+        text = (
+            "# TYPE gpf_h histogram\n"
+            'gpf_h_bucket{le="0.1"} 5\n'
+            'gpf_h_bucket{le="1"} 3\n'
+            'gpf_h_bucket{le="+Inf"} 5\n'
+            "gpf_h_sum 1\n"
+            "gpf_h_count 5\n"
+        )
+        assert any("cumulative" in p for p in validate_prometheus(text))
+
+    def test_missing_inf_bucket_flagged(self):
+        text = (
+            "# TYPE gpf_h histogram\n"
+            'gpf_h_bucket{le="0.1"} 5\n'
+            "gpf_h_sum 1\n"
+            "gpf_h_count 5\n"
+        )
+        assert any("+Inf" in p for p in validate_prometheus(text))
+
+    def test_inf_count_mismatch_flagged(self):
+        text = (
+            "# TYPE gpf_h histogram\n"
+            'gpf_h_bucket{le="+Inf"} 4\n'
+            "gpf_h_sum 1\n"
+            "gpf_h_count 5\n"
+        )
+        assert validate_prometheus(text)
+
+    def test_malformed_line_flagged(self):
+        assert validate_prometheus("not a metric line at all\n")
+
+    @pytest.mark.parametrize("line", ["gpf_ok 1", "gpf_ok 1.5", "gpf_ok NaN"])
+    def test_plain_untyped_sample_ok(self, line):
+        assert validate_prometheus(line + "\n") == []

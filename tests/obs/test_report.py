@@ -2,7 +2,7 @@ import json
 import os
 
 from repro.engine.context import EngineConfig, GPFContext
-from repro.obs import RunReport, read_events
+from repro.obs import Histogram, RunReport, read_events
 
 GOLDEN = os.path.join(os.path.dirname(__file__), "golden_report.txt")
 
@@ -123,6 +123,78 @@ class TestFromEvents:
         text = report.render_text()
         assert "no pipeline information" in text
         assert report.summary_line().startswith("gpf run: 0 task(s)")
+
+    def test_observability_event_kinds_tolerated(self):
+        # The new live-plane kinds must not derail report building.
+        events = synthetic_events()
+        events.insert(
+            3,
+            {
+                "kind": "profile.sample",
+                "ts": 0.2,
+                "stacks": {"stage:s;mod.fn": 7},
+                "samples": 7,
+            },
+        )
+        events.insert(
+            4,
+            {
+                "kind": "progress.stage",
+                "ts": 0.3,
+                "stage_id": 0,
+                "name": "shuffle-map:reads",
+                "tasks_done": 2,
+                "tasks_total": 4,
+            },
+        )
+        report = RunReport.from_events(events)
+        assert report.task_count == 6
+        assert report.pipeline_name == "demo"
+
+    def test_unknown_future_event_kinds_tolerated(self):
+        # Forward compatibility: a report reader from this version must
+        # survive logs written by a future one.
+        events = synthetic_events()
+        events.insert(2, {"kind": "hologram.render", "ts": 0.15, "qubits": 9})
+        report = RunReport.from_events(events)
+        assert report.task_count == 6
+
+    def test_histograms_from_telemetry_event(self):
+        h = Histogram()
+        for v in (0.01, 0.2):
+            h.observe(v)
+        events = synthetic_events()
+        for event in events:
+            if event["kind"] == "telemetry":
+                event["histograms"] = {"task.seconds": h.snapshot()}
+        report = RunReport.from_events(events)
+        assert "task.seconds" in report.histograms
+        text = report.render_text()
+        assert "Latency distributions" in text
+        assert "task.seconds" in text
+        assert report.to_json()["histograms"]["task.seconds"]["count"] == 2
+
+
+class TestTornAndDirtyLogs:
+    def test_torn_last_line_tolerated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = [json.dumps(e) for e in synthetic_events()]
+        # A crash mid-write leaves a torn final line.
+        path.write_text("\n".join(lines) + '\n{"kind": "run.en')
+        events = read_events(str(path))
+        report = RunReport.from_events(events)
+        assert report.task_count == 6
+
+    def test_torn_line_with_new_kinds_tolerated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = synthetic_events()
+        events.append(
+            {"kind": "profile.sample", "ts": 1.2, "stacks": {"a": 1}, "samples": 1}
+        )
+        lines = [json.dumps(e) for e in events]
+        path.write_text("\n".join(lines) + '\n{"kind": "progress.st')
+        report = RunReport.from_events(read_events(str(path)))
+        assert report.pipeline_name == "demo"
 
 
 class TestFromContextMatchesFromEvents:

@@ -76,7 +76,13 @@ class TestRoutes:
     def test_metrics_shape(self, stub_stack):
         _, _, client, _ = stub_stack
         metrics = client.metrics()
-        assert set(metrics) == {"service", "counters", "gauges", "health"}
+        assert set(metrics) == {
+            "service",
+            "counters",
+            "gauges",
+            "histograms",
+            "health",
+        }
         assert "jobs_submitted" in metrics["service"]
         assert metrics["health"]["state"] == "healthy"
 
@@ -170,4 +176,81 @@ class TestRealJobOverHTTP:
             )
         finally:
             server.shutdown()
+            service.drain()
+
+
+class TestPrometheusExposition:
+    def test_content_type_and_validity(self, stub_stack):
+        _, server, _, _ = stub_stack
+        from repro.obs import validate_prometheus
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=5)
+        conn.request("GET", "/metrics?format=prometheus")
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in response.headers["Content-Type"]
+        assert validate_prometheus(body) == []
+        assert "gpf_service_jobs_submitted_total" in body
+        conn.close()
+
+    def test_json_remains_default(self, stub_stack):
+        _, _, client, _ = stub_stack
+        metrics = client.metrics()
+        assert isinstance(metrics, dict) and "service" in metrics
+
+    def test_request_latency_observed(self, stub_stack):
+        service, _, client, _ = stub_stack
+        client.health()
+        client.metrics()
+        hist = service.telemetry.histogram("http.request_seconds")
+        assert hist is not None and hist.count >= 2
+
+
+def _warm_contexts(service, expected):
+    """Worker threads register their warm contexts asynchronously."""
+    import time as _time
+
+    deadline = _time.monotonic() + 5.0
+    while _time.monotonic() < deadline:
+        with service._lock:
+            contexts = list(service._contexts.values())
+        if len(contexts) >= expected:
+            return contexts
+        _time.sleep(0.01)
+    raise AssertionError(f"only {len(contexts)} warm context(s)")
+
+
+class TestGaugeFoldOverHTTP:
+    def test_point_in_time_gauges_not_summed_across_contexts(self, tmp_path):
+        # Regression for the /metrics fold: before fold policies existed,
+        # every gauge was summed, so two warm contexts each reporting a
+        # 2.0x compression ratio yielded a nonsense 4.0x fleet ratio
+        # (hidden by a hand-rolled special case for that one name).
+        service = make_service(tmp_path / "state", runner=instant_runner, workers=2)
+        service.start()
+        try:
+            for ctx in _warm_contexts(service, 2):
+                # 100 compressed bytes standing in for 200 logical ones:
+                # each warm context reports a 2.0x ratio on its own.
+                ctx.block_manager.put((0, 0), b"x" * 100, logical_bytes=200)
+            gauges = service.metrics()["gauges"]
+            # Capacity gauges sum; the ratio is derived from the sums.
+            assert gauges["blockmanager.compressed_bytes"] == 200.0
+            assert gauges["blockmanager.logical_bytes"] == 400.0
+            assert gauges["blockmanager.compression_ratio"] == pytest.approx(2.0)
+        finally:
+            service.drain()
+
+    def test_histograms_folded_across_contexts(self, tmp_path):
+        service = make_service(tmp_path / "state", runner=instant_runner, workers=2)
+        service.start()
+        try:
+            contexts = _warm_contexts(service, 2)
+            for ctx in contexts:
+                ctx.telemetry.observe("task.seconds", 0.1)
+            folded = service.metrics()["histograms"]
+            assert folded["task.seconds"]["count"] == len(contexts)
+        finally:
             service.drain()

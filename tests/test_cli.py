@@ -469,3 +469,140 @@ class TestLintSelf:
         assert data["mode"] == "pipeline" and data["plan"] == "wgs"
         codes = {f["code"] for f in data["findings"]}
         assert "GPF103" in codes  # the fusion-info finding is stable
+
+
+class TestObservabilityCli:
+    def test_run_profile_flag_parses(self):
+        from repro.cli.main import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "--reference", "r", "--fastq1", "a", "--fastq2", "b",
+             "--output", "o", "--profile"]
+        )
+        assert args.profile == 0.005
+        args = build_parser().parse_args(
+            ["run", "--reference", "r", "--fastq1", "a", "--fastq2", "b",
+             "--output", "o", "--profile", "0.01"]
+        )
+        assert args.profile == 0.01
+        args = build_parser().parse_args(
+            ["run", "--reference", "r", "--fastq1", "a", "--fastq2", "b",
+             "--output", "o"]
+        )
+        assert args.profile is None
+
+    def test_top_parser_defaults(self):
+        from repro.cli.main import build_parser
+
+        args = build_parser().parse_args(["top", "--once"])
+        assert args.command == "top"
+        assert args.once and args.interval == 2.0 and args.iterations == 0
+
+    def test_profiled_run_prints_hot_functions_and_flame(
+        self, sample_dir, tmp_path, capsys
+    ):
+        out = str(tmp_path / "calls.vcf")
+        trace = str(tmp_path / "trace")
+        rc = main(
+            ["run", "--reference", os.path.join(sample_dir, "reference.fa"),
+             "--fastq1", os.path.join(sample_dir, "sample_1.fastq"),
+             "--fastq2", os.path.join(sample_dir, "sample_2.fastq"),
+             "--output", out, "--profile", "0.002", "--trace-out", trace]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "profile:" in err and "sample(s)" in err
+        assert os.path.exists(os.path.join(trace, "profile.folded"))
+        # report --flame over the same event log prints folded stacks
+        rc = main(["report", os.path.join(trace, "events.jsonl"), "--flame"])
+        assert rc == 0
+        flame = capsys.readouterr().out
+        lines = [ln for ln in flame.splitlines() if ln.strip()]
+        assert lines
+        assert all(";" in ln or " " in ln for ln in lines)
+        stack, count = lines[0].rsplit(" ", 1)
+        assert int(count) > 0 and stack
+
+    def test_flame_without_profile_events_is_error(self, tmp_path, capsys):
+        import json
+
+        events = tmp_path / "events.jsonl"
+        events.write_text(json.dumps({"kind": "run.start", "ts": 0.0}) + "\n")
+        rc = main(["report", str(events), "--flame"])
+        assert rc == 2
+        assert "no profile.sample events" in capsys.readouterr().err
+
+    def test_top_once_renders_against_live_service(self, tmp_path, capsys):
+        from repro.serve import PipelineService, ServiceConfig, start_http_server
+        from repro.engine.context import EngineConfig
+
+        def instant(job, ctx, should_cancel, journal_dir):
+            return {"records": 4}
+
+        service = PipelineService(
+            str(tmp_path / "state"),
+            ServiceConfig(workers=1, queue_depth=4,
+                          engine=EngineConfig(default_parallelism=2)),
+            runner=instant,
+        ).start()
+        server = start_http_server(service)
+        try:
+            rc = main(["top", "--url", f"http://127.0.0.1:{server.port}",
+                       "--once"])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "gpf top" in out and "[healthy]" in out
+        finally:
+            server.shutdown()
+            service.drain()
+
+
+class TestBenchHistory:
+    def test_append_history_keeps_trajectory(self, tmp_path):
+        import json
+        import sys
+
+        sys.path.insert(0, "benchmarks")
+        try:
+            from bench_history import append_history
+        finally:
+            sys.path.pop(0)
+        path = str(tmp_path / "BENCH_kernels.json")
+        append_history(path, {"kernel": {"speedup": 10.0}})
+        doc = append_history(path, {"kernel": {"speedup": 11.0}})
+        assert doc["kernel"]["speedup"] == 11.0
+        assert len(doc["history"]) == 2
+        assert all("at" in entry for entry in doc["history"])
+        with open(path) as fh:
+            on_disk = json.load(fh)
+        assert [e["kernel"]["speedup"] for e in on_disk["history"]] == [10.0, 11.0]
+
+    def test_history_bounded_by_keep(self, tmp_path):
+        import sys
+
+        sys.path.insert(0, "benchmarks")
+        try:
+            from bench_history import append_history
+        finally:
+            sys.path.pop(0)
+        path = str(tmp_path / "BENCH.json")
+        for i in range(6):
+            doc = append_history(path, {"k": {"speedup": float(i)}}, keep=3)
+        assert [e["k"]["speedup"] for e in doc["history"]] == [3.0, 4.0, 5.0]
+
+    def test_check_kernel_regression(self):
+        import sys
+
+        sys.path.insert(0, "benchmarks")
+        try:
+            from bench_history import check_kernel_regression
+        finally:
+            sys.path.pop(0)
+        baseline = {"pairhmm": {"speedup": 10.0}, "sw": {"speedup": 4.0}}
+        ok = {"pairhmm": {"speedup": 8.0}, "sw": {"speedup": 3.5}}
+        assert check_kernel_regression(baseline, ok) == []
+        bad = {"pairhmm": {"speedup": 6.0}, "sw": {"speedup": 3.5}}
+        problems = check_kernel_regression(baseline, bad)
+        assert problems and "pairhmm" in problems[0]
+        missing = {"sw": {"speedup": 3.5}}
+        assert any("missing" in p for p in check_kernel_regression(baseline, missing))
