@@ -28,6 +28,39 @@ def parse_size(text: str) -> int:
     return result
 
 
+def _add_cluster_options(sub_parser: argparse.ArgumentParser) -> None:
+    """The `--backend cluster` flag family, shared by run and serve."""
+    from repro.dist.spec import parse_hostport, parse_workers
+
+    sub_parser.add_argument(
+        "--cluster-listen",
+        type=parse_hostport,
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "fleet listener address for --backend cluster "
+            "(default 127.0.0.1:7077)"
+        ),
+    )
+    sub_parser.add_argument(
+        "--expect-workers",
+        type=parse_workers,
+        metavar="N|HOST:PORT,...",
+        default=None,
+        help=(
+            "wait for this many workers (or this explicit list) to "
+            "register before scheduling tasks remotely"
+        ),
+    )
+    sub_parser.add_argument(
+        "--cluster-wait",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long to wait for --expect-workers before falling back",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The gpf argument parser with all four subcommands."""
     parser = argparse.ArgumentParser(
@@ -74,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--backend",
-        choices=("serial", "threads", "process"),
+        choices=("serial", "threads", "process", "cluster"),
         default=None,
         help="executor backend (default: serial, or threads when --threads > 0)",
     )
@@ -84,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="workers for the threads/process backends (default: --threads or 4)",
     )
+    _add_cluster_options(run)
     run.add_argument(
         "--malformed",
         choices=("fail", "drop", "quarantine"),
@@ -287,8 +321,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-job deadline in seconds (checked between Processes)",
     )
     srv.add_argument(
-        "--backend", choices=("serial", "threads", "process"), default="serial"
+        "--backend",
+        choices=("serial", "threads", "process", "cluster"),
+        default="serial",
     )
+    _add_cluster_options(srv)
     srv.add_argument(
         "--partitions", type=int, default=4, help="default per-job parallelism"
     )
@@ -314,6 +351,52 @@ def build_parser() -> argparse.ArgumentParser:
             "profile every worker context (sampling interval in seconds, "
             "default 0.005); hot functions stream into each job's "
             "/jobs/<id>/progress document"
+        ),
+    )
+
+    from repro.dist.spec import parse_hostport as _hostport
+
+    wrk = sub.add_parser(
+        "worker",
+        help="run a cluster worker daemon (connects to a gpf driver fleet)",
+        description=(
+            "Start a worker that registers with a driver's fleet listener "
+            "(gpf serve --backend cluster / gpf run --backend cluster), "
+            "executes shipped tasks, serves its shuffle map outputs to "
+            "peers over a block server, and heartbeats until the driver "
+            "says goodbye.  Runs until interrupted."
+        ),
+    )
+    wrk.add_argument(
+        "--connect",
+        type=_hostport,
+        metavar="HOST:PORT",
+        required=True,
+        help="driver fleet address to register with",
+    )
+    wrk.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        help="concurrent task slots (default: CPU count)",
+    )
+    wrk.add_argument(
+        "--id",
+        dest="worker_id",
+        default=None,
+        help="stable worker id (default: host-pid derived)",
+    )
+    wrk.add_argument(
+        "--work-dir",
+        default=None,
+        help="scratch root for shuffle blocks/caches (default: a tempdir)",
+    )
+    wrk.add_argument(
+        "--advertise-host",
+        default=None,
+        help=(
+            "host peers should use to fetch this worker's shuffle blocks "
+            "(default: the address the driver connection binds from)"
         ),
     )
 
@@ -466,6 +549,46 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_engine_fields(args: argparse.Namespace) -> dict:
+    """EngineConfig overrides from the --backend cluster flag family."""
+    if getattr(args, "backend", None) != "cluster":
+        return {}
+    from repro.dist.spec import format_hostport
+
+    fields: dict = {"cluster_wait": getattr(args, "cluster_wait", 30.0)}
+    # An ephemeral port would leave workers with nothing to --connect to,
+    # so the CLI pins a default; the API default (None) stays ephemeral
+    # for in-process fleets that pass the port to workers directly.
+    listen = getattr(args, "cluster_listen", None) or ("127.0.0.1", 7077)
+    fields["cluster_listen"] = format_hostport(listen)
+    spec = getattr(args, "expect_workers", None)
+    if spec is not None:
+        fields["cluster_min_workers"] = spec.count
+    return fields
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """worker: run a cluster worker daemon until the driver hangs up."""
+    from repro.dist.worker import WorkerDaemon
+
+    daemon = WorkerDaemon(
+        args.connect,
+        slots=args.slots,
+        worker_id=args.worker_id,
+        root_dir=args.work_dir,
+        advertise_host=args.advertise_host,
+    )
+    try:
+        daemon.run()
+        return 0
+    except KeyboardInterrupt:
+        daemon.stop()
+        return 0
+    except OSError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """run: execute the WGS pipeline over files, write the VCF.
 
@@ -500,6 +623,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         trace_dir=args.trace_out,
         memory_budget=args.memory_budget,
         chaos=chaos_plan,
+        **_cluster_engine_fields(args),
     )
     start = time.perf_counter()
     try:
@@ -883,6 +1007,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             executor_backend=args.backend,
             profile_interval=args.profile,
             chaos=chaos_plan,
+            **_cluster_engine_fields(args),
         ),
         chaos=chaos_plan,
     )
@@ -898,6 +1023,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if recovered:
         print(f"gpf serve: recovered {recovered} unfinished job(s) from the log")
+    if args.backend == "cluster":
+        print(
+            f"gpf serve: fleet on {config.engine.cluster_listen} — attach "
+            f"workers with: gpf worker --connect {config.engine.cluster_listen}"
+        )
     stop = threading.Event()
 
     def _signalled(signum, frame):
@@ -1113,6 +1243,19 @@ def _top_frame(client) -> list[str]:
         f"queued {health.get('queued', 0)}  running {health.get('running', 0)}"
     ]
     metrics = client.metrics()
+    fleet = metrics.get("fleet") or []
+    if fleet:
+        lines.append("")
+        lines.append(
+            f"{'worker':<28}{'state':<8}{'slots':>6}{'tasks':>8}{'seen':>8}  fetch"
+        )
+        for row in sorted(fleet, key=lambda r: r["worker"]):
+            state = "up" if row.get("alive") else "lost"
+            lines.append(
+                f"{row['worker']:<28}{state:<8}{row.get('slots', 0):>6}"
+                f"{row.get('tasks_done', 0):>8}"
+                f"{row.get('last_seen_age', 0.0):>7.1f}s  {row.get('fetch', '--')}"
+            )
     hists = metrics.get("histograms") or {}
     if hists:
         lines.append("")
@@ -1208,6 +1351,7 @@ def main(argv: list[str] | None = None) -> int:
         "scaling": cmd_scaling,
         "report": cmd_report,
         "serve": cmd_serve,
+        "worker": cmd_worker,
         "chaos": cmd_chaos,
         "submit": cmd_submit,
         "jobs": cmd_jobs,

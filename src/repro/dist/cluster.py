@@ -1,0 +1,570 @@
+"""Driver side of the cluster transport: fleet server + ClusterExecutor.
+
+The :class:`FleetServer` is the driver's single listening socket.  Every
+inbound connection declares itself with its first frame: REGISTER parks
+the connection as a task *slot* (one worker daemon opens one connection
+per slot, so the slot pool is the fleet's admission control), PING
+refreshes the sender's heartbeat, FETCH turns the connection into a
+block-serving channel for driver-held shuffle outputs — the driver is a
+peer in the shuffle, so tasks that fall back inline interoperate with
+remote ones.
+
+:class:`ClusterExecutor` implements the :class:`~repro.dist.transport`
+seam: ``execute`` ships one measured task body to a worker slot and
+returns the worker-mutated metrics; everything above it — retries,
+backoff, blacklists, progress — stays in the driver's scheduler.  Any
+failure to ship (no workers, unpicklable closure) degrades to running
+the body inline, so the cluster backend is *always safe to select*, the
+same guarantee the process backend makes via its thread fallback.
+
+Fleets are shared per listen address and refcounted: a serve-layer
+context pool reuses one fleet across many contexts, each isolated by a
+namespace that scopes worker-side state (shuffle dirs, caches).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.dist import protocol
+from repro.dist.shipping import ship_dumps
+from repro.dist.spec import parse_hostport
+from repro.dist.transport import Transport
+from repro.dist.worker import DistShuffle, serve_fetch_connection
+from repro.engine.faults import WorkerLostError
+
+
+class WorkerHandle:
+    """One registered worker daemon (possibly many slots)."""
+
+    def __init__(self, worker_id: str, fetch_addr: tuple[str, int], pid: int = 0):
+        self.id = worker_id
+        self.fetch_addr = tuple(fetch_addr)
+        self.pid = pid
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.slots: list[WorkerSlot] = []
+        self.tasks_done = 0
+
+
+class WorkerSlot:
+    """A parked task channel to one worker slot."""
+
+    def __init__(self, worker: WorkerHandle, slot: int, sock: socket.socket):
+        self.worker = worker
+        self.slot = slot
+        self.sock = sock
+
+
+class FleetServer:
+    """Worker registry, heartbeat ledger, slot pool, and block server."""
+
+    def __init__(
+        self,
+        listen: tuple[str, int],
+        *,
+        heartbeat_timeout: float = 10.0,
+    ):
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_interval = max(0.2, heartbeat_timeout / 5.0)
+        self.refs = 0
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerHandle] = {}
+        self._slots: "queue.Queue[WorkerSlot]" = queue.Queue()
+        self._ns_roots: dict[int, str] = {}
+        self._next_ns = 0
+        self._closed = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(listen)
+        self._listener.listen(128)
+        self.port: int = self._listener.getsockname()[1]
+        host = listen[0]
+        #: Address peers use to fetch driver-held blocks; an any-interface
+        #: bind advertises loopback (the loopback-fleet case this repo's
+        #: harness exercises; real deployments pass a routable host).
+        self.advertise_addr = ("127.0.0.1" if host in ("0.0.0.0", "") else host, self.port)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="gpf-fleet-accept"
+        )
+        self._accept_thread.start()
+
+    # -- namespaces ------------------------------------------------------
+    def allocate_ns(self) -> int:
+        with self._lock:
+            ns = self._next_ns
+            self._next_ns += 1
+            return ns
+
+    def register_ns_root(self, ns: int, root: str) -> None:
+        with self._lock:
+            self._ns_roots[ns] = root
+
+    def release_ns(self, ns: int) -> None:
+        with self._lock:
+            self._ns_roots.pop(ns, None)
+
+    def _block_path(self, ns: int, shuffle_id: int, map_p: int, reduce_p: int):
+        with self._lock:
+            root = self._ns_roots.get(ns)
+        if root is None:
+            return None
+        path = os.path.join(root, f"shuffle_{shuffle_id}", f"{map_p}_{reduce_p}.bin")
+        return path if os.path.exists(path) else None
+
+    # -- connection dispatch ---------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._dispatch,
+                args=(conn,),
+                daemon=True,
+                name="gpf-fleet-dispatch",
+            ).start()
+
+    def _dispatch(self, conn: socket.socket) -> None:
+        """Route one inbound connection by its first frame."""
+        try:
+            kind, header, _ = protocol.recv_frame(conn)
+        except (OSError, protocol.ProtocolError):
+            conn.close()
+            return
+        if kind == protocol.MSG_REGISTER:
+            self._register(conn, header)
+        elif kind == protocol.MSG_PING:
+            self._heartbeat(header.get("worker", ""))
+            conn.close()
+        elif kind == protocol.MSG_FETCH:
+            serve_fetch_connection(conn, self._block_path, initial=header)
+        else:
+            conn.close()
+
+    def _register(self, conn: socket.socket, header: dict) -> None:
+        worker_id = header.get("worker", "")
+        if not worker_id:
+            conn.close()
+            return
+        try:
+            protocol.send_frame(
+                conn, protocol.MSG_WELCOME, {"heartbeat": self.heartbeat_interval}
+            )
+        except OSError:
+            conn.close()
+            return
+        with self._lock:
+            handle = self._workers.get(worker_id)
+            if handle is None or not handle.alive:
+                handle = WorkerHandle(
+                    worker_id,
+                    tuple(header.get("fetch", ("127.0.0.1", 0))),
+                    pid=header.get("pid", 0),
+                )
+                self._workers[worker_id] = handle
+            handle.last_seen = time.monotonic()
+            slot = WorkerSlot(handle, header.get("slot", 0), conn)
+            handle.slots.append(slot)
+        self._slots.put(slot)
+
+    def _heartbeat(self, worker_id: str) -> None:
+        with self._lock:
+            handle = self._workers.get(worker_id)
+            if handle is not None:
+                handle.last_seen = time.monotonic()
+
+    # -- fleet state -----------------------------------------------------
+    def live_workers(self) -> list[WorkerHandle]:
+        now = time.monotonic()
+        stale: list[WorkerHandle] = []
+        with self._lock:
+            live = []
+            for handle in self._workers.values():
+                if not handle.alive:
+                    continue
+                if now - handle.last_seen > self.heartbeat_timeout:
+                    stale.append(handle)
+                else:
+                    live.append(handle)
+        for handle in stale:
+            self.lose_worker(handle, reason="heartbeat timeout")
+        return live
+
+    def is_addr_live(self, addr: tuple[str, int]) -> bool:
+        if tuple(addr) == self.advertise_addr:
+            return True  # the driver itself never "dies" mid-job
+        return any(h.fetch_addr == tuple(addr) for h in self.live_workers())
+
+    def wait_for_workers(self, count: int, timeout: float) -> int:
+        """Block until ``count`` workers registered (or timeout); returns
+        how many are live."""
+        deadline = time.monotonic() + timeout
+        while True:
+            live = len(self.live_workers())
+            if live >= count or time.monotonic() >= deadline:
+                return live
+            time.sleep(0.02)
+
+    def acquire_slot(self, timeout: float) -> WorkerSlot | None:
+        """Take one live slot from the pool; prunes dead/stale workers."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                slot = self._slots.get(timeout=remaining)
+            except queue.Empty:
+                return None
+            handle = slot.worker
+            if not handle.alive:
+                continue  # lost after parking; its socket is closed
+            if time.monotonic() - handle.last_seen > self.heartbeat_timeout:
+                self.lose_worker(handle, reason="heartbeat timeout")
+                continue
+            return slot
+
+    def release_slot(self, slot: WorkerSlot) -> None:
+        if slot.worker.alive:
+            slot.worker.tasks_done += 1
+            self._slots.put(slot)
+        else:
+            self._close_slot(slot)
+
+    def lose_worker(self, handle: WorkerHandle, reason: str = "") -> None:
+        """Evict a worker: mark dead, sever its task channels.
+
+        Idempotent; parked slots drain out of the pool on the next
+        acquire.  Closing the sockets makes a *live-but-evicted* worker's
+        slot loops exit too, so eviction is authoritative.
+        """
+        with self._lock:
+            if not handle.alive:
+                return
+            handle.alive = False
+            slots = list(handle.slots)
+        for slot in slots:
+            self._close_slot(slot)
+
+    @staticmethod
+    def _close_slot(slot: WorkerSlot) -> None:
+        try:
+            protocol.send_frame(slot.sock, protocol.MSG_GOODBYE)
+        except OSError:
+            pass
+        try:
+            slot.sock.close()
+        except OSError:
+            pass
+
+    def fleet_snapshot(self) -> list[dict]:
+        """Per-worker rows for /metrics and ``gpf top``."""
+        now = time.monotonic()
+        with self._lock:
+            return [
+                {
+                    "worker": h.id,
+                    "alive": h.alive,
+                    "slots": len(h.slots),
+                    "tasks_done": h.tasks_done,
+                    "last_seen_age": now - h.last_seen,
+                    "fetch": f"{h.fetch_addr[0]}:{h.fetch_addr[1]}",
+                }
+                for h in self._workers.values()
+            ]
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for handle in workers:
+            self.lose_worker(handle, reason="fleet shutdown")
+
+
+#: Shared fleets keyed by requested listen address, refcounted so a
+#: context pool reuses one listener.  Ephemeral-port requests (port 0)
+#: are never shared — the caller cannot name what it would share.
+_FLEETS: dict[tuple[str, int], FleetServer] = {}
+_FLEETS_LOCK = threading.Lock()
+
+
+def get_fleet(listen: tuple[str, int], heartbeat_timeout: float = 10.0) -> FleetServer:
+    with _FLEETS_LOCK:
+        if listen[1] != 0:
+            fleet = _FLEETS.get(listen)
+            if fleet is not None:
+                fleet.refs += 1
+                return fleet
+        fleet = FleetServer(listen, heartbeat_timeout=heartbeat_timeout)
+        fleet.refs = 1
+        if listen[1] != 0:
+            _FLEETS[listen] = fleet
+        return fleet
+
+
+def release_fleet(fleet: FleetServer) -> None:
+    with _FLEETS_LOCK:
+        fleet.refs -= 1
+        if fleet.refs > 0:
+            return
+        for key, value in list(_FLEETS.items()):
+            if value is fleet:
+                del _FLEETS[key]
+    fleet.shutdown()
+
+
+class DriverShuffle:
+    """Shuffle facade swapped in by :meth:`ClusterExecutor.bind`.
+
+    Registration and completeness bookkeeping stay on the inner
+    :class:`~repro.engine.shuffle.ShuffleManager`; the data path moves to
+    the location-aware :class:`~repro.dist.worker.DistShuffle`, so a map
+    task that runs *inline* (ship fallback) writes to the driver's P2P
+    store and its output is fetchable by remote reduce tasks.
+    """
+
+    def __init__(self, inner, dist: DistShuffle, executor: "ClusterExecutor"):
+        self._inner = inner
+        self._dist = dist
+        self._executor = executor
+
+    def register(self, num_map: int, num_reduce: int) -> int:
+        shuffle_id = self._inner.register(num_map, num_reduce)
+        self._dist.ensure_shuffle(shuffle_id, num_map)
+        return shuffle_id
+
+    def write(self, shuffle_id, map_partition, elements, partition_func, serializer, task):
+        self._dist.write(
+            shuffle_id, map_partition, elements, partition_func, serializer, task
+        )
+
+    def read(self, shuffle_id, reduce_partition, serializer, task):
+        return self._dist.read(shuffle_id, reduce_partition, serializer, task)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class ClusterExecutor(Transport):
+    """Ships measured task bodies to a socket-connected worker fleet."""
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        blacklist_after: int = 3,
+        config=None,
+    ):
+        self.num_workers = max(1, num_workers)
+        self.blacklist_after = blacklist_after
+        self.config = config
+        self.fleet: FleetServer | None = None
+        self.ns: int | None = None
+        self._ctx = None
+        self._dist: DistShuffle | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._waited = False
+        self._wait_lock = threading.Lock()
+        self.fallback_batches = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def bind(self, ctx) -> None:
+        self._ctx = ctx
+        config = ctx.config
+        listen = parse_hostport(config.cluster_listen or "127.0.0.1:0")
+        self.fleet = get_fleet(
+            listen, heartbeat_timeout=config.cluster_heartbeat_timeout
+        )
+        self.ns = self.fleet.allocate_ns()
+        root = os.path.join(ctx._spill_dir, "dist", f"ns{self.ns}")
+        os.makedirs(root, exist_ok=True)
+        self._dist = DistShuffle(
+            root,
+            self.fleet.advertise_addr,
+            ns=self.ns,
+            compress=config.shuffle_compression,
+            chaos=ctx.chaos,
+            telemetry=ctx.telemetry,
+            on_write=self._on_local_write,
+        )
+        self.fleet.register_ns_root(self.ns, root)
+        ctx.shuffle_manager = DriverShuffle(ctx.shuffle_manager, self._dist, self)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self.fleet is not None:
+            if self.ns is not None:
+                self.fleet.release_ns(self.ns)
+            release_fleet(self.fleet)
+            self.fleet = None
+
+    # -- scheduling ------------------------------------------------------
+    def run_all(self, tasks):
+        if not tasks:
+            return []
+        if self._pool is None:
+            # Thunks block on slot acquisition (bounded by timeout, then
+            # inline fallback), so the driver-side thread count only caps
+            # concurrent in-flight ships, not fleet size.
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(4, self.num_workers),
+                thread_name_prefix="gpf-cluster-driver",
+            )
+        futures = [self._pool.submit(task) for task in tasks]
+        try:
+            return [f.result() for f in futures]
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
+
+    # -- bookkeeping -----------------------------------------------------
+    def _on_local_write(self, shuffle_id: int, map_partition: int) -> None:
+        """A map output landed in the *driver's* store (inline task)."""
+        self._record_map_output(shuffle_id, map_partition, self.fleet.advertise_addr)
+
+    def _record_map_output(self, shuffle_id, map_partition, addr) -> None:
+        self._dist.add_location(shuffle_id, map_partition, addr)
+        # Keep the inner manager's completeness ledger true: reads that
+        # bypass the dist path (reports, is_complete checks) still work.
+        try:
+            self._ctx.shuffle_manager._inner.mark_map_done(shuffle_id, map_partition)
+        except (AttributeError, KeyError):
+            pass
+
+    def missing_map_outputs(self, shuffle_id: int) -> list[int]:
+        entry = self._dist._resolve(shuffle_id)
+        return sorted(
+            m
+            for m, addr in entry["maps"].items()
+            if not self.fleet.is_addr_live(addr)
+        )
+
+    def _note_fallback(self, reason: str) -> None:
+        self.fallback_batches += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("executor.fallbacks")
+            self.telemetry.inc(f"executor.fallbacks.{reason}")
+        if self.events is not None:
+            self.events.publish(
+                "executor.incident", incident="fallback_batch", reason=reason
+            )
+
+    def _lose(self, slot: WorkerSlot, cause: Exception) -> WorkerLostError:
+        self.fleet.lose_worker(slot.worker, reason=str(cause))
+        if self.telemetry is not None:
+            self.telemetry.inc("dist.workers_lost")
+            self.telemetry.set_gauge("dist.workers", len(self.fleet.live_workers()))
+        if self.events is not None:
+            self.events.publish(
+                "executor.incident", incident="worker_lost", worker=slot.worker.id
+            )
+        return WorkerLostError(slot.worker.id, cause)
+
+    def _ensure_fleet_ready(self) -> bool:
+        config = self._ctx.config
+        with self._wait_lock:
+            if not self._waited:
+                self._waited = True
+                self.fleet.wait_for_workers(
+                    max(1, config.cluster_min_workers), config.cluster_wait
+                )
+        live = len(self.fleet.live_workers())
+        if self.telemetry is not None:
+            self.telemetry.set_gauge("dist.workers", live)
+        return live > 0
+
+    # -- the transport seam ----------------------------------------------
+    def execute(self, body, task):
+        ctx = self._ctx
+        if ctx is None or not self._ensure_fleet_ready():
+            self._note_fallback("no_workers")
+            return task, body(task)
+        chaos = ctx.chaos
+        if chaos is not None:
+            # dist.ship faults model a driver-side ship failure (e.g. a
+            # send buffer error); the raised fault fails this attempt and
+            # the scheduler's retry ships again.
+            chaos.hit("dist.ship", partition=task.partition)
+        try:
+            blob = ship_dumps((body, task), ctx)
+        except Exception:  # noqa: BLE001 - unship-able => run it here
+            self._note_fallback("unpicklable")
+            return task, body(task)
+        slot = self.fleet.acquire_slot(timeout=ctx.config.cluster_wait)
+        if slot is None:
+            self._note_fallback("no_slots")
+            return task, body(task)
+        worker = slot.worker
+        if chaos is not None:
+            # dist.heartbeat faults simulate a silent worker: the driver
+            # treats the assigned worker as heartbeat-expired and evicts
+            # it, exercising the whole loss path deterministically.
+            try:
+                chaos.hit("dist.heartbeat", worker=worker.id)
+            except Exception as exc:  # noqa: BLE001 - typed below
+                raise self._lose(slot, exc) from exc
+        header = {
+            "ns": self.ns,
+            "locations": self._dist.snapshot_locations(),
+            "serializer": ctx.serializer,
+            "batch": ctx.config.decode_batch_size,
+            "compress": ctx.config.shuffle_compression,
+            "chaos": chaos,
+        }
+        try:
+            protocol.send_frame(slot.sock, protocol.MSG_TASK, header, blob)
+            kind, rheader, rbody = protocol.recv_frame(slot.sock)
+        except (OSError, protocol.ProtocolError) as exc:
+            raise self._lose(slot, exc) from exc
+        self.fleet.release_slot(slot)
+        if kind == protocol.MSG_ERROR:
+            raise protocol.decode_error(rheader)
+        if kind != protocol.MSG_RESULT:
+            raise protocol.ProtocolError(f"unexpected reply {kind!r} to TASK")
+        remote_task = rheader["task"]
+        remote_task.worker = rheader.get("worker", worker.id)
+        for shuffle_id, map_partition in rheader.get("outputs", ()):
+            self._record_map_output(shuffle_id, map_partition, worker.fetch_addr)
+        counts = rheader.get("telemetry") or {}
+        if counts:
+            ctx.telemetry.merge_counts(counts)
+        if self.telemetry is not None:
+            self.telemetry.inc("dist.tasks_shipped")
+            self.telemetry.inc("dist.bytes_shipped", len(blob))
+            self.telemetry.inc("dist.bytes_returned", len(rbody))
+            self.telemetry.inc(f"dist.worker.{worker.id}.tasks")
+        encoding = rheader.get("encoding", "none")
+        if encoding == "none":
+            value = None
+        elif encoding == "bundle":
+            from repro.engine.bundle import decode_partition
+
+            value = list(decode_partition(rbody, ctx.serializer))
+        else:
+            value = pickle.loads(rbody)
+        return remote_task, value
+
+
+def make_cluster_transport(
+    num_workers: int = 4, blacklist_after: int = 3, config=None, **_ignored
+) -> ClusterExecutor:
+    """Factory the transport registry resolves for backend 'cluster'."""
+    return ClusterExecutor(
+        num_workers=num_workers, blacklist_after=blacklist_after, config=config
+    )

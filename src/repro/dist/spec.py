@@ -1,0 +1,86 @@
+"""Shared CLI spec parsers for the distributed plane.
+
+``gpf worker --connect`` and ``gpf serve --cluster-listen`` take
+``HOST:PORT``; ``--expect-workers`` takes either a fleet *size* or an
+explicit comma-separated ``host:port`` list.  Both follow the
+``--memory-budget`` parser convention: typed errors are raised as
+:class:`argparse.ArgumentTypeError` so argparse renders them as proper
+usage errors instead of tracebacks.
+"""
+
+from __future__ import annotations
+
+from argparse import ArgumentTypeError
+from dataclasses import dataclass, field
+
+
+def parse_hostport(text: str) -> tuple[str, int]:
+    """``"HOST:PORT"`` -> ``(host, port)`` with typed errors.
+
+    Port 0 is allowed (bind to an ephemeral port); the host may not be
+    empty — a listener that should bind all interfaces says so with
+    ``0.0.0.0`` explicitly.
+    """
+    text = (text or "").strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ArgumentTypeError(
+            f"invalid address {text!r}: expected HOST:PORT (e.g. 127.0.0.1:7077)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ArgumentTypeError(
+            f"invalid port {port_text!r} in {text!r}: not an integer"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ArgumentTypeError(
+            f"invalid port {port} in {text!r}: must be in [0, 65535]"
+        )
+    return host, port
+
+
+@dataclass
+class WorkersSpec:
+    """A fleet expectation: how many workers, and (optionally) which."""
+
+    count: int
+    addresses: list[tuple[str, int]] = field(default_factory=list)
+
+
+def parse_workers(text: str) -> WorkersSpec:
+    """``--expect-workers`` spec: a size or a ``host:port`` list.
+
+    ``"4"`` means *wait for 4 workers*; ``"10.0.0.1:7077,10.0.0.2:7077"``
+    means *wait for these two*.  Mixing forms, empty entries, and
+    non-positive sizes are typed errors.
+    """
+    text = (text or "").strip()
+    if not text:
+        raise ArgumentTypeError("empty workers spec; expected N or HOST:PORT,...")
+    if "," not in text and ":" not in text:
+        try:
+            count = int(text)
+        except ValueError:
+            raise ArgumentTypeError(
+                f"invalid workers spec {text!r}: expected a count like '4' "
+                "or a host:port list"
+            ) from None
+        if count <= 0:
+            raise ArgumentTypeError(
+                f"invalid workers count {count}: need at least one worker"
+            )
+        return WorkersSpec(count=count)
+    addresses = []
+    for i, entry in enumerate(text.split(",")):
+        entry = entry.strip()
+        if not entry:
+            raise ArgumentTypeError(
+                f"empty entry at position {i} in workers spec {text!r}"
+            )
+        addresses.append(parse_hostport(entry))
+    return WorkersSpec(count=len(addresses), addresses=addresses)
+
+
+def format_hostport(addr: tuple[str, int]) -> str:
+    return f"{addr[0]}:{addr[1]}"

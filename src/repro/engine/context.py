@@ -118,6 +118,18 @@ class EngineConfig:
     #: wired into the block manager, shuffle manager, journal, and the
     #: scheduler's task-attempt hook.  None = no injection, no overhead.
     chaos: object | None = None
+    #: Listen address (``"HOST:PORT"``) of the cluster transport's fleet
+    #: server; ``"127.0.0.1:0"`` (an ephemeral loopback port) when None.
+    #: Only read by ``executor_backend="cluster"``.
+    cluster_listen: str | None = None
+    #: Workers the cluster transport waits for before shipping its first
+    #: task; with zero registered after ``cluster_wait`` seconds, tasks
+    #: run inline on the driver (counted as ``executor.fallbacks``).
+    cluster_min_workers: int = 1
+    #: Seconds to wait for the fleet (registration and slot acquisition).
+    cluster_wait: float = 30.0
+    #: Seconds without a heartbeat before a worker is declared lost.
+    cluster_heartbeat_timeout: float = 10.0
     #: Consolidated per-job retry budget: total task failures tolerated
     #: across the whole run before the job fails with
     #: :class:`~repro.engine.faults.RetryBudgetExhaustedError`, so a
@@ -187,8 +199,10 @@ class GPFContext:
             self.config.executor_backend,
             self.config.num_workers,
             blacklist_after=self.config.blacklist_after,
+            config=self.config,
         )
         self.executor.events = self.events
+        self.executor.telemetry = self.telemetry
         if self.profiler is not None:
             # Process-pool batches run a worker-side profiler at the same
             # interval; folded child stacks come home with the results
@@ -240,6 +254,10 @@ class GPFContext:
         # The gc.callbacks hook is refcounted per live context and removed
         # when the last context stops (no global callback left behind).
         GC_TIMER.acquire()
+        # Bind the transport last: a remote transport hooks the shuffle
+        # manager and opens its fleet listener here, and needs the block
+        # manager and spill dir above to exist.
+        self.executor.bind(self)
         self.events.publish(
             "run.start",
             backend=self.config.executor_backend,

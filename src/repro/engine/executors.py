@@ -10,6 +10,11 @@ tasks are pickled in chunks on the driver and shipped to workers; batches
 whose closures cannot be pickled (the common case for lineage closures
 that capture an RDD context) transparently fall back to the thread pool,
 so ``process`` is always safe to select.
+
+All three are *local* transports behind the pluggable
+:class:`~repro.dist.transport.Transport` seam; the ``cluster`` backend
+(:mod:`repro.dist.cluster`) resolves through the same registry and ships
+task bodies to socket-connected worker nodes instead.
 """
 
 from __future__ import annotations
@@ -20,34 +25,18 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence, TypeVar
 
+from repro.dist.transport import Transport, create_transport, register_transport
+
 T = TypeVar("T")
 
 
-class Executor:
-    """Runs a batch of task thunks and returns results in order."""
+class Executor(Transport):
+    """Runs a batch of task thunks and returns results in order.
 
-    #: Optional EventBus the owning context attaches; backends publish
-    #: executor-level incidents (thread fallbacks, broken pools) to it.
-    events = None
-    #: Sampling-profiler wiring (process backend only): with an interval
-    #: set, each worker-side chunk runs under a child profiler and the
-    #: folded stacks are handed to ``profile_sink`` on the driver.
-    profile_interval = None
-    profile_sink = None
-
-    def run_all(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
-        raise NotImplementedError
-
-    def note_slot_failure(self, reason: str = "") -> bool:
-        """Record an executor-level incident (timeout, broken pool).
-
-        Returns True when this report tripped the blacklist threshold.
-        Backends without slots (serial, threads) ignore reports.
-        """
-        return False
-
-    def shutdown(self) -> None:  # pragma: no cover - trivial default
-        pass
+    Kept as the engine-facing name; the interface (``run_all``,
+    ``execute``, ``bind``, ``note_slot_failure``, ``shutdown``) lives on
+    :class:`~repro.dist.transport.Transport`.
+    """
 
 
 def _drain_in_order(futures: Sequence[Future]) -> list:
@@ -173,6 +162,11 @@ class ProcessExecutor(Executor):
 
     def _note_fallback(self, reason: str) -> None:
         self.fallback_batches += 1
+        # Fallbacks are a capacity signal operators watch: the counter
+        # (total + per-reason) lands in /metrics next to the event.
+        if self.telemetry is not None:
+            self.telemetry.inc("executor.fallbacks")
+            self.telemetry.inc(f"executor.fallbacks.{reason}")
         if self.events is not None:
             self.events.publish(
                 "executor.incident", incident="fallback_batch", reason=reason
@@ -249,16 +243,33 @@ class ProcessExecutor(Executor):
         self._fallback.shutdown()
 
 
+register_transport("serial", lambda **kwargs: SerialExecutor())
+register_transport(
+    "threads", lambda **kwargs: ThreadExecutor(kwargs.get("num_workers", 4))
+)
+register_transport(
+    "process",
+    lambda **kwargs: ProcessExecutor(
+        kwargs.get("num_workers", 4),
+        blacklist_after=kwargs.get("blacklist_after", 3),
+    ),
+)
+
+
 def make_executor(
-    backend: str, num_workers: int = 4, blacklist_after: int = 3
+    backend: str, num_workers: int = 4, blacklist_after: int = 3, config=None
 ) -> Executor:
-    """Executor factory: 'serial', 'threads' or 'process'."""
-    if backend == "serial":
-        return SerialExecutor()
-    if backend == "threads":
-        return ThreadExecutor(num_workers)
-    if backend == "process":
-        return ProcessExecutor(num_workers, blacklist_after=blacklist_after)
-    raise ValueError(
-        f"unknown executor backend {backend!r}; options: serial, threads, process"
+    """Executor factory: 'serial', 'threads', 'process', or 'cluster'.
+
+    Resolves through the transport registry, so plugins registered with
+    :func:`repro.dist.register_transport` are selectable by name too.
+    ``config`` (the owning ``EngineConfig``) is forwarded for transports
+    that need more than a worker count — the cluster backend reads its
+    listen address and fleet expectations from it.
+    """
+    return create_transport(
+        backend,
+        num_workers=num_workers,
+        blacklist_after=blacklist_after,
+        config=config,
     )

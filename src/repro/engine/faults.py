@@ -139,6 +139,52 @@ class RetryBudgetExhaustedError(RuntimeError):
         return (type(self), (self.budget, self.failures, self.cause))
 
 
+class WorkerLostError(RuntimeError):
+    """A cluster worker died (or vanished) while running a task attempt.
+
+    Raised driver-side by the cluster transport when the task channel to
+    a worker breaks or its heartbeats stop.  The scheduler treats it
+    like a broken pool: the attempt is retried — on another worker, or
+    inline on the driver when the fleet is empty — and the incident
+    feeds the executor blacklist/telemetry machinery.
+    """
+
+    def __init__(self, worker: str, cause: Exception | None = None):
+        super().__init__(
+            f"worker {worker!r} lost mid-task"
+            + (f": {cause}" if cause is not None else "")
+        )
+        self.worker = worker
+        self.cause = cause
+        if cause is not None:
+            self.__cause__ = cause
+
+    def __reduce__(self):
+        return (type(self), (self.worker, self.cause))
+
+
+class ShuffleFetchFailedError(RuntimeError):
+    """A reduce task could not fetch one map output block.
+
+    Carries the (shuffle, map partition) identity so the scheduler can
+    regenerate exactly the lost map outputs from lineage — Spark's
+    FetchFailed semantics — instead of retrying a fetch that can never
+    succeed against a dead worker.
+    """
+
+    def __init__(self, shuffle_id: int, map_partition: int, where: str = ""):
+        super().__init__(
+            f"shuffle {shuffle_id} map output {map_partition} unavailable"
+            + (f" ({where})" if where else "")
+        )
+        self.shuffle_id = shuffle_id
+        self.map_partition = map_partition
+        self.where = where
+
+    def __reduce__(self):
+        return (type(self), (self.shuffle_id, self.map_partition, self.where))
+
+
 class TaskTimeoutError(RuntimeError):
     """A task attempt overran its deadline (``EngineConfig.task_timeout``)."""
 

@@ -40,6 +40,7 @@ class TaskMetrics:
     shuffle_bytes_read: int = 0
     records_read: int = 0
     records_written: int = 0
+    worker: str = ""  # cluster worker id; empty for local transports
 
     def finalize(self) -> None:
         self.cpu_time = max(

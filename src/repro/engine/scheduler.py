@@ -38,8 +38,10 @@ from typing import Callable, Sequence, TYPE_CHECKING
 
 from repro.engine.faults import (
     RetryBudgetExhaustedError,
+    ShuffleFetchFailedError,
     TaskFailedError,
     TaskTimeoutError,
+    WorkerLostError,
 )
 from repro.engine.metrics import GC_TIMER, TaskMetrics
 
@@ -112,6 +114,10 @@ class _StageProgress:
 class DAGScheduler:
     def __init__(self, ctx: "GPFContext"):
         self.ctx = ctx
+        #: shuffle_id -> ShuffleDependency, kept after each map stage so
+        #: lost map outputs can be regenerated from lineage on a
+        #: shuffle-fetch failure (Spark's FetchFailed resubmission).
+        self._map_specs: dict[int, "ShuffleDependency"] = {}
 
     # -- public ------------------------------------------------------------
     def run_job(self, rdd: "RDD", partitions: Sequence[int] | None = None) -> list[list]:
@@ -173,7 +179,10 @@ class DAGScheduler:
             with GC_TIMER.measure() as gc_state:
                 for injector in self.ctx.fault_injectors:
                     injector(stage_kind, split, attempt)
-                value = body(task)
+                # The transport seam: local transports run the body
+                # inline and hand back the same TaskMetrics; the cluster
+                # transport ships it and returns the worker-mutated copy.
+                task, value = self.ctx.executor.execute(body, task)
             task.gc_time = gc_state["total"]
             task.run_time = time.perf_counter() - start
             task.finalize()
@@ -185,6 +194,8 @@ class DAGScheduler:
                 records_read=task.records_read,
                 records_written=task.records_written,
             )
+            if task.worker:
+                span.set_attributes(worker=task.worker)
         return task, value
 
     def _attempt_with_deadline(
@@ -294,17 +305,28 @@ class DAGScheduler:
                 raise
             except Exception as exc:  # noqa: BLE001 - retry semantics
                 last_error = exc
-                if isinstance(exc, (TaskTimeoutError, BrokenProcessPool)):
-                    kind = (
-                        "timeout"
-                        if isinstance(exc, TaskTimeoutError)
-                        else "broken_pool"
-                    )
+                if isinstance(
+                    exc, (TaskTimeoutError, BrokenProcessPool, WorkerLostError)
+                ):
+                    if isinstance(exc, TaskTimeoutError):
+                        kind = "timeout"
+                    elif isinstance(exc, WorkerLostError):
+                        kind = "worker_lost"
+                    else:
+                        kind = "broken_pool"
                     self.ctx.metrics.record_executor_event(kind)
                     events.publish("executor.incident", incident=kind)
                     if self.ctx.executor.note_slot_failure(kind):
                         self.ctx.metrics.record_executor_event("blacklisted")
                         events.publish("executor.incident", incident="blacklisted")
+                if isinstance(exc, ShuffleFetchFailedError):
+                    # FetchFailed semantics: retrying the reduce against
+                    # a dead peer can never succeed — regenerate the lost
+                    # map outputs from lineage first, then retry.
+                    try:
+                        self._recover_shuffle(exc)
+                    except Exception:  # noqa: BLE001 - retry surfaces it
+                        pass
                 retries_left = max_attempts - attempt - 1
                 delay = (
                     self._backoff_delay(stage_kind, split, attempt)
@@ -412,7 +434,53 @@ class DAGScheduler:
                 ]
             )
         dep.shuffle_id = shuffle_id
+        self._map_specs[shuffle_id] = dep
         self._publish_stage_end(stage)
+
+    def _recover_shuffle(self, failure: ShuffleFetchFailedError) -> None:
+        """Regenerate lost map outputs of one shuffle from lineage.
+
+        Called between attempts of a reduce task that hit a fetch
+        failure.  The transport reports which map partitions live on
+        dead nodes; each is recomputed through ``executor.execute`` —
+        landing on a surviving worker (or inline on the driver), whose
+        write re-registers a fresh location that supersedes the dead
+        one.  Failures here propagate to the *retrying* task's loop, so
+        the retry budget still bounds total work.
+        """
+        dep = self._map_specs.get(failure.shuffle_id)
+        if dep is None:
+            return
+        missing = set(self.ctx.executor.missing_map_outputs(failure.shuffle_id))
+        if failure.map_partition >= 0:
+            missing.add(failure.map_partition)
+        if not missing:
+            return
+        self.ctx.events.publish(
+            "executor.incident",
+            incident="shuffle_recovery",
+            shuffle_id=failure.shuffle_id,
+            maps=len(missing),
+        )
+        parent = dep.parent
+        for split in sorted(missing):
+
+            def body(task: TaskMetrics, split: int = split) -> None:
+                elements = parent.iterator(split, task)
+                if dep.map_side_combine is not None:
+                    elements = dep.map_side_combine(elements)
+                self.ctx.shuffle_manager.write(
+                    failure.shuffle_id,
+                    split,
+                    elements,
+                    dep.partitioner,
+                    parent.serializer,
+                    task,
+                )
+
+            self.ctx.executor.execute(
+                body, TaskMetrics(partition=split, attempt=0)
+            )
 
     def _run_result_stage(
         self, rdd: "RDD", partitions: Sequence[int] | None

@@ -94,6 +94,21 @@ class ShuffleManager:
                 shuffle_id in self._shuffles and self._shuffles[shuffle_id].complete
             )
 
+    def mark_map_done(
+        self, shuffle_id: int, map_partition: int, bytes_written: int = 0
+    ) -> None:
+        """Record one map partition as written.
+
+        ``write`` does this implicitly for spills through this manager;
+        the cluster transport calls it for map outputs that landed in the
+        distributed store so the completeness ledger stays authoritative
+        no matter where the bytes live.
+        """
+        with self._lock:
+            info = self._shuffles[shuffle_id]
+            info.map_done.add(map_partition)
+            info.bytes_written += bytes_written
+
     # -- map side ----------------------------------------------------------
     def write(
         self,

@@ -42,6 +42,9 @@ GAUGE_FOLD_POLICIES: dict[str, str] = {
     "block.memory_bytes": "sum",
     "block.disk_bytes": "sum",
     "blockmanager.compression_ratio": "derived",
+    # One fleet is shared by every serve-context on the box; summing the
+    # per-context views would multiply-count the same workers.
+    "dist.workers": "max",
 }
 
 #: name -> fn(folded_gauges) -> value | None, for policy "derived".

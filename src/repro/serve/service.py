@@ -574,13 +574,21 @@ class PipelineService:
         gauges = fold_gauges(s["gauges"] for s in snapshots)
         histogram_maps = [s.get("histograms", {}) for s in snapshots]
         histogram_maps.append(self.telemetry.histograms())
-        return {
+        payload = {
             "service": service,
             "health": self.healthmon.snapshot(),
             "counters": counters,
             "gauges": gauges,
             "histograms": fold_histograms(histogram_maps),
         }
+        # Cluster transport: one fleet is shared by every context on this
+        # box, so the first executor that has one speaks for all.
+        for ctx in contexts:
+            fleet = getattr(ctx.executor, "fleet", None)
+            if fleet is not None:
+                payload["fleet"] = fleet.fleet_snapshot()
+                break
+        return payload
 
     def progress(self, job_id: str) -> dict:
         """Live progress snapshot for one job (``GET /jobs/<id>/progress``).

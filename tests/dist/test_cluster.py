@@ -1,0 +1,202 @@
+"""In-process fleet tests: real sockets, real workers, loopback only.
+
+Each test spins up a driver ``GPFContext`` with the cluster transport
+(ephemeral listen port) plus one or two ``WorkerDaemon`` instances in
+the same process — the full wire path (register, ship, P2P fetch,
+heartbeat, loss) without subprocess overhead.
+"""
+
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.dist.worker import WorkerDaemon
+from repro.engine.context import EngineConfig, GPFContext
+
+
+@contextlib.contextmanager
+def cluster(tmp_path, workers=1, slots=2, tag="c", **config_kwargs):
+    config = EngineConfig(
+        default_parallelism=4,
+        executor_backend="cluster",
+        cluster_min_workers=workers,
+        cluster_wait=10.0,
+        cluster_heartbeat_timeout=5.0,
+        spill_dir=str(tmp_path / f"spill_{tag}"),
+        **config_kwargs,
+    )
+    ctx = GPFContext(config)
+    daemons = []
+    try:
+        port = ctx.executor.fleet.port
+        for i in range(workers):
+            daemon = WorkerDaemon(
+                ("127.0.0.1", port),
+                slots=slots,
+                worker_id=f"{tag}-w{i}",
+                root_dir=str(tmp_path / f"{tag}_worker{i}"),
+            )
+            daemon.start()
+            daemons.append(daemon)
+        assert ctx.executor.fleet.wait_for_workers(workers, 10.0)
+        yield ctx, daemons
+    finally:
+        for daemon in daemons:
+            daemon.stop()
+        ctx.stop()
+
+
+class TestBasicJobs:
+    def test_map_collect_ships_tasks(self, tmp_path):
+        with cluster(tmp_path, workers=1, tag="map") as (ctx, _):
+            result = ctx.parallelize(range(100), 4).map(lambda x: x * 2).collect()
+            assert result == [x * 2 for x in range(100)]
+            assert ctx.telemetry.counter("dist.tasks_shipped") >= 4
+            assert ctx.telemetry.counter("executor.fallbacks") == 0
+            assert ctx.executor.fallback_batches == 0
+
+    def test_shuffle_runs_peer_to_peer(self, tmp_path):
+        with cluster(tmp_path, workers=2, tag="shuf") as (ctx, _):
+            data = [(f"k{i % 7}", i) for i in range(140)]
+            result = dict(
+                ctx.parallelize(data, 4)
+                .reduce_by_key(lambda a, b: a + b)
+                .collect()
+            )
+            expected: dict = {}
+            for k, v in data:
+                expected[k] = expected.get(k, 0) + v
+            assert result == expected
+            # Reduce tasks fetched map outputs over worker block servers.
+            assert ctx.telemetry.counter("dist.fetches") > 0
+            assert ctx.telemetry.counter("dist.fetch_bytes") > 0
+
+    def test_remote_task_metrics_land_in_the_driver(self, tmp_path):
+        with cluster(tmp_path, workers=1, tag="met") as (ctx, daemons):
+            ctx.parallelize(range(40), 4).map(lambda x: x + 1).collect()
+            job = ctx.metrics.job()
+            assert job.core_seconds > 0  # worker-measured run times
+            workers = {
+                t.worker for s in job.stages for t in s.tasks if t.worker
+            }
+            assert workers == {daemons[0].worker_id}
+
+    def test_per_worker_telemetry_and_gauge(self, tmp_path):
+        with cluster(tmp_path, workers=2, tag="tel") as (ctx, daemons):
+            ctx.parallelize(range(80), 8).map(lambda x: x).collect()
+            assert ctx.telemetry.gauge("dist.workers") == 2
+            per_worker = sum(
+                ctx.telemetry.counter(f"dist.worker.{d.worker_id}.tasks")
+                for d in daemons
+            )
+            assert per_worker == ctx.telemetry.counter("dist.tasks_shipped")
+
+    def test_fleet_snapshot_rows(self, tmp_path):
+        with cluster(tmp_path, workers=2, slots=3, tag="snap") as (ctx, daemons):
+            # wait_for_workers returns on the first slot of each worker;
+            # the remaining slot registrations may still be in flight.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                rows = {
+                    r["worker"]: r for r in ctx.executor.fleet.fleet_snapshot()
+                }
+                if sum(r["slots"] for r in rows.values()) == 6:
+                    break
+                time.sleep(0.05)
+            assert set(rows) == {d.worker_id for d in daemons}
+            for row in rows.values():
+                assert row["alive"] is True
+                assert row["slots"] == 3
+                assert ":" in row["fetch"]
+
+
+class TestWorkerLoss:
+    def test_job_survives_a_worker_killed_mid_run(self, tmp_path):
+        with cluster(tmp_path, workers=2, tag="kill") as (ctx, daemons):
+            victim = daemons[0]
+            release = threading.Event()
+
+            def slow(x):
+                time.sleep(0.05)
+                return x * 10
+
+            # Warm run so both workers hold tasks, then kill one and
+            # run again: its parked slots are dead sockets the driver
+            # must detect, evict, and retry around.
+            assert ctx.parallelize(range(8), 8).map(slow).collect() == [
+                x * 10 for x in range(8)
+            ]
+            killer = threading.Timer(0.08, victim.stop)
+            killer.start()
+            try:
+                result = ctx.parallelize(range(16), 16).map(slow).collect()
+            finally:
+                killer.cancel()
+                release.set()
+            assert result == [x * 10 for x in range(16)]
+            assert ctx.telemetry.counter("dist.workers_lost") >= 1
+            assert ctx.metrics.executor_events.get("worker_lost", 0) >= 1
+            live = ctx.executor.fleet.live_workers()
+            assert victim.worker_id not in {w.id for w in live}
+
+    def test_all_workers_dead_falls_back_inline(self, tmp_path):
+        with cluster(tmp_path, workers=1, tag="dead") as (ctx, daemons):
+            ctx.parallelize(range(4), 4).map(lambda x: x).collect()
+            daemons[0].stop()
+            deadline = time.monotonic() + 10.0
+            while ctx.executor.fleet.live_workers():
+                if time.monotonic() > deadline:
+                    pytest.fail("fleet never noticed the dead worker")
+                time.sleep(0.1)
+            result = ctx.parallelize(range(12), 4).map(lambda x: -x).collect()
+            assert result == [-x for x in range(12)]
+            assert ctx.telemetry.counter("executor.fallbacks.no_workers") > 0
+
+    def test_fetch_failure_recovers_lost_map_outputs(self, tmp_path):
+        """Kill the worker holding half the map outputs *between* two
+        collects of the same shuffled RDD: the reduce side hits dead
+        block servers, raises ShuffleFetchFailedError, and the
+        scheduler regenerates the missing maps."""
+        with cluster(tmp_path, workers=2, tag="fetch") as (ctx, daemons):
+            data = [(f"k{i % 5}", i) for i in range(100)]
+            shuffled = ctx.parallelize(data, 4).reduce_by_key(lambda a, b: a + b)
+            first = sorted(shuffled.collect())
+            daemons[0].stop()
+            deadline = time.monotonic() + 10.0
+            while len(ctx.executor.fleet.live_workers()) > 1:
+                if time.monotonic() > deadline:
+                    pytest.fail("fleet never evicted the dead worker")
+                time.sleep(0.1)
+            second = sorted(shuffled.collect())
+            assert second == first
+            kinds = {f.error_type for f in ctx.metrics.failures}
+            assert "ShuffleFetchFailedError" in kinds
+
+
+class TestChaosSites:
+    def test_dist_ship_fault_is_retried(self, tmp_path):
+        from repro.chaos import ChaosPlan
+
+        plan = ChaosPlan(
+            seed=3, rules=[{"site": "dist.ship", "fault": "conn_reset", "nth": 1}]
+        )
+        with cluster(tmp_path, workers=1, tag="ship", chaos=plan) as (ctx, _):
+            result = ctx.parallelize(range(20), 4).map(lambda x: x + 5).collect()
+            assert result == [x + 5 for x in range(20)]
+            assert len(ctx.metrics.failures) >= 1
+
+    def test_dist_heartbeat_fault_evicts_the_worker(self, tmp_path):
+        from repro.chaos import ChaosPlan
+
+        plan = ChaosPlan(
+            seed=3,
+            rules=[{"site": "dist.heartbeat", "fault": "conn_reset", "nth": 1}],
+        )
+        with cluster(tmp_path, workers=2, tag="hb", chaos=plan) as (ctx, _):
+            result = ctx.parallelize(range(20), 4).map(lambda x: x).collect()
+            assert result == list(range(20))
+            assert ctx.telemetry.counter("dist.workers_lost") == 1
+            kinds = {f.error_type for f in ctx.metrics.failures}
+            assert "WorkerLostError" in kinds

@@ -1,0 +1,137 @@
+"""CLI spec parsers: HOST:PORT and workers specs with typed errors."""
+
+from argparse import ArgumentTypeError
+
+import pytest
+
+from repro.dist.spec import (
+    WorkersSpec,
+    format_hostport,
+    parse_hostport,
+    parse_workers,
+)
+
+
+class TestParseHostport:
+    def test_plain_address(self):
+        assert parse_hostport("127.0.0.1:7077") == ("127.0.0.1", 7077)
+
+    def test_hostname(self):
+        assert parse_hostport("node-3.local:80") == ("node-3.local", 80)
+
+    def test_port_zero_is_allowed(self):
+        assert parse_hostport("0.0.0.0:0") == ("0.0.0.0", 0)
+
+    def test_surrounding_whitespace_is_stripped(self):
+        assert parse_hostport("  10.0.0.1:7077 ") == ("10.0.0.1", 7077)
+
+    def test_roundtrip_through_format(self):
+        assert parse_hostport(format_hostport(("h", 1234))) == ("h", 1234)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "nope", "host:", ":7077", "host:abc", "host:-1", "host:70777"],
+    )
+    def test_malformed_specs_raise_typed_errors(self, text):
+        with pytest.raises(ArgumentTypeError):
+            parse_hostport(text)
+
+    def test_error_message_names_the_bad_input(self):
+        with pytest.raises(ArgumentTypeError, match="bad-address"):
+            parse_hostport("bad-address")
+        with pytest.raises(ArgumentTypeError, match="not an integer"):
+            parse_hostport("host:xyz")
+        with pytest.raises(ArgumentTypeError, match=r"\[0, 65535\]"):
+            parse_hostport("host:99999")
+
+
+class TestParseWorkers:
+    def test_count_form(self):
+        spec = parse_workers("4")
+        assert spec == WorkersSpec(count=4)
+        assert spec.addresses == []
+
+    def test_address_list_form(self):
+        spec = parse_workers("10.0.0.1:7077,10.0.0.2:7077")
+        assert spec.count == 2
+        assert spec.addresses == [("10.0.0.1", 7077), ("10.0.0.2", 7077)]
+
+    def test_single_address_counts_as_list(self):
+        spec = parse_workers("127.0.0.1:7077")
+        assert spec.count == 1
+        assert spec.addresses == [("127.0.0.1", 7077)]
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "  ", "0", "-2", "four", "a:1,,b:2", "a:1,b:notaport", "a:1,"],
+    )
+    def test_malformed_specs_raise_typed_errors(self, text):
+        with pytest.raises(ArgumentTypeError):
+            parse_workers(text)
+
+    def test_empty_entry_error_is_positional(self):
+        with pytest.raises(ArgumentTypeError, match="position 1"):
+            parse_workers("a:1,,b:2")
+
+
+class TestCliIntegration:
+    """argparse renders these as usage errors (exit 2), not tracebacks."""
+
+    def test_worker_connect_rejects_malformed_address(self, capsys):
+        from repro.cli.main import build_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["worker", "--connect", "nonsense"])
+        assert excinfo.value.code == 2
+        assert "expected HOST:PORT" in capsys.readouterr().err
+
+    def test_serve_expect_workers_rejects_zero(self, capsys):
+        from repro.cli.main import build_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                [
+                    "serve",
+                    "--state-dir",
+                    "/tmp/x",
+                    "--backend",
+                    "cluster",
+                    "--expect-workers",
+                    "0",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "at least one worker" in capsys.readouterr().err
+
+    def test_cluster_fields_reach_engine_config(self):
+        from repro.cli.main import _cluster_engine_fields, build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--state-dir",
+                "/tmp/x",
+                "--backend",
+                "cluster",
+                "--cluster-listen",
+                "0.0.0.0:7171",
+                "--expect-workers",
+                "3",
+                "--cluster-wait",
+                "12.5",
+            ]
+        )
+        fields = _cluster_engine_fields(args)
+        assert fields == {
+            "cluster_wait": 12.5,
+            "cluster_listen": "0.0.0.0:7171",
+            "cluster_min_workers": 3,
+        }
+
+    def test_non_cluster_backend_adds_no_fields(self):
+        from repro.cli.main import _cluster_engine_fields, build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--state-dir", "/tmp/x", "--backend", "threads"]
+        )
+        assert _cluster_engine_fields(args) == {}

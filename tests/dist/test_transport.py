@@ -1,0 +1,110 @@
+"""Transport registry and executor thread-fallback telemetry."""
+
+import pytest
+
+from repro.dist.transport import (
+    Transport,
+    available_transports,
+    create_transport,
+)
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.obs import TelemetryRegistry
+
+
+class TestRegistry:
+    def test_builtin_backends_resolve(self):
+        assert isinstance(create_transport("serial"), SerialExecutor)
+        threads = create_transport("threads", num_workers=2)
+        assert isinstance(threads, ThreadExecutor)
+        threads.shutdown()
+
+    def test_cluster_is_listed_and_lazily_resolvable(self):
+        assert "cluster" in available_transports()
+        transport = create_transport("cluster", num_workers=2)
+        try:
+            assert isinstance(transport, Transport)
+            assert type(transport).__name__ == "ClusterExecutor"
+        finally:
+            transport.shutdown()
+
+    def test_unknown_backend_names_the_options(self):
+        with pytest.raises(ValueError, match="cluster"):
+            create_transport("quantum")
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            make_executor("quantum")
+
+    def test_make_executor_still_builds_locals(self):
+        ex = make_executor("process", num_workers=2, blacklist_after=5)
+        try:
+            assert isinstance(ex, ProcessExecutor)
+            assert ex.blacklist_after == 5
+        finally:
+            ex.shutdown()
+
+    def test_default_execute_runs_inline(self):
+        transport = SerialExecutor()
+        sentinel = object()
+        task, value = transport.execute(lambda t: (t, 41)[1] + 1, sentinel)
+        assert task is sentinel
+        assert value == 42
+
+    def test_local_transports_never_lose_map_outputs(self):
+        assert SerialExecutor().missing_map_outputs(0) == []
+
+
+class TestFallbackTelemetry:
+    """Satellite: thread fallbacks are counted, total and per reason."""
+
+    def test_unpicklable_batch_counts_a_fallback(self):
+        ex = ProcessExecutor(num_workers=2)
+        ex.telemetry = TelemetryRegistry()
+        try:
+            captured = object()  # unpicklable-by-plain-pickle closure
+            results = ex.run_all(
+                [lambda i=i: (id(captured), i)[1] for i in range(4)]
+            )
+            assert results == [0, 1, 2, 3]
+            assert ex.fallback_batches == 1
+            assert ex.telemetry.counter("executor.fallbacks") == 1
+            assert ex.telemetry.counter("executor.fallbacks.unpicklable") == 1
+        finally:
+            ex.shutdown()
+
+    def test_blacklisted_pool_counts_per_reason(self):
+        ex = ProcessExecutor(num_workers=2, blacklist_after=1)
+        ex.telemetry = TelemetryRegistry()
+        try:
+            assert ex.note_slot_failure("timeout") is True
+            assert ex.run_all([lambda: 1, lambda: 2]) == [1, 2]
+            assert ex.telemetry.counter("executor.fallbacks.blacklisted") == 1
+        finally:
+            ex.shutdown()
+
+    def test_fallback_event_reaches_the_bus(self):
+        from repro.obs import EventBus
+
+        seen = []
+        ex = ProcessExecutor(num_workers=2)
+        ex.events = EventBus()
+        ex.events.subscribe(lambda e: seen.append(e))
+        try:
+            captured = object()
+            ex.run_all([lambda: id(captured)])
+        finally:
+            ex.shutdown()
+        incidents = [e for e in seen if e.get("kind") == "executor.incident"]
+        assert incidents and incidents[0]["reason"] == "unpicklable"
+
+    def test_no_telemetry_attached_is_fine(self):
+        ex = ProcessExecutor(num_workers=2)
+        try:
+            captured = object()
+            assert ex.run_all([lambda: (id(captured), 9)[1]]) == [9]
+            assert ex.fallback_batches == 1
+        finally:
+            ex.shutdown()

@@ -2,6 +2,7 @@
 
 import http.client
 import json
+import time
 
 import pytest
 
@@ -204,7 +205,14 @@ class TestPrometheusExposition:
         service, _, client, _ = stub_stack
         client.health()
         client.metrics()
-        hist = service.telemetry.histogram("http.request_seconds")
+        # The handler observes latency *after* flushing the response, so
+        # the client can outrun the server thread's finally block.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            hist = service.telemetry.histogram("http.request_seconds")
+            if hist is not None and hist.count >= 2:
+                break
+            time.sleep(0.02)
         assert hist is not None and hist.count >= 2
 
 
